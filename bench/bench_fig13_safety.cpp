@@ -1,0 +1,55 @@
+// Reproduces paper Figure 13: speed profiles of V1 and V2 at the blind
+// curve. Benign run: R1 relays V1's lane-change warning, V2 brakes early,
+// no collision. Attacked run: the targeted-replay blockage variant silences
+// R1's relay; both vehicles emergency-brake at the sight line and collide.
+
+#include <cstdio>
+
+#include "vgr/scenario/curve.hpp"
+
+using namespace vgr;
+using scenario::CurveConfig;
+using scenario::CurveResult;
+
+namespace {
+
+void print_profile(const char* title, const CurveResult& r) {
+  std::printf("\n%s\n", title);
+  if (r.warning_delivered) {
+    std::printf("  warning delivered to V2 at t=%.3f s\n", r.warning_delivered_at_s);
+  } else {
+    std::printf("  warning NOT delivered to V2\n");
+  }
+  std::printf("  %-8s %-12s %-12s %-10s %-10s\n", "t (s)", "V1 (m/s)", "V2 (m/s)", "V1 x",
+              "V2 x");
+  for (std::size_t i = 0; i < r.profile.size(); i += 5) {  // every 0.5 s
+    const auto& s = r.profile[i];
+    std::printf("  %-8.1f %-12.2f %-12.2f %-10.1f %-10.1f\n", s.t, s.v1_speed, s.v2_speed,
+                s.v1_x, s.v2_x);
+  }
+  if (r.collision) {
+    std::printf("  ** COLLISION at t=%.2f s **\n", r.collision_time_s);
+  } else {
+    std::printf("  no collision (minimum head-on gap %.1f m)\n", r.min_gap_m);
+  }
+}
+
+}  // namespace
+
+int main() {
+  std::printf("==========================================================================\n");
+  std::printf("Figure 13 — road-safety impact at a blind curve (Fig 11b scenario)\n");
+  std::printf("==========================================================================\n");
+
+  CurveConfig cfg;
+  cfg.attacked = false;
+  print_profile("Fig 13 (green) — attacker-free: R1 relays the CBF warning",
+                run_curve_scenario(cfg));
+  cfg.attacked = true;
+  print_profile("Fig 13 (red) — intra-area blockage variant aimed at R1",
+                run_curve_scenario(cfg));
+
+  std::printf("\npaper reference: with the warning, V2 decelerates early and the vehicles\n"
+              "pass safely; under attack both emergency-brake on sight and collide.\n");
+  return 0;
+}

@@ -1,0 +1,70 @@
+// Reproduces paper Figure 6: the vulnerable-packet geometry for a roadside
+// attacker at the centre of the 4,000 m segment. For each attack range the
+// harness prints the fully covered area (both directions vulnerable) and
+// the per-direction vulnerable source spans, then cross-checks the analytic
+// spans against a brute-force scan of source positions.
+
+#include <cstdio>
+
+#include "vgr/phy/technology.hpp"
+#include "vgr/scenario/vulnerability.hpp"
+
+using namespace vgr;
+using scenario::AttackGeometry;
+
+namespace {
+
+void report(const char* label, double attack_range, double vehicle_range, double road_len) {
+  const AttackGeometry g{road_len / 2.0, attack_range, vehicle_range};
+  std::printf("\n%s: attacker @%.0f m, attack range %.0f m, vehicle range %.0f m\n", label,
+              g.attacker_x, attack_range, vehicle_range);
+
+  // Brute-force the spans to validate the closed forms.
+  double east_max = -1.0, west_min = road_len + 1.0;
+  double covered_lo = road_len + 1.0, covered_hi = -1.0;
+  int vulnerable_sources = 0, total = 0;
+  for (double x = 0.0; x <= road_len; x += 1.0) {
+    ++total;
+    const bool e = g.eastbound_vulnerable(x);
+    const bool w = g.westbound_vulnerable(x);
+    if (e) east_max = x;
+    if (w && x < west_min) west_min = x;
+    if (e && w) {
+      covered_lo = std::min(covered_lo, x);
+      covered_hi = std::max(covered_hi, x);
+    }
+    if (e || w) ++vulnerable_sources;
+  }
+
+  std::printf("  eastbound-vulnerable sources: [0, %.0f] m\n", east_max);
+  std::printf("  westbound-vulnerable sources: [%.0f, %.0f] m\n", west_min, road_len);
+  if (const auto iv = g.fully_covered()) {
+    std::printf("  fully covered area: [%.0f, %.0f] m (width %.0f m; scan: [%.0f, %.0f])\n",
+                iv->first, iv->second, iv->second - iv->first, covered_lo, covered_hi);
+  } else {
+    std::printf("  fully covered area: none (attack range below vehicle range)\n");
+  }
+  std::printf("  vulnerable sources: %.1f%% of the road\n",
+              100.0 * vulnerable_sources / total);
+}
+
+}  // namespace
+
+int main() {
+  std::printf("==========================================================================\n");
+  std::printf("Figure 6 — vulnerable-packet geometry (attacker at road centre)\n");
+  std::printf("==========================================================================\n");
+
+  const auto dsrc = phy::range_table(phy::AccessTechnology::kDsrc);
+  report("DSRC wN", dsrc.nlos_worst_m, dsrc.nlos_median_m, 4000.0);
+  report("DSRC mN", dsrc.nlos_median_m, dsrc.nlos_median_m, 4000.0);
+  report("DSRC 500 m (paper's intra optimum)", 500.0, dsrc.nlos_median_m, 4000.0);
+  report("DSRC mL", dsrc.los_median_m, dsrc.nlos_median_m, 4000.0);
+  const auto cv2x = phy::range_table(phy::AccessTechnology::kCv2x);
+  report("C-V2X mL", cv2x.los_median_m, cv2x.nlos_median_m, 4000.0);
+
+  std::printf("\npaper reference: the 500 m attacker's fully covered area is\n"
+              "(500 - 486) * 2 = 28 m wide; at mL range nearly every source is vulnerable\n"
+              "in both directions.\n");
+  return 0;
+}

@@ -1,0 +1,122 @@
+// Reproduces paper Figure 7: effectiveness of the inter-area interception
+// attack under (a) DSRC attack-range sweep, (b) C-V2X attack-range sweep,
+// (c) LocTE TTL sweep, (d) inter-vehicle-space sweep, (e) one- vs
+// two-direction roads. Prints the per-setting packet reception rates and
+// the interception rate gamma the paper annotates on each subfigure.
+
+#include <cstdio>
+
+#include "bench_util.hpp"
+#include "vgr/scenario/highway.hpp"
+
+using namespace vgr;
+using scenario::AbResult;
+using scenario::Fidelity;
+using scenario::HighwayConfig;
+
+namespace {
+
+struct RangeSetting {
+  const char* label;
+  const char* key;
+  double range_m;
+};
+
+void subfigure_ab(phy::AccessTechnology tech, const char* name, const Fidelity& fidelity) {
+  const phy::RangeTable ranges = phy::range_table(tech);
+  const RangeSetting settings[] = {
+      {"mL (median LoS)", "mL", ranges.los_median_m},
+      {"mN (median NLoS)", "mN", ranges.nlos_median_m},
+      {"wN (worst NLoS)", "wN", ranges.nlos_worst_m},
+  };
+  std::printf("\nFig 7%s — %s, attack range sweep (vehicles at NLoS median %.0f m)\n", name,
+              phy::name(tech), ranges.nlos_median_m);
+  for (const auto& s : settings) {
+    HighwayConfig cfg;
+    cfg.tech = tech;
+    cfg.attack_range_m = s.range_m;
+    const AbResult r = run_inter_area_ab(cfg, fidelity);
+    bench::print_summary_row(s.label, r, "gamma");
+    bench::maybe_export(std::string{"fig7"} + name + "_" + s.key, r);
+    if (bench::verbose()) bench::print_ab_series(r);
+  }
+}
+
+}  // namespace
+
+int main() {
+  const Fidelity fidelity = Fidelity::from_env(3);
+  bench::banner("Figure 7", "inter-area interception attack effectiveness", fidelity);
+
+  subfigure_ab(phy::AccessTechnology::kDsrc, "a", fidelity);
+  subfigure_ab(phy::AccessTechnology::kCv2x, "b", fidelity);
+
+  // (c) LocTE TTL sweep: DSRC, worst-NLoS attacker, plus the paper's
+  // "mN @ TTL 5 s" check that a short TTL does not save the victim from a
+  // stronger attacker.
+  std::printf("\nFig 7c — DSRC, wN attacker, LocTE TTL sweep\n");
+  for (const double ttl : {20.0, 10.0, 5.0}) {
+    HighwayConfig cfg;
+    cfg.attack_range_m = phy::range_table(cfg.tech).nlos_worst_m;
+    cfg.locte_ttl = sim::Duration::seconds(ttl);
+    const AbResult r = run_inter_area_ab(cfg, fidelity);
+    bench::print_summary_row("TTL " + std::to_string(static_cast<int>(ttl)) + " s", r, "gamma");
+    if (bench::verbose()) bench::print_ab_series(r);
+  }
+  {
+    HighwayConfig cfg;
+    cfg.attack_range_m = phy::range_table(cfg.tech).nlos_median_m;
+    cfg.locte_ttl = sim::Duration::seconds(5.0);
+    const AbResult r = run_inter_area_ab(cfg, fidelity);
+    bench::print_summary_row("TTL 5 s, mN attacker", r, "gamma");
+  }
+
+  // (d) Traffic density sweep via inter-vehicle spacing.
+  std::printf("\nFig 7d — DSRC, wN attacker, inter-vehicle space sweep\n");
+  for (const double spacing : {30.0, 100.0, 300.0}) {
+    HighwayConfig cfg;
+    cfg.attack_range_m = phy::range_table(cfg.tech).nlos_worst_m;
+    cfg.entry_spacing_m = spacing;
+    cfg.prefill_spacing_m = spacing;
+    const AbResult r = run_inter_area_ab(cfg, fidelity);
+    bench::print_summary_row("i = " + std::to_string(static_cast<int>(spacing)) + " m", r,
+                             "gamma");
+  }
+
+  // (e) Road directions.
+  std::printf("\nFig 7e — DSRC, wN attacker, road directions\n");
+  for (const bool two_way : {false, true}) {
+    HighwayConfig cfg;
+    cfg.attack_range_m = phy::range_table(cfg.tech).nlos_worst_m;
+    cfg.two_way = two_way;
+    const AbResult r = run_inter_area_ab(cfg, fidelity);
+    bench::print_summary_row(two_way ? "two directions" : "single direction", r, "gamma");
+  }
+
+  // Extension: end-to-end delivery latency of the surviving packets (the
+  // paper does not report latency; useful for judging the GF+buffering
+  // path).
+  std::printf("\nDelivery latency of received packets (DSRC, wN attacker, seed 1)\n");
+  {
+    HighwayConfig cfg;
+    cfg.attack_range_m = phy::range_table(cfg.tech).nlos_worst_m;
+    if (fidelity.sim_seconds > 0.0) cfg.sim_duration = sim::Duration::seconds(fidelity.sim_seconds);
+    for (const bool attacked : {false, true}) {
+      cfg.attack = attacked ? scenario::AttackKind::kInterArea : scenario::AttackKind::kNone;
+      const auto r = scenario::HighwayScenario{cfg}.run_inter_area();
+      const auto lat = r.latency();
+      if (lat.empty()) {
+        std::printf("  %-14s no deliveries\n", attacked ? "attacked" : "attacker-free");
+      } else {
+        std::printf("  %-14s p50 = %6.3f s, p95 = %6.3f s, max = %6.3f s (n=%zu)\n",
+                    attacked ? "attacked" : "attacker-free", lat.median(), lat.quantile(0.95),
+                    lat.max(), lat.count());
+      }
+    }
+  }
+
+  std::printf("\npaper reference: gamma = 99.9%% (DSRC mL), 100%% (C-V2X mL), 46.8%% (wN),\n"
+              "and gamma falling as TTL shrinks (46.8 / 46.2 / 37.4%%), stable over density,\n"
+              "higher on two-direction roads (58.3%%).\n");
+  return 0;
+}

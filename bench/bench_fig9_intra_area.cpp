@@ -1,0 +1,130 @@
+// Reproduces paper Figure 9: effectiveness of the intra-area blockage
+// attack — (a) DSRC / (b) C-V2X attack-range sweeps including the paper's
+// 500 m optimum, (c) LocTE TTL sweep (no effect expected), (d) density
+// sweep, (e) road directions — plus the source-location split (fully
+// covered area vs elsewhere) reported in §IV-A.
+
+#include <cstdio>
+
+#include "bench_util.hpp"
+#include "vgr/scenario/highway.hpp"
+
+using namespace vgr;
+using scenario::AbResult;
+using scenario::Fidelity;
+using scenario::HighwayConfig;
+
+namespace {
+
+void range_sweep(phy::AccessTechnology tech, const char* name, const Fidelity& fidelity) {
+  const phy::RangeTable ranges = phy::range_table(tech);
+  struct Setting {
+    const char* label;
+    const char* key;
+    double range_m;
+  } settings[] = {
+      {"wN (worst NLoS)", "wN", ranges.nlos_worst_m},
+      {"mN (median NLoS)", "mN", ranges.nlos_median_m},
+      {"500 m (optimum)", "500", 500.0},
+      {"mL (median LoS)", "mL", ranges.los_median_m},
+  };
+  std::printf("\nFig 9%s — %s, attack range sweep\n", name, phy::name(tech));
+  for (const auto& s : settings) {
+    HighwayConfig cfg;
+    cfg.tech = tech;
+    cfg.attack_range_m = s.range_m;
+    const AbResult r = run_intra_area_ab(cfg, fidelity);
+    bench::print_summary_row(s.label, r, "lambda");
+    bench::maybe_export(std::string{"fig9"} + name + "_" + s.key, r);
+    if (bench::verbose()) bench::print_ab_series(r);
+  }
+}
+
+}  // namespace
+
+int main() {
+  const Fidelity fidelity = Fidelity::from_env(3);
+  bench::banner("Figure 9", "intra-area blockage attack effectiveness", fidelity);
+
+  range_sweep(phy::AccessTechnology::kDsrc, "a", fidelity);
+  range_sweep(phy::AccessTechnology::kCv2x, "b", fidelity);
+
+  std::printf("\nFig 9c — DSRC, mN attacker, LocTE TTL sweep (CBF should not care)\n");
+  for (const double ttl : {20.0, 10.0, 5.0}) {
+    HighwayConfig cfg;
+    cfg.attack_range_m = phy::range_table(cfg.tech).nlos_median_m;
+    cfg.locte_ttl = sim::Duration::seconds(ttl);
+    const AbResult r = run_intra_area_ab(cfg, fidelity);
+    bench::print_summary_row("TTL " + std::to_string(static_cast<int>(ttl)) + " s", r,
+                             "lambda");
+  }
+
+  std::printf("\nFig 9d — DSRC, mN attacker, inter-vehicle space sweep\n");
+  for (const double spacing : {30.0, 100.0, 300.0}) {
+    HighwayConfig cfg;
+    cfg.attack_range_m = phy::range_table(cfg.tech).nlos_median_m;
+    cfg.entry_spacing_m = spacing;
+    cfg.prefill_spacing_m = spacing;
+    const AbResult r = run_intra_area_ab(cfg, fidelity);
+    bench::print_summary_row("i = " + std::to_string(static_cast<int>(spacing)) + " m", r,
+                             "lambda");
+  }
+
+  std::printf("\nFig 9e — DSRC, mN attacker, road directions\n");
+  for (const bool two_way : {false, true}) {
+    HighwayConfig cfg;
+    cfg.attack_range_m = phy::range_table(cfg.tech).nlos_median_m;
+    cfg.two_way = two_way;
+    const AbResult r = run_intra_area_ab(cfg, fidelity);
+    bench::print_summary_row(two_way ? "two directions" : "single direction", r, "lambda");
+  }
+
+  // Source-location split (paper: 62.8% blockage for sources inside the
+  // fully covered area vs 37.2% outside; 500 m attacker vs 486 m DSRC).
+  std::printf("\nSource-location split — DSRC, 500 m attacker (fully covered width 28 m)\n");
+  {
+    HighwayConfig base;
+    base.attack_range_m = 500.0;
+    if (fidelity.sim_seconds > 0.0) {
+      base.sim_duration = sim::Duration::seconds(fidelity.sim_seconds);
+    }
+    double hits[2][2] = {};   // [inside?][attacked?] reached
+    double totals[2][2] = {}; // [inside?][attacked?] on-road
+    std::uint64_t n_in = 0, n_out = 0;
+    for (std::uint64_t run = 0; run < fidelity.runs * 3; ++run) {  // extra runs: 28 m is rare
+      HighwayConfig a = base;
+      a.seed = run + 1;
+      a.attack = scenario::AttackKind::kNone;
+      HighwayConfig b = base;
+      b.seed = run + 1;
+      b.attack = scenario::AttackKind::kIntraArea;
+      const auto ra = scenario::HighwayScenario{a}.run_intra_area();
+      const auto rb = scenario::HighwayScenario{b}.run_intra_area();
+      for (const auto& fl : ra.floods) {
+        const int in = fl.source_fully_covered ? 1 : 0;
+        (in != 0 ? n_in : n_out) += 1;
+        hits[in][0] += static_cast<double>(fl.reached);
+        totals[in][0] += static_cast<double>(fl.total);
+      }
+      for (const auto& fl : rb.floods) {
+        const int in = fl.source_fully_covered ? 1 : 0;
+        hits[in][1] += static_cast<double>(fl.reached);
+        totals[in][1] += static_cast<double>(fl.total);
+      }
+    }
+    auto blockage = [&](int in) {
+      const double af = totals[in][0] > 0.0 ? hits[in][0] / totals[in][0] : 0.0;
+      const double atk = totals[in][1] > 0.0 ? hits[in][1] / totals[in][1] : 0.0;
+      return af > 0.0 ? (1.0 - atk / af) * 100.0 : 0.0;
+    };
+    std::printf("  sources inside fully covered area: %llu floods, blockage = %.1f%%\n",
+                static_cast<unsigned long long>(n_in), blockage(1));
+    std::printf("  sources elsewhere:                 %llu floods, blockage = %.1f%%\n",
+                static_cast<unsigned long long>(n_out), blockage(0));
+  }
+
+  std::printf("\npaper reference: lambda = 38.5%% (DSRC mN), 35.8%% (C-V2X mN); larger\n"
+              "attack ranges *reduce* blockage (first-time receivers dominate); TTL and\n"
+              "density have no effect; two directions ~38%%; source split 62.8%% / 37.2%%.\n");
+  return 0;
+}

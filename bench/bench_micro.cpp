@@ -1,0 +1,177 @@
+// Micro-benchmarks (google-benchmark) for the hot paths of the stack:
+// codec, signing/verification, location table, GF selection, CBF math,
+// duplicate detection, event queue and medium delivery. These bound the
+// simulator's throughput and document the cost of the security envelope.
+
+#include <benchmark/benchmark.h>
+
+#include "vgr/gn/cbf.hpp"
+#include "vgr/gn/greedy_forwarder.hpp"
+#include "vgr/gn/location_table.hpp"
+#include "vgr/net/codec.hpp"
+#include "vgr/net/duplicate_detector.hpp"
+#include "vgr/phy/medium.hpp"
+#include "vgr/security/authority.hpp"
+#include "vgr/sim/event_queue.hpp"
+#include "vgr/sim/random.hpp"
+
+namespace {
+
+using namespace vgr;
+
+net::Packet sample_gbc() {
+  net::Packet p;
+  p.common.type = net::CommonHeader::HeaderType::kGeoBroadcast;
+  net::LongPositionVector pv;
+  pv.address = net::GnAddress{net::GnAddress::StationType::kPassengerCar, net::MacAddress{42}};
+  pv.position = {1234.0, 2.5};
+  pv.speed_mps = 30.0;
+  p.extended = net::GbcHeader{7, pv, geo::GeoArea::circle({4020.0, 2.5}, 30.0)};
+  p.payload.assign(64, 0xAB);
+  return p;
+}
+
+void BM_CodecEncode(benchmark::State& state) {
+  const net::Packet p = sample_gbc();
+  for (auto _ : state) benchmark::DoNotOptimize(net::Codec::encode(p));
+}
+BENCHMARK(BM_CodecEncode);
+
+void BM_CodecDecode(benchmark::State& state) {
+  const net::Bytes wire = net::Codec::encode(sample_gbc());
+  for (auto _ : state) benchmark::DoNotOptimize(net::Codec::decode(wire));
+}
+BENCHMARK(BM_CodecDecode);
+
+void BM_SignMessage(benchmark::State& state) {
+  security::CertificateAuthority ca;
+  const security::Signer signer{ca.enroll(
+      net::GnAddress{net::GnAddress::StationType::kPassengerCar, net::MacAddress{1}})};
+  const net::Packet p = sample_gbc();
+  for (auto _ : state) benchmark::DoNotOptimize(security::SecuredMessage::sign(p, signer));
+}
+BENCHMARK(BM_SignMessage);
+
+void BM_VerifyMessage(benchmark::State& state) {
+  security::CertificateAuthority ca;
+  const security::Signer signer{ca.enroll(
+      net::GnAddress{net::GnAddress::StationType::kPassengerCar, net::MacAddress{1}})};
+  const auto msg = security::SecuredMessage::sign(sample_gbc(), signer);
+  const auto trust = ca.trust_store();
+  for (auto _ : state) benchmark::DoNotOptimize(msg.verify(*trust));
+}
+BENCHMARK(BM_VerifyMessage);
+
+void BM_LocationTableUpdate(benchmark::State& state) {
+  gn::LocationTable table{sim::Duration::seconds(20.0)};
+  const auto now = sim::TimePoint::at(sim::Duration::seconds(1.0));
+  net::LongPositionVector pv;
+  std::uint64_t i = 0;
+  for (auto _ : state) {
+    pv.address = net::GnAddress::from_bits(i++ % state.range(0));
+    pv.timestamp = now;
+    table.update(pv, now, true);
+  }
+}
+BENCHMARK(BM_LocationTableUpdate)->Arg(64)->Arg(512);
+
+void BM_GfSelect(benchmark::State& state) {
+  gn::LocationTable table{sim::Duration::seconds(20.0)};
+  const auto now = sim::TimePoint::at(sim::Duration::seconds(1.0));
+  sim::Rng rng{1};
+  for (std::int64_t i = 0; i < state.range(0); ++i) {
+    net::LongPositionVector pv;
+    pv.address = net::GnAddress::from_bits(static_cast<std::uint64_t>(i) + 1);
+    pv.timestamp = now;
+    pv.position = {rng.uniform(0.0, 4000.0), rng.uniform(-7.5, 7.5)};
+    table.update(pv, now, true);
+  }
+  const net::GnAddress self = net::GnAddress::from_bits(0xFFFF);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        gn::select_next_hop(table, self, {2000.0, 2.5}, {4020.0, 2.5}, now, {}));
+  }
+}
+BENCHMARK(BM_GfSelect)->Arg(32)->Arg(256)->Arg(1024);
+
+void BM_GfSelectWithPlausibility(benchmark::State& state) {
+  gn::LocationTable table{sim::Duration::seconds(20.0)};
+  const auto now = sim::TimePoint::at(sim::Duration::seconds(1.0));
+  sim::Rng rng{1};
+  for (std::int64_t i = 0; i < state.range(0); ++i) {
+    net::LongPositionVector pv;
+    pv.address = net::GnAddress::from_bits(static_cast<std::uint64_t>(i) + 1);
+    pv.timestamp = now;
+    pv.position = {rng.uniform(0.0, 4000.0), rng.uniform(-7.5, 7.5)};
+    pv.speed_mps = 30.0;
+    table.update(pv, now, true);
+  }
+  gn::GfPolicy policy;
+  policy.plausibility_check = true;
+  const net::GnAddress self = net::GnAddress::from_bits(0xFFFF);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        gn::select_next_hop(table, self, {2000.0, 2.5}, {4020.0, 2.5}, now, policy));
+  }
+}
+BENCHMARK(BM_GfSelectWithPlausibility)->Arg(256);
+
+void BM_CbfTimeout(benchmark::State& state) {
+  double d = 0.0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(gn::cbf_timeout(d, sim::Duration::millis(1),
+                                             sim::Duration::millis(100), 486.0));
+    d += 1.0;
+    if (d > 600.0) d = 0.0;
+  }
+}
+BENCHMARK(BM_CbfTimeout);
+
+void BM_DuplicateDetector(benchmark::State& state) {
+  net::DuplicateDetector det;
+  net::Packet p = sample_gbc();
+  net::SequenceNumber sn = 0;
+  for (auto _ : state) {
+    p.gbc()->sequence_number = sn++;
+    benchmark::DoNotOptimize(det.check_and_record(p));
+  }
+}
+BENCHMARK(BM_DuplicateDetector);
+
+void BM_EventQueueScheduleFire(benchmark::State& state) {
+  sim::EventQueue q;
+  for (auto _ : state) {
+    q.schedule_in(sim::Duration::micros(1), [] {});
+    q.step();
+  }
+}
+BENCHMARK(BM_EventQueueScheduleFire);
+
+void BM_MediumBroadcast(benchmark::State& state) {
+  sim::EventQueue events;
+  phy::Medium medium{events, phy::AccessTechnology::kDsrc};
+  sim::Rng rng{3};
+  phy::RadioId first{};
+  for (std::int64_t i = 0; i < state.range(0); ++i) {
+    phy::Medium::NodeConfig cfg;
+    cfg.mac = net::MacAddress{static_cast<std::uint64_t>(i) + 1};
+    const geo::Position pos{rng.uniform(0.0, 4000.0), 2.5};
+    cfg.position = [pos] { return pos; };
+    cfg.tx_range_m = 486.0;
+    const auto id = medium.add_node(std::move(cfg), [](const phy::Frame&, phy::RadioId) {});
+    if (i == 0) first = id;
+  }
+  phy::Frame frame;
+  frame.src = net::MacAddress{1};
+  frame.msg.packet = sample_gbc();
+  for (auto _ : state) {
+    medium.transmit(first, frame);
+    events.run_until(events.now() + sim::Duration::seconds(1.0));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) * state.range(0));
+}
+BENCHMARK(BM_MediumBroadcast)->Arg(64)->Arg(268);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,49 @@
+// Extension study (not a paper figure): how attack effectiveness depends on
+// where along the 4 km segment the roadside attacker parks. The paper fixes
+// the attacker at the centre; an attacker planning a deployment would sweep
+// this. Centre placement maximizes the vulnerable-source population for the
+// interception attack and gives the blocker the largest two-sided kill zone.
+
+#include <cstdio>
+
+#include "bench_util.hpp"
+
+using namespace vgr;
+using scenario::AbResult;
+using scenario::Fidelity;
+using scenario::HighwayConfig;
+
+int main() {
+  const Fidelity fidelity = Fidelity::from_env(2);
+  bench::banner("Position sweep", "attacker placement along the segment (DSRC, mN range)",
+                fidelity);
+
+  const double mn = phy::range_table(phy::AccessTechnology::kDsrc).nlos_median_m;
+
+  std::printf("\ninter-area interception vs attacker position\n");
+  for (const double x : {600.0, 1200.0, 2000.0, 2800.0, 3400.0}) {
+    HighwayConfig cfg;
+    cfg.attack_range_m = mn;
+    cfg.attacker_x_m = x;
+    const AbResult r = run_inter_area_ab(cfg, fidelity);
+    char label[48];
+    std::snprintf(label, sizeof label, "attacker @ %4.0f m", x);
+    bench::print_summary_row(label, r, "gamma");
+  }
+
+  std::printf("\nintra-area blockage vs attacker position\n");
+  for (const double x : {600.0, 1200.0, 2000.0, 2800.0, 3400.0}) {
+    HighwayConfig cfg;
+    cfg.attack_range_m = mn;
+    cfg.attacker_x_m = x;
+    const AbResult r = run_intra_area_ab(cfg, fidelity);
+    char label[48];
+    std::snprintf(label, sizeof label, "attacker @ %4.0f m", x);
+    bench::print_summary_row(label, r, "lambda");
+  }
+
+  std::printf("\nexpectation: interception stays high anywhere (vulnerable packets are\n"
+              "defined relative to the attacker), while blockage peaks mid-road where\n"
+              "the kill zone bisects the flood and wanes near the ends.\n");
+  return 0;
+}

@@ -1,0 +1,58 @@
+#pragma once
+
+// Shared output helpers for the figure-reproduction harnesses. Every bench
+// prints (1) a banner naming the paper artifact it regenerates, (2) the
+// fidelity in use, and (3) rows/series shaped like the paper's plots.
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+#include "vgr/scenario/ab_runner.hpp"
+#include "vgr/scenario/csv.hpp"
+
+namespace vgr::bench {
+
+inline void banner(const char* artifact, const char* description,
+                   const scenario::Fidelity& fidelity, double default_sim_seconds = 200.0) {
+  std::printf("==========================================================================\n");
+  std::printf("%s — %s\n", artifact, description);
+  const double secs =
+      fidelity.sim_seconds > 0.0 ? fidelity.sim_seconds : default_sim_seconds;
+  std::printf("fidelity: %llu run(s) x %.0f simulated seconds per arm "
+              "(override: VGR_RUNS / VGR_SIM_SECONDS; paper: 100 x 200)\n",
+              static_cast<unsigned long long>(fidelity.runs), secs);
+  std::printf("==========================================================================\n");
+}
+
+/// Prints a reception-rate timeline as one row per bin pair, paper style:
+/// solid (attacker-free) vs dashed (attacked).
+inline void print_ab_series(const scenario::AbResult& r) {
+  std::printf("  %-10s %-12s %-12s\n", "t (s)", "recv af", "recv atk");
+  const double width = r.baseline.bin_width().to_seconds();
+  for (std::size_t i = 0; i < r.baseline.bin_count(); ++i) {
+    if (!r.baseline.has_data(i) && !r.attacked.has_data(i)) continue;
+    std::printf("  %-10.0f %-12.3f %-12.3f\n", (static_cast<double>(i) + 1.0) * width,
+                r.baseline.rate(i), r.attacked.rate(i));
+  }
+}
+
+/// One summary row of a sweep table.
+inline void print_summary_row(const std::string& setting, const scenario::AbResult& r,
+                              const char* rate_symbol) {
+  std::printf("  %-28s recv_af=%6.3f  recv_atk=%6.3f  %s=%6.1f%%\n", setting.c_str(),
+              r.baseline_reception, r.attacked_reception, rate_symbol, r.attack_rate * 100.0);
+}
+
+inline bool verbose() { return std::getenv("VGR_SERIES") != nullptr; }
+
+/// Writes the A/B reception timelines to `$VGR_CSV_DIR/<name>.csv` when CSV
+/// export is enabled (no-op otherwise).
+inline void maybe_export(const std::string& name, const scenario::AbResult& r) {
+  const std::string dir = scenario::CsvWriter::env_dir();
+  if (dir.empty()) return;
+  scenario::CsvWriter::write_timelines(dir, name, {"attacker_free", "attacked"},
+                                       {&r.baseline, &r.attacked});
+}
+
+}  // namespace vgr::bench

@@ -1,0 +1,80 @@
+// Facilities-layer walkthrough: Cooperative Awareness Messages (CAMs) and
+// Decentralized Environmental Notification Messages (DENMs) running on top
+// of the GeoNetworking router — the actual ITS message services the paper's
+// motivating use cases (emergency braking warnings, traffic-jam notices)
+// ride on.
+//
+// Build & run:  ./example_cam_denm_facilities
+
+#include <cstdio>
+#include <memory>
+#include <vector>
+
+#include "vgr/facilities/cam.hpp"
+#include "vgr/facilities/denm.hpp"
+#include "vgr/security/authority.hpp"
+
+using namespace vgr;
+using namespace vgr::sim::literals;
+
+int main() {
+  sim::EventQueue events;
+  phy::Medium medium{events, phy::AccessTechnology::kDsrc};
+  security::CertificateAuthority ca;
+  sim::Rng rng{7};
+
+  struct Station {
+    std::unique_ptr<gn::StaticMobility> mobility;
+    std::unique_ptr<gn::Router> router;
+    std::unique_ptr<facilities::CamService> cam;
+    std::unique_ptr<facilities::DenmService> denm;
+  };
+  std::vector<Station> stations;
+  for (int i = 0; i < 4; ++i) {
+    Station st;
+    st.mobility = std::make_unique<gn::StaticMobility>(geo::Position{i * 400.0, 2.5});
+    const net::GnAddress addr{net::GnAddress::StationType::kPassengerCar,
+                              net::MacAddress{0x0200'0000'0C00ULL + static_cast<unsigned>(i)}};
+    st.router = std::make_unique<gn::Router>(
+        events, medium, security::Signer{ca.enroll(addr)}, ca.trust_store(), *st.mobility,
+        gn::RouterConfig::for_technology(phy::AccessTechnology::kDsrc), 486.0, rng.fork());
+    st.router->start();
+    st.cam = std::make_unique<facilities::CamService>(events, *st.router);
+    st.denm = std::make_unique<facilities::DenmService>(events, *st.router);
+    stations.push_back(std::move(st));
+  }
+
+  stations[3].denm->set_event_handler([&](const facilities::DenmData& d, sim::TimePoint at) {
+    std::printf("  station 3: DENM event %u (cause %u) at (%.0f, %.0f), t=%.2f s\n",
+                d.event_id, static_cast<unsigned>(d.cause), d.event_position.x,
+                d.event_position.y, at.to_seconds());
+  });
+  stations[3].denm->set_cancel_handler([&](const facilities::DenmData& d, sim::TimePoint at) {
+    std::printf("  station 3: DENM event %u CANCELLED, t=%.2f s\n", d.event_id,
+                at.to_seconds());
+  });
+
+  std::printf("running 5 s of cooperative awareness...\n");
+  events.run_until(sim::TimePoint::at(5_s));
+  std::printf("  station 1 sent %u CAMs, received %llu; GN beacons suppressed: %llu sent\n",
+              stations[1].cam->cams_sent(),
+              static_cast<unsigned long long>(stations[1].cam->cams_received()),
+              static_cast<unsigned long long>(stations[1].router->stats().beacons_sent));
+
+  std::printf("\nstation 0 raises a stationary-vehicle DENM over the whole strip...\n");
+  const auto event_id = stations[0].denm->trigger(
+      facilities::DenmCause::kStationaryVehicle, {20.0, 2.5},
+      geo::GeoArea::rectangle({600.0, 0.0}, 700.0, 50.0), 60_s);
+  events.run_until(events.now() + 3_s);
+  std::printf("  repetitions on air so far: %llu (deduplicated to one upward event)\n",
+              static_cast<unsigned long long>(stations[0].denm->denms_sent()));
+
+  std::printf("\nthe obstruction clears; station 0 cancels the event...\n");
+  stations[0].denm->cancel(event_id);
+  events.run_until(events.now() + 2_s);
+
+  std::printf("\ndone. CAMs carried position vectors (populating neighbour tables in\n"
+              "place of bare GN beacons), DENMs carried the warning — both signed, both\n"
+              "replayable by the paper's attacker.\n");
+  return 0;
+}

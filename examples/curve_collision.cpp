@@ -1,0 +1,60 @@
+// Domain scenario: cooperative collision avoidance at a blind curve (the
+// paper's Fig 11b use case). V1 swerves into the oncoming lane to pass a
+// hazard and broadcasts a CBF lane-change warning that the roadside unit R1
+// relays around the terrain obstruction. Run benign and attacked and
+// compare outcomes.
+//
+// Build & run:  ./example_curve_collision
+
+#include <cstdio>
+
+#include "vgr/scenario/curve.hpp"
+
+using namespace vgr;
+
+namespace {
+
+void report(const char* label, const scenario::CurveResult& r) {
+  std::printf("%s:\n", label);
+  if (r.warning_delivered) {
+    std::printf("  V2 received the lane-change warning at t=%.2f s\n",
+                r.warning_delivered_at_s);
+  } else {
+    std::printf("  V2 never received the warning\n");
+  }
+  if (r.collision) {
+    std::printf("  => head-on COLLISION at t=%.2f s\n", r.collision_time_s);
+  } else {
+    std::printf("  => vehicles passed safely (min head-on gap %.1f m)\n", r.min_gap_m);
+  }
+  // Compact speed profile, one sample per second.
+  std::printf("  t:   ");
+  for (std::size_t i = 0; i < r.profile.size(); i += 10) std::printf("%5.0f", r.profile[i].t);
+  std::printf("\n  V1:  ");
+  for (std::size_t i = 0; i < r.profile.size(); i += 10) {
+    std::printf("%5.1f", r.profile[i].v1_speed);
+  }
+  std::printf("\n  V2:  ");
+  for (std::size_t i = 0; i < r.profile.size(); i += 10) {
+    std::printf("%5.1f", r.profile[i].v2_speed);
+  }
+  std::printf("\n\n");
+}
+
+}  // namespace
+
+int main() {
+  std::printf("blind-curve cooperative awareness (paper Fig 11b / Fig 13)\n\n");
+  scenario::CurveConfig cfg;
+
+  cfg.attacked = false;
+  report("benign (R1 relays the warning)", run_curve_scenario(cfg));
+
+  cfg.attacked = true;
+  report("attacked (targeted replay silences R1)", run_curve_scenario(cfg));
+
+  std::printf("the attacker never broke a signature: it replayed V1's own validly\n"
+              "signed warning at low power so that only R1 heard it, which cancelled\n"
+              "R1's contention timer — the relay the safety case depended on.\n");
+  return 0;
+}

@@ -1,0 +1,54 @@
+// Domain scenario: a hazard blocks the eastbound lanes of a highway and the
+// stopped traffic warns the road entrance over GeoNetworking (the paper's
+// Fig 11a use case). Runs the benign deployment and the attacked one and
+// prints the resulting traffic-jam sizes.
+//
+// Build & run:  ./example_hazard_warning [sim_seconds]
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "vgr/scenario/hazard.hpp"
+
+using namespace vgr;
+
+int main(int argc, char** argv) {
+  double seconds = 120.0;
+  if (argc > 1) seconds = std::strtod(argv[1], nullptr);
+
+  scenario::HazardConfig cfg;
+  cfg.mode = scenario::HazardConfig::Case::kCbfFlood;  // CBF warning flood
+  cfg.road_length_m = 4000.0;
+  cfg.hazard_x_m = 3600.0;
+  cfg.sim_duration = sim::Duration::seconds(seconds);
+
+  std::printf("hazard at 3,600 m on a 4 km two-way highway; warning flooded via CBF\n\n");
+
+  cfg.attacked = false;
+  const auto benign = scenario::HazardScenario{cfg}.run();
+  std::printf("benign:   entrance notified %s%s -> %0.f vehicles on road at t=%.0f s\n",
+              benign.entrance_notified ? "at t=" : "never",
+              benign.entrance_notified
+                  ? std::to_string(benign.notified_at_s).substr(0, 4).c_str()
+                  : "",
+              benign.final_vehicle_count, seconds);
+
+  cfg.attacked = true;
+  const auto attacked = scenario::HazardScenario{cfg}.run();
+  std::printf("attacked: entrance notified %s -> %0.f vehicles on road at t=%.0f s\n",
+              attacked.entrance_notified ? "yes" : "never (blockage attack)",
+              attacked.final_vehicle_count, seconds);
+
+  std::printf("\nthe intra-area blockage attacker (500 m, road centre) suppressed the\n"
+              "warning: %+.0f extra vehicles drove into the blocked segment.\n",
+              attacked.final_vehicle_count - benign.final_vehicle_count);
+
+  std::printf("\ntimeline (vehicles on road):\n  t(s)   benign  attacked\n");
+  for (std::size_t i = 0; i < benign.vehicles_over_time.size(); i += 20) {
+    std::printf("  %-6.0f %-7.0f %-7.0f\n", benign.vehicles_over_time[i].first,
+                benign.vehicles_over_time[i].second,
+                i < attacked.vehicles_over_time.size() ? attacked.vehicles_over_time[i].second
+                                                       : 0.0);
+  }
+  return 0;
+}

@@ -1,0 +1,95 @@
+// Demonstrates two supporting services of the stack:
+//  1. the Location Service — GeoUnicast to a station whose position is
+//     unknown triggers an LS request flood and resumes once the reply maps
+//     the target;
+//  2. pseudonym rotation — a station swaps certificate + GN address + MAC
+//     mid-run and communication continues under the new alias, while an
+//     eavesdropper cannot link the aliases from signatures alone (it *can*
+//     still track positions, which is why the paper's attacks don't care
+//     about pseudonyms).
+//
+// Build & run:  ./example_location_service_privacy
+
+#include <cstdio>
+#include <memory>
+#include <vector>
+
+#include "vgr/attack/sniffer.hpp"
+#include "vgr/gn/router.hpp"
+#include "vgr/security/authority.hpp"
+#include "vgr/security/pseudonym.hpp"
+
+using namespace vgr;
+using namespace vgr::sim::literals;
+
+int main() {
+  sim::EventQueue events;
+  phy::Medium medium{events, phy::AccessTechnology::kDsrc};
+  security::CertificateAuthority ca;
+  sim::Rng rng{99};
+  const double range = 486.0;
+
+  struct Node {
+    std::unique_ptr<gn::StaticMobility> mobility;
+    std::unique_ptr<gn::Router> router;
+  };
+  std::vector<Node> nodes;
+  for (int i = 0; i < 4; ++i) {
+    Node n;
+    n.mobility = std::make_unique<gn::StaticMobility>(geo::Position{i * 400.0, 0.0});
+    const net::GnAddress addr{net::GnAddress::StationType::kPassengerCar,
+                              net::MacAddress{0x0200'0000'0B00ULL + static_cast<unsigned>(i)}};
+    n.router = std::make_unique<gn::Router>(events, medium, security::Signer{ca.enroll(addr)},
+                                            ca.trust_store(), *n.mobility,
+                                            gn::RouterConfig{}, range, rng.fork());
+    n.router->set_delivery_handler([i](const gn::Router::Delivery& d) {
+      std::printf("  node %d <- %zu bytes at t=%.3f s\n", i, d.packet.payload.size(),
+                  d.at.to_seconds());
+    });
+    n.router->start();
+    nodes.push_back(std::move(n));
+  }
+  events.run_until(sim::TimePoint::at(4_s));  // a round of beacons
+
+  // --- Location Service ---------------------------------------------------
+  std::printf("node 0 geo-unicasts to node 3 (1,200 m away, position unknown)...\n");
+  const bool knows = nodes[0]
+                         .router->location_table()
+                         .find(nodes[3].router->address(), events.now())
+                         .has_value();
+  std::printf("  node 0 has node 3 in its location table: %s\n", knows ? "yes" : "no");
+  nodes[0].router->send_geo_unicast_resolving(nodes[3].router->address(), {'L', 'S'});
+  events.run_until(events.now() + 2_s);
+  std::printf("  LS requests sent: %llu, resolved: %llu\n",
+              static_cast<unsigned long long>(nodes[0].router->stats().ls_requests_sent),
+              static_cast<unsigned long long>(nodes[0].router->stats().ls_resolved));
+
+  // --- Pseudonym rotation ----------------------------------------------------
+  attack::Sniffer eavesdropper{events, medium, {600.0, 15.0}, 1283.0};
+  security::PseudonymManager pool{ca, nodes[1].router->mac(), 4, sim::Duration::seconds(30.0),
+                                  rng.fork()};
+
+  const auto before = nodes[1].router->address();
+  std::printf("\nnode 1 rotates its pseudonym (old alias %s)...\n",
+              to_string(before).c_str());
+  nodes[1].router->rotate_identity(pool.active(events.now()));
+  const auto after = nodes[1].router->address();
+  std::printf("  new alias %s (rotations: %llu)\n", to_string(after).c_str(),
+              static_cast<unsigned long long>(nodes[1].router->stats().identity_rotations));
+
+  nodes[1].router->send_beacon_now();
+  events.run_until(events.now() + 1_s);
+  std::printf("  peers accept the new alias: node 0 lists it: %s\n",
+              nodes[0].router->location_table().find(after, events.now()) ? "yes" : "no");
+
+  std::printf("\nnode 0 geo-unicasts 'hi' to the NEW alias...\n");
+  nodes[0].router->send_geo_unicast_resolving(after, {'h', 'i'});
+  events.run_until(events.now() + 2_s);
+
+  // The eavesdropper sees both aliases as distinct stations...
+  std::printf("\neavesdropper observed %zu distinct station aliases — but note it still\n"
+              "tracked every alias's *position* from the unencrypted PVs, which is all\n"
+              "the paper's replay attacks need.\n",
+              eavesdropper.observations().size());
+  return 0;
+}

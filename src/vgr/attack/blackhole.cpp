@@ -1,0 +1,58 @@
+#include "vgr/attack/blackhole.hpp"
+
+namespace vgr::attack {
+
+BlackholeAttacker::BlackholeAttacker(sim::EventQueue& events, phy::Medium& medium,
+                                     geo::Position position, double attack_range_m,
+                                     Config config,
+                                     std::optional<security::EnrolledIdentity> insider_identity)
+    : Sniffer{events, medium, position, attack_range_m},
+      config_{config},
+      identity_{std::move(insider_identity)} {
+  fake_address_ = identity_
+                      ? identity_->certificate.subject
+                      : net::GnAddress{net::GnAddress::StationType::kPassengerCar,
+                                       net::MacAddress{0x0200'B1AC'C4A7ULL}};
+}
+
+void BlackholeAttacker::start() { send_fake_beacon(); }
+
+void BlackholeAttacker::send_fake_beacon() {
+  net::Packet p;
+  p.basic.remaining_hop_limit = 1;
+  p.common.type = net::CommonHeader::HeaderType::kBeacon;
+  p.common.max_hop_limit = 1;
+  net::LongPositionVector pv;
+  pv.address = fake_address_;
+  pv.timestamp = events_.now();
+  pv.position = config_.advertised_position;  // the lie
+  p.extended = net::BeaconHeader{pv};
+
+  security::SecuredMessage msg;
+  msg.packet = p;
+  if (identity_) {
+    // Insider variant: a validly signed lie — authentication passes.
+    msg = security::SecuredMessage::sign(p, security::Signer{*identity_});
+  } else {
+    // Outsider variant: no key, so the best it can do is a garbage tag
+    // under a self-proclaimed certificate. Every verifier rejects it.
+    msg.signer.serial = 0xDEAD;
+    msg.signer.subject = fake_address_;
+    msg.signature = 0xBAD0'BAD0'BAD0'BAD0ULL;
+  }
+
+  phy::Frame frame;
+  frame.dst = net::MacAddress::broadcast();
+  frame.msg = std::move(msg);
+  ++beacons_forged_;
+  inject(std::move(frame));
+  events_.schedule_in(config_.beacon_interval, [this] { send_fake_beacon(); });
+}
+
+void BlackholeAttacker::on_capture(const phy::Frame& frame) {
+  // Count Greedy-Forwarded packets that chose the fake identity as their
+  // next hop: those are intercepted (and dropped — a blackhole).
+  if (frame.dst == fake_address_.mac()) ++packets_swallowed_;
+}
+
+}  // namespace vgr::attack

@@ -1,0 +1,52 @@
+#pragma once
+
+#include <optional>
+
+#include "vgr/attack/sniffer.hpp"
+#include "vgr/security/secured_message.hpp"
+
+namespace vgr::attack {
+
+/// Baseline: the classic blackhole attack the paper contrasts against
+/// (§VI). The attacker advertises a *forged* beacon placing itself right
+/// next to the destination so Greedy Forwarding funnels packets to it,
+/// which it then drops.
+///
+/// Against GeoNetworking this only works for an *insider* holding a valid
+/// certificate: an outsider's forged beacons fail authentication at every
+/// receiver. Construct with an identity to model the insider variant (for
+/// comparison benches); default-outsider mode signs with a bogus key and is
+/// expected to achieve nothing — which is exactly the paper's point about
+/// why the replay-based attacks matter.
+class BlackholeAttacker final : public Sniffer {
+ public:
+  struct Config {
+    /// Position advertised in the forged beacons (e.g. the destination).
+    geo::Position advertised_position{};
+    sim::Duration beacon_interval{sim::Duration::seconds(3.0)};
+  };
+
+  BlackholeAttacker(sim::EventQueue& events, phy::Medium& medium, geo::Position position,
+                    double attack_range_m, Config config,
+                    std::optional<security::EnrolledIdentity> insider_identity = std::nullopt);
+
+  /// Begins the periodic fake-beacon broadcast.
+  void start();
+
+  [[nodiscard]] std::uint64_t beacons_forged() const { return beacons_forged_; }
+  /// Frames addressed to the attacker's fake identity (i.e. blackholed).
+  [[nodiscard]] std::uint64_t packets_swallowed() const { return packets_swallowed_; }
+  [[nodiscard]] net::GnAddress fake_address() const { return fake_address_; }
+
+ private:
+  void on_capture(const phy::Frame& frame) override;
+  void send_fake_beacon();
+
+  Config config_;
+  std::optional<security::EnrolledIdentity> identity_;
+  net::GnAddress fake_address_{};
+  std::uint64_t beacons_forged_{0};
+  std::uint64_t packets_swallowed_{0};
+};
+
+}  // namespace vgr::attack

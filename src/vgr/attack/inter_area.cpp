@@ -1,0 +1,36 @@
+#include "vgr/attack/inter_area.hpp"
+
+namespace vgr::attack {
+
+InterAreaInterceptor::InterAreaInterceptor(sim::EventQueue& events, phy::Medium& medium,
+                                           geo::Position position, double attack_range_m)
+    : InterAreaInterceptor{events, medium, position, attack_range_m, Config{}} {}
+
+InterAreaInterceptor::InterAreaInterceptor(sim::EventQueue& events, phy::Medium& medium,
+                                           geo::Position position, double attack_range_m,
+                                           Config config)
+    : Sniffer{events, medium, position, attack_range_m}, config_{config} {}
+
+InterAreaInterceptor::InterAreaInterceptor(sim::EventQueue& events, phy::Medium& medium,
+                                           const gn::MobilityProvider& mobility,
+                                           double attack_range_m, Config config)
+    : Sniffer{events, medium, mobility, attack_range_m}, config_{config} {}
+
+void InterAreaInterceptor::on_capture(const phy::Frame& frame) {
+  if (!frame.msg.packet.is_beacon()) return;
+
+  const net::LongPositionVector& pv = frame.msg.packet.source_pv();
+  const std::uint64_t key =
+      pv.address.bits() * 0x9e3779b97f4a7c15ULL ^ static_cast<std::uint64_t>(pv.timestamp.count());
+  if (!replayed_.insert(key).second) return;
+
+  // Replay the captured envelope byte-for-byte — the source's signature
+  // stays valid, so every receiver accepts the stale neighbour.
+  phy::Frame replay = frame;
+  replay.dst = net::MacAddress::broadcast();
+  ++beacons_replayed_;
+  events_.schedule_in(config_.processing_delay,
+                      [this, replay = std::move(replay)] { inject(replay); });
+}
+
+}  // namespace vgr::attack

@@ -1,0 +1,45 @@
+#pragma once
+
+#include <unordered_set>
+
+#include "vgr/attack/sniffer.hpp"
+
+namespace vgr::attack {
+
+/// Attack #1 — inter-area interception (paper §III-B).
+///
+/// The attacker captures every beacon it overhears and immediately
+/// rebroadcasts it at its (larger) attack range. Victims within that range
+/// accept the replayed — validly signed — position vectors of vehicles that
+/// are actually beyond their own radio reach, store them as neighbours, and
+/// later hand Greedy-Forwarded packets to an unreachable next hop. With no
+/// acknowledgement on inter-area forwarding, the packet silently vanishes.
+class InterAreaInterceptor final : public Sniffer {
+ public:
+  struct Config {
+    /// Time to capture, process and re-key a frame before replaying it.
+    sim::Duration processing_delay{sim::Duration::micros(500)};
+  };
+
+  InterAreaInterceptor(sim::EventQueue& events, phy::Medium& medium, geo::Position position,
+                       double attack_range_m);
+  InterAreaInterceptor(sim::EventQueue& events, phy::Medium& medium, geo::Position position,
+                       double attack_range_m, Config config);
+  /// Moving attacker riding on external mobility.
+  InterAreaInterceptor(sim::EventQueue& events, phy::Medium& medium,
+                       const gn::MobilityProvider& mobility, double attack_range_m,
+                       Config config);
+
+  [[nodiscard]] std::uint64_t beacons_replayed() const { return beacons_replayed_; }
+
+ private:
+  void on_capture(const phy::Frame& frame) override;
+
+  Config config_;
+  /// One replay per (source, beacon timestamp): replaying the same beacon
+  /// twice adds nothing and doubles airtime.
+  std::unordered_set<std::uint64_t> replayed_;
+  std::uint64_t beacons_replayed_{0};
+};
+
+}  // namespace vgr::attack

@@ -1,0 +1,39 @@
+#include "vgr/attack/intra_area.hpp"
+
+namespace vgr::attack {
+
+IntraAreaBlocker::IntraAreaBlocker(sim::EventQueue& events, phy::Medium& medium,
+                                   geo::Position position, double attack_range_m)
+    : IntraAreaBlocker{events, medium, position, attack_range_m, Config{}} {}
+
+IntraAreaBlocker::IntraAreaBlocker(sim::EventQueue& events, phy::Medium& medium,
+                                   geo::Position position, double attack_range_m, Config config)
+    : Sniffer{events, medium, position, attack_range_m}, config_{config} {}
+
+void IntraAreaBlocker::on_capture(const phy::Frame& frame) {
+  const net::Packet& p = frame.msg.packet;
+  const auto key_opt = p.duplicate_key();
+  if (!key_opt || p.gbc() == nullptr) return;  // only GeoBroadcast floods
+
+  const std::uint64_t key = key_opt->first.bits() * 0x9e3779b97f4a7c15ULL ^
+                            static_cast<std::uint64_t>(key_opt->second);
+  if (!replayed_.insert(key).second) return;
+
+  phy::Frame replay = frame;
+  replay.dst = net::MacAddress::broadcast();
+  double range_override = -1.0;
+  if (config_.mode == Mode::kRhlRewrite) {
+    // The RHL lives in the basic header, outside the signature scope —
+    // receivers cannot detect the rewrite (vulnerability #3).
+    replay.msg.packet.basic.remaining_hop_limit = config_.rewritten_rhl;
+  } else {
+    range_override = config_.targeted_range_m;
+  }
+  ++packets_replayed_;
+  events_.schedule_in(config_.processing_delay, [this, replay = std::move(replay),
+                                                 range_override] {
+    inject(replay, range_override);
+  });
+}
+
+}  // namespace vgr::attack

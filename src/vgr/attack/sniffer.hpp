@@ -1,0 +1,94 @@
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <unordered_map>
+
+#include "vgr/gn/mobility.hpp"
+#include "vgr/phy/medium.hpp"
+#include "vgr/sim/event_queue.hpp"
+
+namespace vgr::attack {
+
+/// Passive roadside radio sniffer — the base capability of the paper's
+/// outsider attacker (§III-A).
+///
+/// The sniffer registers on the medium in promiscuous mode, so it overhears
+/// every frame within radio range, including unicast forwards. It holds *no*
+/// certificate: it can decode the plaintext envelopes (beacons and
+/// GeoBroadcast packets are authenticated but not encrypted) and build a map
+/// of vehicle positions, but it has no signing capability whatsoever — all
+/// it can ever transmit is bytes it previously captured (optionally with the
+/// unauthenticated basic header rewritten).
+class Sniffer {
+ public:
+  struct Observation {
+    net::LongPositionVector pv{};
+    sim::TimePoint heard_at{};
+  };
+
+  /// Stationary roadside attacker at `position` (the paper's deployment).
+  Sniffer(sim::EventQueue& events, phy::Medium& medium, geo::Position position,
+          double attack_range_m);
+
+  /// Moving attacker riding on external mobility (the paper's §III-A notes
+  /// the attacks conceptually extend to moving attackers; this constructor
+  /// enables that study). `mobility` must outlive the sniffer.
+  Sniffer(sim::EventQueue& events, phy::Medium& medium, const gn::MobilityProvider& mobility,
+          double attack_range_m);
+
+  virtual ~Sniffer();
+
+  Sniffer(const Sniffer&) = delete;
+  Sniffer& operator=(const Sniffer&) = delete;
+
+  [[nodiscard]] geo::Position position() const {
+    return external_mobility_ != nullptr ? external_mobility_->position()
+                                         : static_mobility_.position();
+  }
+  [[nodiscard]] double attack_range() const { return medium_.tx_range(radio_); }
+  void set_attack_range(double range_m) {
+    medium_.set_tx_range(radio_, range_m);
+    medium_.set_rx_range(radio_, range_m);
+  }
+
+  /// Vehicles observed so far (address -> freshest position vector).
+  [[nodiscard]] const std::unordered_map<net::GnAddress, Observation>& observations() const {
+    return observations_;
+  }
+
+  /// Estimates whether stations `a` and `b` are outside each other's
+  /// coverage, assuming vehicles communicate at `vehicle_range_m` (attack
+  /// step 2 of §III-B: inferred from the geometry of overheard beacons).
+  [[nodiscard]] bool inferred_out_of_coverage(net::GnAddress a, net::GnAddress b,
+                                              double vehicle_range_m) const;
+
+  [[nodiscard]] std::uint64_t frames_captured() const { return frames_captured_; }
+  [[nodiscard]] std::uint64_t frames_injected() const { return frames_injected_; }
+
+ protected:
+  /// Subclasses implement the active part of an attack. Default: pure
+  /// passive monitoring.
+  virtual void on_capture(const phy::Frame& frame);
+
+  /// Injects a frame at full attack power, or at `range_override_m` when
+  /// positive (the targeted low-power replay of the blockage variant).
+  void inject(phy::Frame frame, double range_override_m = -1.0);
+
+  sim::EventQueue& events_;
+
+ private:
+  void capture(const phy::Frame& frame);
+  void attach(double attack_range_m);
+
+  phy::Medium& medium_;
+  gn::StaticMobility static_mobility_{geo::Position{}};
+  const gn::MobilityProvider* external_mobility_{nullptr};
+  phy::RadioId radio_{};
+  net::MacAddress own_mac_{};
+  std::unordered_map<net::GnAddress, Observation> observations_;
+  std::uint64_t frames_captured_{0};
+  std::uint64_t frames_injected_{0};
+};
+
+}  // namespace vgr::attack

@@ -1,0 +1,123 @@
+#include "vgr/facilities/cam.hpp"
+
+#include <cmath>
+
+#include "vgr/net/codec.hpp"
+
+namespace vgr::facilities {
+namespace {
+
+constexpr std::uint8_t kCamMagic[3] = {'C', 'A', 'M'};
+
+double heading_difference(double a, double b) {
+  double d = std::fmod(std::abs(a - b), 2.0 * M_PI);
+  return d > M_PI ? 2.0 * M_PI - d : d;
+}
+
+}  // namespace
+
+net::Bytes CamData::encode() const {
+  net::ByteWriter w;
+  w.u8(kCamMagic[0]);
+  w.u8(kCamMagic[1]);
+  w.u8(kCamMagic[2]);
+  w.u32(generation);
+  w.f64(vehicle_length_m);
+  w.f64(vehicle_width_m);
+  return w.take();
+}
+
+std::optional<CamData> CamData::decode(const net::Bytes& payload,
+                                       const net::LongPositionVector& pv) {
+  net::ByteReader r{payload};
+  const auto m0 = r.u8();
+  const auto m1 = r.u8();
+  const auto m2 = r.u8();
+  if (!m0 || !m1 || !m2 || *m0 != kCamMagic[0] || *m1 != kCamMagic[1] || *m2 != kCamMagic[2]) {
+    return std::nullopt;
+  }
+  const auto generation = r.u32();
+  const auto length = r.f64();
+  const auto width = r.f64();
+  if (!generation || !length || !width || !r.exhausted()) return std::nullopt;
+  CamData cam;
+  cam.station = pv.address;
+  cam.position = pv.position;
+  cam.speed_mps = pv.speed_mps;
+  cam.heading_rad = pv.heading_rad;
+  cam.vehicle_length_m = *length;
+  cam.vehicle_width_m = *width;
+  cam.generation = *generation;
+  return cam;
+}
+
+CamService::CamService(sim::EventQueue& events, gn::Router& router)
+    : CamService{events, router, Config{}} {}
+
+CamService::CamService(sim::EventQueue& events, gn::Router& router, Config config)
+    : events_{events}, router_{router}, config_{config} {
+  // The listener may outlive this service inside the router; the shared
+  // liveness flag turns post-destruction deliveries into no-ops.
+  alive_ = std::make_shared<bool>(true);
+  router_.add_delivery_listener([this, alive = alive_](const gn::Router::Delivery& d) {
+    if (*alive) on_delivery(d);
+  });
+  timer_ = events_.schedule_in(config_.check_interval, [this] { tick(); });
+}
+
+CamService::~CamService() {
+  stop();
+  *alive_ = false;
+}
+
+void CamService::stop() {
+  running_ = false;
+  events_.cancel(timer_);
+}
+
+void CamService::tick() {
+  if (!running_ || !router_.running()) return;
+  const auto now = events_.now();
+  const net::LongPositionVector pv = router_.self_pv();
+
+  bool trigger = !sent_any_;
+  if (sent_any_) {
+    const bool min_elapsed = now - last_sent_ >= config_.min_interval;
+    if (min_elapsed) {
+      const bool moved =
+          geo::distance(pv.position, last_pv_.position) >= config_.position_threshold_m;
+      const bool accelerated =
+          std::abs(pv.speed_mps - last_pv_.speed_mps) >= config_.speed_threshold_mps;
+      const bool turned = heading_difference(pv.heading_rad, last_pv_.heading_rad) >=
+                          config_.heading_threshold_rad;
+      const bool overdue = now - last_sent_ >= config_.max_interval;
+      trigger = moved || accelerated || turned || overdue;
+    }
+  }
+  if (trigger) generate();
+  timer_ = events_.schedule_in(config_.check_interval, [this] { tick(); });
+}
+
+void CamService::generate() {
+  CamData cam;
+  cam.vehicle_length_m = config_.vehicle_length_m;
+  cam.vehicle_width_m = config_.vehicle_width_m;
+  cam.generation = ++generation_;
+  router_.send_single_hop_broadcast(cam.encode());
+  last_sent_ = events_.now();
+  last_pv_ = router_.self_pv();
+  sent_any_ = true;
+}
+
+bool CamService::on_delivery(const gn::Router::Delivery& delivery) {
+  if (delivery.packet.common.type != net::CommonHeader::HeaderType::kSingleHopBroadcast) {
+    return false;
+  }
+  const auto cam = CamData::decode(delivery.packet.payload, delivery.packet.source_pv());
+  if (!cam) return false;
+  ++cams_received_;
+  if (handler_) handler_(*cam, delivery.at);
+  return true;
+}
+
+}  // namespace vgr::facilities

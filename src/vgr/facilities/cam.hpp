@@ -1,0 +1,89 @@
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <optional>
+
+#include "vgr/gn/router.hpp"
+
+namespace vgr::facilities {
+
+/// Decoded Cooperative Awareness Message content (ETSI EN 302 637-2,
+/// reduced to the fields the simulation uses). Kinematics ride in the SHB's
+/// position vector; the CAM payload adds vehicle attributes.
+struct CamData {
+  net::GnAddress station{};
+  geo::Position position{};
+  double speed_mps{0.0};
+  double heading_rad{0.0};
+  double vehicle_length_m{4.5};
+  double vehicle_width_m{1.8};
+  std::uint32_t generation{0};  ///< per-station CAM counter
+
+  [[nodiscard]] net::Bytes encode() const;
+  static std::optional<CamData> decode(const net::Bytes& payload,
+                                       const net::LongPositionVector& pv);
+};
+
+/// Cooperative Awareness service: generates CAMs over single-hop broadcast
+/// following the ETSI triggering rules — a new CAM whenever position,
+/// speed or heading moved beyond thresholds since the last one (checked
+/// every `check_interval`), at most every `min_interval`, and at least
+/// every `max_interval`.
+class CamService {
+ public:
+  struct Config {
+    sim::Duration check_interval{sim::Duration::millis(100)};
+    sim::Duration min_interval{sim::Duration::millis(100)};
+    sim::Duration max_interval{sim::Duration::seconds(1.0)};
+    double position_threshold_m{4.0};
+    double speed_threshold_mps{0.5};
+    double heading_threshold_rad{4.0 * M_PI / 180.0};
+    double vehicle_length_m{4.5};
+    double vehicle_width_m{1.8};
+  };
+
+  using CamHandler = std::function<void(const CamData&, sim::TimePoint)>;
+
+  /// Attaches to `router` (which must outlive the service) and starts the
+  /// generation loop. Received CAMs are surfaced through `handler`.
+  CamService(sim::EventQueue& events, gn::Router& router);
+  CamService(sim::EventQueue& events, gn::Router& router, Config config);
+  ~CamService();
+
+  CamService(const CamService&) = delete;
+  CamService& operator=(const CamService&) = delete;
+
+  void set_cam_handler(CamHandler handler) { handler_ = std::move(handler); }
+
+  /// Stops generation (receiving continues while the router lives).
+  void stop();
+
+  [[nodiscard]] std::uint32_t cams_sent() const { return generation_; }
+  [[nodiscard]] std::uint64_t cams_received() const { return cams_received_; }
+
+  /// Called by the owner for every router delivery; returns true when the
+  /// packet was a CAM and has been consumed.
+  bool on_delivery(const gn::Router::Delivery& delivery);
+
+ private:
+  void tick();
+  void generate();
+
+  sim::EventQueue& events_;
+  gn::Router& router_;
+  Config config_;
+  CamHandler handler_;
+  sim::EventId timer_{};
+  bool running_{true};
+  std::shared_ptr<bool> alive_;
+
+  std::uint32_t generation_{0};
+  std::uint64_t cams_received_{0};
+  sim::TimePoint last_sent_{};
+  net::LongPositionVector last_pv_{};
+  bool sent_any_{false};
+};
+
+}  // namespace vgr::facilities

@@ -1,0 +1,128 @@
+#include "vgr/facilities/denm.hpp"
+
+#include "vgr/net/codec.hpp"
+
+namespace vgr::facilities {
+namespace {
+
+constexpr std::uint8_t kDenmMagic[4] = {'D', 'E', 'N', 'M'};
+
+}  // namespace
+
+net::Bytes DenmData::encode() const {
+  net::ByteWriter w;
+  for (const std::uint8_t m : kDenmMagic) w.u8(m);
+  w.u64(originator.bits());
+  w.u32(event_id);
+  w.u8(static_cast<std::uint8_t>(cause));
+  w.f64(event_position.x);
+  w.f64(event_position.y);
+  w.u8(cancellation ? 1 : 0);
+  return w.take();
+}
+
+std::optional<DenmData> DenmData::decode(const net::Bytes& payload) {
+  net::ByteReader r{payload};
+  for (const std::uint8_t m : kDenmMagic) {
+    const auto byte = r.u8();
+    if (!byte || *byte != m) return std::nullopt;
+  }
+  const auto origin = r.u64();
+  const auto event_id = r.u32();
+  const auto cause = r.u8();
+  const auto x = r.f64();
+  const auto y = r.f64();
+  const auto cancel = r.u8();
+  if (!origin || !event_id || !cause || !x || !y || !cancel || !r.exhausted()) {
+    return std::nullopt;
+  }
+  DenmData d;
+  d.originator = net::GnAddress::from_bits(*origin);
+  d.event_id = *event_id;
+  d.cause = static_cast<DenmCause>(*cause);
+  d.event_position = {*x, *y};
+  d.cancellation = *cancel != 0;
+  return d;
+}
+
+DenmService::DenmService(sim::EventQueue& events, gn::Router& router)
+    : DenmService{events, router, Config{}} {}
+
+DenmService::DenmService(sim::EventQueue& events, gn::Router& router, Config config)
+    : events_{events}, router_{router}, config_{config} {
+  alive_ = std::make_shared<bool>(true);
+  router_.add_delivery_listener([this, alive = alive_](const gn::Router::Delivery& d) {
+    if (*alive) on_delivery(d);
+  });
+}
+
+DenmService::~DenmService() {
+  for (auto& [id, event] : active_) events_.cancel(event.timer);
+  *alive_ = false;
+}
+
+std::uint32_t DenmService::trigger(DenmCause cause, geo::Position event_position,
+                                   const geo::GeoArea& relevance_area, sim::Duration validity) {
+  const std::uint32_t id = next_event_id_++;
+  ActiveEvent event;
+  event.data.originator = router_.address();
+  event.data.event_id = id;
+  event.data.cause = cause;
+  event.data.event_position = event_position;
+  event.area = relevance_area;
+  event.expires = events_.now() + validity;
+  broadcast(event.data, event.area);
+  event.timer = events_.schedule_in(config_.repetition_interval, [this, id] { repeat(id); });
+  active_.emplace(id, std::move(event));
+  return id;
+}
+
+void DenmService::cancel(std::uint32_t event_id) {
+  const auto it = active_.find(event_id);
+  if (it == active_.end()) return;
+  events_.cancel(it->second.timer);
+  DenmData negation = it->second.data;
+  negation.cancellation = true;
+  broadcast(negation, it->second.area);
+  active_.erase(it);
+}
+
+void DenmService::broadcast(const DenmData& data, const geo::GeoArea& area) {
+  ++denms_sent_;
+  router_.send_geo_broadcast(area, data.encode(), config_.hop_limit);
+}
+
+void DenmService::repeat(std::uint32_t event_id) {
+  if (!router_.running()) return;
+  const auto it = active_.find(event_id);
+  if (it == active_.end()) return;
+  if (events_.now() >= it->second.expires) {
+    active_.erase(it);
+    return;
+  }
+  broadcast(it->second.data, it->second.area);
+  it->second.timer =
+      events_.schedule_in(config_.repetition_interval, [this, event_id] { repeat(event_id); });
+}
+
+void DenmService::on_delivery(const gn::Router::Delivery& delivery) {
+  if (delivery.packet.gbc() == nullptr) return;
+  const auto denm = DenmData::decode(delivery.packet.payload);
+  if (!denm) return;
+  const auto key = std::make_pair(denm->originator.bits(), denm->event_id);
+  if (denm->cancellation) {
+    // Surface each cancellation once, and only for events we knew about.
+    const auto it = seen_.find(key);
+    if (it == seen_.end() || !it->second) return;
+    it->second = false;
+    if (on_cancel_) on_cancel_(*denm, delivery.at);
+    return;
+  }
+  if (const auto [it, inserted] = seen_.try_emplace(key, true); !inserted) {
+    return;  // repetition of a known event
+  }
+  ++events_received_;
+  if (on_event_) on_event_(*denm, delivery.at);
+}
+
+}  // namespace vgr::facilities

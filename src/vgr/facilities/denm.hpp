@@ -1,0 +1,105 @@
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <optional>
+#include <unordered_map>
+
+#include "vgr/gn/router.hpp"
+
+namespace vgr::facilities {
+
+/// Environmental event categories (ETSI EN 302 637-3 cause codes, reduced).
+enum class DenmCause : std::uint8_t {
+  kStationaryVehicle = 94,
+  kAccident = 2,
+  kRoadworks = 3,
+  kHazardousLocation = 9,
+  kTrafficCondition = 1,
+};
+
+/// Decoded Decentralized Environmental Notification Message.
+struct DenmData {
+  net::GnAddress originator{};
+  std::uint32_t event_id{0};  ///< unique per originator
+  DenmCause cause{DenmCause::kHazardousLocation};
+  geo::Position event_position{};
+  bool cancellation{false};
+
+  [[nodiscard]] net::Bytes encode() const;
+  static std::optional<DenmData> decode(const net::Bytes& payload);
+};
+
+/// DEN service: event-triggered warnings geobroadcast into a relevance
+/// area, repeated until the event's validity expires or it is cancelled
+/// (ETSI EN 302 637-3, reduced). Receivers deduplicate per (originator,
+/// event id), surface new events and cancellations upward, and ignore
+/// repetitions.
+class DenmService {
+ public:
+  struct Config {
+    sim::Duration repetition_interval{sim::Duration::seconds(1.0)};
+    std::uint8_t hop_limit{10};
+  };
+
+  /// `handler(denm, is_new, at)` — `is_new` is false for a cancellation.
+  using DenmHandler = std::function<void(const DenmData&, sim::TimePoint)>;
+
+  DenmService(sim::EventQueue& events, gn::Router& router);
+  DenmService(sim::EventQueue& events, gn::Router& router, Config config);
+  ~DenmService();
+
+  DenmService(const DenmService&) = delete;
+  DenmService& operator=(const DenmService&) = delete;
+
+  void set_event_handler(DenmHandler handler) { on_event_ = std::move(handler); }
+  void set_cancel_handler(DenmHandler handler) { on_cancel_ = std::move(handler); }
+
+  /// Raises an event: broadcasts immediately and repeats every
+  /// `repetition_interval` until `validity` elapses or `cancel` is called.
+  /// Returns the event id.
+  std::uint32_t trigger(DenmCause cause, geo::Position event_position,
+                        const geo::GeoArea& relevance_area, sim::Duration validity);
+
+  /// Cancels an active event: stops repetition and broadcasts a
+  /// cancellation so receivers can clear the warning.
+  void cancel(std::uint32_t event_id);
+
+  [[nodiscard]] std::size_t active_events() const { return active_.size(); }
+  [[nodiscard]] std::uint64_t denms_sent() const { return denms_sent_; }
+  [[nodiscard]] std::uint64_t events_received() const { return events_received_; }
+
+ private:
+  struct ActiveEvent {
+    DenmData data{};
+    geo::GeoArea area{geo::GeoArea::circle({}, 1.0)};
+    sim::TimePoint expires{};
+    sim::EventId timer{};
+  };
+
+  void broadcast(const DenmData& data, const geo::GeoArea& area);
+  void repeat(std::uint32_t event_id);
+  void on_delivery(const gn::Router::Delivery& delivery);
+
+  sim::EventQueue& events_;
+  gn::Router& router_;
+  Config config_;
+  DenmHandler on_event_;
+  DenmHandler on_cancel_;
+  std::shared_ptr<bool> alive_;
+
+  std::uint32_t next_event_id_{1};
+  std::unordered_map<std::uint32_t, ActiveEvent> active_;
+  /// (originator bits, event id) pairs already surfaced to the handler.
+  struct SeenKeyHash {
+    std::size_t operator()(const std::pair<std::uint64_t, std::uint32_t>& k) const noexcept {
+      return std::hash<std::uint64_t>{}(k.first * 0x9e3779b97f4a7c15ULL + k.second);
+    }
+  };
+  std::unordered_map<std::pair<std::uint64_t, std::uint32_t>, bool, SeenKeyHash> seen_;
+  std::uint64_t denms_sent_{0};
+  std::uint64_t events_received_{0};
+};
+
+}  // namespace vgr::facilities

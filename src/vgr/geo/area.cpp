@@ -1,0 +1,57 @@
+#include "vgr/geo/area.hpp"
+
+#include <cassert>
+#include <cstdio>
+
+namespace vgr::geo {
+
+GeoArea::GeoArea(Shape shape, Position center, double a, double b, double azimuth)
+    : shape_{shape}, center_{center}, a_{a}, b_{b}, azimuth_{azimuth} {
+  assert(a > 0.0 && b > 0.0);
+}
+
+GeoArea GeoArea::circle(Position center, double radius_m) {
+  return GeoArea{Shape::kCircle, center, radius_m, radius_m, 0.0};
+}
+
+GeoArea GeoArea::rectangle(Position center, double a_m, double b_m, double azimuth_rad) {
+  return GeoArea{Shape::kRectangle, center, a_m, b_m, azimuth_rad};
+}
+
+GeoArea GeoArea::ellipse(Position center, double a_m, double b_m, double azimuth_rad) {
+  return GeoArea{Shape::kEllipse, center, a_m, b_m, azimuth_rad};
+}
+
+double GeoArea::characteristic(Position p) const {
+  // Transform into the area's local frame: translate to the center, rotate
+  // by -azimuth so the local x axis aligns with the long/`a` axis.
+  const Vec2 local = (p - center_).rotated(-azimuth_);
+  const double u = local.x / a_;
+  const double v = local.y / b_;
+  switch (shape_) {
+    case Shape::kCircle:
+    case Shape::kEllipse:
+      return 1.0 - u * u - v * v;
+    case Shape::kRectangle: {
+      const double fx = 1.0 - u * u;
+      const double fy = 1.0 - v * v;
+      return fx < fy ? fx : fy;  // ETSI: min(1-(x/a)^2, 1-(y/b)^2)
+    }
+  }
+  return -1.0;
+}
+
+std::string to_string(const GeoArea& area) {
+  const char* shape = "?";
+  switch (area.shape()) {
+    case GeoArea::Shape::kCircle: shape = "circle"; break;
+    case GeoArea::Shape::kRectangle: shape = "rect"; break;
+    case GeoArea::Shape::kEllipse: shape = "ellipse"; break;
+  }
+  char buf[128];
+  std::snprintf(buf, sizeof buf, "%s(center=(%.1f,%.1f), a=%.1f, b=%.1f, az=%.3f)", shape,
+                area.center().x, area.center().y, area.a(), area.b(), area.azimuth());
+  return buf;
+}
+
+}  // namespace vgr::geo

@@ -1,0 +1,61 @@
+#pragma once
+
+#include <string>
+
+#include "vgr/geo/vec2.hpp"
+
+namespace vgr::geo {
+
+/// Destination area of a GeoBroadcast, per ETSI EN 302 636-4-1 Annex B.
+///
+/// The standard defines circular, rectangular and elliptical areas through a
+/// characteristic function f(x, y) that is positive inside, zero on the
+/// border and negative outside; this type implements the same function so
+/// containment semantics match the spec (border points count as inside).
+class GeoArea {
+ public:
+  enum class Shape { kCircle, kRectangle, kEllipse };
+
+  /// Circle of radius `radius_m` centred at `center`.
+  static GeoArea circle(Position center, double radius_m);
+
+  /// Axis-aligned-then-rotated rectangle: half-width `a_m` along the local
+  /// x axis, half-height `b_m` along the local y axis, rotated by
+  /// `azimuth_rad` counter-clockwise.
+  static GeoArea rectangle(Position center, double a_m, double b_m, double azimuth_rad = 0.0);
+
+  /// Ellipse with semi-major `a_m`, semi-minor `b_m`, rotated by
+  /// `azimuth_rad` counter-clockwise.
+  static GeoArea ellipse(Position center, double a_m, double b_m, double azimuth_rad = 0.0);
+
+  [[nodiscard]] Shape shape() const { return shape_; }
+  [[nodiscard]] Position center() const { return center_; }
+  [[nodiscard]] double a() const { return a_; }
+  [[nodiscard]] double b() const { return b_; }
+  [[nodiscard]] double azimuth() const { return azimuth_; }
+
+  /// ETSI characteristic function: > 0 inside, == 0 on border, < 0 outside.
+  [[nodiscard]] double characteristic(Position p) const;
+
+  /// True when `p` is inside or on the border.
+  [[nodiscard]] bool contains(Position p) const { return characteristic(p) >= 0.0; }
+
+  /// Euclidean distance from `p` to the area's center (the GF metric — the
+  /// standard forwards toward the area center, not the nearest border).
+  [[nodiscard]] double distance_to_center(Position p) const { return distance(p, center_); }
+
+  friend bool operator==(const GeoArea&, const GeoArea&) = default;
+
+ private:
+  GeoArea(Shape shape, Position center, double a, double b, double azimuth);
+
+  Shape shape_;
+  Position center_;
+  double a_;
+  double b_;
+  double azimuth_;
+};
+
+std::string to_string(const GeoArea& area);
+
+}  // namespace vgr::geo

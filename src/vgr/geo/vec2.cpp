@@ -1,0 +1,13 @@
+#include "vgr/geo/vec2.hpp"
+
+#include <cstdio>
+
+namespace vgr::geo {
+
+std::string to_string(Vec2 v) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "(%.2f, %.2f)", v.x, v.y);
+  return buf;
+}
+
+}  // namespace vgr::geo

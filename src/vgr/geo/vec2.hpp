@@ -1,0 +1,56 @@
+#pragma once
+
+#include <cmath>
+#include <compare>
+#include <string>
+
+namespace vgr::geo {
+
+/// Planar vector / position in metres. The simulation uses a local
+/// East-North plane (x grows east along the road, y grows north), which is
+/// exact at the scales of the paper's scenarios (a few kilometres) and
+/// avoids geodesic math in the hot path.
+struct Vec2 {
+  double x{0.0};
+  double y{0.0};
+
+  friend constexpr Vec2 operator+(Vec2 a, Vec2 b) { return {a.x + b.x, a.y + b.y}; }
+  friend constexpr Vec2 operator-(Vec2 a, Vec2 b) { return {a.x - b.x, a.y - b.y}; }
+  friend constexpr Vec2 operator*(Vec2 a, double k) { return {a.x * k, a.y * k}; }
+  friend constexpr Vec2 operator*(double k, Vec2 a) { return {a.x * k, a.y * k}; }
+  friend constexpr Vec2 operator/(Vec2 a, double k) { return {a.x / k, a.y / k}; }
+  constexpr Vec2& operator+=(Vec2 o) { x += o.x; y += o.y; return *this; }
+  constexpr Vec2& operator-=(Vec2 o) { x -= o.x; y -= o.y; return *this; }
+  friend constexpr bool operator==(Vec2, Vec2) = default;
+
+  [[nodiscard]] constexpr double dot(Vec2 o) const { return x * o.x + y * o.y; }
+  [[nodiscard]] constexpr double cross(Vec2 o) const { return x * o.y - y * o.x; }
+  [[nodiscard]] double norm() const { return std::hypot(x, y); }
+  [[nodiscard]] constexpr double norm_sq() const { return x * x + y * y; }
+
+  /// Unit vector in the same direction; the zero vector maps to itself.
+  [[nodiscard]] Vec2 normalized() const {
+    const double n = norm();
+    return n > 0.0 ? Vec2{x / n, y / n} : Vec2{};
+  }
+
+  /// Rotates by `radians` counter-clockwise.
+  [[nodiscard]] Vec2 rotated(double radians) const {
+    const double c = std::cos(radians), s = std::sin(radians);
+    return {x * c - y * s, x * s + y * c};
+  }
+};
+
+using Position = Vec2;
+
+/// Euclidean distance between two positions, in metres.
+inline double distance(Position a, Position b) { return (a - b).norm(); }
+inline constexpr double distance_sq(Position a, Position b) { return (a - b).norm_sq(); }
+
+/// Unit vector for a heading given in radians measured counter-clockwise
+/// from east (the +x axis).
+inline Vec2 heading_vector(double radians) { return {std::cos(radians), std::sin(radians)}; }
+
+std::string to_string(Vec2 v);
+
+}  // namespace vgr::geo

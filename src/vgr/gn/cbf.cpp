@@ -1,0 +1,65 @@
+#include "vgr/gn/cbf.hpp"
+
+namespace vgr::gn {
+
+sim::Duration cbf_timeout(double dist_m, sim::Duration to_min, sim::Duration to_max,
+                          double dist_max_m) {
+  if (dist_m > dist_max_m) return to_min;
+  if (dist_m < 0.0) dist_m = 0.0;
+  const double to_min_ns = static_cast<double>(to_min.count());
+  const double to_max_ns = static_cast<double>(to_max.count());
+  const double to_ns = to_max_ns + (to_min_ns - to_max_ns) / dist_max_m * dist_m;
+  return sim::Duration::nanos(static_cast<std::int64_t>(to_ns));
+}
+
+void CbfBuffer::insert(const CbfKey& key, security::SecuredMessage msg, std::uint8_t received_rhl,
+                       sim::Duration timeout, RebroadcastFn on_timeout, DeferFn defer) {
+  if (entries_.contains(key)) return;
+  entries_.emplace(key, Entry{std::move(msg), received_rhl, sim::EventId{},
+                              std::move(on_timeout), std::move(defer)});
+  arm_timer(key, timeout);
+}
+
+void CbfBuffer::arm_timer(const CbfKey& key, sim::Duration timeout) {
+  auto& entry = entries_.at(key);
+  entry.timer = events_.schedule_in(timeout, [this, key] {
+    const auto it = entries_.find(key);
+    if (it == entries_.end()) return;
+    if (it->second.defer) {
+      if (const auto wait = it->second.defer()) {
+        // Channel busy: stay buffered (a duplicate can still cancel us) and
+        // retry once the channel frees up.
+        arm_timer(key, *wait);
+        return;
+      }
+    }
+    security::SecuredMessage msg = std::move(it->second.msg);
+    RebroadcastFn cb = std::move(it->second.on_timeout);
+    entries_.erase(it);
+    cb(msg);
+  });
+}
+
+CbfDuplicateOutcome CbfBuffer::on_duplicate(const CbfKey& key, std::uint8_t duplicate_rhl,
+                                            bool rhl_check, std::uint8_t rhl_threshold) {
+  const auto it = entries_.find(key);
+  if (it == entries_.end()) return CbfDuplicateOutcome::kNoEntry;
+  if (rhl_check) {
+    const int drop = static_cast<int>(it->second.received_rhl) - static_cast<int>(duplicate_rhl);
+    if (drop > static_cast<int>(rhl_threshold)) {
+      // Too steep an RHL collapse: treat as a suspected forwarder
+      // impersonation and keep contending (paper §V-B).
+      return CbfDuplicateOutcome::kKeptByMitigation;
+    }
+  }
+  events_.cancel(it->second.timer);
+  entries_.erase(it);
+  return CbfDuplicateOutcome::kDiscarded;
+}
+
+void CbfBuffer::clear() {
+  for (auto& [key, entry] : entries_) events_.cancel(entry.timer);
+  entries_.clear();
+}
+
+}  // namespace vgr::gn

@@ -1,0 +1,103 @@
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <unordered_map>
+#include <utility>
+
+#include "vgr/net/address.hpp"
+#include "vgr/net/packet.hpp"
+#include "vgr/security/secured_message.hpp"
+#include "vgr/sim/event_queue.hpp"
+
+namespace vgr::gn {
+
+/// Contention timeout of the CBF algorithm (paper §III-C):
+///
+///   TO = TO_MIN                                        if DIST > DIST_MAX
+///   TO = TO_MAX + (TO_MIN - TO_MAX)/DIST_MAX * DIST    if DIST <= DIST_MAX
+///
+/// i.e. linearly decreasing from TO_MAX at zero distance to TO_MIN at the
+/// theoretical maximum range, so the farthest receiver rebroadcasts first.
+[[nodiscard]] sim::Duration cbf_timeout(double dist_m, sim::Duration to_min,
+                                        sim::Duration to_max, double dist_max_m);
+
+/// Key identifying a contended packet: (source GN address, sequence number).
+using CbfKey = std::pair<net::GnAddress, net::SequenceNumber>;
+
+struct CbfKeyHash {
+  std::size_t operator()(const CbfKey& k) const noexcept {
+    std::uint64_t h = k.first.bits() * 0x9e3779b97f4a7c15ULL;
+    h ^= static_cast<std::uint64_t>(k.second) + 0x517cc1b727220a95ULL + (h << 6) + (h >> 2);
+    return static_cast<std::size_t>(h);
+  }
+};
+
+/// Outcome of presenting a duplicate packet to the contention buffer.
+enum class CbfDuplicateOutcome {
+  kNoEntry,           ///< nothing buffered under this key
+  kDiscarded,         ///< timer stopped, buffered copy dropped (standard CBF)
+  kKeptByMitigation,  ///< RHL-drop check rejected the duplicate; timer keeps running
+};
+
+/// The CBF packet buffer: one pending rebroadcast per contended packet.
+///
+/// A candidate forwarder inserts the packet with its computed timeout; if
+/// the timer fires, the stored message is handed back for rebroadcast. If a
+/// duplicate arrives first, standard CBF cancels the timer and discards —
+/// *without* verifying who retransmitted or from where, which is the
+/// loophole the intra-area blockage attack drives through. The optional
+/// RHL-drop mitigation refuses duplicates whose RHL collapsed by more than
+/// the configured threshold relative to the buffered copy.
+class CbfBuffer {
+ public:
+  explicit CbfBuffer(sim::EventQueue& events) : events_{events} {}
+  ~CbfBuffer() { clear(); }
+
+  CbfBuffer(const CbfBuffer&) = delete;
+  CbfBuffer& operator=(const CbfBuffer&) = delete;
+
+  using RebroadcastFn = std::function<void(const security::SecuredMessage&)>;
+  /// Polled when a contention timer fires: a returned duration defers the
+  /// rebroadcast (carrier-sense busy channel); nullopt lets it proceed.
+  using DeferFn = std::function<std::optional<sim::Duration>()>;
+
+  /// Buffers `msg` (whose basic header already carries the decremented RHL
+  /// it will be rebroadcast with) for `timeout`; `received_rhl` is the RHL
+  /// the packet arrived with, kept for the mitigation comparison. No-op if
+  /// the key is already buffered. A deferred entry stays buffered, so a
+  /// duplicate arriving during the deferral still cancels it — this is how
+  /// two equidistant candidates resolve to a single forwarder, as CSMA does
+  /// on a real channel.
+  void insert(const CbfKey& key, security::SecuredMessage msg, std::uint8_t received_rhl,
+              sim::Duration timeout, RebroadcastFn on_timeout, DeferFn defer = {});
+
+  /// Handles a duplicate reception carrying `duplicate_rhl`. When
+  /// `rhl_check` is enabled, the duplicate only cancels the contention if
+  /// `received_rhl - duplicate_rhl <= rhl_threshold`.
+  CbfDuplicateOutcome on_duplicate(const CbfKey& key, std::uint8_t duplicate_rhl, bool rhl_check,
+                                   std::uint8_t rhl_threshold);
+
+  [[nodiscard]] bool contains(const CbfKey& key) const { return entries_.contains(key); }
+  [[nodiscard]] std::size_t size() const { return entries_.size(); }
+
+  /// Cancels all pending timers (used at router shutdown).
+  void clear();
+
+ private:
+  struct Entry {
+    security::SecuredMessage msg;
+    std::uint8_t received_rhl;
+    sim::EventId timer;
+    RebroadcastFn on_timeout;
+    DeferFn defer;
+  };
+
+  void arm_timer(const CbfKey& key, sim::Duration timeout);
+
+  sim::EventQueue& events_;
+  std::unordered_map<CbfKey, Entry, CbfKeyHash> entries_;
+};
+
+}  // namespace vgr::gn

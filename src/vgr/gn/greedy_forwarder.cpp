@@ -1,0 +1,31 @@
+#include "vgr/gn/greedy_forwarder.hpp"
+
+namespace vgr::gn {
+
+std::optional<GfSelection> select_next_hop(const LocationTable& table, net::GnAddress self,
+                                           geo::Position self_position, geo::Position destination,
+                                           sim::TimePoint now, const GfPolicy& policy,
+                                           const std::unordered_set<net::GnAddress>* exclude) {
+  const double own_distance = geo::distance(self_position, destination);
+  std::optional<GfSelection> best;
+  double best_distance = own_distance;
+
+  table.for_each(now, [&](const LocTableEntry& entry) {
+    if (!entry.is_neighbor) return;           // GF only considers one-hop peers
+    if (entry.pv.address == self) return;     // never forward to ourselves
+    if (exclude != nullptr && exclude->contains(entry.pv.address)) return;
+    const double d = geo::distance(entry.pv.position, destination);
+    if (d >= best_distance) return;           // no (better) progress
+    if (policy.plausibility_check) {
+      const geo::Position at_now =
+          policy.extrapolate ? entry.pv.position_at(now) : entry.pv.position;
+      if (geo::distance(self_position, at_now) > policy.threshold_m) return;
+    }
+    best_distance = d;
+    best = GfSelection{entry.pv, d};
+  });
+
+  return best;
+}
+
+}  // namespace vgr::gn

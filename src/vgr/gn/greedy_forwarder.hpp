@@ -1,0 +1,40 @@
+#pragma once
+
+#include <optional>
+#include <unordered_set>
+
+#include "vgr/geo/vec2.hpp"
+#include "vgr/gn/location_table.hpp"
+
+namespace vgr::gn {
+
+/// Options applied during next-hop selection. The plausibility check is the
+/// paper's mitigation #1: a candidate only qualifies if its (optionally
+/// dead-reckoned) position lies within `threshold_m` of the forwarder.
+struct GfPolicy {
+  bool plausibility_check{false};
+  double threshold_m{486.0};
+  bool extrapolate{true};
+};
+
+/// Result of a greedy next-hop selection.
+struct GfSelection {
+  net::LongPositionVector next_hop{};
+  double distance_to_destination_m{0.0};
+};
+
+/// Greedy Forwarding next-hop selection (ETSI EN 302 636-4-1 §E.2, paper
+/// §II): among neighbour entries of the location table, picks the one whose
+/// advertised position is closest to `destination`, provided it beats the
+/// forwarder's own distance (most-forward-within-radius progress rule).
+///
+/// Returns nullopt when no neighbour offers progress — the caller then
+/// applies its configured fallback (buffer / broadcast / drop). `exclude`,
+/// when given, removes specific neighbours from consideration (used by the
+/// ACK'd-forwarding extension to retry past unresponsive hops).
+[[nodiscard]] std::optional<GfSelection> select_next_hop(
+    const LocationTable& table, net::GnAddress self, geo::Position self_position,
+    geo::Position destination, sim::TimePoint now, const GfPolicy& policy,
+    const std::unordered_set<net::GnAddress>* exclude = nullptr);
+
+}  // namespace vgr::gn

@@ -1,0 +1,59 @@
+#include "vgr/gn/location_table.hpp"
+
+namespace vgr::gn {
+
+void LocationTable::update(const net::LongPositionVector& pv, sim::TimePoint now, bool direct) {
+  auto [it, inserted] = entries_.try_emplace(pv.address);
+  LocTableEntry& entry = it->second;
+  if (!inserted && !entry.expired(now)) {
+    if (pv.timestamp < entry.pv.timestamp) return;  // stale update
+    entry.pv = pv;
+    entry.expiry = now + ttl_;
+    entry.is_neighbor = entry.is_neighbor || direct;
+    return;
+  }
+  entry = LocTableEntry{pv, now + ttl_, direct};
+}
+
+std::optional<LocTableEntry> LocationTable::find(net::GnAddress addr, sim::TimePoint now) const {
+  const auto it = entries_.find(addr);
+  if (it == entries_.end() || it->second.expired(now)) return std::nullopt;
+  return it->second;
+}
+
+std::optional<LocTableEntry> LocationTable::find_by_mac(net::MacAddress mac,
+                                                        sim::TimePoint now) const {
+  // GN addresses embed the link-layer address, so the lookup is a scan over
+  // live entries; tables hold at most a few hundred entries in our scenarios.
+  for (const auto& [addr, entry] : entries_) {
+    if (addr.mac() == mac && !entry.expired(now)) return entry;
+  }
+  return std::nullopt;
+}
+
+void LocationTable::for_each(sim::TimePoint now,
+                             const std::function<void(const LocTableEntry&)>& visit) const {
+  for (const auto& [addr, entry] : entries_) {
+    if (!entry.expired(now)) visit(entry);
+  }
+}
+
+void LocationTable::purge(sim::TimePoint now) {
+  for (auto it = entries_.begin(); it != entries_.end();) {
+    if (it->second.expired(now)) {
+      it = entries_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+}
+
+std::size_t LocationTable::size(sim::TimePoint now) const {
+  std::size_t n = 0;
+  for (const auto& [addr, entry] : entries_) {
+    if (!entry.expired(now)) ++n;
+  }
+  return n;
+}
+
+}  // namespace vgr::gn

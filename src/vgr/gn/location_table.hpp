@@ -1,0 +1,70 @@
+#pragma once
+
+#include <functional>
+#include <optional>
+#include <unordered_map>
+
+#include "vgr/net/address.hpp"
+#include "vgr/net/position_vector.hpp"
+#include "vgr/sim/time.hpp"
+
+namespace vgr::gn {
+
+/// One location table entry: LocTE(addr, PV, TTL) in the paper's notation,
+/// plus the ETSI IS_NEIGHBOUR flag that marks nodes heard *directly* (via a
+/// beacon or as the link-layer sender). Greedy Forwarding only considers
+/// neighbour entries.
+struct LocTableEntry {
+  net::LongPositionVector pv{};
+  sim::TimePoint expiry{};
+  bool is_neighbor{false};
+
+  [[nodiscard]] bool expired(sim::TimePoint now) const { return now >= expiry; }
+};
+
+/// The per-router location table (ETSI EN 302 636-4-1 §8.1).
+///
+/// Entries are keyed by GN address and refreshed on every accepted position
+/// vector; an entry lives `ttl` past its last update (paper default: 20 s).
+/// There is intentionally *no* reachability validation here — the table
+/// trusts any authenticated PV, which is vulnerability #2 of the paper.
+class LocationTable {
+ public:
+  explicit LocationTable(sim::Duration ttl) : ttl_{ttl} {}
+
+  /// Inserts or refreshes the entry for `pv.address`. Updates carrying a
+  /// strictly older timestamp than the stored PV are ignored (out-of-order
+  /// protection). `direct` marks a one-hop observation and sets the
+  /// neighbour flag (sticky until the entry expires).
+  void update(const net::LongPositionVector& pv, sim::TimePoint now, bool direct);
+
+  /// Live entry for `addr`, if any.
+  [[nodiscard]] std::optional<LocTableEntry> find(net::GnAddress addr, sim::TimePoint now) const;
+
+  /// Live entry whose GN address embeds `mac`, if any (used by CBF to locate
+  /// the previous sender from the frame's link-layer source).
+  [[nodiscard]] std::optional<LocTableEntry> find_by_mac(net::MacAddress mac,
+                                                         sim::TimePoint now) const;
+
+  /// Visits every live entry.
+  void for_each(sim::TimePoint now,
+                const std::function<void(const LocTableEntry&)>& visit) const;
+
+  /// Drops expired entries (also done lazily by the accessors).
+  void purge(sim::TimePoint now);
+
+  /// Live entry count.
+  [[nodiscard]] std::size_t size(sim::TimePoint now) const;
+
+  /// Total entries including expired ones awaiting purge (for tests).
+  [[nodiscard]] std::size_t raw_size() const { return entries_.size(); }
+
+  [[nodiscard]] sim::Duration ttl() const { return ttl_; }
+  void set_ttl(sim::Duration ttl) { ttl_ = ttl; }
+
+ private:
+  sim::Duration ttl_;
+  std::unordered_map<net::GnAddress, LocTableEntry> entries_;
+};
+
+}  // namespace vgr::gn

@@ -1,0 +1,29 @@
+#pragma once
+
+#include "vgr/geo/vec2.hpp"
+
+namespace vgr::gn {
+
+/// Supplies a router's own kinematic state (position/speed/heading). Moving
+/// vehicles implement this over their traffic-model state; roadside units
+/// use `StaticMobility`.
+class MobilityProvider {
+ public:
+  virtual ~MobilityProvider() = default;
+  [[nodiscard]] virtual geo::Position position() const = 0;
+  [[nodiscard]] virtual double speed_mps() const { return 0.0; }
+  [[nodiscard]] virtual double heading_rad() const { return 0.0; }
+};
+
+/// Fixed-position mobility for roadside infrastructure and test nodes.
+class StaticMobility final : public MobilityProvider {
+ public:
+  explicit StaticMobility(geo::Position p) : position_{p} {}
+  [[nodiscard]] geo::Position position() const override { return position_; }
+  void move_to(geo::Position p) { position_ = p; }
+
+ private:
+  geo::Position position_;
+};
+
+}  // namespace vgr::gn

@@ -1,0 +1,708 @@
+#include "vgr/gn/router.hpp"
+
+#include <cassert>
+#include <utility>
+
+#include "vgr/sim/log.hpp"
+
+namespace vgr::gn {
+
+using sim::Log;
+using sim::LogLevel;
+
+Router::Router(sim::EventQueue& events, phy::Medium& medium, security::Signer signer,
+               std::shared_ptr<const security::TrustStore> trust,
+               const MobilityProvider& mobility, RouterConfig config, double tx_range_m,
+               sim::Rng rng)
+    : events_{events},
+      medium_{medium},
+      signer_{std::move(signer)},
+      trust_{std::move(trust)},
+      mobility_{mobility},
+      config_{config},
+      rng_{rng},
+      address_{signer_.certificate().subject},
+      loc_table_{config.locte_ttl},
+      cbf_{events} {
+  assert(trust_ != nullptr);
+  phy::Medium::NodeConfig node;
+  node.mac = address_.mac();
+  node.position = [this] { return mobility_.position(); };
+  node.tx_range_m = tx_range_m;
+  node.promiscuous = false;
+  radio_ = medium_.add_node(std::move(node), [this](const phy::Frame& f, phy::RadioId) {
+    if (running_) on_frame(f);
+  });
+  running_ = true;
+}
+
+Router::~Router() { shutdown(); }
+
+void Router::start() {
+  if (beacon_event_.value != 0 && events_.pending(beacon_event_)) return;
+  // Desynchronise stations: first beacon lands uniformly within one period.
+  const auto delay =
+      sim::Duration::nanos(static_cast<std::int64_t>(
+          rng_.uniform() * static_cast<double>(config_.beacon_interval.count())));
+  beacon_event_ = events_.schedule_in(delay, [this] {
+    send_beacon_now();
+    schedule_beacon();
+  });
+}
+
+void Router::shutdown() {
+  if (!running_) return;
+  running_ = false;
+  events_.cancel(beacon_event_);
+  events_.cancel(gf_retry_event_);
+  for (auto& [addr, pending] : ls_pending_) events_.cancel(pending.retry_timer);
+  for (auto& [key, pending] : ack_pending_) events_.cancel(pending.timer);
+  ls_pending_.clear();
+  ack_pending_.clear();
+  cbf_.clear();
+  gf_buffer_.clear();
+  medium_.remove_node(radio_);
+}
+
+void Router::rotate_identity(security::EnrolledIdentity identity) {
+  signer_ = security::Signer{std::move(identity)};
+  address_ = signer_.certificate().subject;
+  medium_.set_mac(radio_, address_.mac());
+  ++stats_.identity_rotations;
+}
+
+net::LongPositionVector Router::self_pv() const {
+  net::LongPositionVector pv;
+  pv.address = address_;
+  pv.timestamp = events_.now();
+  pv.position = mobility_.position();
+  pv.speed_mps = mobility_.speed_mps();
+  pv.heading_rad = mobility_.heading_rad();
+  return pv;
+}
+
+void Router::schedule_beacon() {
+  if (!running_) return;
+  const auto jitter = sim::Duration::nanos(static_cast<std::int64_t>(
+      rng_.uniform() * static_cast<double>(config_.beacon_jitter.count())));
+  beacon_event_ = events_.schedule_in(config_.beacon_interval + jitter, [this] {
+    send_beacon_now();
+    schedule_beacon();
+  });
+}
+
+void Router::send_beacon_now() {
+  if (!running_) return;
+  net::Packet p;
+  p.basic.remaining_hop_limit = 1;  // beacons are single-hop
+  p.basic.lifetime = config_.beacon_interval;
+  p.common.type = net::CommonHeader::HeaderType::kBeacon;
+  p.common.max_hop_limit = 1;
+  p.extended = net::BeaconHeader{self_pv()};
+  transmit(security::SecuredMessage::sign(p, signer_), net::MacAddress::broadcast());
+  ++stats_.beacons_sent;
+}
+
+net::SequenceNumber Router::send_geo_broadcast(const geo::GeoArea& area, net::Bytes payload,
+                                               std::optional<std::uint8_t> hop_limit,
+                                               std::optional<sim::Duration> lifetime) {
+  assert(running_);
+  const std::uint8_t hops = hop_limit.value_or(config_.default_hop_limit);
+  net::Packet p;
+  p.basic.remaining_hop_limit = hops;
+  p.basic.lifetime = lifetime.value_or(config_.default_lifetime);
+  p.common.type = net::CommonHeader::HeaderType::kGeoBroadcast;
+  p.common.max_hop_limit = hops;
+  p.extended = net::GbcHeader{next_sequence_, self_pv(), area};
+  p.payload = std::move(payload);
+  const net::SequenceNumber sn = next_sequence_++;
+
+  // Remember our own packet so an echo from a forwarder is a duplicate.
+  duplicates_.check_and_record(p);
+  ++stats_.gbc_originated;
+
+  auto msg = security::SecuredMessage::sign(p, signer_);
+  if (area.contains(mobility_.position())) {
+    // Source inside the destination area broadcasts immediately; receivers
+    // contend via CBF (paper §II).
+    transmit(msg, net::MacAddress::broadcast());
+  } else {
+    gf_route(std::move(msg), area.center(), /*allow_buffer=*/true);
+  }
+  return sn;
+}
+
+net::SequenceNumber Router::send_geo_unicast(net::GnAddress destination,
+                                             geo::Position position_hint, net::Bytes payload,
+                                             std::optional<std::uint8_t> hop_limit,
+                                             std::optional<sim::Duration> lifetime) {
+  assert(running_);
+  const std::uint8_t hops = hop_limit.value_or(config_.default_hop_limit);
+  geo::Position dest_pos = position_hint;
+  if (const auto entry = loc_table_.find(destination, events_.now())) {
+    dest_pos = entry->pv.position;
+  }
+  net::Packet p;
+  p.basic.remaining_hop_limit = hops;
+  p.basic.lifetime = lifetime.value_or(config_.default_lifetime);
+  p.common.type = net::CommonHeader::HeaderType::kGeoUnicast;
+  p.common.max_hop_limit = hops;
+  net::ShortPositionVector dest;
+  dest.address = destination;
+  dest.timestamp = events_.now();
+  dest.position = dest_pos;
+  p.extended = net::GucHeader{next_sequence_, self_pv(), dest};
+  p.payload = std::move(payload);
+  const net::SequenceNumber sn = next_sequence_++;
+
+  duplicates_.check_and_record(p);
+  ++stats_.guc_originated;
+  gf_route(security::SecuredMessage::sign(p, signer_), dest_pos, /*allow_buffer=*/true);
+  return sn;
+}
+
+net::SequenceNumber Router::send_geo_anycast(const geo::GeoArea& area, net::Bytes payload,
+                                             std::optional<std::uint8_t> hop_limit,
+                                             std::optional<sim::Duration> lifetime) {
+  assert(running_);
+  const std::uint8_t hops = hop_limit.value_or(config_.default_hop_limit);
+  net::Packet p;
+  p.basic.remaining_hop_limit = hops;
+  p.basic.lifetime = lifetime.value_or(config_.default_lifetime);
+  p.common.type = net::CommonHeader::HeaderType::kGeoAnycast;
+  p.common.max_hop_limit = hops;
+  p.extended = net::GacHeader{next_sequence_, self_pv(), area};
+  p.payload = std::move(payload);
+  const net::SequenceNumber sn = next_sequence_++;
+  duplicates_.check_and_record(p);
+  ++stats_.gbc_originated;  // anycast shares the geo-addressed counter
+  // A source already inside the area trivially satisfies "any one station".
+  if (!area.contains(mobility_.position())) {
+    gf_route(security::SecuredMessage::sign(p, signer_), area.center(), /*allow_buffer=*/true);
+  }
+  return sn;
+}
+
+void Router::handle_gac(security::SecuredMessage msg, const phy::Frame& frame) {
+  net::Packet& p = msg.packet;
+  if (duplicates_.check_and_record(p)) {
+    ++stats_.duplicates;
+    return;
+  }
+  const net::GacHeader& gac = *p.gac();
+  if (gac.area.contains(mobility_.position())) {
+    // First station inside the area consumes the packet — no flooding.
+    deliver(p, frame.src);
+    return;
+  }
+  const std::uint8_t received_rhl = p.basic.remaining_hop_limit;
+  if (received_rhl <= 1) {
+    ++stats_.rhl_exhausted;
+    return;
+  }
+  p.basic.remaining_hop_limit = received_rhl - 1;
+  gf_route(std::move(msg), gac.area.center(), /*allow_buffer=*/true);
+}
+
+void Router::send_geo_unicast_resolving(net::GnAddress destination, net::Bytes payload,
+                                        std::optional<std::uint8_t> hop_limit,
+                                        std::optional<sim::Duration> lifetime) {
+  assert(running_);
+  if (const auto entry = loc_table_.find(destination, events_.now())) {
+    send_geo_unicast(destination, entry->pv.position, std::move(payload), hop_limit, lifetime);
+    return;
+  }
+  // Unknown destination: queue the payload and kick off the location
+  // service. Additional packets for the same destination share the lookup.
+  auto [it, inserted] = ls_pending_.try_emplace(destination);
+  it->second.queue.push_back(LsPending::QueuedUnicast{
+      std::move(payload), hop_limit.value_or(config_.default_hop_limit),
+      lifetime.value_or(config_.default_lifetime)});
+  if (inserted) {
+    send_ls_request(destination);
+    it->second.retry_timer = events_.schedule_in(
+        config_.ls_retry_interval, [this, destination] { ls_retry(destination); });
+  }
+}
+
+void Router::send_ls_request(net::GnAddress target) {
+  net::Packet p;
+  p.basic.remaining_hop_limit = config_.ls_hop_limit;
+  p.common.type = net::CommonHeader::HeaderType::kLsRequest;
+  p.common.max_hop_limit = config_.ls_hop_limit;
+  p.extended = net::LsRequestHeader{next_sequence_++, self_pv(), target};
+  duplicates_.check_and_record(p);
+  ++stats_.ls_requests_sent;
+  transmit(security::SecuredMessage::sign(p, signer_), net::MacAddress::broadcast());
+}
+
+void Router::ls_retry(net::GnAddress target) {
+  if (!running_) return;
+  const auto it = ls_pending_.find(target);
+  if (it == ls_pending_.end()) return;  // resolved meanwhile
+  if (++it->second.retries >= config_.ls_max_retries) {
+    stats_.ls_failures += it->second.queue.size();
+    ls_pending_.erase(it);
+    return;
+  }
+  send_ls_request(target);
+  it->second.retry_timer =
+      events_.schedule_in(config_.ls_retry_interval, [this, target] { ls_retry(target); });
+}
+
+void Router::send_single_hop_broadcast(net::Bytes payload) {
+  assert(running_);
+  net::Packet p;
+  p.basic.remaining_hop_limit = 1;
+  p.common.type = net::CommonHeader::HeaderType::kSingleHopBroadcast;
+  p.common.max_hop_limit = 1;
+  p.extended = net::ShbHeader{self_pv()};
+  p.payload = std::move(payload);
+  ++stats_.shb_sent;
+  transmit(security::SecuredMessage::sign(p, signer_), net::MacAddress::broadcast());
+}
+
+net::SequenceNumber Router::send_topo_broadcast(net::Bytes payload,
+                                                std::optional<std::uint8_t> hop_limit) {
+  assert(running_);
+  const std::uint8_t hops = hop_limit.value_or(config_.default_hop_limit);
+  net::Packet p;
+  p.basic.remaining_hop_limit = hops;
+  p.common.type = net::CommonHeader::HeaderType::kTopoBroadcast;
+  p.common.max_hop_limit = hops;
+  p.extended = net::TsbHeader{next_sequence_, self_pv()};
+  p.payload = std::move(payload);
+  const net::SequenceNumber sn = next_sequence_++;
+  duplicates_.check_and_record(p);
+  ++stats_.tsb_originated;
+  transmit(security::SecuredMessage::sign(p, signer_), net::MacAddress::broadcast());
+  return sn;
+}
+
+void Router::on_frame(const phy::Frame& frame) {
+  // 1. Security: every GeoNetworking message must verify against the trust
+  //    store. Forged messages (e.g. a blackhole attacker's fake beacons) die
+  //    here; *replayed* ones sail through — the paper's key observation.
+  if (!frame.msg.verify(*trust_)) {
+    ++stats_.auth_failures;
+    return;
+  }
+  const net::Packet& p = frame.msg.packet;
+  const net::LongPositionVector& so = p.source_pv();
+  if (so.address == address_) {
+    // Our own GN address arriving from the air: either a genuine address
+    // collision or — far more likely under attack — a replay of our own
+    // packet (the interceptor replays every beacon it hears, including the
+    // victim's). ETSI DAD would re-address here; see docs/attacks.md for
+    // why that amplifies the attack.
+    ++stats_.dad_conflicts;
+    if (config_.dad_enabled && on_address_conflict_) on_address_conflict_();
+    return;
+  }
+
+  const sim::TimePoint now = events_.now();
+
+  // 2. Location table update. Beacon PVs must be fresh (timestamp check);
+  //    multi-hop packets may legitimately carry an older source PV, which
+  //    updates the table but never sets the neighbour flag unless the
+  //    source itself is the link-layer sender.
+  const bool direct = p.is_beacon() || frame.src == so.address.mac();
+  if (p.is_beacon()) {
+    if (now - so.timestamp > config_.pv_max_age) {
+      ++stats_.stale_pv_drops;
+      return;
+    }
+    loc_table_.update(so, now, direct);
+    handle_beacon(frame.msg);
+    return;
+  }
+  loc_table_.update(so, now, direct);
+
+  // ACK'd-forwarding extension: confirm any unicast routed through us back
+  // to the previous hop, before duplicate filtering (the retransmitter may
+  // be retrying because our earlier ACK got lost).
+  if (config_.gf_ack && frame.dst == address_.mac() && p.duplicate_key().has_value()) {
+    send_ack_for(p, frame.src);
+  }
+
+  switch (p.common.type) {
+    case net::CommonHeader::HeaderType::kGeoBroadcast:
+      handle_gbc(frame.msg, frame);
+      break;
+    case net::CommonHeader::HeaderType::kGeoUnicast:
+      handle_guc(frame.msg, frame);
+      break;
+    case net::CommonHeader::HeaderType::kGeoAnycast:
+      handle_gac(frame.msg, frame);
+      break;
+    case net::CommonHeader::HeaderType::kTopoBroadcast:
+      handle_tsb(frame.msg, frame);
+      break;
+    case net::CommonHeader::HeaderType::kSingleHopBroadcast:
+      deliver(p, frame.src);
+      break;
+    case net::CommonHeader::HeaderType::kLsRequest:
+      handle_ls_request(frame.msg, frame);
+      break;
+    case net::CommonHeader::HeaderType::kLsReply:
+      handle_ls_reply(frame.msg, frame);
+      break;
+    case net::CommonHeader::HeaderType::kAck:
+      handle_ack(frame.msg);
+      break;
+    default:
+      break;
+  }
+}
+
+void Router::handle_tsb(security::SecuredMessage msg, const phy::Frame& frame) {
+  net::Packet& p = msg.packet;
+  if (duplicates_.check_and_record(p)) {
+    ++stats_.duplicates;
+    return;
+  }
+  deliver(p, frame.src);
+  const std::uint8_t received_rhl = p.basic.remaining_hop_limit;
+  if (received_rhl <= 1) {
+    ++stats_.rhl_exhausted;
+    return;
+  }
+  p.basic.remaining_hop_limit = received_rhl - 1;
+  ++stats_.tsb_forwards;
+  transmit(msg, net::MacAddress::broadcast());
+}
+
+void Router::handle_ls_request(security::SecuredMessage msg, const phy::Frame& frame) {
+  (void)frame;
+  net::Packet& p = msg.packet;
+  if (duplicates_.check_and_record(p)) {
+    ++stats_.duplicates;
+    return;
+  }
+  const net::LsRequestHeader& request = *p.ls_request();
+  if (request.target == address_) {
+    // We are being looked for: answer with our PV, routed back to the
+    // requester's advertised position.
+    net::Packet reply;
+    reply.basic.remaining_hop_limit = config_.ls_hop_limit;
+    reply.common.type = net::CommonHeader::HeaderType::kLsReply;
+    reply.common.max_hop_limit = config_.ls_hop_limit;
+    net::ShortPositionVector dest;
+    dest.address = request.source_pv.address;
+    dest.timestamp = events_.now();
+    dest.position = request.source_pv.position;
+    reply.extended = net::LsReplyHeader{next_sequence_++, self_pv(), dest};
+    duplicates_.check_and_record(reply);
+    ++stats_.ls_replies_sent;
+    gf_route(security::SecuredMessage::sign(reply, signer_), dest.position,
+             /*allow_buffer=*/true);
+    return;
+  }
+  // Not for us: keep flooding within the hop budget.
+  const std::uint8_t received_rhl = p.basic.remaining_hop_limit;
+  if (received_rhl <= 1) {
+    ++stats_.rhl_exhausted;
+    return;
+  }
+  p.basic.remaining_hop_limit = received_rhl - 1;
+  transmit(msg, net::MacAddress::broadcast());
+}
+
+void Router::handle_ls_reply(security::SecuredMessage msg, const phy::Frame& /*frame*/) {
+  net::Packet& p = msg.packet;
+  if (duplicates_.check_and_record(p)) {
+    ++stats_.duplicates;
+    return;
+  }
+  const net::LsReplyHeader& reply = *p.ls_reply();
+  if (reply.destination.address != address_) {
+    const std::uint8_t received_rhl = p.basic.remaining_hop_limit;
+    if (received_rhl <= 1) {
+      ++stats_.rhl_exhausted;
+      return;
+    }
+    p.basic.remaining_hop_limit = received_rhl - 1;
+    geo::Position dest_pos = reply.destination.position;
+    if (const auto entry = loc_table_.find(reply.destination.address, events_.now())) {
+      dest_pos = entry->pv.position;
+    }
+    gf_route(std::move(msg), dest_pos, /*allow_buffer=*/true);
+    return;
+  }
+  // Resolution arrived: the reply's source PV *is* the target's position
+  // (already folded into our location table by on_frame). Flush the queue.
+  const net::GnAddress target = reply.source_pv.address;
+  const auto it = ls_pending_.find(target);
+  if (it == ls_pending_.end()) return;  // duplicate resolution or timed out
+  events_.cancel(it->second.retry_timer);
+  LsPending pending = std::move(it->second);
+  ls_pending_.erase(it);
+  ++stats_.ls_resolved;
+  for (auto& queued : pending.queue) {
+    send_geo_unicast(target, reply.source_pv.position, std::move(queued.payload),
+                     queued.hop_limit, queued.lifetime);
+  }
+}
+
+void Router::send_ack_for(const net::Packet& packet, net::MacAddress to) {
+  const auto key = packet.duplicate_key();
+  assert(key.has_value());
+  net::Packet ack;
+  ack.basic.remaining_hop_limit = 1;
+  ack.common.type = net::CommonHeader::HeaderType::kAck;
+  ack.common.max_hop_limit = 1;
+  ack.extended = net::AckHeader{self_pv(), key->first, key->second};
+  ++stats_.acks_sent;
+  transmit(security::SecuredMessage::sign(ack, signer_), to);
+}
+
+void Router::handle_ack(const security::SecuredMessage& msg) {
+  const net::AckHeader& ack = *msg.packet.ack();
+  const CbfKey key{ack.acked_source, ack.acked_sequence};
+  const auto it = ack_pending_.find(key);
+  if (it == ack_pending_.end()) return;  // late or duplicate ACK
+  events_.cancel(it->second.timer);
+  ack_pending_.erase(it);
+  ++stats_.acks_received;
+}
+
+void Router::arm_ack_timer(const CbfKey& key) {
+  auto& pending = ack_pending_.at(key);
+  events_.cancel(pending.timer);
+  pending.timer = events_.schedule_in(config_.gf_ack_timeout, [this, key] { ack_timeout(key); });
+}
+
+void Router::ack_timeout(const CbfKey& key) {
+  if (!running_) return;
+  const auto it = ack_pending_.find(key);
+  if (it == ack_pending_.end()) return;
+  AckPending& pending = it->second;
+  if (++pending.retries > config_.gf_ack_max_retries) {
+    ++stats_.ack_failures;
+    ack_pending_.erase(it);
+    return;
+  }
+  // Silent hop: pick the next-best neighbour we have not tried yet.
+  const auto selection = select_next_hop(loc_table_, address_, mobility_.position(),
+                                         pending.destination, events_.now(), gf_policy(),
+                                         &pending.tried);
+  if (!selection) {
+    ++stats_.ack_failures;
+    events_.cancel(pending.timer);
+    ack_pending_.erase(it);
+    return;
+  }
+  ++stats_.ack_retries;
+  ++stats_.gf_unicast_forwards;
+  pending.tried.insert(selection->next_hop.address);
+  transmit(pending.msg, selection->next_hop.address.mac());
+  arm_ack_timer(key);
+}
+
+void Router::handle_beacon(const security::SecuredMessage&) { ++stats_.beacons_received; }
+
+void Router::handle_gbc(security::SecuredMessage msg, const phy::Frame& frame) {
+  net::Packet& p = msg.packet;
+  const auto key_opt = p.duplicate_key();
+  assert(key_opt.has_value());
+  const CbfKey key{key_opt->first, key_opt->second};
+  const std::uint8_t received_rhl = p.basic.remaining_hop_limit;
+
+  if (duplicates_.is_duplicate(p)) {
+    ++stats_.duplicates;
+    // A duplicate during contention means "another forwarder already
+    // rebroadcast" — standard CBF discards the buffered copy. This is the
+    // exact step the intra-area blockage attack hijacks.
+    const auto outcome = cbf_.on_duplicate(key, received_rhl, config_.rhl_drop_check,
+                                           config_.rhl_drop_threshold);
+    if (outcome == CbfDuplicateOutcome::kDiscarded) ++stats_.cbf_suppressed;
+    if (outcome == CbfDuplicateOutcome::kKeptByMitigation) ++stats_.cbf_mitigation_keeps;
+    return;
+  }
+  duplicates_.check_and_record(p);
+
+  const bool inside = p.gbc()->area.contains(mobility_.position());
+  if (inside) deliver(p, frame.src);
+
+  if (received_rhl <= 1) {
+    // Hop budget exhausted: the packet is consumed, never forwarded. A
+    // replayed packet with RHL rewritten to 1 dies here on every first-time
+    // receiver (attack #2, step 5).
+    ++stats_.rhl_exhausted;
+    return;
+  }
+  p.basic.remaining_hop_limit = received_rhl - 1;  // outside signature scope
+
+  if (inside) {
+    cbf_contend(std::move(msg), received_rhl, frame);
+  } else {
+    gf_route(std::move(msg), p.gbc()->area.center(), /*allow_buffer=*/true);
+  }
+}
+
+void Router::handle_guc(security::SecuredMessage msg, const phy::Frame& frame) {
+  net::Packet& p = msg.packet;
+  if (duplicates_.check_and_record(p)) {
+    ++stats_.duplicates;
+    return;
+  }
+  const net::GucHeader& guc = *p.guc();
+  if (guc.destination.address == address_) {
+    deliver(p, frame.src);
+    return;
+  }
+  const std::uint8_t received_rhl = p.basic.remaining_hop_limit;
+  if (received_rhl <= 1) {
+    ++stats_.rhl_exhausted;
+    return;
+  }
+  p.basic.remaining_hop_limit = received_rhl - 1;
+  geo::Position dest_pos = guc.destination.position;
+  if (const auto entry = loc_table_.find(guc.destination.address, events_.now())) {
+    dest_pos = entry->pv.position;
+  }
+  gf_route(std::move(msg), dest_pos, /*allow_buffer=*/true);
+}
+
+void Router::cbf_contend(security::SecuredMessage msg, std::uint8_t received_rhl,
+                         const phy::Frame& frame) {
+  const auto key_opt = msg.packet.duplicate_key();
+  const CbfKey key{key_opt->first, key_opt->second};
+
+  // TO is inversely proportional to the distance from the previous sender,
+  // which we know from its beacons. Unknown sender -> maximum contention.
+  sim::Duration timeout = config_.cbf_to_max;
+  if (const auto sender = loc_table_.find_by_mac(frame.src, events_.now())) {
+    const double dist = geo::distance(mobility_.position(), sender->pv.position);
+    timeout = cbf_timeout(dist, config_.cbf_to_min, config_.cbf_to_max, config_.cbf_dist_max_m);
+  }
+  // CSMA-style desynchronisation; see RouterConfig::cbf_jitter.
+  timeout += config_.cbf_jitter * rng_.uniform();
+  ++stats_.cbf_contentions;
+  cbf_.insert(
+      key, std::move(msg), received_rhl, timeout,
+      [this](const security::SecuredMessage& buffered) {
+        if (!running_) return;
+        transmit(buffered, net::MacAddress::broadcast());
+        ++stats_.cbf_rebroadcasts;
+      },
+      [this]() -> std::optional<sim::Duration> {
+        // Listen-before-talk: while another station's frame is on the air,
+        // hold the rebroadcast (a duplicate heard meanwhile cancels it).
+        const sim::TimePoint busy = medium_.busy_until(radio_);
+        if (busy <= events_.now()) return std::nullopt;
+        const auto backoff = sim::Duration::micros(
+            50 + static_cast<std::int64_t>(rng_.uniform() * 200.0));
+        return busy - events_.now() + backoff;
+      });
+}
+
+void Router::gf_route(security::SecuredMessage msg, geo::Position destination, bool allow_buffer,
+                      const std::unordered_set<net::GnAddress>* exclude) {
+  const auto selection = select_next_hop(loc_table_, address_, mobility_.position(), destination,
+                                         events_.now(), gf_policy(), exclude);
+  if (selection) {
+    transmit(msg, selection->next_hop.address.mac());
+    ++stats_.gf_unicast_forwards;
+    if (config_.gf_ack) {
+      if (const auto key_opt = msg.packet.duplicate_key()) {
+        const CbfKey key{key_opt->first, key_opt->second};
+        auto& pending = ack_pending_[key];
+        pending.msg = std::move(msg);
+        pending.destination = destination;
+        pending.tried.insert(selection->next_hop.address);
+        arm_ack_timer(key);
+      }
+    }
+    return;
+  }
+  // Track how often the plausibility check vetoed an otherwise-chosen hop.
+  if (config_.plausibility_check) {
+    GfPolicy no_check;
+    no_check.plausibility_check = false;
+    if (select_next_hop(loc_table_, address_, mobility_.position(), destination, events_.now(),
+                        no_check)) {
+      ++stats_.gf_plausibility_rejections;
+    }
+  }
+  switch (config_.gf_fallback) {
+    case GfFallback::kBroadcast:
+      transmit(msg, net::MacAddress::broadcast());
+      ++stats_.gf_broadcast_fallbacks;
+      return;
+    case GfFallback::kBuffer:
+      if (allow_buffer) {
+        gf_buffer_.push_back(
+            GfPending{std::move(msg), destination,
+                      events_.now() + config_.gf_retry_interval * 20.0});
+        ++stats_.gf_buffered;
+        schedule_gf_retry();
+        return;
+      }
+      [[fallthrough]];
+    case GfFallback::kDrop:
+      ++stats_.gf_drops;
+      return;
+  }
+}
+
+void Router::schedule_gf_retry() {
+  if (gf_buffer_.empty() || events_.pending(gf_retry_event_)) return;
+  gf_retry_event_ = events_.schedule_in(config_.gf_retry_interval, [this] {
+    if (!running_) return;
+    run_gf_retries();
+    schedule_gf_retry();
+  });
+}
+
+void Router::run_gf_retries() {
+  const sim::TimePoint now = events_.now();
+  std::deque<GfPending> keep;
+  while (!gf_buffer_.empty()) {
+    GfPending pending = std::move(gf_buffer_.front());
+    gf_buffer_.pop_front();
+    if (now >= pending.expiry) {
+      ++stats_.gf_drops;
+      continue;
+    }
+    const auto selection = select_next_hop(loc_table_, address_, mobility_.position(),
+                                           pending.destination, now, gf_policy());
+    if (selection) {
+      transmit(pending.msg, selection->next_hop.address.mac());
+      ++stats_.gf_unicast_forwards;
+    } else {
+      keep.push_back(std::move(pending));
+    }
+  }
+  gf_buffer_ = std::move(keep);
+}
+
+void Router::deliver(const net::Packet& packet, net::MacAddress from) {
+  ++stats_.delivered;
+  const Delivery delivery{packet, events_.now(), from};
+  if (delivery_) delivery_(delivery);
+  for (const auto& listener : listeners_) listener(delivery);
+}
+
+void Router::transmit(const security::SecuredMessage& msg, net::MacAddress dst) {
+  // Any outgoing GN packet proves our liveness/position to neighbours, so
+  // the beacon timer restarts (ETSI beacon service). Beacons themselves are
+  // rescheduled by their own send path.
+  if (config_.beacon_suppression_on_activity && !msg.packet.is_beacon() &&
+      events_.pending(beacon_event_)) {
+    events_.cancel(beacon_event_);
+    schedule_beacon();
+  }
+  phy::Frame frame;
+  frame.src = address_.mac();
+  frame.dst = dst;
+  frame.msg = msg;
+  if (Log::enabled(LogLevel::kTrace)) {
+    Log::write(LogLevel::kTrace, events_.now(), "router",
+               to_string(address_) + " @" + geo::to_string(mobility_.position()) + " tx " +
+                   to_string(msg.packet) + (dst.is_broadcast() ? "" : " -> " + to_string(dst)));
+  }
+  medium_.transmit(radio_, std::move(frame));
+}
+
+}  // namespace vgr::gn

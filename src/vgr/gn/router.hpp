@@ -1,0 +1,258 @@
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <optional>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "vgr/gn/cbf.hpp"
+#include "vgr/gn/config.hpp"
+#include "vgr/gn/greedy_forwarder.hpp"
+#include "vgr/gn/location_table.hpp"
+#include "vgr/gn/mobility.hpp"
+#include "vgr/net/duplicate_detector.hpp"
+#include "vgr/phy/medium.hpp"
+#include "vgr/security/secured_message.hpp"
+#include "vgr/sim/event_queue.hpp"
+#include "vgr/sim/random.hpp"
+
+namespace vgr::gn {
+
+/// Counters exposed for tests and experiment metrics.
+struct RouterStats {
+  std::uint64_t beacons_sent{0};
+  std::uint64_t beacons_received{0};
+  std::uint64_t gbc_originated{0};
+  std::uint64_t guc_originated{0};
+  std::uint64_t delivered{0};
+  std::uint64_t gf_unicast_forwards{0};
+  std::uint64_t gf_broadcast_fallbacks{0};
+  std::uint64_t gf_buffered{0};
+  std::uint64_t gf_drops{0};
+  std::uint64_t gf_plausibility_rejections{0};
+  std::uint64_t cbf_contentions{0};
+  std::uint64_t cbf_rebroadcasts{0};
+  std::uint64_t cbf_suppressed{0};
+  std::uint64_t cbf_mitigation_keeps{0};
+  std::uint64_t auth_failures{0};
+  std::uint64_t stale_pv_drops{0};
+  std::uint64_t duplicates{0};
+  std::uint64_t rhl_exhausted{0};
+  std::uint64_t shb_sent{0};
+  std::uint64_t tsb_originated{0};
+  std::uint64_t tsb_forwards{0};
+  std::uint64_t ls_requests_sent{0};
+  std::uint64_t ls_replies_sent{0};
+  std::uint64_t ls_resolved{0};
+  std::uint64_t ls_failures{0};
+  std::uint64_t acks_sent{0};
+  std::uint64_t acks_received{0};
+  std::uint64_t ack_retries{0};
+  std::uint64_t ack_failures{0};
+  std::uint64_t identity_rotations{0};
+  std::uint64_t dad_conflicts{0};
+};
+
+/// A complete GeoNetworking router for one station, per ETSI EN 302
+/// 636-4-1: periodic beaconing feeding a location table, Greedy Forwarding
+/// for packets outside their destination area, Contention-Based Forwarding
+/// inside it, and a security envelope on every transmission.
+///
+/// The default configuration reproduces the standard's (vulnerable)
+/// behaviour analysed by the paper; the two mitigations of §V are enabled
+/// through `RouterConfig::plausibility_check` / `rhl_drop_check`.
+class Router {
+ public:
+  /// Application-layer delivery of a packet whose destination includes us.
+  struct Delivery {
+    net::Packet packet;
+    sim::TimePoint at;
+    net::MacAddress from_mac;
+  };
+  using DeliveryHandler = std::function<void(const Delivery&)>;
+
+  Router(sim::EventQueue& events, phy::Medium& medium, security::Signer signer,
+         std::shared_ptr<const security::TrustStore> trust, const MobilityProvider& mobility,
+         RouterConfig config, double tx_range_m, sim::Rng rng);
+  ~Router();
+
+  Router(const Router&) = delete;
+  Router& operator=(const Router&) = delete;
+
+  /// Begins periodic beaconing (first beacon desynchronised uniformly over
+  /// one interval). Idempotent.
+  void start();
+
+  /// Cancels all timers and detaches from the medium. Called automatically
+  /// by the destructor; also used when a vehicle leaves the road.
+  void shutdown();
+
+  // --- Transmission API -----------------------------------------------
+
+  /// GeoBroadcast `payload` into `area`. Returns the sequence number used.
+  net::SequenceNumber send_geo_broadcast(const geo::GeoArea& area, net::Bytes payload,
+                                         std::optional<std::uint8_t> hop_limit = std::nullopt,
+                                         std::optional<sim::Duration> lifetime = std::nullopt);
+
+  /// GeoAnycast: `payload` to *any one* station inside `area` — the first
+  /// receiver inside the area consumes the packet instead of flooding it.
+  net::SequenceNumber send_geo_anycast(const geo::GeoArea& area, net::Bytes payload,
+                                       std::optional<std::uint8_t> hop_limit = std::nullopt,
+                                       std::optional<sim::Duration> lifetime = std::nullopt);
+
+  /// GeoUnicast `payload` to `destination`; `position_hint` seeds the
+  /// destination position when we have no location-table entry for it.
+  net::SequenceNumber send_geo_unicast(net::GnAddress destination, geo::Position position_hint,
+                                       net::Bytes payload,
+                                       std::optional<std::uint8_t> hop_limit = std::nullopt,
+                                       std::optional<sim::Duration> lifetime = std::nullopt);
+
+  /// GeoUnicast without a position hint: when the destination is not in the
+  /// location table, the packet is held while the Location Service floods a
+  /// request (ETSI §10.2.2) and sent once the reply arrives.
+  void send_geo_unicast_resolving(net::GnAddress destination, net::Bytes payload,
+                                  std::optional<std::uint8_t> hop_limit = std::nullopt,
+                                  std::optional<sim::Duration> lifetime = std::nullopt);
+
+  /// Single-hop broadcast (SHB): payload to direct neighbours, never
+  /// forwarded — the transport cooperative-awareness messages use.
+  void send_single_hop_broadcast(net::Bytes payload);
+
+  /// Topologically-scoped broadcast (TSB): hop-limited flood with duplicate
+  /// suppression, no geographic constraint.
+  net::SequenceNumber send_topo_broadcast(net::Bytes payload,
+                                          std::optional<std::uint8_t> hop_limit = std::nullopt);
+
+  /// Sends one beacon immediately (also used by tests).
+  void send_beacon_now();
+
+  /// Swaps the signing identity (pseudonym rotation, ETSI TS 102 731
+  /// privacy service): subsequent transmissions use the new certificate,
+  /// GN address and link-layer address. Peers' stale entries for the old
+  /// alias age out of their location tables naturally.
+  void rotate_identity(security::EnrolledIdentity identity);
+
+  // --- Introspection ----------------------------------------------------
+
+  void set_delivery_handler(DeliveryHandler handler) { delivery_ = std::move(handler); }
+
+  /// Additional delivery observers (facilities-layer services); invoked
+  /// after the primary handler, in registration order.
+  void add_delivery_listener(DeliveryHandler listener) {
+    listeners_.push_back(std::move(listener));
+  }
+
+  /// Invoked when duplicate address detection fires (our own GN address
+  /// heard from another station) and `RouterConfig::dad_enabled` is set.
+  /// The handler typically rotates to a fresh identity. Conflicts are
+  /// counted in stats regardless of the flag.
+  void set_address_conflict_handler(std::function<void()> handler) {
+    on_address_conflict_ = std::move(handler);
+  }
+
+  [[nodiscard]] net::GnAddress address() const { return address_; }
+  [[nodiscard]] net::MacAddress mac() const { return address_.mac(); }
+  [[nodiscard]] const RouterStats& stats() const { return stats_; }
+  [[nodiscard]] const LocationTable& location_table() const { return loc_table_; }
+  [[nodiscard]] LocationTable& location_table() { return loc_table_; }
+  [[nodiscard]] const RouterConfig& config() const { return config_; }
+  [[nodiscard]] RouterConfig& config() { return config_; }
+  [[nodiscard]] bool running() const { return running_; }
+
+  /// The router's current long position vector (self PV).
+  [[nodiscard]] net::LongPositionVector self_pv() const;
+
+ private:
+  void on_frame(const phy::Frame& frame);
+  void handle_beacon(const security::SecuredMessage& msg);
+  void handle_gbc(security::SecuredMessage msg, const phy::Frame& frame);
+  void handle_guc(security::SecuredMessage msg, const phy::Frame& frame);
+  void handle_gac(security::SecuredMessage msg, const phy::Frame& frame);
+  void handle_tsb(security::SecuredMessage msg, const phy::Frame& frame);
+  void handle_ls_request(security::SecuredMessage msg, const phy::Frame& frame);
+  void handle_ls_reply(security::SecuredMessage msg, const phy::Frame& frame);
+  void handle_ack(const security::SecuredMessage& msg);
+  void send_ls_request(net::GnAddress target);
+  void ls_retry(net::GnAddress target);
+  void send_ack_for(const net::Packet& packet, net::MacAddress to);
+  void arm_ack_timer(const CbfKey& key);
+  void ack_timeout(const CbfKey& key);
+
+  /// Routes `msg` (a GBC/GUC whose RHL is already decremented) toward
+  /// `destination` with Greedy Forwarding, applying the configured fallback.
+  /// `exclude` removes unresponsive hops during ACK retries.
+  void gf_route(security::SecuredMessage msg, geo::Position destination, bool allow_buffer,
+                const std::unordered_set<net::GnAddress>* exclude = nullptr);
+
+  void cbf_contend(security::SecuredMessage msg, std::uint8_t received_rhl,
+                   const phy::Frame& frame);
+
+  void deliver(const net::Packet& packet, net::MacAddress from);
+  void transmit(const security::SecuredMessage& msg, net::MacAddress dst);
+  void schedule_beacon();
+  void schedule_gf_retry();
+  void run_gf_retries();
+
+  [[nodiscard]] GfPolicy gf_policy() const {
+    return GfPolicy{config_.plausibility_check, config_.plausibility_threshold_m,
+                    config_.plausibility_extrapolate};
+  }
+
+  sim::EventQueue& events_;
+  phy::Medium& medium_;
+  security::Signer signer_;
+  std::shared_ptr<const security::TrustStore> trust_;
+  const MobilityProvider& mobility_;
+  RouterConfig config_;
+  sim::Rng rng_;
+
+  net::GnAddress address_;
+  phy::RadioId radio_{};
+  LocationTable loc_table_;
+  net::DuplicateDetector duplicates_;
+  CbfBuffer cbf_;
+  RouterStats stats_;
+  DeliveryHandler delivery_;
+  std::vector<DeliveryHandler> listeners_;
+  std::function<void()> on_address_conflict_;
+
+  struct GfPending {
+    security::SecuredMessage msg;
+    geo::Position destination;
+    sim::TimePoint expiry;
+  };
+  std::deque<GfPending> gf_buffer_;
+  sim::EventId gf_retry_event_{};
+  sim::EventId beacon_event_{};
+  net::SequenceNumber next_sequence_{0};
+  bool running_{false};
+
+  /// Location-service state: packets queued for an unresolved destination.
+  struct LsPending {
+    struct QueuedUnicast {
+      net::Bytes payload;
+      std::uint8_t hop_limit;
+      sim::Duration lifetime;
+    };
+    std::vector<QueuedUnicast> queue;
+    sim::EventId retry_timer{};
+    int retries{0};
+  };
+  std::unordered_map<net::GnAddress, LsPending> ls_pending_;
+
+  /// ACK'd-forwarding state: unicast forwards awaiting confirmation.
+  struct AckPending {
+    security::SecuredMessage msg;
+    geo::Position destination;
+    std::unordered_set<net::GnAddress> tried;
+    sim::EventId timer{};
+    int retries{0};
+  };
+  std::unordered_map<CbfKey, AckPending, CbfKeyHash> ack_pending_;
+};
+
+}  // namespace vgr::gn

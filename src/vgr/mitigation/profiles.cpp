@@ -1,0 +1,30 @@
+#include "vgr/mitigation/profiles.hpp"
+
+namespace vgr::mitigation {
+
+void apply(Profile profile, gn::RouterConfig& config, const Parameters& params) {
+  const bool gf = profile == Profile::kPlausibilityCheck || profile == Profile::kFull;
+  const bool cbf = profile == Profile::kRhlDropCheck || profile == Profile::kFull;
+
+  config.plausibility_check = gf;
+  if (gf) {
+    if (params.plausibility_threshold_m > 0.0) {
+      config.plausibility_threshold_m = params.plausibility_threshold_m;
+    }
+    config.plausibility_extrapolate = params.extrapolate;
+  }
+  config.rhl_drop_check = cbf;
+  if (cbf) config.rhl_drop_threshold = params.rhl_drop_threshold;
+}
+
+std::string to_string(Profile profile) {
+  switch (profile) {
+    case Profile::kNone: return "none";
+    case Profile::kPlausibilityCheck: return "plausibility-check";
+    case Profile::kRhlDropCheck: return "rhl-drop-check";
+    case Profile::kFull: return "full";
+  }
+  return "?";
+}
+
+}  // namespace vgr::mitigation

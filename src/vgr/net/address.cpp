@@ -1,0 +1,24 @@
+#include "vgr/net/address.hpp"
+
+#include <cstdio>
+
+namespace vgr::net {
+
+std::string to_string(MacAddress a) {
+  char buf[24];
+  const std::uint64_t b = a.bits();
+  std::snprintf(buf, sizeof buf, "%02x:%02x:%02x:%02x:%02x:%02x",
+                static_cast<unsigned>((b >> 40) & 0xFF), static_cast<unsigned>((b >> 32) & 0xFF),
+                static_cast<unsigned>((b >> 24) & 0xFF), static_cast<unsigned>((b >> 16) & 0xFF),
+                static_cast<unsigned>((b >> 8) & 0xFF), static_cast<unsigned>(b & 0xFF));
+  return buf;
+}
+
+std::string to_string(GnAddress a) {
+  char buf[40];
+  std::snprintf(buf, sizeof buf, "gn:%u/%s", static_cast<unsigned>(a.station_type()),
+                to_string(a.mac()).c_str());
+  return buf;
+}
+
+}  // namespace vgr::net

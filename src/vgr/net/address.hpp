@@ -1,0 +1,82 @@
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+
+namespace vgr::net {
+
+/// 48-bit link-layer (access layer) address. The broadcast address is all
+/// ones, as in IEEE 802. MAC addresses are *not* authenticated by the
+/// GeoNetworking security envelope, which the attacks rely on.
+class MacAddress {
+ public:
+  constexpr MacAddress() = default;
+  constexpr explicit MacAddress(std::uint64_t bits) : bits_{bits & kMask} {}
+
+  static constexpr MacAddress broadcast() { return MacAddress{kMask}; }
+
+  [[nodiscard]] constexpr std::uint64_t bits() const { return bits_; }
+  [[nodiscard]] constexpr bool is_broadcast() const { return bits_ == kMask; }
+
+  friend constexpr bool operator==(MacAddress, MacAddress) = default;
+
+ private:
+  static constexpr std::uint64_t kMask = 0xFFFF'FFFF'FFFFULL;
+  std::uint64_t bits_{0};
+};
+
+/// GeoNetworking address (GN_ADDR). Per ETSI EN 302 636-4-1 it embeds the
+/// station type and the link-layer address; we keep the embedding so a
+/// node's MAC is recoverable from any signed position vector.
+class GnAddress {
+ public:
+  enum class StationType : std::uint8_t {
+    kUnknown = 0,
+    kPassengerCar = 5,
+    kRoadSideUnit = 15,
+  };
+
+  constexpr GnAddress() = default;
+  constexpr GnAddress(StationType type, MacAddress mac)
+      : bits_{(static_cast<std::uint64_t>(type) << 48) | mac.bits()} {}
+
+  [[nodiscard]] constexpr std::uint64_t bits() const { return bits_; }
+  [[nodiscard]] constexpr StationType station_type() const {
+    return static_cast<StationType>((bits_ >> 48) & 0x1F);
+  }
+  [[nodiscard]] constexpr MacAddress mac() const {
+    return MacAddress{bits_ & 0xFFFF'FFFF'FFFFULL};
+  }
+  [[nodiscard]] constexpr bool is_unset() const { return bits_ == 0; }
+
+  static constexpr GnAddress from_bits(std::uint64_t bits) {
+    GnAddress a;
+    a.bits_ = bits;
+    return a;
+  }
+
+  friend constexpr bool operator==(GnAddress, GnAddress) = default;
+
+ private:
+  std::uint64_t bits_{0};
+};
+
+std::string to_string(MacAddress a);
+std::string to_string(GnAddress a);
+
+}  // namespace vgr::net
+
+template <>
+struct std::hash<vgr::net::MacAddress> {
+  std::size_t operator()(vgr::net::MacAddress a) const noexcept {
+    return std::hash<std::uint64_t>{}(a.bits());
+  }
+};
+
+template <>
+struct std::hash<vgr::net::GnAddress> {
+  std::size_t operator()(vgr::net::GnAddress a) const noexcept {
+    return std::hash<std::uint64_t>{}(a.bits());
+  }
+};

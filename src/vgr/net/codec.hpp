@@ -1,0 +1,64 @@
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string_view>
+
+#include "vgr/net/packet.hpp"
+
+namespace vgr::net {
+
+/// Little-endian byte writer used by the codec and by the security layer to
+/// produce the exact byte string a signature covers.
+class ByteWriter {
+ public:
+  void u8(std::uint8_t v);
+  void u16(std::uint16_t v);
+  void u32(std::uint32_t v);
+  void u64(std::uint64_t v);
+  void f64(double v);
+  void bytes(const Bytes& b);  ///< length-prefixed (u32)
+
+  [[nodiscard]] const Bytes& data() const { return out_; }
+  [[nodiscard]] Bytes take() { return std::move(out_); }
+
+ private:
+  Bytes out_;
+};
+
+/// Matching reader; every accessor returns nullopt on truncation so corrupt
+/// frames decode to an error instead of UB.
+class ByteReader {
+ public:
+  explicit ByteReader(const Bytes& in) : in_{in} {}
+
+  std::optional<std::uint8_t> u8();
+  std::optional<std::uint16_t> u16();
+  std::optional<std::uint32_t> u32();
+  std::optional<std::uint64_t> u64();
+  std::optional<double> f64();
+  std::optional<Bytes> bytes();
+
+  [[nodiscard]] bool exhausted() const { return pos_ == in_.size(); }
+
+ private:
+  const Bytes& in_;
+  std::size_t pos_{0};
+};
+
+/// Wire codec for GeoNetworking packets.
+///
+/// `encode_signed_portion` serialises exactly the integrity-protected part
+/// (common header + extended header + payload) — the Basic Header, and thus
+/// the RHL, is deliberately excluded, mirroring the standard's security
+/// envelope. `encode` prepends the Basic Header for full-frame encoding.
+struct Codec {
+  static Bytes encode_signed_portion(const Packet& p);
+  static Bytes encode(const Packet& p);
+  static std::optional<Packet> decode(const Bytes& wire);
+
+  /// Size of the full encoding in bytes, used for airtime computation.
+  static std::size_t wire_size(const Packet& p);
+};
+
+}  // namespace vgr::net

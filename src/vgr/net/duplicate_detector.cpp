@@ -1,0 +1,27 @@
+#include "vgr/net/duplicate_detector.hpp"
+
+namespace vgr::net {
+
+bool DuplicateDetector::check_and_record(const Packet& p) {
+  const auto key = p.duplicate_key();
+  if (!key) return false;
+  auto& state = per_source_[key->first];
+  if (state.seen.contains(key->second)) return true;
+  state.seen.insert(key->second);
+  state.order.push_back(key->second);
+  if (state.order.size() > window_) {
+    state.seen.erase(state.order.front());
+    state.order.pop_front();
+  }
+  return false;
+}
+
+bool DuplicateDetector::is_duplicate(const Packet& p) const {
+  const auto key = p.duplicate_key();
+  if (!key) return false;
+  const auto it = per_source_.find(key->first);
+  if (it == per_source_.end()) return false;
+  return it->second.seen.contains(key->second);
+}
+
+}  // namespace vgr::net

@@ -1,0 +1,45 @@
+#pragma once
+
+#include <cstddef>
+#include <deque>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "vgr/net/address.hpp"
+#include "vgr/net/packet.hpp"
+
+namespace vgr::net {
+
+/// Per-source duplicate packet detection keyed on (source GN address,
+/// sequence number), per ETSI EN 302 636-4-1 Annex A.
+///
+/// The paper's intra-area attack exploits exactly what this detector *does
+/// not* look at: it cannot distinguish which hop retransmitted the packet,
+/// nor verify the retransmitter's position — any retransmission with a known
+/// key counts as a duplicate.
+class DuplicateDetector {
+ public:
+  /// Keeps at most `window` sequence numbers per source (FIFO eviction).
+  explicit DuplicateDetector(std::size_t window = 256) : window_{window} {}
+
+  /// Records the packet's key; returns true if it was already known
+  /// (i.e. the packet is a duplicate). Beacons never count as duplicates.
+  bool check_and_record(const Packet& p);
+
+  /// Pure query without recording.
+  [[nodiscard]] bool is_duplicate(const Packet& p) const;
+
+  void clear() { per_source_.clear(); }
+  [[nodiscard]] std::size_t source_count() const { return per_source_.size(); }
+
+ private:
+  struct SourceState {
+    std::unordered_set<SequenceNumber> seen;
+    std::deque<SequenceNumber> order;
+  };
+
+  std::size_t window_;
+  std::unordered_map<GnAddress, SourceState> per_source_;
+};
+
+}  // namespace vgr::net

@@ -1,0 +1,171 @@
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <variant>
+#include <vector>
+
+#include "vgr/geo/area.hpp"
+#include "vgr/net/address.hpp"
+#include "vgr/net/position_vector.hpp"
+
+namespace vgr::net {
+
+using Bytes = std::vector<std::uint8_t>;
+using SequenceNumber = std::uint16_t;
+
+/// Basic Header (ETSI EN 302 636-4-1 §9.6). Crucially this header — and the
+/// Remaining Hop Limit (RHL) it carries — sits *outside* the security
+/// envelope, so forwarders can decrement RHL without re-signing. That design
+/// choice is vulnerability #3 of the paper: an attacker may rewrite RHL on a
+/// captured packet without invalidating the source's signature.
+struct BasicHeader {
+  std::uint8_t version{1};
+  std::uint8_t remaining_hop_limit{10};
+  sim::Duration lifetime{sim::Duration::seconds(60.0)};
+
+  friend bool operator==(const BasicHeader&, const BasicHeader&) = default;
+};
+
+/// Common Header (ETSI §9.7) — integrity protected.
+struct CommonHeader {
+  enum class HeaderType : std::uint8_t {
+    kBeacon = 1,
+    kGeoUnicast = 2,
+    kGeoAnycast = 3,
+    kGeoBroadcast = 4,
+    kTopoBroadcast = 5,
+    kSingleHopBroadcast = 6,
+    kLsRequest = 7,
+    kLsReply = 8,
+    kAck = 9,
+  };
+
+  HeaderType type{HeaderType::kBeacon};
+  std::uint8_t traffic_class{0};
+  std::uint8_t max_hop_limit{10};
+
+  friend bool operator==(const CommonHeader&, const CommonHeader&) = default;
+};
+
+/// Extended header for beacons: just the sender's LPV.
+struct BeaconHeader {
+  LongPositionVector source_pv{};
+  friend bool operator==(const BeaconHeader&, const BeaconHeader&) = default;
+};
+
+/// Extended header for GeoBroadcast: source PV, sequence number (duplicate
+/// detection key together with the source address) and the destination area.
+struct GbcHeader {
+  SequenceNumber sequence_number{0};
+  LongPositionVector source_pv{};
+  geo::GeoArea area{geo::GeoArea::circle({}, 1.0)};
+  friend bool operator==(const GbcHeader&, const GbcHeader&) = default;
+};
+
+/// Extended header for GeoAnycast: same shape as GBC, but the packet is
+/// consumed by the *first* station inside the area instead of flooded.
+struct GacHeader {
+  SequenceNumber sequence_number{0};
+  LongPositionVector source_pv{};
+  geo::GeoArea area{geo::GeoArea::circle({}, 1.0)};
+  friend bool operator==(const GacHeader&, const GacHeader&) = default;
+};
+
+/// Extended header for GeoUnicast.
+struct GucHeader {
+  SequenceNumber sequence_number{0};
+  LongPositionVector source_pv{};
+  ShortPositionVector destination{};
+  friend bool operator==(const GucHeader&, const GucHeader&) = default;
+};
+
+/// Topologically-scoped broadcast (TSB, ETSI §9.8.6): n-hop flooding with
+/// duplicate suppression, no geographic target.
+struct TsbHeader {
+  SequenceNumber sequence_number{0};
+  LongPositionVector source_pv{};
+  friend bool operator==(const TsbHeader&, const TsbHeader&) = default;
+};
+
+/// Single-hop broadcast (SHB, ETSI §9.8.7): the transport CAMs ride on.
+/// Never forwarded; like a beacon but with a payload.
+struct ShbHeader {
+  LongPositionVector source_pv{};
+  friend bool operator==(const ShbHeader&, const ShbHeader&) = default;
+};
+
+/// Location Service request (ETSI §10.2.2): hop-limited flood asking for
+/// the position of `target`; the target answers with an LS reply.
+struct LsRequestHeader {
+  SequenceNumber sequence_number{0};
+  LongPositionVector source_pv{};
+  GnAddress target{};
+  friend bool operator==(const LsRequestHeader&, const LsRequestHeader&) = default;
+};
+
+/// Location Service reply: unicast back to the requester, carrying the
+/// target's own PV as the source PV.
+struct LsReplyHeader {
+  SequenceNumber sequence_number{0};
+  LongPositionVector source_pv{};
+  ShortPositionVector destination{};  ///< the original requester
+  friend bool operator==(const LsReplyHeader&, const LsReplyHeader&) = default;
+};
+
+/// Link-layer-style forwarding acknowledgement (extension, not ETSI): sent
+/// back to the previous hop when `RouterConfig::gf_ack` is enabled. Used to
+/// quantify the ACK alternative the paper's §V-A dismisses.
+struct AckHeader {
+  LongPositionVector source_pv{};
+  GnAddress acked_source{};             ///< source of the acknowledged packet
+  SequenceNumber acked_sequence{0};     ///< its sequence number
+  friend bool operator==(const AckHeader&, const AckHeader&) = default;
+};
+
+using ExtendedHeader = std::variant<BeaconHeader, GbcHeader, GucHeader, GacHeader, TsbHeader,
+                                    ShbHeader, LsRequestHeader, LsReplyHeader, AckHeader>;
+
+/// A complete GeoNetworking packet. `basic` is mutable per hop (RHL);
+/// `common`, `extended` and `payload` form the signed portion.
+struct Packet {
+  BasicHeader basic{};
+  CommonHeader common{};
+  ExtendedHeader extended{BeaconHeader{}};
+  Bytes payload{};
+
+  [[nodiscard]] bool is_beacon() const {
+    return std::holds_alternative<BeaconHeader>(extended);
+  }
+  [[nodiscard]] const BeaconHeader* beacon() const {
+    return std::get_if<BeaconHeader>(&extended);
+  }
+  [[nodiscard]] const GbcHeader* gbc() const { return std::get_if<GbcHeader>(&extended); }
+  [[nodiscard]] GbcHeader* gbc() { return std::get_if<GbcHeader>(&extended); }
+  [[nodiscard]] const GucHeader* guc() const { return std::get_if<GucHeader>(&extended); }
+  [[nodiscard]] GucHeader* guc() { return std::get_if<GucHeader>(&extended); }
+  [[nodiscard]] const GacHeader* gac() const { return std::get_if<GacHeader>(&extended); }
+  [[nodiscard]] const TsbHeader* tsb() const { return std::get_if<TsbHeader>(&extended); }
+  [[nodiscard]] const ShbHeader* shb() const { return std::get_if<ShbHeader>(&extended); }
+  [[nodiscard]] const LsRequestHeader* ls_request() const {
+    return std::get_if<LsRequestHeader>(&extended);
+  }
+  [[nodiscard]] const LsReplyHeader* ls_reply() const {
+    return std::get_if<LsReplyHeader>(&extended);
+  }
+  [[nodiscard]] const AckHeader* ack() const { return std::get_if<AckHeader>(&extended); }
+
+  /// Source LPV regardless of packet flavour.
+  [[nodiscard]] const LongPositionVector& source_pv() const;
+
+  /// Duplicate-detection key: (source address, sequence number), defined for
+  /// GBC/GUC packets only.
+  [[nodiscard]] std::optional<std::pair<GnAddress, SequenceNumber>> duplicate_key() const;
+
+  friend bool operator==(const Packet&, const Packet&) = default;
+};
+
+std::string to_string(const Packet& p);
+
+}  // namespace vgr::net

@@ -1,0 +1,43 @@
+#pragma once
+
+#include "vgr/geo/vec2.hpp"
+#include "vgr/net/address.hpp"
+#include "vgr/sim/time.hpp"
+
+namespace vgr::net {
+
+/// Long Position Vector (LPV) — the PV carried in beacons and in the source
+/// field of GeoBroadcast packets: address, timestamp, position, speed and
+/// heading. All fields are inside the signed envelope.
+struct LongPositionVector {
+  GnAddress address{};
+  sim::TimePoint timestamp{};
+  geo::Position position{};
+  double speed_mps{0.0};
+  double heading_rad{0.0};  ///< counter-clockwise from east (+x)
+
+  /// Dead-reckons the position to time `t` using speed and heading. This is
+  /// the "estimated position vector" used by the plausibility-check
+  /// mitigation; a stale PV of a fast mover extrapolates far away.
+  [[nodiscard]] geo::Position position_at(sim::TimePoint t) const {
+    const double dt = (t - timestamp).to_seconds();
+    return position + geo::heading_vector(heading_rad) * (speed_mps * dt);
+  }
+
+  [[nodiscard]] geo::Vec2 velocity() const {
+    return geo::heading_vector(heading_rad) * speed_mps;
+  }
+
+  friend bool operator==(const LongPositionVector&, const LongPositionVector&) = default;
+};
+
+/// Short Position Vector (SPV) — destination field of GeoUnicast packets.
+struct ShortPositionVector {
+  GnAddress address{};
+  sim::TimePoint timestamp{};
+  geo::Position position{};
+
+  friend bool operator==(const ShortPositionVector&, const ShortPositionVector&) = default;
+};
+
+}  // namespace vgr::net

@@ -1,0 +1,156 @@
+#include "vgr/phy/medium.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+#include "vgr/net/codec.hpp"
+
+namespace vgr::phy {
+
+Medium::Medium(sim::EventQueue& events, AccessTechnology tech, sim::Rng rng)
+    : events_{events}, tech_{tech}, rng_{rng} {}
+
+RadioId Medium::add_node(NodeConfig config, RxCallback rx) {
+  assert(config.position && "node needs a position source");
+  assert(rx && "node needs a receive callback");
+  const RadioId id{next_id_++};
+  nodes_.emplace(id.value, Node{std::move(config), std::move(rx), true, {}, {}});
+  return id;
+}
+
+void Medium::remove_node(RadioId id) {
+  // Mark dead rather than erase so in-flight deliveries resolve safely.
+  const auto it = nodes_.find(id.value);
+  if (it != nodes_.end()) it->second.alive = false;
+}
+
+void Medium::set_tx_range(RadioId id, double range_m) {
+  const auto it = nodes_.find(id.value);
+  assert(it != nodes_.end());
+  it->second.config.tx_range_m = range_m;
+}
+
+void Medium::set_rx_range(RadioId id, double range_m) {
+  const auto it = nodes_.find(id.value);
+  assert(it != nodes_.end());
+  it->second.config.rx_range_m = range_m;
+}
+
+void Medium::set_mac(RadioId id, net::MacAddress mac) {
+  const auto it = nodes_.find(id.value);
+  assert(it != nodes_.end());
+  it->second.config.mac = mac;
+}
+
+double Medium::tx_range(RadioId id) const {
+  const auto it = nodes_.find(id.value);
+  assert(it != nodes_.end());
+  return it->second.config.tx_range_m;
+}
+
+sim::TimePoint Medium::busy_until(RadioId id) const {
+  const auto it = nodes_.find(id.value);
+  assert(it != nodes_.end());
+  return it->second.busy_until;
+}
+
+bool Medium::receivable(const Node& to, geo::Position from_pos, double range_m,
+                        double distance_m) {
+  const double reach = to.config.rx_range_m > 0.0 ? to.config.rx_range_m : range_m;
+  if (distance_m > reach) return false;
+  if (obstruction_ && obstruction_(from_pos, to.config.position())) return false;
+  if (reception_model_ == ReceptionModel::kLogDistanceFading) {
+    const double onset = fading_onset_ * range_m;
+    if (distance_m > onset) {
+      const double p = (range_m - distance_m) / (range_m - onset);
+      if (!rng_.bernoulli(p)) return false;
+    }
+  }
+  return true;
+}
+
+void Medium::transmit(RadioId sender, Frame frame, double range_override_m) {
+  const auto sit = nodes_.find(sender.value);
+  assert(sit != nodes_.end() && sit->second.alive && "unknown sender");
+  const geo::Position from = sit->second.config.position();
+  const double range = range_override_m > 0.0 ? range_override_m : sit->second.config.tx_range_m;
+
+  ++frames_sent_;
+  const sim::Duration tx_time = airtime(tech_, net::Codec::wire_size(frame.msg.packet));
+
+  // The transmitter occupies its own channel for the frame's airtime; a
+  // half-duplex radio is deaf while transmitting, so under the
+  // interference model its own airtime corrupts any overlapping reception.
+  sit->second.busy_until = std::max(sit->second.busy_until, events_.now() + tx_time);
+  if (interference_) {
+    auto& inflight = sit->second.inflight;
+    const sim::TimePoint tx_end = events_.now() + tx_time;
+    for (auto it = inflight.begin(); it != inflight.end();) {
+      if (it->end <= events_.now()) {
+        it = inflight.erase(it);
+        continue;
+      }
+      if (it->start < tx_end) {
+        if (!*it->corrupted) ++frames_collided_;
+        *it->corrupted = true;
+      }
+      ++it;
+    }
+    inflight.push_back(
+        Node::Reception{events_.now(), tx_end, std::make_shared<bool>(true)});
+  }
+
+  const auto frame_ptr = std::make_shared<const Frame>(std::move(frame));
+  for (auto& [id, node] : nodes_) {
+    if (id == sender.value || !node.alive) continue;
+    const double dist = geo::distance(from, node.config.position());
+    if (!receivable(node, from, range, dist)) continue;
+    // Carrier sense: every node in radio range perceives the channel busy
+    // for the frame's airtime, regardless of link-layer addressing.
+    const sim::TimePoint heard_until = events_.now() + tx_time + propagation_delay(dist);
+    node.busy_until = std::max(node.busy_until, heard_until);
+
+    // Interference bookkeeping: any airtime overlap at this receiver
+    // corrupts both frames (no capture effect). Frames addressed elsewhere
+    // still radiate energy, so they participate too.
+    auto corrupted = std::make_shared<bool>(false);
+    if (interference_) {
+      const sim::TimePoint start = events_.now();
+      auto& inflight = node.inflight;
+      for (auto it = inflight.begin(); it != inflight.end();) {
+        if (it->end <= start) {
+          it = inflight.erase(it);  // lazily drop completed receptions
+          continue;
+        }
+        if (it->start < heard_until && start < it->end) {
+          if (!*it->corrupted) ++frames_collided_;
+          if (!*corrupted) ++frames_collided_;
+          *it->corrupted = true;
+          *corrupted = true;
+        }
+        ++it;
+      }
+      inflight.push_back(Node::Reception{start, heard_until, corrupted});
+    }
+
+    // Link-layer address filter: radios in normal mode drop frames that are
+    // neither broadcast nor addressed to them. Promiscuous sniffers see all.
+    if (!node.config.promiscuous && !frame_ptr->dst.is_broadcast() &&
+        frame_ptr->dst != node.config.mac) {
+      continue;
+    }
+    const sim::Duration delay = tx_time + propagation_delay(dist);
+    // Deliver via the event queue so reception ordering is global and the
+    // callback runs after the frame's airtime, like a real channel.
+    const RadioId rx_id{id};
+    events_.schedule_in(delay, [this, rx_id, frame_ptr, sender, corrupted] {
+      if (*corrupted) return;
+      const auto it = nodes_.find(rx_id.value);
+      if (it == nodes_.end() || !it->second.alive) return;
+      ++frames_delivered_;
+      it->second.rx(*frame_ptr, sender);
+    });
+  }
+}
+
+}  // namespace vgr::phy

@@ -1,0 +1,152 @@
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "vgr/geo/vec2.hpp"
+#include "vgr/net/address.hpp"
+#include "vgr/phy/technology.hpp"
+#include "vgr/security/secured_message.hpp"
+#include "vgr/sim/event_queue.hpp"
+#include "vgr/sim/random.hpp"
+
+namespace vgr::phy {
+
+/// One over-the-air transmission unit: link-layer header plus the secured
+/// GeoNetworking envelope. The MAC source/destination are plaintext and
+/// unauthenticated.
+struct Frame {
+  net::MacAddress src{};
+  net::MacAddress dst{net::MacAddress::broadcast()};
+  security::SecuredMessage msg{};
+};
+
+/// Identifies a node registered on the medium.
+struct RadioId {
+  std::uint32_t value{0};
+  friend bool operator==(RadioId, RadioId) = default;
+};
+
+/// Reception model for the shared channel.
+///
+/// * kDisk — a frame is received by every node within the sender's
+///   configured transmission range. This matches the paper's simulator and
+///   keeps the reproduction deterministic.
+/// * kLogDistanceFading — disk reception degraded by distance-dependent
+///   loss (success probability falls from 1 at `fading_onset_fraction` of
+///   the range to 0 at the range edge), for ablation studies.
+enum class ReceptionModel { kDisk, kLogDistanceFading };
+
+/// The shared broadcast radio channel.
+///
+/// Reception is sender-range based: each transmitter owns a TX power setting
+/// expressed directly as a range in metres (the paper's attacker "changes
+/// its transmission power to control its communication range"). Unicast
+/// frames still propagate to *every* node in range — radio is a broadcast
+/// medium — so a promiscuous sniffer overhears unicast traffic; normal
+/// radios drop frames addressed elsewhere before the GN layer sees them.
+class Medium {
+ public:
+  using RxCallback = std::function<void(const Frame&, RadioId sender)>;
+  using PositionFn = std::function<geo::Position()>;
+  /// Returns true when the direct path a->b is blocked (terrain, curve).
+  using ObstructionFn = std::function<bool(geo::Position, geo::Position)>;
+
+  Medium(sim::EventQueue& events, AccessTechnology tech, sim::Rng rng = sim::Rng{0x51CEu});
+
+  struct NodeConfig {
+    net::MacAddress mac{};
+    PositionFn position{};
+    double tx_range_m{0.0};
+    /// Receive range override: when positive, this node hears exactly the
+    /// frames whose sender is within this distance — no more, no less —
+    /// replacing the default sender-power rule. 0 (default) models a stock
+    /// vehicle radio (reception bounded by the sender's range). The
+    /// roadside attacker sets this to its attack range: in the paper's
+    /// model the attacker's tunable communication range governs both what
+    /// it can reach and what it can overhear (§III-A, §IV-A).
+    double rx_range_m{0.0};
+    bool promiscuous{false};
+  };
+
+  /// Registers a node; `rx` fires for every frame the node receives.
+  RadioId add_node(NodeConfig config, RxCallback rx);
+  void remove_node(RadioId id);
+
+  /// Adjusts a node's transmission power (as an effective range).
+  void set_tx_range(RadioId id, double range_m);
+  [[nodiscard]] double tx_range(RadioId id) const;
+
+  /// Adjusts a node's receive-sensitivity range (see NodeConfig::rx_range_m).
+  void set_rx_range(RadioId id, double range_m);
+
+  /// Rebinds a node's link-layer address (pseudonym rotation: the station
+  /// changes its MAC together with its GN address so rotations stay
+  /// unlinkable at every layer).
+  void set_mac(RadioId id, net::MacAddress mac);
+
+  /// Enables co-channel interference: two frames whose airtime overlaps at
+  /// a receiver destroy each other there (no capture effect). Off by
+  /// default — the paper's simulator ignores interference — and available
+  /// for ablation studies.
+  void set_interference(bool on) { interference_ = on; }
+  [[nodiscard]] std::uint64_t frames_collided() const { return frames_collided_; }
+
+  /// Installs an obstruction predicate (empty = free space everywhere).
+  void set_obstruction(ObstructionFn fn) { obstruction_ = std::move(fn); }
+
+  void set_reception_model(ReceptionModel model) { reception_model_ = model; }
+  /// For kLogDistanceFading: fraction of the range where loss begins.
+  void set_fading_onset_fraction(double f) { fading_onset_ = f; }
+
+  /// Transmits `frame` from `sender` using the sender's configured range;
+  /// `range_override_m`, when positive, applies to this frame only (the
+  /// blockage-attack variant uses this for its low-power targeted replay).
+  void transmit(RadioId sender, Frame frame, double range_override_m = -1.0);
+
+  /// Carrier sense: the instant until which `id` perceives the channel as
+  /// busy (any overheard transmission's airtime, including frames addressed
+  /// elsewhere). Routers defer CBF rebroadcasts while busy, like CSMA/CA.
+  [[nodiscard]] sim::TimePoint busy_until(RadioId id) const;
+
+  [[nodiscard]] AccessTechnology technology() const { return tech_; }
+  [[nodiscard]] std::size_t node_count() const { return nodes_.size(); }
+  [[nodiscard]] std::uint64_t frames_sent() const { return frames_sent_; }
+  [[nodiscard]] std::uint64_t frames_delivered() const { return frames_delivered_; }
+
+ private:
+  struct Node {
+    NodeConfig config;
+    RxCallback rx;
+    bool alive{true};
+    sim::TimePoint busy_until{};
+    /// In-flight receptions at this node (interference bookkeeping).
+    struct Reception {
+      sim::TimePoint start;
+      sim::TimePoint end;
+      std::shared_ptr<bool> corrupted;
+    };
+    std::vector<Reception> inflight;
+  };
+
+  [[nodiscard]] bool receivable(const Node& to, geo::Position from_pos, double range_m,
+                                double distance_m);
+
+  sim::EventQueue& events_;
+  AccessTechnology tech_;
+  sim::Rng rng_;
+  ReceptionModel reception_model_{ReceptionModel::kDisk};
+  double fading_onset_{0.8};
+  ObstructionFn obstruction_{};
+  std::uint32_t next_id_{1};
+  std::unordered_map<std::uint32_t, Node> nodes_;
+  bool interference_{false};
+  std::uint64_t frames_sent_{0};
+  std::uint64_t frames_delivered_{0};
+  std::uint64_t frames_collided_{0};
+};
+
+}  // namespace vgr::phy

@@ -1,0 +1,17 @@
+#include "vgr/phy/technology.hpp"
+
+#include <cmath>
+
+namespace vgr::phy {
+
+sim::Duration airtime(AccessTechnology tech, std::size_t bytes) {
+  const double seconds = static_cast<double>(bytes) * 8.0 / bitrate_bps(tech);
+  return sim::Duration::nanos(static_cast<std::int64_t>(std::ceil(seconds * 1e9)));
+}
+
+sim::Duration propagation_delay(double distance_m) {
+  constexpr double kC = 299'792'458.0;
+  return sim::Duration::nanos(static_cast<std::int64_t>(std::ceil(distance_m / kC * 1e9)));
+}
+
+}  // namespace vgr::phy

@@ -1,0 +1,57 @@
+#pragma once
+
+#include <string>
+
+#include "vgr/sim/time.hpp"
+
+namespace vgr::phy {
+
+/// V2X access-layer technology, per the paper's evaluation (§IV).
+enum class AccessTechnology { kDsrc, kCv2x };
+
+/// Communication ranges measured in the Utah DOT field tests (paper
+/// Table II). These are the ranges the whole evaluation is parameterised
+/// on: vehicles communicate at the NLoS median (trucks block LoS between
+/// sedans); the roadside attacker can raise its power up to the LoS median.
+struct RangeTable {
+  double los_median_m;
+  double nlos_median_m;
+  double nlos_worst_m;
+};
+
+[[nodiscard]] constexpr RangeTable range_table(AccessTechnology tech) {
+  switch (tech) {
+    case AccessTechnology::kDsrc:
+      return RangeTable{1283.0, 486.0, 327.0};
+    case AccessTechnology::kCv2x:
+      return RangeTable{1703.0, 593.0, 359.0};
+  }
+  return RangeTable{0.0, 0.0, 0.0};
+}
+
+/// Channel bit rate used to convert frame sizes into airtime.
+[[nodiscard]] constexpr double bitrate_bps(AccessTechnology tech) {
+  switch (tech) {
+    case AccessTechnology::kDsrc:
+      return 6e6;  // 802.11p base rate on the 10 MHz control channel
+    case AccessTechnology::kCv2x:
+      return 7.2e6;  // LTE-V2X sidelink, MCS mid-range
+  }
+  return 6e6;
+}
+
+[[nodiscard]] constexpr const char* name(AccessTechnology tech) {
+  switch (tech) {
+    case AccessTechnology::kDsrc: return "DSRC";
+    case AccessTechnology::kCv2x: return "C-V2X";
+  }
+  return "?";
+}
+
+/// Airtime of `bytes` on `tech`, rounded up to whole nanoseconds.
+[[nodiscard]] sim::Duration airtime(AccessTechnology tech, std::size_t bytes);
+
+/// Propagation delay over `distance_m` at the speed of light.
+[[nodiscard]] sim::Duration propagation_delay(double distance_m);
+
+}  // namespace vgr::phy

@@ -1,0 +1,105 @@
+#include "vgr/scenario/ab_runner.hpp"
+
+#include <cstdlib>
+
+namespace vgr::scenario {
+namespace {
+
+constexpr sim::Duration kBin = sim::Duration::seconds(5.0);
+
+void apply_fidelity(HighwayConfig& config, const Fidelity& fidelity) {
+  if (fidelity.sim_seconds > 0.0) {
+    config.sim_duration = sim::Duration::seconds(fidelity.sim_seconds);
+  }
+}
+
+}  // namespace
+
+Fidelity Fidelity::from_env(std::uint64_t default_runs) {
+  Fidelity f;
+  f.runs = default_runs;
+  if (const char* env = std::getenv("VGR_RUNS")) {
+    const long v = std::strtol(env, nullptr, 10);
+    if (v > 0) f.runs = static_cast<std::uint64_t>(v);
+  }
+  if (const char* env = std::getenv("VGR_SIM_SECONDS")) {
+    const double v = std::strtod(env, nullptr);
+    if (v > 0.0) f.sim_seconds = v;
+  }
+  return f;
+}
+
+AbResult run_inter_area_ab(HighwayConfig config, const Fidelity& fidelity) {
+  apply_fidelity(config, fidelity);
+  AbResult out{sim::BinnedRate{kBin, config.sim_duration},
+               sim::BinnedRate{kBin, config.sim_duration}};
+  double base_hits = 0.0, base_total = 0.0, atk_hits = 0.0, atk_total = 0.0;
+  for (std::uint64_t run = 0; run < fidelity.runs; ++run) {
+    HighwayConfig a = config;
+    a.seed = run + 1;
+    a.attack = AttackKind::kNone;
+    HighwayConfig b = config;
+    b.seed = run + 1;
+    b.attack = AttackKind::kInterArea;
+
+    const InterAreaResult ra = HighwayScenario{a}.run_inter_area();
+    const InterAreaResult rb = HighwayScenario{b}.run_inter_area();
+    out.baseline.merge(ra.binned(kBin));
+    out.attacked.merge(rb.binned(kBin));
+    base_hits += ra.overall_reception() * static_cast<double>(ra.packets.size());
+    base_total += static_cast<double>(ra.packets.size());
+    atk_hits += rb.overall_reception() * static_cast<double>(rb.packets.size());
+    atk_total += static_cast<double>(rb.packets.size());
+  }
+  out.runs = fidelity.runs;
+  out.attack_rate = sim::BinnedRate::average_drop(out.baseline, out.attacked);
+  out.baseline_reception = base_total > 0.0 ? base_hits / base_total : 0.0;
+  out.attacked_reception = atk_total > 0.0 ? atk_hits / atk_total : 0.0;
+  return out;
+}
+
+AbResult run_intra_area_ab(HighwayConfig config, const Fidelity& fidelity) {
+  apply_fidelity(config, fidelity);
+  AbResult out{sim::BinnedRate{kBin, config.sim_duration},
+               sim::BinnedRate{kBin, config.sim_duration}};
+  for (std::uint64_t run = 0; run < fidelity.runs; ++run) {
+    HighwayConfig a = config;
+    a.seed = run + 1;
+    a.attack = AttackKind::kNone;
+    HighwayConfig b = config;
+    b.seed = run + 1;
+    b.attack = AttackKind::kIntraArea;
+
+    const IntraAreaResult ra = HighwayScenario{a}.run_intra_area();
+    const IntraAreaResult rb = HighwayScenario{b}.run_intra_area();
+    out.baseline.merge(ra.binned(kBin));
+    out.attacked.merge(rb.binned(kBin));
+  }
+  out.runs = fidelity.runs;
+  out.attack_rate = sim::BinnedRate::average_drop(out.baseline, out.attacked);
+  out.baseline_reception = out.baseline.overall();
+  out.attacked_reception = out.attacked.overall();
+  return out;
+}
+
+sim::BinnedRate run_inter_area_arm(HighwayConfig config, const Fidelity& fidelity) {
+  apply_fidelity(config, fidelity);
+  sim::BinnedRate merged{kBin, config.sim_duration};
+  for (std::uint64_t run = 0; run < fidelity.runs; ++run) {
+    config.seed = run + 1;
+    merged.merge(HighwayScenario{config}.run_inter_area().binned(kBin));
+  }
+  return merged;
+}
+
+sim::BinnedRate run_intra_area_arm(HighwayConfig config, const Fidelity& fidelity) {
+  apply_fidelity(config, fidelity);
+  sim::BinnedRate merged{kBin, config.sim_duration};
+  for (std::uint64_t run = 0; run < fidelity.runs; ++run) {
+    config.seed = run + 1;
+    merged.merge(HighwayScenario{config}.run_intra_area().binned(kBin));
+  }
+  return merged;
+}
+
+}  // namespace vgr::scenario

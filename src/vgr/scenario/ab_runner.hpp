@@ -1,0 +1,46 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "vgr/scenario/highway.hpp"
+
+namespace vgr::scenario {
+
+/// Paired A/B experiment results: the attacker-free baseline, the attacked
+/// timeline, and the paper's headline metric (gamma for inter-area
+/// interception, lambda for intra-area blockage — the average relative
+/// reception drop over 5 s bins).
+struct AbResult {
+  sim::BinnedRate baseline;
+  sim::BinnedRate attacked;
+  double attack_rate{0.0};          ///< gamma / lambda
+  double baseline_reception{0.0};   ///< overall rate, attacker-free
+  double attacked_reception{0.0};   ///< overall rate, attacked
+  std::uint64_t runs{0};
+};
+
+/// Experiment fidelity, environment-overridable so the same benches run in
+/// minutes on a laptop or at full paper fidelity (100 runs x 200 s):
+///   VGR_RUNS         — runs per setting (default `default_runs`)
+///   VGR_SIM_SECONDS  — simulated seconds per run (default from config)
+struct Fidelity {
+  std::uint64_t runs{3};
+  double sim_seconds{-1.0};  ///< <= 0 keeps the config's duration
+
+  static Fidelity from_env(std::uint64_t default_runs = 3);
+};
+
+/// Runs `runs` paired (attacker-free, attacked) inter-area experiments with
+/// seeds 1..runs and merges the binned reception timelines. `config.attack`
+/// selects the attacker for the B-arm; the A-arm clears it.
+AbResult run_inter_area_ab(HighwayConfig config, const Fidelity& fidelity);
+
+/// Same pairing for the intra-area (CBF flood) experiment.
+AbResult run_intra_area_ab(HighwayConfig config, const Fidelity& fidelity);
+
+/// Single-arm helpers (used when the baseline is shared across settings).
+sim::BinnedRate run_inter_area_arm(HighwayConfig config, const Fidelity& fidelity);
+sim::BinnedRate run_intra_area_arm(HighwayConfig config, const Fidelity& fidelity);
+
+}  // namespace vgr::scenario

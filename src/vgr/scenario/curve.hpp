@@ -1,0 +1,70 @@
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "vgr/attack/intra_area.hpp"
+#include "vgr/gn/router.hpp"
+#include "vgr/phy/medium.hpp"
+#include "vgr/scenario/station.hpp"
+#include "vgr/security/authority.hpp"
+#include "vgr/sim/event_queue.hpp"
+
+namespace vgr::scenario {
+
+/// Road-safety impact study (paper §IV-B, Fig 11b / Fig 13).
+///
+/// Two vehicles approach a blind curve from opposite directions; terrain
+/// blocks direct radio between the two sides, so a roadside unit R1 at the
+/// outer edge relays. V1 identifies a hazard in its lane, swerves into the
+/// oncoming lane to pass it and broadcasts a CBF lane-change warning. In the
+/// benign run R1 relays the warning and V2 brakes early; under the
+/// intra-area blockage attack (targeted-replay variant aimed only at R1)
+/// the relay is suppressed, the vehicles only see each other at the curve's
+/// short sight line, and the late emergency braking ends in a collision.
+struct CurveConfig {
+  bool attacked{false};
+  phy::AccessTechnology tech{phy::AccessTechnology::kDsrc};
+
+  // Kinematics (speeds from the paper; geometry sized to the blind curve).
+  double v1_start_x{-150.0};
+  double v1_speed{27.0};
+  double v2_start_x{120.0};
+  double v2_speed{14.0};
+  double approach_decel{2.0};   ///< both vehicles, entering the curve
+  double v1_cruise_floor{12.0}; ///< V1 passes the hazard at this speed
+  double v2_cruise_floor{8.0};
+  double hazard_decel{4.0};     ///< V1 after identifying the hazard
+  double warned_decel{4.0};     ///< V2 after receiving the warning
+  double emergency_decel{6.0};
+  double warn_time_s{2.0};      ///< V1 identifies hazard / sends warning
+  /// V1 occupies the oncoming lane while x in [-zone, +zone].
+  double passing_zone_m{40.0};
+  double sight_distance_m{25.0};///< LoS across the curve apex
+  double reaction_s{0.8};
+  double tick_s{0.01};
+  double sim_seconds{25.0};
+  std::uint64_t seed{7};
+};
+
+struct CurveSample {
+  double t{0.0};
+  double v1_speed{0.0};
+  double v2_speed{0.0};
+  double v1_x{0.0};
+  double v2_x{0.0};
+};
+
+struct CurveResult {
+  std::vector<CurveSample> profile;  ///< sampled every 100 ms
+  bool warning_delivered{false};
+  double warning_delivered_at_s{-1.0};
+  bool collision{false};
+  double collision_time_s{-1.0};
+  double min_gap_m{1e9};
+};
+
+/// Runs the scripted blind-curve scenario once.
+CurveResult run_curve_scenario(const CurveConfig& config);
+
+}  // namespace vgr::scenario

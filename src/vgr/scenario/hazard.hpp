@@ -1,0 +1,95 @@
+#pragma once
+
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "vgr/attack/inter_area.hpp"
+#include "vgr/attack/intra_area.hpp"
+#include "vgr/phy/medium.hpp"
+#include "vgr/scenario/station.hpp"
+#include "vgr/security/authority.hpp"
+#include "vgr/sim/event_queue.hpp"
+#include "vgr/traffic/traffic_sim.hpp"
+
+namespace vgr::scenario {
+
+/// Traffic-efficiency impact study (paper §IV-B, Fig 11a / Fig 12).
+///
+/// A hazard blocks both eastbound lanes at 3,600 m at t = 5 s. A reporter
+/// station at the hazard repeatedly notifies the road entrance; once the
+/// entrance gate receives the notification it stops admitting eastbound
+/// vehicles. Two cases:
+///  * kGreedyForwarding (Fig 12a) — the road starts empty and fills; the
+///    notification travels by GF (+ store-carry-forward) across the
+///    two-direction traffic; an inter-area interceptor at the road centre
+///    suppresses it.
+///  * kCbfFlood (Fig 12b) — the road starts pre-filled; the notification is
+///    a CBF flood over the whole segment; an intra-area blocker (500 m)
+///    suppresses it.
+struct HazardConfig {
+  enum class Case { kGreedyForwarding, kCbfFlood };
+
+  Case mode{Case::kGreedyForwarding};
+  bool attacked{false};
+  phy::AccessTechnology tech{phy::AccessTechnology::kDsrc};
+  double road_length_m{4000.0};
+  int lanes_per_direction{2};
+  double hazard_x_m{3600.0};
+  sim::Duration hazard_time{sim::Duration::seconds(5.0)};
+  sim::Duration sim_duration{sim::Duration::seconds(200.0)};
+  sim::Duration notify_interval{sim::Duration::seconds(1.0)};
+  double vehicle_range_m{-1.0};  ///< <= 0: NLoS median of `tech`
+  /// <= 0 picks the paper's default per case: NLoS median (case 1) / 500 m
+  /// (case 2).
+  double attack_range_m{-1.0};
+  /// Pre-fill spacing; < 0 picks the per-case default (empty road for
+  /// case 1, 60 m for case 2).
+  double prefill_spacing_m{-1.0};
+  std::uint64_t seed{1};
+};
+
+struct HazardResult {
+  /// (time s, eastbound vehicles on road) sampled once per second.
+  std::vector<std::pair<double, double>> vehicles_over_time;
+  bool entrance_notified{false};
+  double notified_at_s{-1.0};
+  double final_vehicle_count{0.0};
+  double peak_vehicle_count{0.0};
+};
+
+/// Runs one hazard-impact simulation.
+class HazardScenario {
+ public:
+  explicit HazardScenario(HazardConfig config);
+  ~HazardScenario();
+
+  HazardScenario(const HazardScenario&) = delete;
+  HazardScenario& operator=(const HazardScenario&) = delete;
+
+  HazardResult run();
+
+ private:
+  void spawn_station(traffic::Vehicle& v);
+  void destroy_station(traffic::Vehicle& v);
+  Station make_static_station(net::MacAddress mac, geo::Position pos);
+  void send_notification();
+  [[nodiscard]] double resolved_attack_range() const;
+
+  HazardConfig config_;
+  double vehicle_range_m_;
+  sim::Rng master_rng_;
+  sim::EventQueue events_;
+  security::CertificateAuthority ca_;
+  std::unique_ptr<phy::Medium> medium_;
+  traffic::RoadSegment road_;
+  std::unique_ptr<traffic::TrafficSimulation> traffic_;
+  std::unordered_map<traffic::VehicleId, Station> stations_;
+  Station reporter_;
+  Station gate_;
+  std::unique_ptr<attack::InterAreaInterceptor> interceptor_;
+  std::unique_ptr<attack::IntraAreaBlocker> blocker_;
+  HazardResult result_;
+};
+
+}  // namespace vgr::scenario

@@ -1,0 +1,352 @@
+#include "vgr/scenario/highway.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+namespace vgr::scenario {
+namespace {
+
+net::Bytes encode_packet_id(std::uint64_t id) {
+  net::Bytes b(8);
+  for (int i = 0; i < 8; ++i) b[static_cast<std::size_t>(i)] = static_cast<std::uint8_t>(id >> (8 * i));
+  return b;
+}
+
+std::uint64_t decode_packet_id(const net::Bytes& b) {
+  if (b.size() < 8) return 0;
+  std::uint64_t id = 0;
+  for (int i = 0; i < 8; ++i) id |= static_cast<std::uint64_t>(b[static_cast<std::size_t>(i)]) << (8 * i);
+  return id;
+}
+
+}  // namespace
+
+double HighwayConfig::resolved_vehicle_range() const {
+  if (vehicle_range_m > 0.0) return vehicle_range_m;
+  return phy::range_table(tech).nlos_median_m;
+}
+
+double HighwayConfig::resolved_attacker_x() const {
+  return attacker_x_m >= 0.0 ? attacker_x_m : road_length_m / 2.0;
+}
+
+AttackGeometry HighwayConfig::attack_geometry() const {
+  return AttackGeometry{resolved_attacker_x(), attack_range_m, resolved_vehicle_range()};
+}
+
+double InterAreaResult::overall_reception() const {
+  if (packets.empty()) return 0.0;
+  std::size_t hits = 0;
+  for (const auto& r : packets) hits += r.received ? 1 : 0;
+  return static_cast<double>(hits) / static_cast<double>(packets.size());
+}
+
+sim::BinnedRate InterAreaResult::binned(sim::Duration bin) const {
+  sim::BinnedRate rate{bin, horizon};
+  for (const auto& r : packets) rate.record(r.sent_at, r.received ? 1.0 : 0.0, 1.0);
+  return rate;
+}
+
+sim::Histogram InterAreaResult::latency() const {
+  sim::Histogram h;
+  for (const auto& r : packets) {
+    if (r.received) h.add((r.received_at - r.sent_at).to_seconds());
+  }
+  return h;
+}
+
+double IntraAreaResult::overall_reception() const {
+  double reached = 0.0, total = 0.0;
+  for (const auto& f : floods) {
+    reached += static_cast<double>(f.reached);
+    total += static_cast<double>(f.total);
+  }
+  return total > 0.0 ? reached / total : 0.0;
+}
+
+sim::BinnedRate IntraAreaResult::binned(sim::Duration bin) const {
+  sim::BinnedRate rate{bin, horizon};
+  for (const auto& f : floods) {
+    rate.record(f.sent_at, static_cast<double>(f.reached), static_cast<double>(f.total));
+  }
+  return rate;
+}
+
+std::pair<double, double> IntraAreaResult::reception_by_source_location() const {
+  double in_hits = 0.0, in_total = 0.0, out_hits = 0.0, out_total = 0.0;
+  for (const auto& f : floods) {
+    if (f.source_fully_covered) {
+      in_hits += static_cast<double>(f.reached);
+      in_total += static_cast<double>(f.total);
+    } else {
+      out_hits += static_cast<double>(f.reached);
+      out_total += static_cast<double>(f.total);
+    }
+  }
+  return {in_total > 0.0 ? in_hits / in_total : 0.0,
+          out_total > 0.0 ? out_hits / out_total : 0.0};
+}
+
+sim::Histogram IntraAreaResult::completion_latency() const {
+  sim::Histogram h;
+  for (const auto& f : floods) {
+    if (f.reached > 1) h.add((f.last_reach_at - f.sent_at).to_seconds());
+  }
+  return h;
+}
+
+HighwayScenario::HighwayScenario(HighwayConfig config)
+    : config_{config},
+      vehicle_range_m_{config.resolved_vehicle_range()},
+      geometry_{config.attack_geometry()},
+      master_rng_{config.seed},
+      workload_rng_{master_rng_.fork()},
+      road_{config.road_length_m, config.lanes_per_direction, config.two_way} {
+  medium_ = std::make_unique<phy::Medium>(events_, config_.tech, master_rng_.fork());
+  medium_->set_interference(config_.interference);
+
+  traffic::TrafficSimulation::Config tcfg;
+  tcfg.entry_spacing_m = config_.entry_spacing_m;
+  tcfg.prefill_spacing_m = config_.prefill_spacing_m;
+  traffic_ = std::make_unique<traffic::TrafficSimulation>(road_, tcfg);
+  traffic_->set_on_spawn([this](traffic::Vehicle& v) { spawn_station(v); });
+  traffic_->set_on_exit([this](traffic::Vehicle& v) { destroy_station(v); });
+}
+
+HighwayScenario::~HighwayScenario() = default;
+
+gn::RouterConfig HighwayScenario::make_router_config() const {
+  gn::RouterConfig rc = gn::RouterConfig::for_technology(config_.tech);
+  rc.locte_ttl = config_.locte_ttl;
+  rc.beacon_interval = config_.beacon_interval;
+  rc.cbf_dist_max_m = vehicle_range_m_;
+  rc.default_hop_limit = config_.hop_limit;
+  rc.gf_ack = config_.gf_ack;
+  mitigation::apply(config_.mitigation, rc, config_.mitigation_params);
+  return rc;
+}
+
+void HighwayScenario::schedule_pseudonym_rotation(traffic::VehicleId id) {
+  const auto period = sim::Duration::seconds(config_.pseudonym_period_s);
+  const auto jitter =
+      sim::Duration::seconds(config_.pseudonym_period_s * workload_rng_.uniform());
+  events_.schedule_in(period + jitter, [this, id] {
+    const auto it = stations_.find(id);
+    if (it == stations_.end()) return;  // vehicle exited
+    const net::MacAddress alias_mac{workload_rng_.next_u64()};
+    it->second.router->rotate_identity(ca_.issue_pseudonym(
+        net::GnAddress{net::GnAddress::StationType::kPassengerCar, alias_mac}));
+    schedule_pseudonym_rotation(id);
+  });
+}
+
+void HighwayScenario::spawn_station(traffic::Vehicle& v) {
+  // Identity: one long-term certificate per vehicle, MAC derived from the
+  // vehicle id (unique within a run).
+  const net::MacAddress mac{0x0200'0000'0000ULL | v.id()};
+  const net::GnAddress addr{net::GnAddress::StationType::kPassengerCar, mac};
+  auto identity = ca_.enroll(addr);
+
+  Station st;
+  st.mobility = std::make_unique<VehicleMobility>(v, road_);
+  st.router = std::make_unique<gn::Router>(events_, *medium_, security::Signer{identity},
+                                           ca_.trust_store(), *st.mobility,
+                                           make_router_config(), vehicle_range_m_,
+                                           master_rng_.fork());
+  st.router->start();
+
+  if (intra_mode_) {
+    const traffic::VehicleId vid = v.id();
+    st.router->set_delivery_handler([this, vid](const gn::Router::Delivery& d) {
+      const std::uint64_t id = decode_packet_id(d.packet.payload);
+      const auto it = floods_pending_.find(id);
+      if (it == floods_pending_.end()) return;
+      if (it->second.remaining.erase(vid) > 0) {
+        auto& record = flood_records_[it->second.record_index];
+        ++record.reached;
+        record.last_reach_at = d.at;
+      }
+    });
+  }
+
+  ++stations_created_;
+  stations_.emplace(v.id(), std::move(st));
+  if (config_.pseudonym_period_s > 0.0) schedule_pseudonym_rotation(v.id());
+}
+
+void HighwayScenario::destroy_station(traffic::Vehicle& v) {
+  const auto it = stations_.find(v.id());
+  if (it == stations_.end()) return;
+  it->second.router->shutdown();
+  stations_.erase(it);
+}
+
+geo::GeoArea HighwayScenario::destination_area(traffic::Direction dir) const {
+  // Static destinations sit 20 m beyond each end of the segment (Fig 6).
+  const double x = dir == traffic::Direction::kEastbound ? config_.road_length_m + 20.0 : -20.0;
+  return geo::GeoArea::circle({x, road_.lane_center_y(traffic::Direction::kEastbound, 0)}, 30.0);
+}
+
+geo::GeoArea HighwayScenario::whole_road_area() const {
+  return geo::GeoArea::rectangle({config_.road_length_m / 2.0, 0.0},
+                                 config_.road_length_m / 2.0 + 60.0, 60.0);
+}
+
+void HighwayScenario::schedule_inter_area_workload() {
+  events_.schedule_in(config_.packet_interval, [this] {
+    generate_inter_area_packet();
+    if (events_.now() + config_.packet_interval <= sim::TimePoint::at(config_.sim_duration)) {
+      schedule_inter_area_workload();
+    }
+  });
+}
+
+void HighwayScenario::generate_inter_area_packet() {
+  // Candidate (vehicle, direction) pairs whose packets are vulnerable by
+  // the Fig-6 geometry. The same rule runs in attacker-free A-runs so both
+  // arms of the A/B pair see an identical workload.
+  struct Candidate {
+    traffic::VehicleId id;
+    double x;
+    traffic::Direction dir;
+  };
+  std::vector<Candidate> candidates;
+  for (const auto& [vid, st] : stations_) {
+    const traffic::Vehicle* v = nullptr;
+    v = traffic_->find(vid);
+    if (v == nullptr) continue;
+    if (geometry_.eastbound_vulnerable(v->x())) {
+      candidates.push_back({vid, v->x(), traffic::Direction::kEastbound});
+    }
+    if (geometry_.westbound_vulnerable(v->x())) {
+      candidates.push_back({vid, v->x(), traffic::Direction::kWestbound});
+    }
+  }
+  if (candidates.empty()) return;
+  std::sort(candidates.begin(), candidates.end(), [](const Candidate& a, const Candidate& b) {
+    if (a.id != b.id) return a.id < b.id;
+    return a.dir == traffic::Direction::kEastbound && b.dir == traffic::Direction::kWestbound;
+  });
+  const auto& pick = candidates[static_cast<std::size_t>(
+      workload_rng_.uniform_int(0, static_cast<std::int64_t>(candidates.size()) - 1))];
+
+  const std::uint64_t id = next_packet_id_++;
+  inter_pending_[id] = inter_records_.size();
+  inter_records_.push_back(InterAreaPacketRecord{events_.now(), pick.x, pick.dir, false});
+  stations_.at(pick.id).router->send_geo_broadcast(destination_area(pick.dir),
+                                                   encode_packet_id(id), config_.hop_limit);
+}
+
+InterAreaResult HighwayScenario::run_inter_area() {
+  intra_mode_ = false;
+
+  // Destination stations 20 m beyond each end.
+  auto make_destination = [this](traffic::Direction dir) {
+    const geo::GeoArea area = destination_area(dir);
+    const net::MacAddress mac{dir == traffic::Direction::kEastbound ? 0x0200'0000'E000ULL
+                                                                    : 0x0200'0000'D000ULL};
+    const net::GnAddress addr{net::GnAddress::StationType::kRoadSideUnit, mac};
+    Station st;
+    st.mobility = std::make_unique<gn::StaticMobility>(area.center());
+    st.router = std::make_unique<gn::Router>(events_, *medium_, security::Signer{ca_.enroll(addr)},
+                                             ca_.trust_store(), *st.mobility,
+                                             make_router_config(), vehicle_range_m_,
+                                             master_rng_.fork());
+    st.router->start();
+    st.router->set_delivery_handler([this, dir](const gn::Router::Delivery& d) {
+      const std::uint64_t id = decode_packet_id(d.packet.payload);
+      const auto it = inter_pending_.find(id);
+      if (it == inter_pending_.end()) return;
+      if (inter_records_[it->second].target == dir) {
+        inter_records_[it->second].received = true;
+        inter_records_[it->second].received_at = d.at;
+        inter_pending_.erase(it);
+      }
+    });
+    return st;
+  };
+  east_destination_ = make_destination(traffic::Direction::kEastbound);
+  west_destination_ = make_destination(traffic::Direction::kWestbound);
+
+  if (config_.attack == AttackKind::kInterArea) {
+    interceptor_ = std::make_unique<attack::InterAreaInterceptor>(
+        events_, *medium_, geo::Position{config_.resolved_attacker_x(), config_.attacker_y_m},
+        config_.attack_range_m);
+  }
+
+  traffic_->prefill();
+  traffic_->run_on(events_, sim::TimePoint::at(config_.sim_duration));
+  schedule_inter_area_workload();
+  events_.run_until(sim::TimePoint::at(config_.sim_duration));
+
+  InterAreaResult result;
+  result.packets = std::move(inter_records_);
+  result.horizon = config_.sim_duration;
+  if (interceptor_) result.beacons_replayed = interceptor_->beacons_replayed();
+  return result;
+}
+
+void HighwayScenario::schedule_intra_area_workload() {
+  events_.schedule_in(config_.packet_interval, [this] {
+    generate_intra_area_flood();
+    if (events_.now() + config_.packet_interval <= sim::TimePoint::at(config_.sim_duration)) {
+      schedule_intra_area_workload();
+    }
+  });
+}
+
+void HighwayScenario::generate_intra_area_flood() {
+  // Uniformly pick a source among live vehicles (ordered for determinism).
+  std::vector<traffic::VehicleId> ids;
+  ids.reserve(stations_.size());
+  for (const auto& [vid, st] : stations_) ids.push_back(vid);
+  if (ids.empty()) return;
+  std::sort(ids.begin(), ids.end());
+  const traffic::VehicleId source =
+      ids[static_cast<std::size_t>(workload_rng_.uniform_int(0, static_cast<std::int64_t>(ids.size()) - 1))];
+
+  const traffic::Vehicle* v = traffic_->find(source);
+  if (v == nullptr) return;
+
+  const std::uint64_t id = next_packet_id_++;
+  IntraAreaFloodRecord record;
+  record.sent_at = events_.now();
+  record.source_x = v->x();
+  record.source_fully_covered = geometry_.in_fully_covered(v->x());
+  record.reached = 1;  // the source trivially has the packet
+  record.total = ids.size();
+
+  FloodState state;
+  state.record_index = flood_records_.size();
+  for (const traffic::VehicleId vid : ids) {
+    if (vid != source) state.remaining.insert(vid);
+  }
+  flood_records_.push_back(record);
+  floods_pending_.emplace(id, std::move(state));
+
+  stations_.at(source).router->send_geo_broadcast(whole_road_area(), encode_packet_id(id),
+                                                  config_.hop_limit);
+}
+
+IntraAreaResult HighwayScenario::run_intra_area() {
+  intra_mode_ = true;
+
+  if (config_.attack == AttackKind::kIntraArea) {
+    blocker_ = std::make_unique<attack::IntraAreaBlocker>(
+        events_, *medium_, geo::Position{config_.resolved_attacker_x(), config_.attacker_y_m},
+        config_.attack_range_m, config_.blocker);
+  }
+
+  traffic_->prefill();
+  traffic_->run_on(events_, sim::TimePoint::at(config_.sim_duration));
+  schedule_intra_area_workload();
+  events_.run_until(sim::TimePoint::at(config_.sim_duration));
+
+  IntraAreaResult result;
+  result.floods = std::move(flood_records_);
+  result.horizon = config_.sim_duration;
+  if (blocker_) result.packets_replayed = blocker_->packets_replayed();
+  return result;
+}
+
+}  // namespace vgr::scenario

@@ -1,0 +1,197 @@
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "vgr/attack/inter_area.hpp"
+#include "vgr/attack/intra_area.hpp"
+#include "vgr/mitigation/profiles.hpp"
+#include "vgr/phy/medium.hpp"
+#include "vgr/scenario/station.hpp"
+#include "vgr/scenario/vulnerability.hpp"
+#include "vgr/security/authority.hpp"
+#include "vgr/sim/event_queue.hpp"
+#include "vgr/sim/histogram.hpp"
+#include "vgr/sim/timeline.hpp"
+#include "vgr/traffic/traffic_sim.hpp"
+
+namespace vgr::scenario {
+
+/// Which attacker (if any) is deployed in a highway run. The attack
+/// *geometry* (range, position) is always configured, even in attacker-free
+/// runs, because the vulnerable-packet workload of the paper is defined
+/// relative to the hypothetical attacker (Fig 6) and the A/B pairing needs
+/// identical workloads.
+enum class AttackKind { kNone, kInterArea, kIntraArea };
+
+/// Full configuration of one simulation run on the paper's 4,000 m highway.
+struct HighwayConfig {
+  phy::AccessTechnology tech{phy::AccessTechnology::kDsrc};
+
+  // Road & traffic (paper §IV-A defaults).
+  double road_length_m{4000.0};
+  int lanes_per_direction{2};
+  bool two_way{false};
+  double entry_spacing_m{30.0};
+  double prefill_spacing_m{30.0};
+
+  // Communications.
+  double vehicle_range_m{-1.0};  ///< <= 0: NLoS median of `tech` (Table II)
+  sim::Duration locte_ttl{sim::Duration::seconds(20.0)};
+  sim::Duration beacon_interval{sim::Duration::seconds(3.0)};
+  std::uint8_t hop_limit{10};
+
+  // Workload.
+  sim::Duration sim_duration{sim::Duration::seconds(200.0)};
+  sim::Duration packet_interval{sim::Duration::seconds(1.0)};
+  std::uint64_t seed{1};
+
+  // Attacker.
+  AttackKind attack{AttackKind::kNone};
+  double attack_range_m{327.0};  ///< also defines vulnerability geometry when kNone
+  double attacker_x_m{-1.0};     ///< < 0: road centre
+  double attacker_y_m{12.5};     ///< roadside, just past the outermost lane
+  attack::IntraAreaBlocker::Config blocker{};
+
+  // Mitigations.
+  mitigation::Profile mitigation{mitigation::Profile::kNone};
+  mitigation::Parameters mitigation_params{};
+
+  // Ablation switches.
+  /// Enables co-channel interference on the medium (off in the paper).
+  bool interference{false};
+  /// > 0: every vehicle rotates to a fresh pseudonym with this period —
+  /// demonstrates that unlinkable identities do not blunt either attack.
+  double pseudonym_period_s{-1.0};
+  /// Enables the ACK'd-forwarding extension on every router.
+  bool gf_ack{false};
+
+  [[nodiscard]] double resolved_vehicle_range() const;
+  [[nodiscard]] double resolved_attacker_x() const;
+  [[nodiscard]] AttackGeometry attack_geometry() const;
+};
+
+/// One vulnerable packet of the inter-area experiment.
+struct InterAreaPacketRecord {
+  sim::TimePoint sent_at{};
+  double source_x{0.0};
+  traffic::Direction target{traffic::Direction::kEastbound};
+  bool received{false};
+  sim::TimePoint received_at{};  ///< valid when `received`
+};
+
+struct InterAreaResult {
+  std::vector<InterAreaPacketRecord> packets;
+  sim::Duration horizon{};
+  std::uint64_t beacons_replayed{0};
+  std::uint64_t auth_failures{0};
+
+  [[nodiscard]] double overall_reception() const;
+  [[nodiscard]] sim::BinnedRate binned(
+      sim::Duration bin = sim::Duration::seconds(5.0)) const;
+  /// End-to-end delivery latencies (seconds) of received packets.
+  [[nodiscard]] sim::Histogram latency() const;
+};
+
+/// One CBF flood of the intra-area experiment.
+struct IntraAreaFloodRecord {
+  sim::TimePoint sent_at{};
+  double source_x{0.0};
+  bool source_fully_covered{false};
+  std::uint64_t reached{0};  ///< vehicles (incl. source) that got the packet
+  std::uint64_t total{0};    ///< vehicles on road at generation time
+  sim::TimePoint last_reach_at{};  ///< time of the flood's final delivery
+};
+
+struct IntraAreaResult {
+  std::vector<IntraAreaFloodRecord> floods;
+  sim::Duration horizon{};
+  std::uint64_t packets_replayed{0};
+
+  [[nodiscard]] double overall_reception() const;
+  [[nodiscard]] sim::BinnedRate binned(
+      sim::Duration bin = sim::Duration::seconds(5.0)) const;
+  /// Reception split by source location relative to the fully covered area
+  /// (paper §IV-A): {inside, outside}.
+  [[nodiscard]] std::pair<double, double> reception_by_source_location() const;
+  /// Flood completion times (seconds from generation to last delivery).
+  [[nodiscard]] sim::Histogram completion_latency() const;
+};
+
+/// Builds and runs the paper's highway evaluation scenario: IDM traffic on
+/// the 4 km segment, a full GeoNetworking stack per vehicle, static
+/// destination stations beyond both ends, and an optional roadside attacker
+/// at the centre. One instance executes one run (`run_inter_area` *or*
+/// `run_intra_area`).
+class HighwayScenario {
+ public:
+  explicit HighwayScenario(HighwayConfig config);
+  ~HighwayScenario();
+
+  HighwayScenario(const HighwayScenario&) = delete;
+  HighwayScenario& operator=(const HighwayScenario&) = delete;
+
+  /// Fig 7/8/14a experiment: vulnerable packets toward the two static
+  /// destinations, Greedy Forwarding between areas.
+  InterAreaResult run_inter_area();
+
+  /// Fig 9/10/14b experiment: CBF floods over the whole road segment.
+  IntraAreaResult run_intra_area();
+
+  // --- Introspection (valid after a run) -------------------------------
+  [[nodiscard]] const phy::Medium& medium() const { return *medium_; }
+  [[nodiscard]] const traffic::TrafficSimulation& traffic() const { return *traffic_; }
+  [[nodiscard]] std::size_t stations_created() const { return stations_created_; }
+  [[nodiscard]] const HighwayConfig& config() const { return config_; }
+
+ private:
+  void spawn_station(traffic::Vehicle& v);
+  void destroy_station(traffic::Vehicle& v);
+  void schedule_pseudonym_rotation(traffic::VehicleId id);
+  gn::RouterConfig make_router_config() const;
+  void schedule_inter_area_workload();
+  void schedule_intra_area_workload();
+  void generate_inter_area_packet();
+  void generate_intra_area_flood();
+  [[nodiscard]] geo::GeoArea destination_area(traffic::Direction dir) const;
+  [[nodiscard]] geo::GeoArea whole_road_area() const;
+
+  HighwayConfig config_;
+  double vehicle_range_m_;
+  AttackGeometry geometry_;
+
+  sim::Rng master_rng_;
+  sim::Rng workload_rng_;
+  sim::EventQueue events_;
+  security::CertificateAuthority ca_;
+  std::unique_ptr<phy::Medium> medium_;
+  traffic::RoadSegment road_;
+  std::unique_ptr<traffic::TrafficSimulation> traffic_;
+
+  std::unordered_map<traffic::VehicleId, Station> stations_;
+  std::size_t stations_created_{0};
+
+  // Static destination stations (inter-area mode).
+  Station east_destination_;
+  Station west_destination_;
+
+  std::unique_ptr<attack::InterAreaInterceptor> interceptor_;
+  std::unique_ptr<attack::IntraAreaBlocker> blocker_;
+
+  // Workload bookkeeping.
+  std::uint64_t next_packet_id_{1};
+  std::vector<InterAreaPacketRecord> inter_records_;
+  std::unordered_map<std::uint64_t, std::size_t> inter_pending_;  // id -> record index
+  struct FloodState {
+    std::size_t record_index;
+    std::unordered_set<traffic::VehicleId> remaining;
+  };
+  std::vector<IntraAreaFloodRecord> flood_records_;
+  std::unordered_map<std::uint64_t, FloodState> floods_pending_;  // id -> state
+  bool intra_mode_{false};
+};
+
+}  // namespace vgr::scenario

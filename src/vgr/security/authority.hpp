@@ -1,0 +1,74 @@
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <unordered_map>
+
+#include "vgr/net/packet.hpp"
+#include "vgr/security/certificate.hpp"
+#include "vgr/security/crypto.hpp"
+
+namespace vgr::security {
+
+/// A node's enrolled identity: its public certificate plus the private key
+/// that signs on its behalf. The key never appears in any message.
+struct EnrolledIdentity {
+  Certificate certificate{};
+  PrivateKey key{};
+};
+
+/// Verification oracle shared by all nodes. In a real deployment this role
+/// is played by public-key cryptography (anyone can verify, nobody can
+/// forge); here the trust store holds the per-certificate verification keys
+/// privately and only exposes a boolean verdict, preserving the same
+/// capability split.
+class TrustStore {
+ public:
+  /// True iff `cert` was issued by the CA behind this store and has not been
+  /// revoked.
+  [[nodiscard]] bool certificate_valid(const Certificate& cert) const;
+
+  /// True iff `signature` is a valid tag over `message` under the key bound
+  /// to `cert` (and the certificate itself is valid).
+  [[nodiscard]] bool verify(const Certificate& cert, const net::Bytes& message,
+                            std::uint64_t signature) const;
+
+ private:
+  friend class CertificateAuthority;
+  struct Entry {
+    std::uint64_t key;
+    std::uint64_t ca_signature;
+    bool revoked;
+  };
+  std::unordered_map<CertificateSerial, Entry> entries_;
+};
+
+/// Certification authority (e.g. the US DOT SCMS root in the paper's
+/// setting). Enrolls stations, issues pseudonym certificates, revokes
+/// certificates, and owns the trust store every verifier consults.
+class CertificateAuthority {
+ public:
+  explicit CertificateAuthority(std::uint64_t root_secret = 0xA5A5'DEAD'BEEF'0001ULL);
+
+  /// Issues a long-term certificate for the station's canonical address.
+  EnrolledIdentity enroll(net::GnAddress subject);
+
+  /// Issues a pseudonym certificate: same signing rights, unlinkable
+  /// subject. `alias` is the pseudonymous GN address the station will use.
+  EnrolledIdentity issue_pseudonym(net::GnAddress alias);
+
+  /// Marks a certificate invalid for all future verifications.
+  void revoke(CertificateSerial serial);
+
+  [[nodiscard]] std::shared_ptr<const TrustStore> trust_store() const { return store_; }
+  [[nodiscard]] std::size_t issued_count() const { return next_serial_ - 1; }
+
+ private:
+  EnrolledIdentity issue(net::GnAddress subject, bool pseudonym);
+
+  std::uint64_t root_secret_;
+  CertificateSerial next_serial_{1};
+  std::shared_ptr<TrustStore> store_;
+};
+
+}  // namespace vgr::security

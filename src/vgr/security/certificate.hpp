@@ -1,0 +1,23 @@
+#pragma once
+
+#include <cstdint>
+
+#include "vgr/net/address.hpp"
+
+namespace vgr::security {
+
+using CertificateSerial = std::uint32_t;
+
+/// Public certificate issued by the CA (IEEE 1609.2-style, structurally).
+/// Binds a serial number to a subject GN address; `is_pseudonym` marks
+/// short-lived privacy certificates whose subject is an unlinkable alias.
+struct Certificate {
+  CertificateSerial serial{0};
+  net::GnAddress subject{};
+  bool is_pseudonym{false};
+  std::uint64_t ca_signature{0};
+
+  friend bool operator==(const Certificate&, const Certificate&) = default;
+};
+
+}  // namespace vgr::security

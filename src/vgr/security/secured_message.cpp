@@ -1,0 +1,17 @@
+#include "vgr/security/secured_message.hpp"
+
+namespace vgr::security {
+
+SecuredMessage SecuredMessage::sign(const net::Packet& packet, const Signer& signer) {
+  SecuredMessage msg;
+  msg.packet = packet;
+  msg.signer = signer.certificate();
+  msg.signature = signer.sign(net::Codec::encode_signed_portion(packet));
+  return msg;
+}
+
+bool SecuredMessage::verify(const TrustStore& trust) const {
+  return trust.verify(signer, net::Codec::encode_signed_portion(packet), signature);
+}
+
+}  // namespace vgr::security

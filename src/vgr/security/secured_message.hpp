@@ -1,0 +1,53 @@
+#pragma once
+
+#include <cstdint>
+
+#include "vgr/net/codec.hpp"
+#include "vgr/net/packet.hpp"
+#include "vgr/security/authority.hpp"
+#include "vgr/security/certificate.hpp"
+#include "vgr/security/crypto.hpp"
+
+namespace vgr::security {
+
+/// Signs GeoNetworking packets on behalf of one enrolled identity.
+class Signer {
+ public:
+  explicit Signer(EnrolledIdentity identity) : identity_{std::move(identity)} {}
+
+  [[nodiscard]] const Certificate& certificate() const { return identity_.certificate; }
+
+  /// Tag over an arbitrary byte string (used by the message envelope).
+  [[nodiscard]] std::uint64_t sign(const net::Bytes& message) const {
+    return keyed_digest(identity_.key.key_, message);
+  }
+
+ private:
+  EnrolledIdentity identity_;
+};
+
+/// The secured envelope that actually crosses the air (ETSI TS 103 097 /
+/// IEEE 1609.2 style, structurally).
+///
+/// Signature scope: `Codec::encode_signed_portion(packet)` — the common
+/// header, extended header (position vectors, sequence number, destination
+/// area) and payload. The Basic Header, including the Remaining Hop Limit,
+/// is excluded so that forwarders can decrement RHL in flight. The paper's
+/// attacks live exactly in this gap: a captured envelope replays as valid
+/// (attack #1), and its RHL can be rewritten without detection (attack #2).
+struct SecuredMessage {
+  net::Packet packet{};
+  Certificate signer{};
+  std::uint64_t signature{0};
+
+  /// Builds a signed envelope for `packet` under `signer`'s identity.
+  static SecuredMessage sign(const net::Packet& packet, const Signer& signer);
+
+  /// Verifies certificate validity and the signature over the signed
+  /// portion of `packet` as currently carried (RHL excluded by scope).
+  [[nodiscard]] bool verify(const TrustStore& trust) const;
+
+  friend bool operator==(const SecuredMessage&, const SecuredMessage&) = default;
+};
+
+}  // namespace vgr::security

@@ -1,0 +1,76 @@
+#include "vgr/sim/event_queue.hpp"
+
+#include <cassert>
+#include <utility>
+
+namespace vgr::sim {
+
+EventId EventQueue::schedule_at(TimePoint when, Callback cb) {
+  assert(when >= now_ && "cannot schedule into the past");
+  if (when < now_) when = now_;
+  const EventId id{next_id_++};
+  live_.insert(id.value);
+  heap_.push(Entry{when, next_seq_++, id, std::move(cb)});
+  return id;
+}
+
+EventId EventQueue::schedule_in(Duration delay, Callback cb) {
+  assert(delay >= Duration::zero());
+  return schedule_at(now_ + delay, std::move(cb));
+}
+
+bool EventQueue::cancel(EventId id) {
+  if (id.value == 0 || id.value >= next_id_) return false;
+  if (!live_.contains(id.value)) return false;  // already fired
+  // Lazy deletion: remember the id; the heap entry is dropped when popped.
+  return cancelled_.insert(id.value).second;
+}
+
+bool EventQueue::pending(EventId id) const {
+  if (id.value == 0) return false;
+  if (cancelled_.contains(id.value)) return false;
+  return live_.contains(id.value);
+}
+
+void EventQueue::run_until(TimePoint until) {
+  for (;;) {
+    // Discard cancelled entries *before* inspecting the top's timestamp —
+    // otherwise a cancelled event at the boundary would admit the next
+    // live event even when it lies beyond `until`.
+    purge_cancelled_top();
+    if (heap_.empty() || heap_.top().when > until) break;
+    step();
+  }
+  if (now_ < until) now_ = until;
+}
+
+void EventQueue::purge_cancelled_top() {
+  while (!heap_.empty()) {
+    const auto it = cancelled_.find(heap_.top().id.value);
+    if (it == cancelled_.end()) return;
+    cancelled_.erase(it);
+    live_.erase(heap_.top().id.value);
+    heap_.pop();
+  }
+}
+
+bool EventQueue::step() {
+  while (!heap_.empty()) {
+    Entry top = std::move(const_cast<Entry&>(heap_.top()));
+    heap_.pop();
+    if (auto it = cancelled_.find(top.id.value); it != cancelled_.end()) {
+      cancelled_.erase(it);
+      live_.erase(top.id.value);
+      continue;
+    }
+    assert(top.when >= now_);
+    now_ = top.when;
+    live_.erase(top.id.value);
+    ++fired_;
+    top.cb();
+    return true;
+  }
+  return false;
+}
+
+}  // namespace vgr::sim

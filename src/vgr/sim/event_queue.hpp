@@ -1,0 +1,85 @@
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <unordered_set>
+#include <vector>
+
+#include "vgr/sim/time.hpp"
+
+namespace vgr::sim {
+
+/// Handle for a scheduled event; used to cancel timers (e.g. a CBF
+/// contention timer that is stopped when a duplicate packet arrives).
+struct EventId {
+  std::uint64_t value{0};
+  friend bool operator==(EventId, EventId) = default;
+};
+
+/// Discrete-event scheduler.
+///
+/// Events at equal timestamps fire in scheduling order (FIFO), which keeps
+/// runs deterministic. Callbacks may schedule or cancel further events,
+/// including at the current instant.
+class EventQueue {
+ public:
+  using Callback = std::function<void()>;
+
+  /// Current simulation time. Starts at the origin.
+  [[nodiscard]] TimePoint now() const { return now_; }
+
+  /// Schedules `cb` at absolute time `when` (must be >= now()).
+  EventId schedule_at(TimePoint when, Callback cb);
+
+  /// Schedules `cb` after `delay` (must be >= 0).
+  EventId schedule_in(Duration delay, Callback cb);
+
+  /// Cancels a pending event. Cancelling an already-fired or already-
+  /// cancelled event is a harmless no-op; returns whether it was pending.
+  bool cancel(EventId id);
+
+  /// True if the event has neither fired nor been cancelled.
+  [[nodiscard]] bool pending(EventId id) const;
+
+  /// Runs events until the queue is empty or `until` is reached. Time
+  /// advances to `until` even if the queue drains earlier. Events scheduled
+  /// exactly at `until` do fire.
+  void run_until(TimePoint until);
+
+  /// Runs a single event if one is pending; returns false when drained.
+  bool step();
+
+  /// Number of events that are scheduled and not cancelled.
+  [[nodiscard]] std::size_t pending_count() const { return heap_.size() - cancelled_.size(); }
+
+  /// Total number of callbacks executed so far (for stats/tests).
+  [[nodiscard]] std::uint64_t fired_count() const { return fired_; }
+
+ private:
+  struct Entry {
+    TimePoint when;
+    std::uint64_t seq;  // tiebreaker: FIFO among equal timestamps
+    EventId id;
+    Callback cb;
+  };
+  struct Later {
+    bool operator()(const Entry& a, const Entry& b) const {
+      if (a.when != b.when) return a.when > b.when;
+      return a.seq > b.seq;
+    }
+  };
+
+  /// Drops cancelled entries sitting on top of the heap.
+  void purge_cancelled_top();
+
+  TimePoint now_{};
+  std::uint64_t next_seq_{0};
+  std::uint64_t next_id_{1};
+  std::uint64_t fired_{0};
+  std::priority_queue<Entry, std::vector<Entry>, Later> heap_;
+  std::unordered_set<std::uint64_t> cancelled_;
+  std::unordered_set<std::uint64_t> live_;
+};
+
+}  // namespace vgr::sim

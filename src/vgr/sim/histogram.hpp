@@ -1,0 +1,35 @@
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace vgr::sim {
+
+/// Small exact-quantile accumulator for experiment statistics (delivery
+/// latencies, hop counts, gaps). Stores samples; quantiles sort lazily.
+/// Intended for per-run sample counts in the thousands, not streaming
+/// telemetry.
+class Histogram {
+ public:
+  void add(double value);
+
+  [[nodiscard]] std::size_t count() const { return samples_.size(); }
+  [[nodiscard]] bool empty() const { return samples_.empty(); }
+  [[nodiscard]] double min() const;
+  [[nodiscard]] double max() const;
+  [[nodiscard]] double mean() const;
+
+  /// q in [0, 1]; linear interpolation between order statistics.
+  [[nodiscard]] double quantile(double q) const;
+  [[nodiscard]] double median() const { return quantile(0.5); }
+
+  void merge(const Histogram& other);
+  void clear();
+
+ private:
+  mutable std::vector<double> samples_;
+  mutable bool sorted_{true};
+  double sum_{0.0};
+};
+
+}  // namespace vgr::sim

@@ -1,0 +1,48 @@
+#include "vgr/sim/log.hpp"
+
+#include <cstdlib>
+#include <cstring>
+
+namespace vgr::sim {
+namespace {
+
+LogLevel initial_level() {
+  const char* env = std::getenv("VGR_LOG");
+  if (env == nullptr) return LogLevel::kOff;
+  if (std::strcmp(env, "trace") == 0) return LogLevel::kTrace;
+  if (std::strcmp(env, "debug") == 0) return LogLevel::kDebug;
+  if (std::strcmp(env, "info") == 0) return LogLevel::kInfo;
+  if (std::strcmp(env, "warn") == 0) return LogLevel::kWarn;
+  return LogLevel::kOff;
+}
+
+LogLevel& level_ref() {
+  static LogLevel lvl = initial_level();
+  return lvl;
+}
+
+const char* name(LogLevel lvl) {
+  switch (lvl) {
+    case LogLevel::kTrace: return "TRACE";
+    case LogLevel::kDebug: return "DEBUG";
+    case LogLevel::kInfo: return "INFO";
+    case LogLevel::kWarn: return "WARN";
+    case LogLevel::kOff: return "OFF";
+  }
+  return "?";
+}
+
+}  // namespace
+
+LogLevel Log::level() { return level_ref(); }
+
+void Log::set_level(LogLevel lvl) { level_ref() = lvl; }
+
+void Log::write(LogLevel lvl, TimePoint t, std::string_view tag, std::string_view message) {
+  if (!enabled(lvl)) return;
+  std::fprintf(stderr, "%-5s t=%10.6f [%.*s] %.*s\n", name(lvl), t.to_seconds(),
+               static_cast<int>(tag.size()), tag.data(), static_cast<int>(message.size()),
+               message.data());
+}
+
+}  // namespace vgr::sim

@@ -1,0 +1,29 @@
+#pragma once
+
+#include <cstdio>
+#include <string>
+#include <string_view>
+
+#include "vgr/sim/time.hpp"
+
+namespace vgr::sim {
+
+enum class LogLevel { kTrace, kDebug, kInfo, kWarn, kOff };
+
+/// Minimal stderr trace logger for debugging simulation runs.
+///
+/// Disabled (kOff) by default so benches and tests run clean; flip the level
+/// (or set VGR_LOG=trace|debug|info|warn in the environment) to watch packet
+/// flow. Not thread-safe; the simulator is single-threaded by design.
+class Log {
+ public:
+  static LogLevel level();
+  static void set_level(LogLevel lvl);
+
+  /// Logs "t=<time> [tag] message" when `lvl` is enabled.
+  static void write(LogLevel lvl, TimePoint t, std::string_view tag, std::string_view message);
+
+  static bool enabled(LogLevel lvl) { return lvl >= level() && level() != LogLevel::kOff; }
+};
+
+}  // namespace vgr::sim

@@ -1,0 +1,47 @@
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+namespace vgr::sim {
+
+/// Deterministic pseudo-random source (xoshiro256** seeded via SplitMix64).
+///
+/// The standard-library distributions are implementation-defined, so we ship
+/// our own uniform/normal/exponential draws to keep simulation runs
+/// bit-reproducible across compilers — a prerequisite for the paired A/B
+/// (attacker-free vs attacked) experiment design.
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed = 0x9e3779b97f4a7c15ULL);
+
+  /// Raw 64 random bits.
+  std::uint64_t next_u64();
+
+  /// Uniform double in [0, 1).
+  double uniform();
+
+  /// Uniform double in [lo, hi).
+  double uniform(double lo, double hi);
+
+  /// Uniform integer in [lo, hi] (inclusive). Requires lo <= hi.
+  std::int64_t uniform_int(std::int64_t lo, std::int64_t hi);
+
+  /// Standard normal via Box-Muller (deterministic, no cached spare).
+  double normal(double mean = 0.0, double stddev = 1.0);
+
+  /// Exponential with the given rate (lambda > 0).
+  double exponential(double rate);
+
+  /// True with probability p (clamped to [0,1]).
+  bool bernoulli(double p);
+
+  /// Derive an independent child stream; used to give each node its own
+  /// stream so adding a node never perturbs the draws of existing ones.
+  Rng fork();
+
+ private:
+  std::array<std::uint64_t, 4> s_{};
+};
+
+}  // namespace vgr::sim

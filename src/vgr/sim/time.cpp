@@ -1,0 +1,15 @@
+#include "vgr/sim/time.hpp"
+
+#include <cstdio>
+
+namespace vgr::sim {
+
+std::string to_string(Duration d) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.6fs", d.to_seconds());
+  return buf;
+}
+
+std::string to_string(TimePoint t) { return to_string(t.since_origin()); }
+
+}  // namespace vgr::sim

@@ -1,0 +1,104 @@
+#pragma once
+
+#include <cstdint>
+#include <compare>
+#include <limits>
+#include <string>
+
+namespace vgr::sim {
+
+/// Simulation time is kept in integer nanoseconds so that event ordering is
+/// exact and runs are bit-for-bit reproducible across platforms. `Duration`
+/// is a span of simulated time; `TimePoint` is an absolute instant measured
+/// from the start of the simulation.
+class Duration {
+ public:
+  constexpr Duration() = default;
+  static constexpr Duration nanos(std::int64_t n) { return Duration{n}; }
+  static constexpr Duration micros(std::int64_t u) { return Duration{u * 1000}; }
+  static constexpr Duration millis(std::int64_t m) { return Duration{m * 1'000'000}; }
+  static constexpr Duration seconds(double s) {
+    return Duration{static_cast<std::int64_t>(s * 1e9)};
+  }
+  static constexpr Duration zero() { return Duration{0}; }
+  static constexpr Duration max() {
+    return Duration{std::numeric_limits<std::int64_t>::max()};
+  }
+
+  [[nodiscard]] constexpr std::int64_t count() const { return ns_; }
+  [[nodiscard]] constexpr double to_seconds() const { return static_cast<double>(ns_) / 1e9; }
+  [[nodiscard]] constexpr double to_millis() const { return static_cast<double>(ns_) / 1e6; }
+
+  friend constexpr Duration operator+(Duration a, Duration b) { return Duration{a.ns_ + b.ns_}; }
+  friend constexpr Duration operator-(Duration a, Duration b) { return Duration{a.ns_ - b.ns_}; }
+  friend constexpr Duration operator*(Duration a, double k) {
+    return Duration{static_cast<std::int64_t>(static_cast<double>(a.ns_) * k)};
+  }
+  friend constexpr Duration operator*(double k, Duration a) { return a * k; }
+  friend constexpr double operator/(Duration a, Duration b) {
+    return static_cast<double>(a.ns_) / static_cast<double>(b.ns_);
+  }
+  constexpr Duration& operator+=(Duration o) { ns_ += o.ns_; return *this; }
+  constexpr Duration& operator-=(Duration o) { ns_ -= o.ns_; return *this; }
+  friend constexpr auto operator<=>(Duration, Duration) = default;
+
+ private:
+  constexpr explicit Duration(std::int64_t ns) : ns_{ns} {}
+  std::int64_t ns_{0};
+};
+
+class TimePoint {
+ public:
+  constexpr TimePoint() = default;
+  static constexpr TimePoint origin() { return TimePoint{}; }
+  static constexpr TimePoint at(Duration since_origin) { return TimePoint{} + since_origin; }
+  static constexpr TimePoint max() {
+    TimePoint t;
+    t.ns_ = std::numeric_limits<std::int64_t>::max();
+    return t;
+  }
+
+  /// Nanoseconds since simulation start.
+  [[nodiscard]] constexpr std::int64_t count() const { return ns_; }
+  [[nodiscard]] constexpr double to_seconds() const { return static_cast<double>(ns_) / 1e9; }
+  [[nodiscard]] constexpr Duration since_origin() const { return Duration::nanos(ns_); }
+
+  friend constexpr TimePoint operator+(TimePoint t, Duration d) {
+    TimePoint r;
+    r.ns_ = t.ns_ + d.count();
+    return r;
+  }
+  friend constexpr TimePoint operator-(TimePoint t, Duration d) {
+    TimePoint r;
+    r.ns_ = t.ns_ - d.count();
+    return r;
+  }
+  friend constexpr Duration operator-(TimePoint a, TimePoint b) {
+    return Duration::nanos(a.ns_ - b.ns_);
+  }
+  friend constexpr auto operator<=>(TimePoint, TimePoint) = default;
+
+ private:
+  std::int64_t ns_{0};
+};
+
+/// Human-readable rendering like "12.345s", used in traces and test output.
+std::string to_string(Duration d);
+std::string to_string(TimePoint t);
+
+namespace literals {
+constexpr Duration operator""_ms(unsigned long long v) {
+  return Duration::millis(static_cast<std::int64_t>(v));
+}
+constexpr Duration operator""_us(unsigned long long v) {
+  return Duration::micros(static_cast<std::int64_t>(v));
+}
+constexpr Duration operator""_s(unsigned long long v) {
+  return Duration::seconds(static_cast<double>(v));
+}
+constexpr Duration operator""_s(long double v) {
+  return Duration::seconds(static_cast<double>(v));
+}
+}  // namespace literals
+
+}  // namespace vgr::sim

@@ -1,0 +1,73 @@
+#include "vgr/sim/timeline.hpp"
+
+#include <cassert>
+
+namespace vgr::sim {
+
+BinnedRate::BinnedRate(Duration bin_width, Duration horizon) : bin_width_{bin_width} {
+  assert(bin_width.count() > 0);
+  const auto bins =
+      static_cast<std::size_t>((horizon.count() + bin_width.count() - 1) / bin_width.count());
+  hits_.assign(bins, 0.0);
+  trials_.assign(bins, 0.0);
+}
+
+void BinnedRate::record(TimePoint t, double hits, double trials) {
+  auto idx = static_cast<std::size_t>(t.count() / bin_width_.count());
+  if (idx >= hits_.size()) idx = hits_.size() - 1;
+  hits_[idx] += hits;
+  trials_[idx] += trials;
+}
+
+double BinnedRate::rate(std::size_t i, double fallback) const {
+  assert(i < hits_.size());
+  if (trials_[i] <= 0.0) return fallback;
+  return hits_[i] / trials_[i];
+}
+
+double BinnedRate::overall() const {
+  double h = 0.0, n = 0.0;
+  for (std::size_t i = 0; i < hits_.size(); ++i) {
+    h += hits_[i];
+    n += trials_[i];
+  }
+  return n > 0.0 ? h / n : 0.0;
+}
+
+double BinnedRate::cumulative(std::size_t i) const {
+  assert(i < hits_.size());
+  double h = 0.0, n = 0.0;
+  for (std::size_t k = 0; k <= i; ++k) {
+    h += hits_[k];
+    n += trials_[k];
+  }
+  return n > 0.0 ? h / n : 0.0;
+}
+
+void BinnedRate::merge(const BinnedRate& other) {
+  assert(other.hits_.size() == hits_.size());
+  assert(other.bin_width_ == bin_width_);
+  for (std::size_t i = 0; i < hits_.size(); ++i) {
+    hits_[i] += other.hits_[i];
+    trials_[i] += other.trials_[i];
+  }
+}
+
+double BinnedRate::average_drop(const BinnedRate& baseline, const BinnedRate& attacked) {
+  assert(baseline.bin_count() == attacked.bin_count());
+  double sum = 0.0;
+  std::size_t n = 0;
+  for (std::size_t i = 0; i < baseline.bin_count(); ++i) {
+    if (!baseline.has_data(i)) continue;
+    const double base = baseline.rate(i);
+    if (base <= 0.0) continue;
+    const double atk = attacked.has_data(i) ? attacked.rate(i) : 0.0;
+    double drop = (base - atk) / base;
+    if (drop < 0.0) drop = 0.0;  // attacked doing better than baseline in a bin
+    sum += drop;
+    ++n;
+  }
+  return n > 0 ? sum / static_cast<double>(n) : 0.0;
+}
+
+}  // namespace vgr::sim

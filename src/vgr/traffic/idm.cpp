@@ -1,0 +1,24 @@
+#include "vgr/traffic/idm.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace vgr::traffic {
+
+double idm_acceleration(const IdmParameters& p, double speed_mps, std::optional<Leader> leader) {
+  const double v0 = std::max(p.desired_velocity_mps, 0.1);
+  double a = 1.0 - std::pow(speed_mps / v0, p.acceleration_exponent);
+  if (leader) {
+    const double dv = speed_mps - leader->speed_mps;
+    const double s_star =
+        p.minimum_distance_m + speed_mps * p.safe_time_headway_s +
+        speed_mps * dv / (2.0 * std::sqrt(p.max_acceleration_mps2 *
+                                          p.comfortable_deceleration_mps2));
+    const double s = std::max(leader->gap_m, 0.1);
+    const double ratio = std::max(s_star, 0.0) / s;
+    a -= ratio * ratio;
+  }
+  return p.max_acceleration_mps2 * a;
+}
+
+}  // namespace vgr::traffic

@@ -1,0 +1,33 @@
+#pragma once
+
+#include <optional>
+
+namespace vgr::traffic {
+
+/// Intelligent Driver Model parameters (paper Table I).
+struct IdmParameters {
+  double desired_velocity_mps{30.0};
+  double safe_time_headway_s{1.5};
+  double max_acceleration_mps2{1.0};
+  double comfortable_deceleration_mps2{3.0};
+  double acceleration_exponent{4.0};
+  double minimum_distance_m{2.0};
+};
+
+/// State of the leading vehicle as seen by the follower.
+struct Leader {
+  double gap_m;        ///< bumper-to-bumper distance (>= 0 when not colliding)
+  double speed_mps;    ///< leader's speed
+};
+
+/// IDM car-following acceleration (Treiber et al.):
+///
+///   a = a_max * [ 1 - (v/v0)^delta - (s*/s)^2 ]
+///   s* = s0 + v*T + v*(v - v_lead) / (2*sqrt(a_max*b))
+///
+/// `leader == nullopt` models a free road. The returned acceleration may be
+/// strongly negative when the gap is small; the caller clamps speed at zero.
+[[nodiscard]] double idm_acceleration(const IdmParameters& p, double speed_mps,
+                                      std::optional<Leader> leader);
+
+}  // namespace vgr::traffic

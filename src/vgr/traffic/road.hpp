@@ -1,0 +1,80 @@
+#pragma once
+
+#include <cassert>
+#include <cmath>
+
+#include "vgr/geo/vec2.hpp"
+
+namespace vgr::traffic {
+
+/// Travel direction on the road. Eastbound traffic moves toward +x,
+/// westbound toward -x (the paper's 4,000 m segment runs along x).
+enum class Direction { kEastbound, kWestbound };
+
+[[nodiscard]] constexpr double direction_sign(Direction d) {
+  return d == Direction::kEastbound ? 1.0 : -1.0;
+}
+
+/// Heading in radians (counter-clockwise from east) for a direction.
+[[nodiscard]] inline double direction_heading(Direction d) {
+  return d == Direction::kEastbound ? 0.0 : M_PI;
+}
+
+/// Straight multi-lane road segment (paper §IV-A: 4,000 m, two 5 m lanes
+/// per direction, one- or two-way).
+///
+/// Geometry: the segment spans x in [0, length]; eastbound lanes sit at
+/// positive y (2.5 m, 7.5 m), westbound lanes mirror at negative y.
+/// Eastbound vehicles enter at x=0; westbound at x=length.
+class RoadSegment {
+ public:
+  RoadSegment(double length_m, int lanes_per_direction, bool two_way,
+              double lane_width_m = 5.0)
+      : length_m_{length_m},
+        lanes_per_direction_{lanes_per_direction},
+        two_way_{two_way},
+        lane_width_m_{lane_width_m} {
+    assert(length_m > 0.0 && lanes_per_direction > 0);
+  }
+
+  [[nodiscard]] double length() const { return length_m_; }
+  [[nodiscard]] int lanes_per_direction() const { return lanes_per_direction_; }
+  [[nodiscard]] bool two_way() const { return two_way_; }
+  [[nodiscard]] double lane_width() const { return lane_width_m_; }
+
+  /// Lateral offset of the lane centre. Lane 0 is the rightmost lane of its
+  /// direction (closest to the median).
+  [[nodiscard]] double lane_center_y(Direction dir, int lane) const {
+    assert(lane >= 0 && lane < lanes_per_direction_);
+    const double offset = (static_cast<double>(lane) + 0.5) * lane_width_m_;
+    return dir == Direction::kEastbound ? offset : -offset;
+  }
+
+  /// Entrance x coordinate for a direction.
+  [[nodiscard]] double entrance_x(Direction dir) const {
+    return dir == Direction::kEastbound ? 0.0 : length_m_;
+  }
+
+  /// Exit x coordinate for a direction.
+  [[nodiscard]] double exit_x(Direction dir) const {
+    return dir == Direction::kEastbound ? length_m_ : 0.0;
+  }
+
+  /// Whether `x` lies past the exit for the given direction.
+  [[nodiscard]] bool past_exit(Direction dir, double x) const {
+    return dir == Direction::kEastbound ? x > length_m_ : x < 0.0;
+  }
+
+  /// Full position for a vehicle at longitudinal coordinate `x`.
+  [[nodiscard]] geo::Position position_of(Direction dir, int lane, double x) const {
+    return {x, lane_center_y(dir, lane)};
+  }
+
+ private:
+  double length_m_;
+  int lanes_per_direction_;
+  bool two_way_;
+  double lane_width_m_;
+};
+
+}  // namespace vgr::traffic

@@ -1,0 +1,246 @@
+#include "vgr/traffic/traffic_sim.hpp"
+
+#include <algorithm>
+#include <array>
+#include <cassert>
+
+namespace vgr::traffic {
+
+TrafficSimulation::TrafficSimulation(RoadSegment road, Config config)
+    : road_{road}, config_{config} {}
+
+Vehicle& TrafficSimulation::add_vehicle(Direction dir, int lane, double x, double speed_mps) {
+  assert(lane >= 0 && lane < road_.lanes_per_direction());
+  const VehicleId id = next_id_++;
+  auto [it, ok] = by_id_.emplace(
+      id, std::make_unique<Vehicle>(id, dir, lane, x, speed_mps, config_.vehicle_length_m));
+  assert(ok);
+  Vehicle& v = *it->second;
+  if (on_spawn_) on_spawn_(v);
+  return v;
+}
+
+void TrafficSimulation::prefill() {
+  if (config_.prefill_spacing_m <= 0.0) return;
+  const std::array<Direction, 2> dirs{Direction::kEastbound, Direction::kWestbound};
+  for (const Direction dir : dirs) {
+    if (dir == Direction::kWestbound && !road_.two_way()) continue;
+    for (int lane = 0; lane < road_.lanes_per_direction(); ++lane) {
+      for (double progress = 0.0; progress <= road_.length();
+           progress += config_.prefill_spacing_m) {
+        const double x = dir == Direction::kEastbound ? progress : road_.length() - progress;
+        add_vehicle(dir, lane, x, config_.idm.desired_velocity_mps);
+      }
+    }
+  }
+}
+
+std::vector<Vehicle*> TrafficSimulation::vehicles() {
+  std::vector<Vehicle*> out;
+  out.reserve(by_id_.size());
+  for (auto& [id, v] : by_id_) out.push_back(v.get());
+  return out;
+}
+
+std::vector<const Vehicle*> TrafficSimulation::vehicles() const {
+  std::vector<const Vehicle*> out;
+  out.reserve(by_id_.size());
+  for (const auto& [id, v] : by_id_) out.push_back(v.get());
+  return out;
+}
+
+Vehicle* TrafficSimulation::find(VehicleId id) {
+  const auto it = by_id_.find(id);
+  return it == by_id_.end() ? nullptr : it->second.get();
+}
+
+std::size_t TrafficSimulation::count(Direction dir) const {
+  std::size_t n = 0;
+  for (const auto& [id, v] : by_id_) {
+    if (v->direction() == dir) ++n;
+  }
+  return n;
+}
+
+void TrafficSimulation::step_direction(Direction dir, double dt) {
+  // Per lane: order by progress (closest to exit first) and apply IDM with
+  // the vehicle ahead (or the hazard) as leader.
+  for (int lane = 0; lane < road_.lanes_per_direction(); ++lane) {
+    std::vector<Vehicle*> column;
+    for (auto& [id, v] : by_id_) {
+      if (v->direction() == dir && v->lane() == lane) column.push_back(v.get());
+    }
+    std::sort(column.begin(), column.end(), [this](const Vehicle* a, const Vehicle* b) {
+      return a->progress(road_) > b->progress(road_);
+    });
+
+    const std::optional<double> hazard_x = hazard_[index(dir)];
+    double leader_progress = 0.0;
+    double leader_speed = 0.0;
+    double leader_length = 0.0;
+    bool have_leader = false;
+
+    for (Vehicle* v : column) {
+      std::optional<Leader> leader;
+      if (have_leader) {
+        const double gap = leader_progress - leader_length - v->progress(road_);
+        leader = Leader{gap, leader_speed};
+        if (gap < 0.0) ++collisions_;
+      }
+      // A hazard acts as a standing zero-length obstacle; use whichever
+      // constraint (hazard or leading vehicle) is nearer.
+      if (hazard_x) {
+        const double hazard_progress =
+            dir == Direction::kEastbound ? *hazard_x : road_.length() - *hazard_x;
+        const double hazard_gap = hazard_progress - v->progress(road_);
+        if (hazard_gap >= 0.0 && (!leader || hazard_gap < leader->gap_m)) {
+          leader = Leader{hazard_gap, 0.0};
+        }
+      }
+      const double a = v->forced_acceleration().value_or(
+          idm_acceleration(config_.idm, v->speed(), leader));
+      v->advance(a, dt);
+
+      leader_progress = v->progress(road_);
+      leader_speed = v->speed();
+      leader_length = v->length();
+      have_leader = true;
+    }
+  }
+}
+
+void TrafficSimulation::try_entries() {
+  const std::array<Direction, 2> dirs{Direction::kEastbound, Direction::kWestbound};
+  for (const Direction dir : dirs) {
+    if (dir == Direction::kWestbound && !road_.two_way()) continue;
+    if (!entry_enabled_[index(dir)]) continue;
+    for (int lane = 0; lane < road_.lanes_per_direction(); ++lane) {
+      // Entry rule (paper §IV-A): enter at entry speed once the vehicle
+      // ahead has cleared `entry_spacing_m` past the entrance.
+      double min_progress = road_.length() + 1.0;
+      for (const auto& [id, v] : by_id_) {
+        if (v->direction() == dir && v->lane() == lane) {
+          min_progress = std::min(min_progress, v->progress(road_));
+        }
+      }
+      if (min_progress > config_.entry_spacing_m) {
+        add_vehicle(dir, lane, road_.entrance_x(dir), config_.entry_speed_mps);
+      }
+    }
+  }
+}
+
+void TrafficSimulation::remove_exited() {
+  for (auto it = by_id_.begin(); it != by_id_.end();) {
+    Vehicle& v = *it->second;
+    if (road_.past_exit(v.direction(), v.x())) {
+      if (on_exit_) on_exit_(v);
+      it = by_id_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+}
+
+TrafficSimulation::LaneNeighbors TrafficSimulation::neighbors_in_lane(Direction dir, int lane,
+                                                                      double progress,
+                                                                      const Vehicle* self) {
+  LaneNeighbors out;
+  double leader_gap = 1e18, follower_gap = 1e18;
+  for (auto& [id, v] : by_id_) {
+    if (v.get() == self || v->direction() != dir || v->lane() != lane) continue;
+    const double p = v->progress(road_);
+    if (p >= progress && p - progress < leader_gap) {
+      leader_gap = p - progress;
+      out.leader = v.get();
+    } else if (p < progress && progress - p < follower_gap) {
+      follower_gap = progress - p;
+      out.follower = v.get();
+    }
+  }
+  return out;
+}
+
+void TrafficSimulation::consider_lane_changes(Direction dir) {
+  for (auto& [id, vptr] : by_id_) {
+    Vehicle& v = *vptr;
+    if (v.direction() != dir || v.forced_acceleration().has_value()) continue;
+    const double progress = v.progress(road_);
+
+    const auto current = neighbors_in_lane(dir, v.lane(), progress, &v);
+    std::optional<Leader> cur_leader;
+    if (current.leader != nullptr) {
+      cur_leader = Leader{current.leader->progress(road_) - current.leader->length() - progress,
+                          current.leader->speed()};
+    }
+    const double a_current = idm_acceleration(config_.idm, v.speed(), cur_leader);
+
+    for (const int target : {v.lane() - 1, v.lane() + 1}) {
+      if (target < 0 || target >= road_.lanes_per_direction()) continue;
+      const auto next = neighbors_in_lane(dir, target, progress, &v);
+
+      // Safety: the prospective follower must not be forced into harsh
+      // braking, and the slot itself must physically fit.
+      if (next.follower != nullptr) {
+        const double rear_gap =
+            progress - v.length() - next.follower->progress(road_);
+        if (rear_gap < 1.0) continue;
+        const double rear_accel = idm_acceleration(config_.idm, next.follower->speed(),
+                                                   Leader{rear_gap, v.speed()});
+        if (rear_accel < -config_.lc_safe_decel_mps2) continue;
+      }
+      std::optional<Leader> new_leader;
+      if (next.leader != nullptr) {
+        const double front_gap =
+            next.leader->progress(road_) - next.leader->length() - progress;
+        if (front_gap < 1.0) continue;
+        new_leader = Leader{front_gap, next.leader->speed()};
+      }
+
+      // Incentive: enough acceleration gain in the target lane.
+      const double a_target = idm_acceleration(config_.idm, v.speed(), new_leader);
+      if (a_target - a_current < config_.lc_incentive_threshold_mps2) continue;
+
+      v.set_lane(target);
+      ++lane_changes_;
+      break;
+    }
+  }
+}
+
+void TrafficSimulation::tick() {
+  const double dt = config_.tick_seconds;
+  step_direction(Direction::kEastbound, dt);
+  if (road_.two_way()) step_direction(Direction::kWestbound, dt);
+  if (config_.lane_changing && road_.lanes_per_direction() > 1) {
+    const auto interval =
+        static_cast<std::uint64_t>(config_.lc_check_interval_s / config_.tick_seconds);
+    if (interval == 0 || ticks_ % interval == 0) {
+      consider_lane_changes(Direction::kEastbound);
+      if (road_.two_way()) consider_lane_changes(Direction::kWestbound);
+    }
+  }
+  remove_exited();
+  try_entries();
+  ++ticks_;
+}
+
+void TrafficSimulation::run_on(sim::EventQueue& events, sim::TimePoint until) {
+  const auto dt = sim::Duration::seconds(config_.tick_seconds);
+  // Self-rescheduling tick chain; stops once the next tick would pass
+  // `until`. A copyable functor sidesteps lambda self-capture.
+  struct Chain {
+    TrafficSimulation* sim;
+    sim::EventQueue* events;
+    sim::TimePoint until;
+    sim::Duration dt;
+    void operator()() const {
+      sim->tick();
+      const auto next = events->now() + dt;
+      if (next <= until) events->schedule_at(next, Chain{*this});
+    }
+  };
+  events.schedule_in(dt, Chain{this, &events, until, dt});
+}
+
+}  // namespace vgr::traffic

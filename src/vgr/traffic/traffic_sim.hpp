@@ -1,0 +1,137 @@
+#pragma once
+
+#include <array>
+#include <functional>
+#include <map>
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "vgr/sim/event_queue.hpp"
+#include "vgr/traffic/idm.hpp"
+#include "vgr/traffic/road.hpp"
+#include "vgr/traffic/vehicle.hpp"
+
+namespace vgr::traffic {
+
+/// Microscopic traffic simulation on one road segment: IDM car-following
+/// per lane, max-flow entries at the entrances (paper rule: a new vehicle
+/// enters at 30 m/s once the vehicle ahead is more than the configured
+/// spacing from the entrance), exits at the segment ends, and hazard events
+/// that block lanes.
+class TrafficSimulation {
+ public:
+  struct Config {
+    IdmParameters idm{};
+    double entry_speed_mps{30.0};
+    /// Entry gate: minimum clear distance ahead of the entrance. The
+    /// paper's default traffic uses 30 m; the density sweeps raise it.
+    double entry_spacing_m{30.0};
+    double vehicle_length_m{4.5};
+    /// Pre-fill spacing at t=0 (vehicle front to next vehicle front);
+    /// <= 0 starts with an empty road.
+    double prefill_spacing_m{30.0};
+    double tick_seconds{0.1};
+
+    /// MOBIL-style discretionary lane changes: a vehicle moves to an
+    /// adjacent same-direction lane when it gains at least
+    /// `lc_incentive_threshold_mps2` of IDM acceleration and the new
+    /// follower is not forced to brake harder than `lc_safe_decel_mps2`.
+    /// Off by default (the paper's evaluation keeps lanes fixed).
+    bool lane_changing{false};
+    double lc_incentive_threshold_mps2{0.2};
+    double lc_safe_decel_mps2{4.0};
+    double lc_check_interval_s{1.0};
+  };
+
+  TrafficSimulation(RoadSegment road, Config config);
+
+  /// Pre-fills every lane at the configured spacing and desired speed.
+  void prefill();
+
+  /// Advances all vehicles by one tick: IDM accelerations (or forced
+  /// overrides), entries, exits, hazard interactions.
+  void tick();
+
+  /// Schedules ticks on `events` every `config.tick_seconds` until `until`.
+  void run_on(sim::EventQueue& events, sim::TimePoint until);
+
+  // --- Hazards and flow control ---------------------------------------
+
+  /// Blocks all lanes of `dir` at coordinate `x`: vehicles behind it see a
+  /// standing obstacle and queue (paper Fig 11a: hazard at 3,600 m).
+  void set_hazard(Direction dir, std::optional<double> x) { hazard_[index(dir)] = x; }
+  [[nodiscard]] std::optional<double> hazard(Direction dir) const {
+    return hazard_[index(dir)];
+  }
+
+  /// Opens/closes the entrance for a direction (a notified entrance stops
+  /// admitting vehicles into the blocked segment).
+  void set_entry_enabled(Direction dir, bool enabled) { entry_enabled_[index(dir)] = enabled; }
+  [[nodiscard]] bool entry_enabled(Direction dir) const { return entry_enabled_[index(dir)]; }
+
+  // --- Introspection ----------------------------------------------------
+
+  [[nodiscard]] const RoadSegment& road() const { return road_; }
+  [[nodiscard]] const Config& config() const { return config_; }
+
+  /// Live vehicles, in no particular order. Pointers remain stable until
+  /// the vehicle exits.
+  [[nodiscard]] std::vector<Vehicle*> vehicles();
+  [[nodiscard]] std::vector<const Vehicle*> vehicles() const;
+  [[nodiscard]] std::size_t vehicle_count() const { return by_id_.size(); }
+  [[nodiscard]] Vehicle* find(VehicleId id);
+
+  [[nodiscard]] std::size_t count(Direction dir) const;
+
+  /// Total ticks executed.
+  [[nodiscard]] std::uint64_t ticks() const { return ticks_; }
+
+  /// Collisions detected so far (bumper overlap within a lane).
+  [[nodiscard]] std::uint64_t collisions() const { return collisions_; }
+
+  /// Lane changes performed so far.
+  [[nodiscard]] std::uint64_t lane_changes() const { return lane_changes_; }
+
+  // --- Lifecycle hooks ---------------------------------------------------
+
+  using VehicleHook = std::function<void(Vehicle&)>;
+  /// Invoked right after a vehicle is added (pre-fill or entry).
+  void set_on_spawn(VehicleHook hook) { on_spawn_ = std::move(hook); }
+  /// Invoked right before a vehicle is removed at its exit.
+  void set_on_exit(VehicleHook hook) { on_exit_ = std::move(hook); }
+
+  /// Manually adds a vehicle (scripted scenarios); returns it.
+  Vehicle& add_vehicle(Direction dir, int lane, double x, double speed_mps);
+
+ private:
+  static std::size_t index(Direction d) { return d == Direction::kEastbound ? 0 : 1; }
+
+  void step_direction(Direction dir, double dt);
+  void try_entries();
+  void remove_exited();
+  void consider_lane_changes(Direction dir);
+
+  /// Nearest leader/follower of a hypothetical vehicle at `progress` in
+  /// `lane` (excluding `self`); either pointer may be null.
+  struct LaneNeighbors {
+    Vehicle* leader{nullptr};
+    Vehicle* follower{nullptr};
+  };
+  LaneNeighbors neighbors_in_lane(Direction dir, int lane, double progress,
+                                  const Vehicle* self);
+
+  RoadSegment road_;
+  Config config_;
+  VehicleId next_id_{1};
+  std::map<VehicleId, std::unique_ptr<Vehicle>> by_id_;
+  std::array<std::optional<double>, 2> hazard_{};
+  std::array<bool, 2> entry_enabled_{true, true};
+  VehicleHook on_spawn_;
+  VehicleHook on_exit_;
+  std::uint64_t ticks_{0};
+  std::uint64_t collisions_{0};
+  std::uint64_t lane_changes_{0};
+};
+
+}  // namespace vgr::traffic

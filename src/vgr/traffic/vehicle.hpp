@@ -1,0 +1,71 @@
+#pragma once
+
+#include <cstdint>
+#include <optional>
+
+#include "vgr/geo/vec2.hpp"
+#include "vgr/traffic/road.hpp"
+
+namespace vgr::traffic {
+
+using VehicleId = std::uint32_t;
+
+/// One vehicle's kinematic state on a road segment. Longitudinal position
+/// `x` is the global road coordinate; speed is non-negative along the
+/// vehicle's travel direction.
+class Vehicle {
+ public:
+  Vehicle(VehicleId id, Direction dir, int lane, double x, double speed_mps,
+          double length_m = 4.5)
+      : id_{id}, direction_{dir}, lane_{lane}, x_{x}, speed_{speed_mps}, length_{length_m} {}
+
+  [[nodiscard]] VehicleId id() const { return id_; }
+  [[nodiscard]] Direction direction() const { return direction_; }
+  [[nodiscard]] int lane() const { return lane_; }
+  [[nodiscard]] double x() const { return x_; }
+  [[nodiscard]] double speed() const { return speed_; }
+  [[nodiscard]] double length() const { return length_; }
+  [[nodiscard]] double acceleration() const { return accel_; }
+
+  /// Distance already travelled toward the exit, measured from the
+  /// direction's entrance.
+  [[nodiscard]] double progress(const RoadSegment& road) const {
+    return direction_ == Direction::kEastbound ? x_ : road.length() - x_;
+  }
+
+  [[nodiscard]] geo::Position position(const RoadSegment& road) const {
+    return road.position_of(direction_, lane_, x_);
+  }
+
+  [[nodiscard]] double heading() const { return direction_heading(direction_); }
+
+  /// Overrides the IDM controller with a fixed acceleration (used by the
+  /// scripted road-safety scenario); nullopt returns control to IDM.
+  void set_forced_acceleration(std::optional<double> a) { forced_accel_ = a; }
+  [[nodiscard]] std::optional<double> forced_acceleration() const { return forced_accel_; }
+
+  /// Ballistic update over `dt` with acceleration `a`; speed clamps at 0.
+  void advance(double a, double dt) {
+    accel_ = a;
+    double v1 = speed_ + a * dt;
+    if (v1 < 0.0) v1 = 0.0;
+    const double avg = 0.5 * (speed_ + v1);
+    x_ += direction_sign(direction_) * avg * dt;
+    speed_ = v1;
+  }
+
+  void set_lane(int lane) { lane_ = lane; }
+  void set_speed(double v) { speed_ = v < 0.0 ? 0.0 : v; }
+
+ private:
+  VehicleId id_;
+  Direction direction_;
+  int lane_;
+  double x_;
+  double speed_;
+  double length_;
+  double accel_{0.0};
+  std::optional<double> forced_accel_{};
+};
+
+}  // namespace vgr::traffic

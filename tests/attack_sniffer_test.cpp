@@ -1,0 +1,121 @@
+// Focused tests for the passive sniffer capabilities (paper §III-A steps 1
+// and 2: build the position map, infer coverage relationships).
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <vector>
+
+#include "vgr/attack/sniffer.hpp"
+#include "vgr/gn/router.hpp"
+#include "vgr/security/authority.hpp"
+
+namespace vgr::attack {
+namespace {
+
+using namespace vgr::sim::literals;
+
+class SnifferTest : public ::testing::Test {
+ protected:
+  SnifferTest() : medium_{events_, phy::AccessTechnology::kDsrc} {}
+
+  struct Node {
+    std::unique_ptr<gn::StaticMobility> mobility;
+    std::unique_ptr<gn::Router> router;
+  };
+
+  Node& add_node(double x) {
+    nodes_.push_back(std::make_unique<Node>());
+    Node& n = *nodes_.back();
+    n.mobility = std::make_unique<gn::StaticMobility>(geo::Position{x, 0.0});
+    const net::GnAddress addr{net::GnAddress::StationType::kPassengerCar,
+                              net::MacAddress{0x900 + nodes_.size()}};
+    gn::RouterConfig cfg = gn::RouterConfig::for_technology(phy::AccessTechnology::kDsrc);
+    n.router = std::make_unique<gn::Router>(events_, medium_, security::Signer{ca_.enroll(addr)},
+                                            ca_.trust_store(), *n.mobility, cfg, 486.0,
+                                            rng_.fork());
+    return n;
+  }
+
+  void run_for(sim::Duration d) { events_.run_until(events_.now() + d); }
+
+  sim::EventQueue events_;
+  phy::Medium medium_;
+  security::CertificateAuthority ca_;
+  sim::Rng rng_{1212};
+  std::vector<std::unique_ptr<Node>> nodes_;
+};
+
+TEST_F(SnifferTest, ObservationsTrackFreshestPv) {
+  Node& a = add_node(0.0);
+  Sniffer sniffer{events_, medium_, {100.0, 10.0}, 600.0};
+  a.router->send_beacon_now();
+  run_for(1_s);
+  auto* mob = static_cast<gn::StaticMobility*>(a.mobility.get());
+  mob->move_to({50.0, 0.0});
+  a.router->send_beacon_now();
+  run_for(1_s);
+
+  const auto& obs = sniffer.observations();
+  ASSERT_TRUE(obs.contains(a.router->address()));
+  EXPECT_DOUBLE_EQ(obs.at(a.router->address()).pv.position.x, 50.0);
+}
+
+TEST_F(SnifferTest, CaptureCountIncludesAllFrameKinds) {
+  Node& a = add_node(0.0);
+  Node& b = add_node(300.0);
+  Sniffer sniffer{events_, medium_, {150.0, 10.0}, 600.0};
+  a.router->send_beacon_now();
+  b.router->send_beacon_now();
+  run_for(100_ms);
+  a.router->send_geo_broadcast(geo::GeoArea::rectangle({150.0, 0.0}, 400.0, 50.0), {1});
+  run_for(1_s);
+  // 2 beacons + the GBC + b's CBF rebroadcast.
+  EXPECT_GE(sniffer.frames_captured(), 4u);
+  EXPECT_EQ(sniffer.frames_injected(), 0u);  // purely passive
+}
+
+TEST_F(SnifferTest, CoverageInferenceNeedsBothStations) {
+  Node& a = add_node(0.0);
+  Sniffer sniffer{events_, medium_, {100.0, 10.0}, 600.0};
+  a.router->send_beacon_now();
+  run_for(100_ms);
+  const auto ghost =
+      net::GnAddress{net::GnAddress::StationType::kPassengerCar, net::MacAddress{0xFE}};
+  EXPECT_FALSE(sniffer.inferred_out_of_coverage(a.router->address(), ghost, 486.0));
+}
+
+TEST_F(SnifferTest, CoverageInferenceUsesAdvertisedPositions) {
+  Node& a = add_node(0.0);
+  Node& b = add_node(450.0);
+  Node& c = add_node(1000.0);
+  Sniffer sniffer{events_, medium_, {500.0, 10.0}, 600.0};
+  for (auto& n : nodes_) n->router->send_beacon_now();
+  run_for(100_ms);
+
+  EXPECT_FALSE(
+      sniffer.inferred_out_of_coverage(a.router->address(), b.router->address(), 486.0));
+  EXPECT_TRUE(
+      sniffer.inferred_out_of_coverage(a.router->address(), c.router->address(), 486.0));
+  // The relation is symmetric.
+  EXPECT_TRUE(
+      sniffer.inferred_out_of_coverage(c.router->address(), a.router->address(), 486.0));
+}
+
+TEST_F(SnifferTest, AttackRangeAdjustsBothDirections) {
+  Node& a = add_node(0.0);
+  Sniffer sniffer{events_, medium_, {700.0, 10.0}, 400.0};
+  a.router->send_beacon_now();
+  run_for(100_ms);
+  // 700 m away with a 400 m attacker radio: hears nothing.
+  EXPECT_EQ(sniffer.frames_captured(), 0u);
+
+  sniffer.set_attack_range(900.0);
+  EXPECT_DOUBLE_EQ(sniffer.attack_range(), 900.0);
+  a.router->send_beacon_now();
+  run_for(100_ms);
+  EXPECT_EQ(sniffer.frames_captured(), 1u);  // elevated antenna now hears it
+}
+
+}  // namespace
+}  // namespace vgr::attack

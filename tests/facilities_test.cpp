@@ -1,0 +1,281 @@
+// Tests for the facilities layer: CAM generation rules and DENM
+// trigger/repeat/cancel semantics, including their interplay with the
+// GeoNetworking beacon service.
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <vector>
+
+#include "vgr/facilities/cam.hpp"
+#include "vgr/attack/intra_area.hpp"
+#include "vgr/facilities/denm.hpp"
+#include "vgr/security/authority.hpp"
+
+namespace vgr::facilities {
+namespace {
+
+using namespace vgr::sim::literals;
+
+constexpr double kRange = 486.0;
+
+struct Node {
+  std::unique_ptr<gn::StaticMobility> mobility;
+  std::unique_ptr<gn::Router> router;
+};
+
+class FacilitiesTest : public ::testing::Test {
+ protected:
+  FacilitiesTest() : medium_{events_, phy::AccessTechnology::kDsrc} {}
+
+  Node& add_node(double x) {
+    nodes_.push_back(std::make_unique<Node>());
+    Node& n = *nodes_.back();
+    n.mobility = std::make_unique<gn::StaticMobility>(geo::Position{x, 0.0});
+    const net::GnAddress addr{net::GnAddress::StationType::kPassengerCar,
+                              net::MacAddress{0x700 + nodes_.size()}};
+    gn::RouterConfig cfg = gn::RouterConfig::for_technology(phy::AccessTechnology::kDsrc);
+    n.router = std::make_unique<gn::Router>(events_, medium_, security::Signer{ca_.enroll(addr)},
+                                            ca_.trust_store(), *n.mobility, cfg, kRange,
+                                            rng_.fork());
+    return n;
+  }
+
+  void run_for(sim::Duration d) { events_.run_until(events_.now() + d); }
+
+  sim::EventQueue events_;
+  phy::Medium medium_;
+  security::CertificateAuthority ca_;
+  sim::Rng rng_{606};
+  std::vector<std::unique_ptr<Node>> nodes_;
+};
+
+// --- CAM codec ----------------------------------------------------------------
+
+TEST(CamCodec, RoundTrip) {
+  CamData cam;
+  cam.vehicle_length_m = 12.0;
+  cam.vehicle_width_m = 2.5;
+  cam.generation = 7;
+  net::LongPositionVector pv;
+  pv.address = net::GnAddress::from_bits(42);
+  pv.position = {10.0, 20.0};
+  pv.speed_mps = 25.0;
+  const auto decoded = CamData::decode(cam.encode(), pv);
+  ASSERT_TRUE(decoded.has_value());
+  EXPECT_EQ(decoded->generation, 7u);
+  EXPECT_DOUBLE_EQ(decoded->vehicle_length_m, 12.0);
+  EXPECT_EQ(decoded->station, pv.address);
+  EXPECT_DOUBLE_EQ(decoded->speed_mps, 25.0);
+}
+
+TEST(CamCodec, RejectsForeignPayload) {
+  EXPECT_FALSE(CamData::decode({1, 2, 3}, {}).has_value());
+  EXPECT_FALSE(CamData::decode({}, {}).has_value());
+}
+
+// --- CAM service ------------------------------------------------------------------
+
+TEST_F(FacilitiesTest, StationaryVehicleSendsAtMaxInterval) {
+  Node& a = add_node(0.0);
+  Node& b = add_node(100.0);
+  CamService cam_a{events_, *a.router};
+  CamService cam_b{events_, *b.router};
+  run_for(10_s);
+  // Stationary: only the 1 s max-interval rule fires -> ~10 CAMs.
+  EXPECT_GE(cam_a.cams_sent(), 9u);
+  EXPECT_LE(cam_a.cams_sent(), 12u);
+  EXPECT_GE(cam_b.cams_received(), 9u);
+}
+
+TEST_F(FacilitiesTest, MovingVehicleSendsFaster) {
+  Node& a = add_node(0.0);
+  add_node(100.0);
+  CamService cam{events_, *a.router};
+  // Advance the mobility 5 m every 100 ms (50 m/s): the 4 m position rule
+  // triggers a CAM at every check -> ~10 Hz.
+  auto* mob = static_cast<gn::StaticMobility*>(a.mobility.get());
+  for (int i = 0; i < 100; ++i) {
+    run_for(100_ms);
+    mob->move_to({i * 5.0, 0.0});
+  }
+  EXPECT_GE(cam.cams_sent(), 80u);  // ~10 s of ~10 Hz
+}
+
+TEST_F(FacilitiesTest, CamsSuppressGnBeacons) {
+  Node& a = add_node(0.0);
+  add_node(100.0);
+  a.router->start();  // beacon service armed
+  CamService cam{events_, *a.router};
+  run_for(30_s);
+  // Every CAM restarts the beacon timer (ETSI beacon suppression): with
+  // 1 Hz CAMs and a 3 s beacon period, no bare beacon should ever fire.
+  EXPECT_EQ(a.router->stats().beacons_sent, 0u);
+  EXPECT_GE(cam.cams_sent(), 25u);
+}
+
+TEST_F(FacilitiesTest, CamsPopulateLocationTables) {
+  Node& a = add_node(0.0);
+  Node& b = add_node(100.0);
+  CamService cam{events_, *a.router};
+  run_for(2_s);
+  EXPECT_TRUE(b.router->location_table().find(a.router->address(), events_.now()).has_value());
+}
+
+TEST_F(FacilitiesTest, CamHandlerSeesPeerData) {
+  Node& a = add_node(0.0);
+  Node& b = add_node(100.0);
+  CamService cam_a{events_, *a.router};
+  CamService cam_b{events_, *b.router};
+  std::vector<CamData> seen;
+  cam_b.set_cam_handler([&](const CamData& cam, sim::TimePoint) { seen.push_back(cam); });
+  run_for(3_s);
+  ASSERT_FALSE(seen.empty());
+  EXPECT_EQ(seen.front().station, a.router->address());
+  EXPECT_DOUBLE_EQ(seen.front().position.x, 0.0);
+}
+
+TEST_F(FacilitiesTest, StoppedServiceGoesQuiet) {
+  Node& a = add_node(0.0);
+  add_node(100.0);
+  CamService cam{events_, *a.router};
+  run_for(3_s);
+  const auto sent = cam.cams_sent();
+  cam.stop();
+  run_for(5_s);
+  EXPECT_EQ(cam.cams_sent(), sent);
+}
+
+// --- DENM service --------------------------------------------------------------------
+
+TEST(DenmCodec, RoundTripAndRejection) {
+  DenmData d;
+  d.originator = net::GnAddress::from_bits(99);
+  d.event_id = 5;
+  d.cause = DenmCause::kAccident;
+  d.event_position = {3600.0, 2.5};
+  d.cancellation = true;
+  const auto decoded = DenmData::decode(d.encode());
+  ASSERT_TRUE(decoded.has_value());
+  EXPECT_EQ(decoded->event_id, 5u);
+  EXPECT_EQ(decoded->cause, DenmCause::kAccident);
+  EXPECT_TRUE(decoded->cancellation);
+  EXPECT_FALSE(DenmData::decode({0xDE, 0xAD}).has_value());
+}
+
+TEST_F(FacilitiesTest, DenmReachesAreaAndDeduplicatesRepetitions) {
+  Node& a = add_node(0.0);
+  Node& b = add_node(400.0);
+  for (auto& n : nodes_) n->router->send_beacon_now();
+  run_for(100_ms);
+
+  DenmService denm_a{events_, *a.router};
+  DenmService denm_b{events_, *b.router};
+  int events_seen = 0;
+  denm_b.set_event_handler([&](const DenmData& d, sim::TimePoint) {
+    EXPECT_EQ(d.cause, DenmCause::kStationaryVehicle);
+    ++events_seen;
+  });
+
+  denm_a.trigger(DenmCause::kStationaryVehicle, {50.0, 0.0},
+                 geo::GeoArea::rectangle({200.0, 0.0}, 500.0, 50.0), 10_s);
+  run_for(5_s);
+  // ~5 repetitions on the air, surfaced exactly once.
+  EXPECT_GE(denm_a.denms_sent(), 4u);
+  EXPECT_EQ(events_seen, 1);
+  EXPECT_EQ(denm_b.events_received(), 1u);
+}
+
+TEST_F(FacilitiesTest, DenmStopsAtValidityExpiry) {
+  Node& a = add_node(0.0);
+  add_node(400.0);
+  DenmService denm{events_, *a.router};
+  denm.trigger(DenmCause::kRoadworks, {0.0, 0.0},
+               geo::GeoArea::rectangle({200.0, 0.0}, 500.0, 50.0), 3_s);
+  run_for(10_s);
+  EXPECT_EQ(denm.active_events(), 0u);
+  EXPECT_LE(denm.denms_sent(), 4u);  // t=0,1,2,3 at most
+}
+
+TEST_F(FacilitiesTest, DenmCancellationSurfacesOnce) {
+  Node& a = add_node(0.0);
+  Node& b = add_node(400.0);
+  for (auto& n : nodes_) n->router->send_beacon_now();
+  run_for(100_ms);
+
+  DenmService denm_a{events_, *a.router};
+  DenmService denm_b{events_, *b.router};
+  int cancels = 0;
+  denm_b.set_cancel_handler([&](const DenmData& d, sim::TimePoint) {
+    EXPECT_TRUE(d.cancellation);
+    ++cancels;
+  });
+  const auto id = denm_a.trigger(DenmCause::kAccident, {10.0, 0.0},
+                                 geo::GeoArea::rectangle({200.0, 0.0}, 500.0, 50.0), 60_s);
+  run_for(2_s);
+  denm_a.cancel(id);
+  run_for(2_s);
+  EXPECT_EQ(cancels, 1);
+  EXPECT_EQ(denm_a.active_events(), 0u);
+}
+
+TEST_F(FacilitiesTest, DenmSuppressedByBlockageAttack) {
+  // The paper's use cases ride on DENMs; the intra-area blocker silences
+  // them just like any other GeoBroadcast, repetition or not.
+  Node& a = add_node(0.0);
+  Node& b = add_node(400.0);
+  Node& c = add_node(800.0);
+  for (auto& n : nodes_) n->router->send_beacon_now();
+  run_for(100_ms);
+  attack::IntraAreaBlocker blocker{events_, medium_, {200.0, 10.0}, 550.0};
+
+  DenmService denm_a{events_, *a.router};
+  DenmService denm_c{events_, *c.router};
+  int events_seen = 0;
+  denm_c.set_event_handler([&](const DenmData&, sim::TimePoint) { ++events_seen; });
+  denm_a.trigger(DenmCause::kAccident, {0.0, 0.0},
+                 geo::GeoArea::rectangle({400.0, 0.0}, 900.0, 50.0), 10_s);
+  run_for(5_s);
+  EXPECT_GE(blocker.packets_replayed(), 4u);  // every repetition replayed
+  EXPECT_EQ(events_seen, 0);                  // c never learns of the hazard
+  EXPECT_GE(b.router->stats().cbf_suppressed, 4u);
+}
+
+TEST_F(FacilitiesTest, RhlCheckProtectsDenms) {
+  Node& a = add_node(0.0);
+  add_node(400.0);
+  Node& c = add_node(800.0);
+  for (auto& n : nodes_) {
+    n->router->config().rhl_drop_check = true;  // mitigation #2 on
+    n->router->send_beacon_now();
+  }
+  run_for(100_ms);
+  attack::IntraAreaBlocker blocker{events_, medium_, {200.0, 10.0}, 550.0};
+
+  DenmService denm_a{events_, *a.router};
+  DenmService denm_c{events_, *c.router};
+  int events_seen = 0;
+  denm_c.set_event_handler([&](const DenmData&, sim::TimePoint) { ++events_seen; });
+  denm_a.trigger(DenmCause::kAccident, {0.0, 0.0},
+                 geo::GeoArea::rectangle({400.0, 0.0}, 900.0, 50.0), 10_s);
+  run_for(5_s);
+  EXPECT_GE(blocker.packets_replayed(), 4u);
+  EXPECT_EQ(events_seen, 1);  // the defended flood gets through
+}
+
+TEST_F(FacilitiesTest, CancellationForUnknownEventIsIgnored) {
+  Node& a = add_node(0.0);
+  Node& b = add_node(400.0);
+  DenmService denm_a{events_, *a.router};
+  DenmService denm_b{events_, *b.router};
+  int cancels = 0;
+  denm_b.set_cancel_handler([&](const DenmData&, sim::TimePoint) { ++cancels; });
+  // Cancel before b ever saw the event (b is out of single-hop range of
+  // nothing here, so instead: cancel an id that was never triggered).
+  denm_a.cancel(12345);
+  run_for(1_s);
+  EXPECT_EQ(cancels, 0);
+}
+
+}  // namespace
+}  // namespace vgr::facilities

@@ -1,0 +1,149 @@
+#include "vgr/geo/area.hpp"
+#include "vgr/geo/vec2.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace vgr::geo {
+namespace {
+
+TEST(Vec2, BasicArithmetic) {
+  const Vec2 a{1.0, 2.0}, b{3.0, -1.0};
+  EXPECT_EQ(a + b, (Vec2{4.0, 1.0}));
+  EXPECT_EQ(a - b, (Vec2{-2.0, 3.0}));
+  EXPECT_EQ(a * 2.0, (Vec2{2.0, 4.0}));
+  EXPECT_EQ(2.0 * a, (Vec2{2.0, 4.0}));
+  EXPECT_EQ(b / 2.0, (Vec2{1.5, -0.5}));
+}
+
+TEST(Vec2, DotCrossNorm) {
+  const Vec2 a{3.0, 4.0};
+  EXPECT_DOUBLE_EQ(a.norm(), 5.0);
+  EXPECT_DOUBLE_EQ(a.norm_sq(), 25.0);
+  EXPECT_DOUBLE_EQ(a.dot({1.0, 0.0}), 3.0);
+  EXPECT_DOUBLE_EQ(a.cross({1.0, 0.0}), -4.0);
+}
+
+TEST(Vec2, NormalizedHandlesZero) {
+  EXPECT_EQ(Vec2{}.normalized(), Vec2{});
+  const Vec2 n = Vec2{0.0, 5.0}.normalized();
+  EXPECT_NEAR(n.x, 0.0, 1e-12);
+  EXPECT_NEAR(n.y, 1.0, 1e-12);
+}
+
+TEST(Vec2, RotationQuarterTurn) {
+  const Vec2 r = Vec2{1.0, 0.0}.rotated(M_PI / 2.0);
+  EXPECT_NEAR(r.x, 0.0, 1e-12);
+  EXPECT_NEAR(r.y, 1.0, 1e-12);
+}
+
+TEST(Vec2, RotationPreservesNorm) {
+  const Vec2 v{3.0, 4.0};
+  for (double angle : {0.1, 1.0, 2.5, -0.7}) {
+    EXPECT_NEAR(v.rotated(angle).norm(), 5.0, 1e-9);
+  }
+}
+
+TEST(Vec2, DistanceIsSymmetric) {
+  const Position a{10.0, 0.0}, b{0.0, 10.0};
+  EXPECT_DOUBLE_EQ(distance(a, b), distance(b, a));
+  EXPECT_NEAR(distance(a, b), std::sqrt(200.0), 1e-12);
+  EXPECT_DOUBLE_EQ(distance_sq(a, b), 200.0);
+}
+
+TEST(Vec2, HeadingVector) {
+  EXPECT_NEAR(heading_vector(0.0).x, 1.0, 1e-12);
+  EXPECT_NEAR(heading_vector(M_PI).x, -1.0, 1e-12);
+  EXPECT_NEAR(heading_vector(M_PI / 2.0).y, 1.0, 1e-12);
+}
+
+// --- GeoArea -------------------------------------------------------------
+
+TEST(GeoArea, CircleContainment) {
+  const GeoArea c = GeoArea::circle({100.0, 50.0}, 10.0);
+  EXPECT_TRUE(c.contains({100.0, 50.0}));
+  EXPECT_TRUE(c.contains({109.9, 50.0}));
+  EXPECT_TRUE(c.contains({110.0, 50.0}));  // border counts as inside
+  EXPECT_FALSE(c.contains({110.1, 50.0}));
+  EXPECT_FALSE(c.contains({100.0, 61.0}));
+}
+
+TEST(GeoArea, CharacteristicSigns) {
+  const GeoArea c = GeoArea::circle({0.0, 0.0}, 10.0);
+  EXPECT_GT(c.characteristic({0.0, 0.0}), 0.0);
+  EXPECT_NEAR(c.characteristic({10.0, 0.0}), 0.0, 1e-12);
+  EXPECT_LT(c.characteristic({20.0, 0.0}), 0.0);
+}
+
+TEST(GeoArea, RectangleContainment) {
+  const GeoArea r = GeoArea::rectangle({0.0, 0.0}, 100.0, 10.0);
+  EXPECT_TRUE(r.contains({99.0, 9.0}));
+  EXPECT_TRUE(r.contains({-100.0, 10.0}));  // corner is border
+  EXPECT_FALSE(r.contains({101.0, 0.0}));
+  EXPECT_FALSE(r.contains({0.0, 10.5}));
+}
+
+TEST(GeoArea, RotatedRectangle) {
+  // Half-extents 100 x 10, rotated 90 degrees: long axis now along y.
+  const GeoArea r = GeoArea::rectangle({0.0, 0.0}, 100.0, 10.0, M_PI / 2.0);
+  EXPECT_TRUE(r.contains({0.0, 99.0}));
+  EXPECT_FALSE(r.contains({99.0, 0.0}));
+  EXPECT_TRUE(r.contains({9.0, 0.0}));
+}
+
+TEST(GeoArea, EllipseContainment) {
+  const GeoArea e = GeoArea::ellipse({0.0, 0.0}, 100.0, 10.0);
+  EXPECT_TRUE(e.contains({99.0, 0.0}));
+  EXPECT_FALSE(e.contains({99.0, 9.0}));  // outside the ellipse, inside its bbox
+  EXPECT_TRUE(e.contains({0.0, 9.9}));
+}
+
+TEST(GeoArea, DistanceToCenter) {
+  const GeoArea c = GeoArea::circle({10.0, 0.0}, 5.0);
+  EXPECT_DOUBLE_EQ(c.distance_to_center({0.0, 0.0}), 10.0);
+}
+
+TEST(GeoArea, EqualityComparesAllFields) {
+  EXPECT_EQ(GeoArea::circle({1.0, 2.0}, 3.0), GeoArea::circle({1.0, 2.0}, 3.0));
+  EXPECT_NE(GeoArea::circle({1.0, 2.0}, 3.0), GeoArea::circle({1.0, 2.0}, 4.0));
+  EXPECT_NE(GeoArea::circle({1.0, 2.0}, 3.0), GeoArea::ellipse({1.0, 2.0}, 3.0, 3.0));
+}
+
+TEST(GeoArea, ToStringNames) {
+  EXPECT_NE(to_string(GeoArea::circle({0, 0}, 1.0)).find("circle"), std::string::npos);
+  EXPECT_NE(to_string(GeoArea::rectangle({0, 0}, 1.0, 1.0)).find("rect"), std::string::npos);
+}
+
+// Parameterised sweep: a circle's containment must agree with the distance
+// predicate everywhere.
+class CircleSweep : public ::testing::TestWithParam<double> {};
+
+TEST_P(CircleSweep, ContainmentMatchesDistance) {
+  const double radius = GetParam();
+  const GeoArea c = GeoArea::circle({500.0, -20.0}, radius);
+  for (double x = 400.0; x <= 600.0; x += 7.0) {
+    for (double y = -60.0; y <= 20.0; y += 7.0) {
+      const bool inside = distance({x, y}, {500.0, -20.0}) <= radius + 1e-9;
+      EXPECT_EQ(c.contains({x, y}), inside) << "x=" << x << " y=" << y << " r=" << radius;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Radii, CircleSweep, ::testing::Values(5.0, 25.0, 60.0, 120.0));
+
+// The whole-road rectangle used by the intra-area experiment must contain
+// every lane of the two-way segment and exclude points far off the road.
+TEST(GeoArea, WholeRoadRectangleCoversAllLanes) {
+  const GeoArea road = GeoArea::rectangle({2000.0, 0.0}, 2060.0, 60.0);
+  for (double x = 0.0; x <= 4000.0; x += 250.0) {
+    for (double y : {-7.5, -2.5, 2.5, 7.5}) {
+      EXPECT_TRUE(road.contains({x, y}));
+    }
+  }
+  EXPECT_FALSE(road.contains({2000.0, 100.0}));
+  EXPECT_FALSE(road.contains({4500.0, 0.0}));
+}
+
+}  // namespace
+}  // namespace vgr::geo

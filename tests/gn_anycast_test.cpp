@@ -1,0 +1,128 @@
+// GeoAnycast: the packet is consumed by the first station inside the
+// destination area, never flooded.
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <vector>
+
+#include "vgr/attack/inter_area.hpp"
+#include "vgr/gn/router.hpp"
+#include "vgr/net/codec.hpp"
+#include "vgr/security/authority.hpp"
+
+namespace vgr::gn {
+namespace {
+
+using namespace vgr::sim::literals;
+
+constexpr double kRange = 486.0;
+
+struct Node {
+  std::unique_ptr<StaticMobility> mobility;
+  std::unique_ptr<Router> router;
+  int deliveries{0};
+};
+
+class AnycastTest : public ::testing::Test {
+ protected:
+  AnycastTest() : medium_{events_, phy::AccessTechnology::kDsrc} {}
+
+  Node& add_node(double x) {
+    nodes_.push_back(std::make_unique<Node>());
+    Node& n = *nodes_.back();
+    n.mobility = std::make_unique<StaticMobility>(geo::Position{x, 0.0});
+    const net::GnAddress addr{net::GnAddress::StationType::kPassengerCar,
+                              net::MacAddress{0x800 + nodes_.size()}};
+    RouterConfig cfg = RouterConfig::for_technology(phy::AccessTechnology::kDsrc);
+    n.router = std::make_unique<Router>(events_, medium_, security::Signer{ca_.enroll(addr)},
+                                        ca_.trust_store(), *n.mobility, cfg, kRange,
+                                        rng_.fork());
+    n.router->set_delivery_handler([&n](const Router::Delivery&) { ++n.deliveries; });
+    return n;
+  }
+
+  void beacons() {
+    for (auto& n : nodes_) n->router->send_beacon_now();
+    events_.run_until(events_.now() + 100_ms);
+  }
+  void run_for(sim::Duration d) { events_.run_until(events_.now() + d); }
+
+  sim::EventQueue events_;
+  phy::Medium medium_;
+  security::CertificateAuthority ca_;
+  sim::Rng rng_{2468};
+  std::vector<std::unique_ptr<Node>> nodes_;
+};
+
+TEST(GacCodec, RoundTrip) {
+  net::Packet p;
+  p.common.type = net::CommonHeader::HeaderType::kGeoAnycast;
+  net::LongPositionVector pv;
+  pv.address = net::GnAddress::from_bits(5);
+  p.extended = net::GacHeader{9, pv, geo::GeoArea::circle({100.0, 0.0}, 50.0)};
+  p.payload = {1, 2};
+  const auto decoded = net::Codec::decode(net::Codec::encode(p));
+  ASSERT_TRUE(decoded.has_value());
+  EXPECT_EQ(*decoded, p);
+  EXPECT_EQ(decoded->duplicate_key()->second, 9);
+}
+
+TEST_F(AnycastTest, ExactlyOneStationInAreaDelivers) {
+  Node& src = add_node(0.0);
+  Node& relay = add_node(400.0);
+  Node& in1 = add_node(800.0);
+  Node& in2 = add_node(900.0);
+  Node& in3 = add_node(1000.0);
+  beacons();
+
+  src.router->send_geo_anycast(geo::GeoArea::circle({900.0, 0.0}, 150.0), {'a'});
+  run_for(3_s);
+
+  EXPECT_EQ(in1.deliveries + in2.deliveries + in3.deliveries, 1);
+  EXPECT_EQ(relay.deliveries, 0);
+  // No CBF contention happened anywhere: anycast never floods.
+  std::uint64_t contentions = 0;
+  for (auto& n : nodes_) contentions += n->router->stats().cbf_contentions;
+  EXPECT_EQ(contentions, 0u);
+}
+
+TEST_F(AnycastTest, ForwardsAcrossMultipleHops) {
+  Node& src = add_node(0.0);
+  add_node(400.0);
+  add_node(800.0);
+  Node& target = add_node(1200.0);
+  beacons();
+  src.router->send_geo_anycast(geo::GeoArea::circle({1200.0, 0.0}, 60.0), {'m'});
+  run_for(3_s);
+  EXPECT_EQ(target.deliveries, 1);
+}
+
+TEST_F(AnycastTest, SourceInsideAreaConsumesLocally) {
+  Node& src = add_node(500.0);
+  Node& peer = add_node(520.0);
+  beacons();
+  src.router->send_geo_anycast(geo::GeoArea::circle({500.0, 0.0}, 100.0), {'s'});
+  run_for(1_s);
+  // The source itself satisfies the anycast; nothing goes on the air.
+  EXPECT_EQ(peer.deliveries, 0);
+}
+
+TEST_F(AnycastTest, InterceptionAttackAlsoBreaksAnycast) {
+  // GeoAnycast rides Greedy Forwarding outside the area, so the paper's
+  // inter-area interception applies unchanged.
+  Node& src = add_node(0.0);
+  add_node(400.0);
+  add_node(850.0);
+  Node& target = add_node(1300.0);
+  attack::InterAreaInterceptor atk{events_, medium_, {450.0, 10.0}, 900.0};
+  beacons();
+  run_for(10_ms);
+  src.router->send_geo_anycast(geo::GeoArea::circle({1300.0, 0.0}, 60.0), {'x'});
+  run_for(3_s);
+  EXPECT_EQ(target.deliveries, 0);
+  EXPECT_GE(atk.beacons_replayed(), 1u);
+}
+
+}  // namespace
+}  // namespace vgr::gn

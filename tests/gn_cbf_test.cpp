@@ -1,0 +1,191 @@
+#include <gtest/gtest.h>
+
+#include "vgr/gn/cbf.hpp"
+#include "vgr/security/authority.hpp"
+
+namespace vgr::gn {
+namespace {
+
+using namespace vgr::sim::literals;
+
+constexpr auto kToMin = sim::Duration::millis(1);
+constexpr auto kToMax = sim::Duration::millis(100);
+constexpr double kDistMax = 486.0;
+
+TEST(CbfTimeout, ZeroDistanceGivesToMax) {
+  EXPECT_EQ(cbf_timeout(0.0, kToMin, kToMax, kDistMax), kToMax);
+}
+
+TEST(CbfTimeout, DistMaxGivesToMin) {
+  EXPECT_EQ(cbf_timeout(kDistMax, kToMin, kToMax, kDistMax), kToMin);
+}
+
+TEST(CbfTimeout, BeyondDistMaxGivesToMin) {
+  EXPECT_EQ(cbf_timeout(2000.0, kToMin, kToMax, kDistMax), kToMin);
+}
+
+TEST(CbfTimeout, NegativeDistanceClampsToZero) {
+  EXPECT_EQ(cbf_timeout(-5.0, kToMin, kToMax, kDistMax), kToMax);
+}
+
+TEST(CbfTimeout, MidpointIsLinear) {
+  const auto to = cbf_timeout(kDistMax / 2.0, kToMin, kToMax, kDistMax);
+  EXPECT_NEAR(to.to_millis(), 50.5, 0.01);  // (100 + 1) / 2
+}
+
+// Property: TO is monotonically non-increasing in distance and bounded by
+// [TO_MIN, TO_MAX] — farther receivers always fire first.
+class CbfTimeoutSweep : public ::testing::TestWithParam<double> {};
+
+TEST_P(CbfTimeoutSweep, MonotoneAndBounded) {
+  const double dist_max = GetParam();
+  sim::Duration prev = sim::Duration::max();
+  for (double d = 0.0; d <= dist_max * 1.5; d += dist_max / 37.0) {
+    const auto to = cbf_timeout(d, kToMin, kToMax, dist_max);
+    EXPECT_GE(to, kToMin);
+    EXPECT_LE(to, kToMax);
+    EXPECT_LE(to, prev) << "TO must not increase with distance (d=" << d << ")";
+    prev = to;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(DistMaxValues, CbfTimeoutSweep,
+                         ::testing::Values(327.0, 486.0, 593.0, 1283.0, 1703.0));
+
+// --- CbfBuffer ------------------------------------------------------------
+
+class CbfBufferTest : public ::testing::Test {
+ protected:
+  CbfBufferTest() : buffer_{events_} {}
+
+  security::SecuredMessage make_msg(std::uint8_t rhl) {
+    net::Packet p;
+    p.basic.remaining_hop_limit = rhl;
+    p.common.type = net::CommonHeader::HeaderType::kGeoBroadcast;
+    p.extended = net::GbcHeader{1, {}, geo::GeoArea::circle({0, 0}, 10.0)};
+    security::SecuredMessage m;
+    m.packet = p;
+    return m;
+  }
+
+  CbfKey key(std::uint64_t src = 1, net::SequenceNumber sn = 1) {
+    return {net::GnAddress::from_bits(src), sn};
+  }
+
+  sim::EventQueue events_;
+  CbfBuffer buffer_;
+  int rebroadcasts_ = 0;
+};
+
+TEST_F(CbfBufferTest, TimerFiresAndHandsBackMessage) {
+  std::uint8_t fired_rhl = 0;
+  buffer_.insert(key(), make_msg(9), 10, 10_ms, [&](const security::SecuredMessage& m) {
+    ++rebroadcasts_;
+    fired_rhl = m.packet.basic.remaining_hop_limit;
+  });
+  EXPECT_TRUE(buffer_.contains(key()));
+  events_.run_until(sim::TimePoint::at(20_ms));
+  EXPECT_EQ(rebroadcasts_, 1);
+  EXPECT_EQ(fired_rhl, 9);
+  EXPECT_FALSE(buffer_.contains(key()));
+}
+
+TEST_F(CbfBufferTest, TimerDoesNotFireEarly) {
+  buffer_.insert(key(), make_msg(9), 10, 50_ms,
+                 [&](const security::SecuredMessage&) { ++rebroadcasts_; });
+  events_.run_until(sim::TimePoint::at(49_ms));
+  EXPECT_EQ(rebroadcasts_, 0);
+}
+
+TEST_F(CbfBufferTest, DuplicateCancelsContention) {
+  buffer_.insert(key(), make_msg(9), 10, 50_ms,
+                 [&](const security::SecuredMessage&) { ++rebroadcasts_; });
+  const auto outcome = buffer_.on_duplicate(key(), 9, /*rhl_check=*/false, 3);
+  EXPECT_EQ(outcome, CbfDuplicateOutcome::kDiscarded);
+  events_.run_until(sim::TimePoint::at(100_ms));
+  EXPECT_EQ(rebroadcasts_, 0);
+  EXPECT_FALSE(buffer_.contains(key()));
+}
+
+TEST_F(CbfBufferTest, DuplicateWithoutEntryIsNoEntry) {
+  EXPECT_EQ(buffer_.on_duplicate(key(), 9, false, 3), CbfDuplicateOutcome::kNoEntry);
+}
+
+TEST_F(CbfBufferTest, ReinsertionOfSameKeyIsIgnored) {
+  buffer_.insert(key(), make_msg(9), 10, 10_ms,
+                 [&](const security::SecuredMessage&) { ++rebroadcasts_; });
+  buffer_.insert(key(), make_msg(8), 9, 10_ms,
+                 [&](const security::SecuredMessage&) { ++rebroadcasts_; });
+  EXPECT_EQ(buffer_.size(), 1u);
+  events_.run_until(sim::TimePoint::at(50_ms));
+  EXPECT_EQ(rebroadcasts_, 1);
+}
+
+TEST_F(CbfBufferTest, DistinctKeysContendIndependently) {
+  buffer_.insert(key(1, 1), make_msg(9), 10, 10_ms,
+                 [&](const security::SecuredMessage&) { ++rebroadcasts_; });
+  buffer_.insert(key(1, 2), make_msg(9), 10, 20_ms,
+                 [&](const security::SecuredMessage&) { ++rebroadcasts_; });
+  buffer_.on_duplicate(key(1, 1), 9, false, 3);
+  events_.run_until(sim::TimePoint::at(100_ms));
+  EXPECT_EQ(rebroadcasts_, 1);  // only (1,2) survived to its timeout
+}
+
+TEST_F(CbfBufferTest, ClearCancelsAllTimers) {
+  buffer_.insert(key(1, 1), make_msg(9), 10, 10_ms,
+                 [&](const security::SecuredMessage&) { ++rebroadcasts_; });
+  buffer_.insert(key(1, 2), make_msg(9), 10, 10_ms,
+                 [&](const security::SecuredMessage&) { ++rebroadcasts_; });
+  buffer_.clear();
+  EXPECT_EQ(buffer_.size(), 0u);
+  events_.run_until(sim::TimePoint::at(100_ms));
+  EXPECT_EQ(rebroadcasts_, 0);
+}
+
+// --- RHL-drop mitigation (paper §V-B) -------------------------------------
+
+TEST_F(CbfBufferTest, MitigationKeepsContentionOnSteepRhlDrop) {
+  // Buffered with RHL 10; the attacker's replay carries RHL 1: drop of 9
+  // exceeds the threshold of 3 -> duplicate rejected, timer keeps running.
+  buffer_.insert(key(), make_msg(9), 10, 10_ms,
+                 [&](const security::SecuredMessage&) { ++rebroadcasts_; });
+  const auto outcome = buffer_.on_duplicate(key(), 1, /*rhl_check=*/true, 3);
+  EXPECT_EQ(outcome, CbfDuplicateOutcome::kKeptByMitigation);
+  EXPECT_TRUE(buffer_.contains(key()));
+  events_.run_until(sim::TimePoint::at(50_ms));
+  EXPECT_EQ(rebroadcasts_, 1);  // the flood continues
+}
+
+TEST_F(CbfBufferTest, MitigationAcceptsLegitimatePeerRebroadcast) {
+  // A peer that received the same RHL-10 copy rebroadcasts with RHL 9:
+  // drop of 1 is within the threshold -> normal suppression.
+  buffer_.insert(key(), make_msg(9), 10, 10_ms,
+                 [&](const security::SecuredMessage&) { ++rebroadcasts_; });
+  const auto outcome = buffer_.on_duplicate(key(), 9, true, 3);
+  EXPECT_EQ(outcome, CbfDuplicateOutcome::kDiscarded);
+  events_.run_until(sim::TimePoint::at(50_ms));
+  EXPECT_EQ(rebroadcasts_, 0);
+}
+
+TEST_F(CbfBufferTest, MitigationBoundaryDropExactlyThresholdAccepted) {
+  buffer_.insert(key(), make_msg(9), 10, 10_ms,
+                 [&](const security::SecuredMessage&) { ++rebroadcasts_; });
+  EXPECT_EQ(buffer_.on_duplicate(key(), 7, true, 3), CbfDuplicateOutcome::kDiscarded);
+}
+
+TEST_F(CbfBufferTest, MitigationBoundaryDropJustOverThresholdRejected) {
+  buffer_.insert(key(), make_msg(9), 10, 10_ms,
+                 [&](const security::SecuredMessage&) { ++rebroadcasts_; });
+  EXPECT_EQ(buffer_.on_duplicate(key(), 6, true, 3), CbfDuplicateOutcome::kKeptByMitigation);
+}
+
+TEST_F(CbfBufferTest, MitigationHandlesRhlIncreaseGracefully) {
+  // A duplicate with *higher* RHL than we received (negative drop) is not
+  // suspicious under the drop rule.
+  buffer_.insert(key(), make_msg(4), 5, 10_ms,
+                 [&](const security::SecuredMessage&) { ++rebroadcasts_; });
+  EXPECT_EQ(buffer_.on_duplicate(key(), 10, true, 3), CbfDuplicateOutcome::kDiscarded);
+}
+
+}  // namespace
+}  // namespace vgr::gn

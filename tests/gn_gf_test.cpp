@@ -1,0 +1,177 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "vgr/gn/greedy_forwarder.hpp"
+
+namespace vgr::gn {
+namespace {
+
+using namespace vgr::sim::literals;
+
+net::GnAddress addr(std::uint64_t mac) {
+  return net::GnAddress{net::GnAddress::StationType::kPassengerCar, net::MacAddress{mac}};
+}
+
+net::LongPositionVector pv(std::uint64_t mac, double x, double speed = 0.0,
+                           double heading = 0.0, sim::TimePoint ts = {}) {
+  net::LongPositionVector v;
+  v.address = addr(mac);
+  v.timestamp = ts;
+  v.position = {x, 0.0};
+  v.speed_mps = speed;
+  v.heading_rad = heading;
+  return v;
+}
+
+class GfTest : public ::testing::Test {
+ protected:
+  GfTest() : table_{20_s} {}
+
+  void neighbor(std::uint64_t mac, double x, double speed = 0.0, double heading = 0.0) {
+    table_.update(pv(mac, x, speed, heading, now_), now_, /*direct=*/true);
+  }
+  void indirect(std::uint64_t mac, double x) {
+    table_.update(pv(mac, x, 0.0, 0.0, now_), now_, /*direct=*/false);
+  }
+
+  std::optional<GfSelection> select(double self_x, double dest_x, GfPolicy policy = {}) {
+    return select_next_hop(table_, addr(0xFF), {self_x, 0.0}, {dest_x, 0.0}, now_, policy);
+  }
+
+  LocationTable table_;
+  sim::TimePoint now_{sim::TimePoint::at(10_s)};
+};
+
+TEST_F(GfTest, PicksNeighborClosestToDestination) {
+  neighbor(1, 100.0);
+  neighbor(2, 300.0);
+  neighbor(3, 200.0);
+  const auto sel = select(0.0, 1000.0);
+  ASSERT_TRUE(sel.has_value());
+  EXPECT_EQ(sel->next_hop.address, addr(2));
+  EXPECT_DOUBLE_EQ(sel->distance_to_destination_m, 700.0);
+}
+
+TEST_F(GfTest, RequiresProgressOverSelf) {
+  neighbor(1, 100.0);  // behind us w.r.t. the destination
+  EXPECT_FALSE(select(200.0, 1000.0).has_value());
+}
+
+TEST_F(GfTest, EqualDistanceIsNotProgress) {
+  neighbor(1, 200.0);
+  // Neighbor is exactly as far from the destination as we are.
+  EXPECT_FALSE(select(200.0, 1000.0).has_value());
+}
+
+TEST_F(GfTest, EmptyTableYieldsNothing) {
+  EXPECT_FALSE(select(0.0, 1000.0).has_value());
+}
+
+TEST_F(GfTest, IgnoresNonNeighborEntries) {
+  indirect(1, 500.0);  // known only via a forwarded packet's source PV
+  EXPECT_FALSE(select(0.0, 1000.0).has_value());
+}
+
+TEST_F(GfTest, IgnoresSelfEntry) {
+  table_.update(pv(0xFF, 500.0, 0.0, 0.0, now_), now_, true);
+  EXPECT_FALSE(select(0.0, 1000.0).has_value());
+}
+
+TEST_F(GfTest, IgnoresExpiredEntries) {
+  neighbor(1, 500.0);
+  now_ = now_ + 25_s;  // past the 20 s TTL
+  EXPECT_FALSE(select(0.0, 1000.0).has_value());
+}
+
+TEST_F(GfTest, BackwardDestinationWorks) {
+  neighbor(1, 900.0);
+  neighbor(2, 400.0);
+  const auto sel = select(800.0, 0.0);
+  ASSERT_TRUE(sel.has_value());
+  EXPECT_EQ(sel->next_hop.address, addr(2));
+}
+
+// --- Plausibility check (mitigation #1) ----------------------------------
+
+TEST_F(GfTest, PlausibilityRejectsFarNeighbor) {
+  // A replayed beacon placed a node 800 m away into our table; without the
+  // check GF picks it, with the check it is skipped.
+  neighbor(1, 800.0);
+  neighbor(2, 300.0);
+  EXPECT_EQ(select(0.0, 1000.0)->next_hop.address, addr(1));
+
+  GfPolicy policy;
+  policy.plausibility_check = true;
+  policy.threshold_m = 486.0;
+  const auto sel = select(0.0, 1000.0, policy);
+  ASSERT_TRUE(sel.has_value());
+  EXPECT_EQ(sel->next_hop.address, addr(2));
+}
+
+TEST_F(GfTest, PlausibilityAcceptsExactThreshold) {
+  neighbor(1, 486.0);
+  GfPolicy policy;
+  policy.plausibility_check = true;
+  policy.threshold_m = 486.0;
+  EXPECT_TRUE(select(0.0, 1000.0, policy).has_value());
+}
+
+TEST_F(GfTest, PlausibilityWithNoSurvivorYieldsNothing) {
+  neighbor(1, 800.0);
+  GfPolicy policy;
+  policy.plausibility_check = true;
+  policy.threshold_m = 486.0;
+  EXPECT_FALSE(select(0.0, 1000.0, policy).has_value());
+}
+
+TEST_F(GfTest, ExtrapolationFiltersStaleFastMover) {
+  // Beacon said x=400 (in range), but it was 5 s ago and the vehicle drives
+  // east at 30 m/s: dead-reckoned position is 550 m away -> filtered.
+  table_.update(pv(1, 400.0, 30.0, 0.0, now_ - 5_s), now_ - 5_s, true);
+  GfPolicy policy;
+  policy.plausibility_check = true;
+  policy.threshold_m = 486.0;
+  policy.extrapolate = true;
+  EXPECT_FALSE(select(0.0, 1000.0, policy).has_value());
+
+  policy.extrapolate = false;  // raw beacon position passes
+  EXPECT_TRUE(select(0.0, 1000.0, policy).has_value());
+}
+
+TEST_F(GfTest, ExtrapolationKeepsApproachingVehicle) {
+  // Vehicle advertised at 600 m (out of range) but drives toward us; the
+  // extrapolated position is back in range.
+  table_.update(pv(1, 600.0, 30.0, M_PI, now_ - 5_s), now_ - 5_s, true);
+  GfPolicy policy;
+  policy.plausibility_check = true;
+  policy.threshold_m = 486.0;
+  policy.extrapolate = true;
+  const auto sel = select(0.0, 1000.0, policy);
+  ASSERT_TRUE(sel.has_value());
+  EXPECT_EQ(sel->next_hop.address, addr(1));
+}
+
+// Property sweep: the selected hop always strictly beats the forwarder's
+// own distance, for any destination.
+class GfProgressSweep : public ::testing::TestWithParam<double> {};
+
+TEST_P(GfProgressSweep, SelectionAlwaysMakesProgress) {
+  const double dest_x = GetParam();
+  LocationTable table{20_s};
+  const auto now = sim::TimePoint::at(1_s);
+  for (std::uint64_t m = 1; m <= 20; ++m) {
+    table.update(pv(m, static_cast<double>(m) * 97.0 - 400.0, 0, 0, now), now, true);
+  }
+  const geo::Position self{300.0, 0.0};
+  const auto sel = select_next_hop(table, addr(0xFF), self, {dest_x, 0.0}, now, {});
+  if (sel) {
+    EXPECT_LT(sel->distance_to_destination_m, geo::distance(self, {dest_x, 0.0}));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Destinations, GfProgressSweep,
+                         ::testing::Values(-500.0, 0.0, 400.0, 1200.0, 4020.0));
+
+}  // namespace
+}  // namespace vgr::gn

@@ -1,0 +1,209 @@
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <vector>
+
+#include "vgr/attack/inter_area.hpp"
+#include "vgr/attack/intra_area.hpp"
+#include "vgr/gn/router.hpp"
+#include "vgr/mitigation/profiles.hpp"
+#include "vgr/security/authority.hpp"
+
+namespace vgr::mitigation {
+namespace {
+
+using namespace vgr::sim::literals;
+
+constexpr double kRange = 486.0;
+
+TEST(Profiles, NoneClearsBothChecks) {
+  gn::RouterConfig cfg;
+  cfg.plausibility_check = true;
+  cfg.rhl_drop_check = true;
+  apply(Profile::kNone, cfg);
+  EXPECT_FALSE(cfg.plausibility_check);
+  EXPECT_FALSE(cfg.rhl_drop_check);
+}
+
+TEST(Profiles, PlausibilityOnly) {
+  gn::RouterConfig cfg;
+  Parameters params;
+  params.plausibility_threshold_m = 486.0;
+  params.extrapolate = false;
+  apply(Profile::kPlausibilityCheck, cfg, params);
+  EXPECT_TRUE(cfg.plausibility_check);
+  EXPECT_FALSE(cfg.rhl_drop_check);
+  EXPECT_DOUBLE_EQ(cfg.plausibility_threshold_m, 486.0);
+  EXPECT_FALSE(cfg.plausibility_extrapolate);
+}
+
+TEST(Profiles, RhlOnly) {
+  gn::RouterConfig cfg;
+  Parameters params;
+  params.rhl_drop_threshold = 2;
+  apply(Profile::kRhlDropCheck, cfg, params);
+  EXPECT_FALSE(cfg.plausibility_check);
+  EXPECT_TRUE(cfg.rhl_drop_check);
+  EXPECT_EQ(cfg.rhl_drop_threshold, 2);
+}
+
+TEST(Profiles, FullEnablesBoth) {
+  gn::RouterConfig cfg;
+  apply(Profile::kFull, cfg);
+  EXPECT_TRUE(cfg.plausibility_check);
+  EXPECT_TRUE(cfg.rhl_drop_check);
+}
+
+TEST(Profiles, NonPositiveThresholdKeepsExisting) {
+  gn::RouterConfig cfg;
+  cfg.plausibility_threshold_m = 593.0;
+  Parameters params;
+  params.plausibility_threshold_m = -1.0;
+  apply(Profile::kPlausibilityCheck, cfg, params);
+  EXPECT_DOUBLE_EQ(cfg.plausibility_threshold_m, 593.0);
+}
+
+TEST(Profiles, Names) {
+  EXPECT_EQ(to_string(Profile::kNone), "none");
+  EXPECT_EQ(to_string(Profile::kFull), "full");
+}
+
+// --- End-to-end: mitigations defeat the attacks ---------------------------
+
+struct Node {
+  std::unique_ptr<gn::StaticMobility> mobility;
+  std::unique_ptr<gn::Router> router;
+  std::vector<gn::Router::Delivery> deliveries;
+};
+
+class MitigationE2E : public ::testing::Test {
+ protected:
+  MitigationE2E() : medium_{events_, phy::AccessTechnology::kDsrc} {}
+
+  Node& add_node(double x, Profile profile) {
+    nodes_.push_back(std::make_unique<Node>());
+    Node& n = *nodes_.back();
+    n.mobility = std::make_unique<gn::StaticMobility>(geo::Position{x, 0.0});
+    const net::GnAddress addr{net::GnAddress::StationType::kPassengerCar,
+                              net::MacAddress{0x200 + nodes_.size()}};
+    gn::RouterConfig cfg = gn::RouterConfig::for_technology(phy::AccessTechnology::kDsrc);
+    cfg.cbf_dist_max_m = kRange;
+    apply(profile, cfg);
+    n.router = std::make_unique<gn::Router>(events_, medium_, security::Signer{ca_.enroll(addr)},
+                                            ca_.trust_store(), *n.mobility, cfg, kRange,
+                                            rng_.fork());
+    n.router->set_delivery_handler(
+        [&n](const gn::Router::Delivery& d) { n.deliveries.push_back(d); });
+    return n;
+  }
+
+  void beacons() {
+    for (auto& n : nodes_) n->router->send_beacon_now();
+    events_.run_until(events_.now() + 100_ms);
+  }
+  void run_for(sim::Duration d) { events_.run_until(events_.now() + d); }
+
+  sim::EventQueue events_;
+  phy::Medium medium_;
+  security::CertificateAuthority ca_;
+  sim::Rng rng_{777};
+  std::vector<std::unique_ptr<Node>> nodes_;
+};
+
+TEST_F(MitigationE2E, PlausibilityCheckDefeatsInterAreaInterception) {
+  // Same geometry as the attack test, but V1 runs the plausibility check:
+  // the replayed 900 m neighbour is rejected and V2 carries the packet.
+  Node& v1 = add_node(0.0, Profile::kPlausibilityCheck);
+  Node& v2 = add_node(400.0, Profile::kPlausibilityCheck);
+  Node& v3 = add_node(850.0, Profile::kPlausibilityCheck);
+  Node& relay = add_node(1300.0, Profile::kPlausibilityCheck);
+  Node& dest = add_node(1700.0, Profile::kPlausibilityCheck);
+  attack::InterAreaInterceptor atk{events_, medium_, {450.0, 10.0}, 900.0};
+  beacons();
+  run_for(10_ms);
+
+  v1.router->send_geo_broadcast(geo::GeoArea::circle({1700.0, 0.0}, 60.0), {1});
+  run_for(3_s);
+
+  EXPECT_EQ(dest.deliveries.size(), 1u);
+  EXPECT_GE(v1.router->stats().gf_unicast_forwards, 1u);
+  EXPECT_GE(atk.beacons_replayed(), 1u);
+  (void)v2;
+  (void)v3;
+  (void)relay;
+}
+
+TEST_F(MitigationE2E, WithoutPlausibilityCheckSameRunIsIntercepted) {
+  Node& v1 = add_node(0.0, Profile::kNone);
+  add_node(400.0, Profile::kNone);
+  add_node(850.0, Profile::kNone);
+  add_node(1300.0, Profile::kNone);
+  Node& dest = add_node(1700.0, Profile::kNone);
+  attack::InterAreaInterceptor atk{events_, medium_, {450.0, 10.0}, 900.0};
+  beacons();
+  run_for(10_ms);
+  v1.router->send_geo_broadcast(geo::GeoArea::circle({1700.0, 0.0}, 60.0), {1});
+  run_for(3_s);
+  EXPECT_TRUE(dest.deliveries.empty());
+  (void)atk;
+}
+
+TEST_F(MitigationE2E, RhlDropCheckDefeatsIntraAreaBlockage) {
+  Node& v1 = add_node(0.0, Profile::kRhlDropCheck);
+  Node& v2 = add_node(400.0, Profile::kRhlDropCheck);
+  Node& v3 = add_node(800.0, Profile::kRhlDropCheck);
+  Node& v4 = add_node(1200.0, Profile::kRhlDropCheck);
+  attack::IntraAreaBlocker atk{events_, medium_, {200.0, 10.0}, 550.0};
+  beacons();
+
+  v1.router->send_geo_broadcast(geo::GeoArea::rectangle({600.0, 0.0}, 700.0, 50.0), {1});
+  run_for(3_s);
+
+  // V2 sees the RHL collapse (10 -> 1), refuses the duplicate, and the
+  // flood continues to the end of the area.
+  EXPECT_GE(v2.router->stats().cbf_mitigation_keeps, 1u);
+  EXPECT_EQ(v2.router->stats().cbf_rebroadcasts, 1u);
+  EXPECT_EQ(v3.deliveries.size(), 1u);
+  EXPECT_EQ(v4.deliveries.size(), 1u);
+  EXPECT_EQ(atk.packets_replayed(), 1u);
+}
+
+TEST_F(MitigationE2E, WithoutRhlCheckSameRunIsBlocked) {
+  Node& v1 = add_node(0.0, Profile::kNone);
+  add_node(400.0, Profile::kNone);
+  add_node(800.0, Profile::kNone);
+  Node& v4 = add_node(1200.0, Profile::kNone);
+  attack::IntraAreaBlocker atk{events_, medium_, {200.0, 10.0}, 550.0};
+  beacons();
+  v1.router->send_geo_broadcast(geo::GeoArea::rectangle({600.0, 0.0}, 700.0, 50.0), {1});
+  run_for(3_s);
+  EXPECT_TRUE(v4.deliveries.empty());
+  (void)atk;
+}
+
+TEST_F(MitigationE2E, RhlCheckStillSuppressesLegitimateDuplicates) {
+  // No attacker: the check must not break normal CBF suppression.
+  Node& v1 = add_node(0.0, Profile::kRhlDropCheck);
+  Node& near = add_node(100.0, Profile::kRhlDropCheck);
+  Node& far = add_node(450.0, Profile::kRhlDropCheck);
+  beacons();
+  v1.router->send_geo_broadcast(geo::GeoArea::rectangle({250.0, 0.0}, 500.0, 50.0), {1});
+  run_for(2_s);
+  EXPECT_EQ(far.router->stats().cbf_rebroadcasts, 1u);
+  EXPECT_EQ(near.router->stats().cbf_suppressed, 1u);
+  EXPECT_EQ(near.router->stats().cbf_mitigation_keeps, 0u);
+}
+
+TEST_F(MitigationE2E, PlausibilityCheckDoesNotBreakNormalForwarding) {
+  Node& v1 = add_node(0.0, Profile::kFull);
+  add_node(400.0, Profile::kFull);
+  add_node(800.0, Profile::kFull);
+  Node& dest = add_node(1200.0, Profile::kFull);
+  beacons();
+  v1.router->send_geo_broadcast(geo::GeoArea::circle({1200.0, 0.0}, 60.0), {1});
+  run_for(3_s);
+  EXPECT_EQ(dest.deliveries.size(), 1u);
+}
+
+}  // namespace
+}  // namespace vgr::mitigation

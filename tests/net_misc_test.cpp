@@ -1,0 +1,164 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "vgr/net/address.hpp"
+#include "vgr/net/duplicate_detector.hpp"
+#include "vgr/net/position_vector.hpp"
+
+namespace vgr::net {
+namespace {
+
+TEST(MacAddress, MasksTo48Bits) {
+  const MacAddress a{0xFFFF'1234'5678'9ABCULL};
+  EXPECT_EQ(a.bits(), 0x1234'5678'9ABCULL);
+}
+
+TEST(MacAddress, Broadcast) {
+  EXPECT_TRUE(MacAddress::broadcast().is_broadcast());
+  EXPECT_FALSE(MacAddress{0x1}.is_broadcast());
+}
+
+TEST(MacAddress, ToStringFormat) {
+  EXPECT_EQ(to_string(MacAddress{0x0A0B0C0D0E0FULL}), "0a:0b:0c:0d:0e:0f");
+}
+
+TEST(GnAddress, EmbedsStationTypeAndMac) {
+  const MacAddress mac{0xCAFEBABEULL};
+  const GnAddress a{GnAddress::StationType::kRoadSideUnit, mac};
+  EXPECT_EQ(a.station_type(), GnAddress::StationType::kRoadSideUnit);
+  EXPECT_EQ(a.mac(), mac);
+  EXPECT_FALSE(a.is_unset());
+  EXPECT_TRUE(GnAddress{}.is_unset());
+}
+
+TEST(GnAddress, RoundTripThroughBits) {
+  const GnAddress a{GnAddress::StationType::kPassengerCar, MacAddress{0x42}};
+  EXPECT_EQ(GnAddress::from_bits(a.bits()), a);
+}
+
+TEST(GnAddress, HashUsableInMaps) {
+  std::hash<GnAddress> h;
+  const GnAddress a{GnAddress::StationType::kPassengerCar, MacAddress{1}};
+  const GnAddress b{GnAddress::StationType::kPassengerCar, MacAddress{2}};
+  EXPECT_NE(h(a), h(b));
+}
+
+// --- Long position vector extrapolation ---------------------------------
+
+TEST(LongPositionVector, ExtrapolatesAlongHeading) {
+  LongPositionVector pv;
+  pv.timestamp = sim::TimePoint::at(sim::Duration::seconds(10.0));
+  pv.position = {100.0, 0.0};
+  pv.speed_mps = 30.0;
+  pv.heading_rad = 0.0;  // east
+  const geo::Position later = pv.position_at(sim::TimePoint::at(sim::Duration::seconds(13.0)));
+  EXPECT_NEAR(later.x, 190.0, 1e-9);
+  EXPECT_NEAR(later.y, 0.0, 1e-9);
+}
+
+TEST(LongPositionVector, ExtrapolationAtSameInstantIsIdentity) {
+  LongPositionVector pv;
+  pv.timestamp = sim::TimePoint::at(sim::Duration::seconds(5.0));
+  pv.position = {50.0, -2.5};
+  pv.speed_mps = 25.0;
+  const geo::Position same = pv.position_at(pv.timestamp);
+  EXPECT_NEAR(same.x, 50.0, 1e-9);
+  EXPECT_NEAR(same.y, -2.5, 1e-9);
+}
+
+TEST(LongPositionVector, WestboundExtrapolationMovesNegativeX) {
+  LongPositionVector pv;
+  pv.position = {1000.0, 2.5};
+  pv.speed_mps = 30.0;
+  pv.heading_rad = M_PI;
+  const geo::Position later = pv.position_at(sim::TimePoint::at(sim::Duration::seconds(2.0)));
+  EXPECT_NEAR(later.x, 940.0, 1e-9);
+}
+
+TEST(LongPositionVector, VelocityVector) {
+  LongPositionVector pv;
+  pv.speed_mps = 10.0;
+  pv.heading_rad = M_PI / 2.0;
+  EXPECT_NEAR(pv.velocity().y, 10.0, 1e-12);
+  EXPECT_NEAR(pv.velocity().x, 0.0, 1e-12);
+}
+
+// --- Duplicate detector ---------------------------------------------------
+
+Packet make_gbc(std::uint64_t src, SequenceNumber sn) {
+  Packet p;
+  p.common.type = CommonHeader::HeaderType::kGeoBroadcast;
+  LongPositionVector pv;
+  pv.address = GnAddress{GnAddress::StationType::kPassengerCar, MacAddress{src}};
+  p.extended = GbcHeader{sn, pv, geo::GeoArea::circle({0, 0}, 1.0)};
+  return p;
+}
+
+TEST(DuplicateDetector, FirstSightIsNotDuplicate) {
+  DuplicateDetector d;
+  EXPECT_FALSE(d.check_and_record(make_gbc(1, 0)));
+  EXPECT_TRUE(d.check_and_record(make_gbc(1, 0)));
+}
+
+TEST(DuplicateDetector, DistinctSequenceNumbersAreDistinct) {
+  DuplicateDetector d;
+  EXPECT_FALSE(d.check_and_record(make_gbc(1, 0)));
+  EXPECT_FALSE(d.check_and_record(make_gbc(1, 1)));
+}
+
+TEST(DuplicateDetector, SourcesAreIndependent) {
+  DuplicateDetector d;
+  EXPECT_FALSE(d.check_and_record(make_gbc(1, 5)));
+  EXPECT_FALSE(d.check_and_record(make_gbc(2, 5)));
+  EXPECT_TRUE(d.is_duplicate(make_gbc(1, 5)));
+  EXPECT_TRUE(d.is_duplicate(make_gbc(2, 5)));
+}
+
+TEST(DuplicateDetector, QueryDoesNotRecord) {
+  DuplicateDetector d;
+  EXPECT_FALSE(d.is_duplicate(make_gbc(1, 1)));
+  EXPECT_FALSE(d.check_and_record(make_gbc(1, 1)));
+}
+
+TEST(DuplicateDetector, BeaconsNeverDuplicate) {
+  DuplicateDetector d;
+  Packet beacon;
+  beacon.common.type = CommonHeader::HeaderType::kBeacon;
+  beacon.extended = BeaconHeader{};
+  EXPECT_FALSE(d.check_and_record(beacon));
+  EXPECT_FALSE(d.check_and_record(beacon));
+}
+
+TEST(DuplicateDetector, WindowEvictsOldest) {
+  DuplicateDetector d{4};
+  for (SequenceNumber sn = 0; sn < 5; ++sn) d.check_and_record(make_gbc(1, sn));
+  // sn 0 was evicted by sn 4; the rest are retained.
+  EXPECT_FALSE(d.is_duplicate(make_gbc(1, 0)));
+  for (SequenceNumber sn = 1; sn < 5; ++sn) {
+    EXPECT_TRUE(d.is_duplicate(make_gbc(1, sn))) << sn;
+  }
+}
+
+TEST(DuplicateDetector, ClearForgetsEverything) {
+  DuplicateDetector d;
+  d.check_and_record(make_gbc(1, 0));
+  d.clear();
+  EXPECT_FALSE(d.is_duplicate(make_gbc(1, 0)));
+  EXPECT_EQ(d.source_count(), 0u);
+}
+
+TEST(DuplicateDetector, RhlChangeDoesNotAffectKey) {
+  // The attacker rewrites RHL; the duplicate key must still match — that
+  // is precisely how the blockage attack cancels contention timers.
+  DuplicateDetector d;
+  Packet original = make_gbc(1, 9);
+  original.basic.remaining_hop_limit = 10;
+  d.check_and_record(original);
+  Packet replayed = original;
+  replayed.basic.remaining_hop_limit = 1;
+  EXPECT_TRUE(d.is_duplicate(replayed));
+}
+
+}  // namespace
+}  // namespace vgr::net

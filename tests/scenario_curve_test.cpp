@@ -1,0 +1,88 @@
+// Parameterised studies of the blind-curve scenario: how sight distance and
+// speeds trade off against the suppressed warning, plus hazard-scenario
+// configuration coverage.
+
+#include <gtest/gtest.h>
+
+#include "vgr/scenario/curve.hpp"
+#include "vgr/scenario/hazard.hpp"
+
+namespace vgr::scenario {
+namespace {
+
+class SightDistanceSweep : public ::testing::TestWithParam<double> {};
+
+TEST_P(SightDistanceSweep, CollisionOnlyBelowCriticalSightline) {
+  CurveConfig cfg;
+  cfg.attacked = true;
+  cfg.sight_distance_m = GetParam();
+  const CurveResult r = run_curve_scenario(cfg);
+  EXPECT_FALSE(r.warning_delivered);
+  // With the default kinematics, stopping from a 20 m/s closing speed needs
+  // roughly v*t_react + v^2/(2b) ~ 16 + 33 m of shared sight line.
+  if (cfg.sight_distance_m <= 30.0) {
+    EXPECT_TRUE(r.collision) << "sight " << cfg.sight_distance_m;
+  } else if (cfg.sight_distance_m >= 80.0) {
+    EXPECT_FALSE(r.collision) << "sight " << cfg.sight_distance_m;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sightlines, SightDistanceSweep,
+                         ::testing::Values(15.0, 25.0, 30.0, 80.0, 120.0));
+
+TEST(CurveScenarioConfig, BenignIsRobustToSightline) {
+  // With the relayed warning, the outcome must not depend on the sight
+  // line at all — V2 stops long before the passing zone.
+  for (const double sight : {15.0, 25.0, 60.0}) {
+    CurveConfig cfg;
+    cfg.sight_distance_m = sight;
+    const CurveResult r = run_curve_scenario(cfg);
+    EXPECT_TRUE(r.warning_delivered);
+    EXPECT_FALSE(r.collision) << "sight " << sight;
+  }
+}
+
+TEST(CurveScenarioConfig, ProfileIsSampledRegularly) {
+  const CurveResult r = run_curve_scenario(CurveConfig{});
+  ASSERT_GT(r.profile.size(), 50u);
+  for (std::size_t i = 1; i < r.profile.size(); ++i) {
+    EXPECT_NEAR(r.profile[i].t - r.profile[i - 1].t, 0.1, 0.02);
+  }
+}
+
+TEST(CurveScenarioConfig, SlowerV1AvoidsCollisionEvenAttacked) {
+  CurveConfig cfg;
+  cfg.attacked = true;
+  cfg.v1_cruise_floor = 4.0;  // creeping past the hazard
+  cfg.v2_cruise_floor = 3.0;
+  const CurveResult r = run_curve_scenario(cfg);
+  // Low closing speed: the short sight line suffices to stop in time.
+  EXPECT_FALSE(r.collision);
+}
+
+TEST(HazardScenarioConfig, CustomAttackRangeIsHonored) {
+  HazardConfig cfg;
+  cfg.mode = HazardConfig::Case::kCbfFlood;
+  cfg.road_length_m = 2000.0;
+  cfg.hazard_x_m = 1800.0;
+  cfg.sim_duration = sim::Duration::seconds(20.0);
+  cfg.attacked = true;
+  cfg.attack_range_m = 50.0;  // token attacker: too weak to block the flood
+  const HazardResult r = HazardScenario{cfg}.run();
+  EXPECT_TRUE(r.entrance_notified);
+}
+
+TEST(HazardScenarioConfig, SamplesCoverTheWholeRun) {
+  HazardConfig cfg;
+  cfg.mode = HazardConfig::Case::kCbfFlood;
+  cfg.road_length_m = 1500.0;
+  cfg.hazard_x_m = 1300.0;
+  cfg.sim_duration = sim::Duration::seconds(15.0);
+  const HazardResult r = HazardScenario{cfg}.run();
+  ASSERT_GE(r.vehicles_over_time.size(), 15u);
+  EXPECT_DOUBLE_EQ(r.vehicles_over_time.front().first, 0.0);
+  EXPECT_GE(r.peak_vehicle_count, r.final_vehicle_count);
+}
+
+}  // namespace
+}  // namespace vgr::scenario

@@ -1,0 +1,213 @@
+#include <gtest/gtest.h>
+
+#include "vgr/net/codec.hpp"
+#include "vgr/security/authority.hpp"
+#include "vgr/security/crypto.hpp"
+#include "vgr/security/pseudonym.hpp"
+#include "vgr/security/secured_message.hpp"
+
+namespace vgr::security {
+namespace {
+
+net::GnAddress addr(std::uint64_t mac) {
+  return net::GnAddress{net::GnAddress::StationType::kPassengerCar, net::MacAddress{mac}};
+}
+
+net::Packet sample_gbc(std::uint64_t src_mac) {
+  net::Packet p;
+  p.basic.remaining_hop_limit = 10;
+  p.common.type = net::CommonHeader::HeaderType::kGeoBroadcast;
+  net::LongPositionVector pv;
+  pv.address = addr(src_mac);
+  pv.position = {100.0, 2.5};
+  p.extended = net::GbcHeader{1, pv, geo::GeoArea::circle({4020.0, 2.5}, 30.0)};
+  p.payload = {9, 9, 9};
+  return p;
+}
+
+TEST(KeyedDigest, DeterministicAndKeyed) {
+  const net::Bytes msg{1, 2, 3};
+  EXPECT_EQ(keyed_digest(42, msg), keyed_digest(42, msg));
+  EXPECT_NE(keyed_digest(42, msg), keyed_digest(43, msg));
+}
+
+TEST(KeyedDigest, SensitiveToEveryByte) {
+  net::Bytes msg(64, 0xAA);
+  const std::uint64_t base = keyed_digest(7, msg);
+  for (std::size_t i = 0; i < msg.size(); ++i) {
+    net::Bytes mutated = msg;
+    mutated[i] ^= 0x01;
+    EXPECT_NE(keyed_digest(7, mutated), base) << "byte " << i;
+  }
+}
+
+TEST(KeyedDigest, EmptyMessageStillKeyed) {
+  EXPECT_NE(keyed_digest(1, {}), keyed_digest(2, {}));
+}
+
+TEST(PrivateKey, DefaultIsInvalid) {
+  EXPECT_FALSE(PrivateKey{}.valid());
+}
+
+TEST(CertificateAuthority, EnrollmentYieldsValidCertificate) {
+  CertificateAuthority ca;
+  const auto id = ca.enroll(addr(1));
+  EXPECT_TRUE(id.key.valid());
+  EXPECT_EQ(id.certificate.subject, addr(1));
+  EXPECT_FALSE(id.certificate.is_pseudonym);
+  EXPECT_TRUE(ca.trust_store()->certificate_valid(id.certificate));
+}
+
+TEST(CertificateAuthority, SerialsAreUnique) {
+  CertificateAuthority ca;
+  const auto a = ca.enroll(addr(1));
+  const auto b = ca.enroll(addr(2));
+  EXPECT_NE(a.certificate.serial, b.certificate.serial);
+  EXPECT_EQ(ca.issued_count(), 2u);
+}
+
+TEST(CertificateAuthority, TamperedSubjectFailsValidation) {
+  CertificateAuthority ca;
+  auto id = ca.enroll(addr(1));
+  Certificate forged = id.certificate;
+  forged.subject = addr(99);  // claim another identity
+  EXPECT_FALSE(ca.trust_store()->certificate_valid(forged));
+}
+
+TEST(CertificateAuthority, UnknownSerialFailsValidation) {
+  CertificateAuthority ca;
+  Certificate ghost;
+  ghost.serial = 12345;
+  ghost.subject = addr(1);
+  EXPECT_FALSE(ca.trust_store()->certificate_valid(ghost));
+}
+
+TEST(CertificateAuthority, RevocationTakesEffect) {
+  CertificateAuthority ca;
+  const auto id = ca.enroll(addr(1));
+  ca.revoke(id.certificate.serial);
+  EXPECT_FALSE(ca.trust_store()->certificate_valid(id.certificate));
+}
+
+TEST(CertificateAuthority, DistinctCAsDoNotCrossValidate) {
+  CertificateAuthority ca1{111}, ca2{222};
+  const auto id = ca1.enroll(addr(1));
+  EXPECT_FALSE(ca2.trust_store()->certificate_valid(id.certificate));
+}
+
+TEST(SecuredMessage, SignVerifyRoundTrip) {
+  CertificateAuthority ca;
+  const Signer signer{ca.enroll(addr(1))};
+  const auto msg = SecuredMessage::sign(sample_gbc(1), signer);
+  EXPECT_TRUE(msg.verify(*ca.trust_store()));
+}
+
+TEST(SecuredMessage, ReplayedMessageStillVerifies) {
+  // The heart of attack #1: a byte-for-byte replay is indistinguishable
+  // from the original to the verifier.
+  CertificateAuthority ca;
+  const Signer signer{ca.enroll(addr(1))};
+  const auto original = SecuredMessage::sign(sample_gbc(1), signer);
+  const SecuredMessage replayed = original;  // captured & re-injected
+  EXPECT_TRUE(replayed.verify(*ca.trust_store()));
+}
+
+TEST(SecuredMessage, RhlRewriteIsUndetectable) {
+  // The heart of attack #2: RHL is outside the signature scope.
+  CertificateAuthority ca;
+  const Signer signer{ca.enroll(addr(1))};
+  auto msg = SecuredMessage::sign(sample_gbc(1), signer);
+  msg.packet.basic.remaining_hop_limit = 1;
+  EXPECT_TRUE(msg.verify(*ca.trust_store()));
+}
+
+TEST(SecuredMessage, PayloadTamperingIsDetected) {
+  CertificateAuthority ca;
+  const Signer signer{ca.enroll(addr(1))};
+  auto msg = SecuredMessage::sign(sample_gbc(1), signer);
+  msg.packet.payload[0] ^= 0xFF;
+  EXPECT_FALSE(msg.verify(*ca.trust_store()));
+}
+
+TEST(SecuredMessage, PositionTamperingIsDetected) {
+  // A false-position-advertisement attack (the paper's related work [14])
+  // cannot alter a legitimate PV without breaking the signature.
+  CertificateAuthority ca;
+  const Signer signer{ca.enroll(addr(1))};
+  auto msg = SecuredMessage::sign(sample_gbc(1), signer);
+  msg.packet.gbc()->source_pv.position.x += 500.0;
+  EXPECT_FALSE(msg.verify(*ca.trust_store()));
+}
+
+TEST(SecuredMessage, AreaTamperingIsDetected) {
+  CertificateAuthority ca;
+  const Signer signer{ca.enroll(addr(1))};
+  auto msg = SecuredMessage::sign(sample_gbc(1), signer);
+  msg.packet.gbc()->area = geo::GeoArea::circle({0.0, 0.0}, 5.0);
+  EXPECT_FALSE(msg.verify(*ca.trust_store()));
+}
+
+TEST(SecuredMessage, WrongSignerCertificateFails) {
+  CertificateAuthority ca;
+  const Signer alice{ca.enroll(addr(1))};
+  const auto bob = ca.enroll(addr(2));
+  auto msg = SecuredMessage::sign(sample_gbc(1), alice);
+  msg.signer = bob.certificate;  // present someone else's certificate
+  EXPECT_FALSE(msg.verify(*ca.trust_store()));
+}
+
+TEST(SecuredMessage, OutsiderForgeryFails) {
+  // An attacker without any enrolled key cannot mint a valid envelope.
+  CertificateAuthority ca;
+  SecuredMessage forged;
+  forged.packet = sample_gbc(1);
+  forged.signer.serial = 77;
+  forged.signer.subject = addr(1);
+  forged.signature = 0x1234'5678'9ABC'DEF0ULL;
+  EXPECT_FALSE(forged.verify(*ca.trust_store()));
+}
+
+TEST(SecuredMessage, RevokedSignerFailsVerification) {
+  CertificateAuthority ca;
+  const auto id = ca.enroll(addr(1));
+  const auto msg = SecuredMessage::sign(sample_gbc(1), Signer{id});
+  ca.revoke(id.certificate.serial);
+  EXPECT_FALSE(msg.verify(*ca.trust_store()));
+}
+
+TEST(Pseudonym, PoolIssuesAndRotates) {
+  CertificateAuthority ca;
+  sim::Rng rng{5};
+  PseudonymManager mgr{ca, net::MacAddress{0xAA}, 4, sim::Duration::seconds(10.0), rng};
+  EXPECT_EQ(mgr.pool_size(), 4u);
+
+  const auto t0 = sim::TimePoint::origin();
+  const auto alias0 = mgr.current_alias(t0);
+  const auto alias1 = mgr.current_alias(t0 + sim::Duration::seconds(11.0));
+  EXPECT_NE(alias0, alias1);
+  EXPECT_EQ(mgr.rotations(), 1u);
+}
+
+TEST(Pseudonym, PseudonymCertificatesVerify) {
+  CertificateAuthority ca;
+  sim::Rng rng{6};
+  PseudonymManager mgr{ca, net::MacAddress{0xBB}, 2, sim::Duration::seconds(60.0), rng};
+  const auto& id = mgr.active(sim::TimePoint::origin());
+  EXPECT_TRUE(id.certificate.is_pseudonym);
+  const auto msg = SecuredMessage::sign(sample_gbc(id.certificate.subject.mac().bits()),
+                                        Signer{id});
+  EXPECT_TRUE(msg.verify(*ca.trust_store()));
+}
+
+TEST(Pseudonym, RotationWrapsAroundPool) {
+  CertificateAuthority ca;
+  sim::Rng rng{8};
+  PseudonymManager mgr{ca, net::MacAddress{0xCC}, 2, sim::Duration::seconds(1.0), rng};
+  const auto t = sim::TimePoint::origin();
+  const auto a0 = mgr.current_alias(t);
+  const auto a2 = mgr.current_alias(t + sim::Duration::seconds(2.1));
+  EXPECT_EQ(a0, a2);  // pool of 2 wraps after two rotations
+}
+
+}  // namespace
+}  // namespace vgr::security

@@ -1,0 +1,84 @@
+#include "vgr/sim/time.hpp"
+
+#include <gtest/gtest.h>
+
+namespace vgr::sim {
+namespace {
+
+using namespace vgr::sim::literals;
+
+TEST(Duration, FactoryUnitsAgree) {
+  EXPECT_EQ(Duration::millis(1).count(), 1'000'000);
+  EXPECT_EQ(Duration::micros(1).count(), 1'000);
+  EXPECT_EQ(Duration::nanos(1).count(), 1);
+  EXPECT_EQ(Duration::seconds(1.0).count(), 1'000'000'000);
+  EXPECT_EQ(Duration::seconds(0.5), Duration::millis(500));
+}
+
+TEST(Duration, Literals) {
+  EXPECT_EQ(3_s, Duration::seconds(3.0));
+  EXPECT_EQ(100_ms, Duration::millis(100));
+  EXPECT_EQ(500_us, Duration::micros(500));
+  EXPECT_EQ(0.75_s, Duration::millis(750));
+}
+
+TEST(Duration, Arithmetic) {
+  EXPECT_EQ(1_s + 500_ms, Duration::millis(1500));
+  EXPECT_EQ(1_s - 400_ms, Duration::millis(600));
+  EXPECT_EQ(3 * 100_ms, Duration::millis(300));
+  EXPECT_EQ(100_ms * 3, Duration::millis(300));
+  EXPECT_DOUBLE_EQ(1_s / 250_ms, 4.0);
+  EXPECT_EQ((100_ms) * 0.5, Duration::millis(50));
+}
+
+TEST(Duration, CompoundAssignment) {
+  Duration d = 1_s;
+  d += 500_ms;
+  EXPECT_EQ(d, Duration::millis(1500));
+  d -= 1_s;
+  EXPECT_EQ(d, 500_ms);
+}
+
+TEST(Duration, Comparisons) {
+  EXPECT_LT(1_ms, 2_ms);
+  EXPECT_GT(1_s, 999_ms);
+  EXPECT_LE(Duration::zero(), 0_ms);
+  EXPECT_EQ(Duration::zero().count(), 0);
+  EXPECT_LT(Duration::zero(), Duration::max());
+}
+
+TEST(Duration, Conversions) {
+  EXPECT_DOUBLE_EQ((1500_ms).to_seconds(), 1.5);
+  EXPECT_DOUBLE_EQ((1500_us).to_millis(), 1.5);
+}
+
+TEST(TimePoint, OriginAndArithmetic) {
+  const TimePoint t0 = TimePoint::origin();
+  EXPECT_EQ(t0.count(), 0);
+  const TimePoint t1 = t0 + 5_s;
+  EXPECT_DOUBLE_EQ(t1.to_seconds(), 5.0);
+  EXPECT_EQ(t1 - t0, 5_s);
+  EXPECT_EQ(t1 - 2_s, t0 + 3_s);
+  EXPECT_EQ(TimePoint::at(7_s), t0 + 7_s);
+}
+
+TEST(TimePoint, Ordering) {
+  EXPECT_LT(TimePoint::at(1_s), TimePoint::at(2_s));
+  EXPECT_LT(TimePoint::at(1_s), TimePoint::max());
+  EXPECT_EQ(TimePoint::at(1_s).since_origin(), 1_s);
+}
+
+TEST(TimeToString, Renders) {
+  EXPECT_EQ(to_string(1500_ms), "1.500000s");
+  EXPECT_EQ(to_string(TimePoint::at(2_s)), "2.000000s");
+}
+
+TEST(Duration, NegativeDurationsBehave) {
+  const Duration d = 1_s - 3_s;
+  EXPECT_EQ(d.count(), -2'000'000'000);
+  EXPECT_LT(d, Duration::zero());
+  EXPECT_EQ(d + 3_s, 1_s);
+}
+
+}  // namespace
+}  // namespace vgr::sim

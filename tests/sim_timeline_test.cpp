@@ -1,0 +1,113 @@
+#include "vgr/sim/timeline.hpp"
+
+#include <gtest/gtest.h>
+
+namespace vgr::sim {
+namespace {
+
+using namespace vgr::sim::literals;
+
+TEST(BinnedRate, GeometryFromWidthAndHorizon) {
+  const BinnedRate r{5_s, 200_s};
+  EXPECT_EQ(r.bin_count(), 40u);
+  EXPECT_EQ(r.bin_width(), 5_s);
+}
+
+TEST(BinnedRate, HorizonRoundsUp) {
+  const BinnedRate r{5_s, 201_s};
+  EXPECT_EQ(r.bin_count(), 41u);
+}
+
+TEST(BinnedRate, RecordLandsInCorrectBin) {
+  BinnedRate r{5_s, 20_s};
+  r.record(TimePoint::at(7_s), 1.0, 1.0);
+  EXPECT_FALSE(r.has_data(0));
+  EXPECT_TRUE(r.has_data(1));
+  EXPECT_DOUBLE_EQ(r.rate(1), 1.0);
+}
+
+TEST(BinnedRate, BinBoundaryBelongsToNextBin) {
+  BinnedRate r{5_s, 20_s};
+  r.record(TimePoint::at(5_s), 1.0, 1.0);
+  EXPECT_FALSE(r.has_data(0));
+  EXPECT_TRUE(r.has_data(1));
+}
+
+TEST(BinnedRate, LateRecordsClampToLastBin) {
+  BinnedRate r{5_s, 20_s};
+  r.record(TimePoint::at(25_s), 1.0, 2.0);
+  EXPECT_TRUE(r.has_data(3));
+  EXPECT_DOUBLE_EQ(r.rate(3), 0.5);
+}
+
+TEST(BinnedRate, EmptyBinUsesFallback) {
+  const BinnedRate r{5_s, 20_s};
+  EXPECT_DOUBLE_EQ(r.rate(0), 0.0);
+  EXPECT_DOUBLE_EQ(r.rate(0, 0.7), 0.7);
+}
+
+TEST(BinnedRate, OverallAggregatesAcrossBins) {
+  BinnedRate r{5_s, 20_s};
+  r.record(TimePoint::at(1_s), 1.0, 1.0);
+  r.record(TimePoint::at(6_s), 0.0, 1.0);
+  r.record(TimePoint::at(11_s), 1.0, 2.0);
+  EXPECT_DOUBLE_EQ(r.overall(), 0.5);
+}
+
+TEST(BinnedRate, CumulativeGrowsMonotonicallyWithHits) {
+  BinnedRate r{5_s, 20_s};
+  r.record(TimePoint::at(1_s), 0.0, 1.0);
+  r.record(TimePoint::at(6_s), 1.0, 1.0);
+  EXPECT_DOUBLE_EQ(r.cumulative(0), 0.0);
+  EXPECT_DOUBLE_EQ(r.cumulative(1), 0.5);
+  EXPECT_DOUBLE_EQ(r.cumulative(3), 0.5);
+}
+
+TEST(BinnedRate, MergeAddsCounts) {
+  BinnedRate a{5_s, 10_s};
+  BinnedRate b{5_s, 10_s};
+  a.record(TimePoint::at(1_s), 1.0, 1.0);
+  b.record(TimePoint::at(1_s), 0.0, 1.0);
+  a.merge(b);
+  EXPECT_DOUBLE_EQ(a.rate(0), 0.5);
+}
+
+TEST(BinnedRate, AverageDropBasics) {
+  BinnedRate base{5_s, 10_s};
+  BinnedRate atk{5_s, 10_s};
+  base.record(TimePoint::at(1_s), 10.0, 10.0);  // rate 1.0
+  atk.record(TimePoint::at(1_s), 5.0, 10.0);    // rate 0.5
+  base.record(TimePoint::at(6_s), 10.0, 10.0);
+  atk.record(TimePoint::at(6_s), 10.0, 10.0);
+  EXPECT_DOUBLE_EQ(BinnedRate::average_drop(base, atk), 0.25);  // (0.5 + 0.0) / 2
+}
+
+TEST(BinnedRate, AverageDropIgnoresEmptyBaselineBins) {
+  BinnedRate base{5_s, 10_s};
+  BinnedRate atk{5_s, 10_s};
+  base.record(TimePoint::at(1_s), 10.0, 10.0);
+  atk.record(TimePoint::at(1_s), 0.0, 10.0);
+  // Bin 1 empty in baseline -> excluded.
+  EXPECT_DOUBLE_EQ(BinnedRate::average_drop(base, atk), 1.0);
+}
+
+TEST(BinnedRate, AverageDropClampsNegativeDrops) {
+  BinnedRate base{5_s, 5_s};
+  BinnedRate atk{5_s, 5_s};
+  base.record(TimePoint::at(1_s), 5.0, 10.0);
+  atk.record(TimePoint::at(1_s), 10.0, 10.0);  // attacked better than baseline
+  EXPECT_DOUBLE_EQ(BinnedRate::average_drop(base, atk), 0.0);
+}
+
+TEST(BinnedRate, FullInterceptionYieldsDropOne) {
+  BinnedRate base{5_s, 200_s};
+  BinnedRate atk{5_s, 200_s};
+  for (int t = 0; t < 200; t += 5) {
+    base.record(TimePoint::at(Duration::seconds(t + 1.0)), 9.0, 10.0);
+    atk.record(TimePoint::at(Duration::seconds(t + 1.0)), 0.0, 10.0);
+  }
+  EXPECT_DOUBLE_EQ(BinnedRate::average_drop(base, atk), 1.0);
+}
+
+}  // namespace
+}  // namespace vgr::sim

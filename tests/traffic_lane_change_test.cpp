@@ -1,0 +1,178 @@
+// Tests for MOBIL-style lane changing and the histogram/CSV utilities that
+// support the experiment harness.
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <string>
+
+#include "vgr/scenario/csv.hpp"
+#include "vgr/sim/histogram.hpp"
+#include "vgr/traffic/traffic_sim.hpp"
+
+namespace vgr {
+namespace {
+
+// --- Lane changing -----------------------------------------------------------
+
+traffic::TrafficSimulation::Config lc_config() {
+  traffic::TrafficSimulation::Config cfg;
+  cfg.prefill_spacing_m = 0.0;
+  cfg.lane_changing = true;
+  return cfg;
+}
+
+TEST(LaneChange, OvertakesSlowLeaderViaFreeLane) {
+  traffic::TrafficSimulation sim{traffic::RoadSegment{5000.0, 2, false}, lc_config()};
+  sim.set_entry_enabled(traffic::Direction::kEastbound, false);
+  traffic::Vehicle& slow = sim.add_vehicle(traffic::Direction::kEastbound, 0, 300.0, 5.0);
+  slow.set_forced_acceleration(0.0);  // crawls at 5 m/s forever
+  traffic::Vehicle& fast = sim.add_vehicle(traffic::Direction::kEastbound, 0, 100.0, 30.0);
+
+  for (int i = 0; i < 600; ++i) sim.tick();  // 60 s
+  EXPECT_EQ(fast.lane(), 1);                 // moved over...
+  EXPECT_GT(fast.x(), slow.x());             // ...and passed
+  EXPECT_GE(sim.lane_changes(), 1u);
+  EXPECT_EQ(sim.collisions(), 0u);
+}
+
+TEST(LaneChange, DisabledByDefault) {
+  traffic::TrafficSimulation::Config cfg;
+  cfg.prefill_spacing_m = 0.0;
+  traffic::TrafficSimulation sim{traffic::RoadSegment{5000.0, 2, false}, cfg};
+  sim.set_entry_enabled(traffic::Direction::kEastbound, false);
+  traffic::Vehicle& slow = sim.add_vehicle(traffic::Direction::kEastbound, 0, 300.0, 5.0);
+  slow.set_forced_acceleration(0.0);
+  traffic::Vehicle& fast = sim.add_vehicle(traffic::Direction::kEastbound, 0, 100.0, 30.0);
+  for (int i = 0; i < 600; ++i) sim.tick();
+  EXPECT_EQ(fast.lane(), 0);
+  EXPECT_LT(fast.x(), slow.x());  // stuck behind
+  EXPECT_EQ(sim.lane_changes(), 0u);
+}
+
+TEST(LaneChange, RefusesUnsafeGapToNewFollower) {
+  traffic::TrafficSimulation sim{traffic::RoadSegment{5000.0, 2, false}, lc_config()};
+  sim.set_entry_enabled(traffic::Direction::kEastbound, false);
+  // Lane 0: crawler ahead of the candidate. Lane 1: a fast vehicle right
+  // next to the candidate — cutting in would force it into harsh braking.
+  traffic::Vehicle& slow = sim.add_vehicle(traffic::Direction::kEastbound, 0, 140.0, 5.0);
+  slow.set_forced_acceleration(0.0);
+  traffic::Vehicle& candidate = sim.add_vehicle(traffic::Direction::kEastbound, 0, 120.0, 6.0);
+  traffic::Vehicle& rear = sim.add_vehicle(traffic::Direction::kEastbound, 1, 110.0, 30.0);
+  rear.set_forced_acceleration(0.0);
+
+  sim.tick();  // one lane-change evaluation at t=0
+  EXPECT_EQ(candidate.lane(), 0);
+}
+
+TEST(LaneChange, NoIncentiveMeansNoChange) {
+  traffic::TrafficSimulation sim{traffic::RoadSegment{5000.0, 2, false}, lc_config()};
+  sim.set_entry_enabled(traffic::Direction::kEastbound, false);
+  // Free road in the current lane: nothing to gain by moving over.
+  traffic::Vehicle& v = sim.add_vehicle(traffic::Direction::kEastbound, 0, 100.0, 30.0);
+  for (int i = 0; i < 300; ++i) sim.tick();
+  EXPECT_EQ(v.lane(), 0);
+  EXPECT_EQ(sim.lane_changes(), 0u);
+}
+
+TEST(LaneChange, StaysCollisionFreeInDenseTraffic) {
+  traffic::TrafficSimulation::Config cfg = lc_config();
+  cfg.prefill_spacing_m = 40.0;
+  traffic::TrafficSimulation sim{traffic::RoadSegment{3000.0, 2, true}, cfg};
+  sim.prefill();
+  sim.set_hazard(traffic::Direction::kEastbound, 2500.0);
+  for (int i = 0; i < 1000; ++i) sim.tick();  // 100 s with a queue forming
+  EXPECT_EQ(sim.collisions(), 0u);
+}
+
+// --- Histogram -----------------------------------------------------------------
+
+TEST(Histogram, BasicStatistics) {
+  sim::Histogram h;
+  for (const double v : {5.0, 1.0, 3.0, 2.0, 4.0}) h.add(v);
+  EXPECT_EQ(h.count(), 5u);
+  EXPECT_DOUBLE_EQ(h.min(), 1.0);
+  EXPECT_DOUBLE_EQ(h.max(), 5.0);
+  EXPECT_DOUBLE_EQ(h.mean(), 3.0);
+  EXPECT_DOUBLE_EQ(h.median(), 3.0);
+  EXPECT_DOUBLE_EQ(h.quantile(0.0), 1.0);
+  EXPECT_DOUBLE_EQ(h.quantile(1.0), 5.0);
+}
+
+TEST(Histogram, QuantileInterpolates) {
+  sim::Histogram h;
+  h.add(0.0);
+  h.add(10.0);
+  EXPECT_DOUBLE_EQ(h.quantile(0.25), 2.5);
+  EXPECT_DOUBLE_EQ(h.quantile(0.5), 5.0);
+}
+
+TEST(Histogram, QuantileClampsRange) {
+  sim::Histogram h;
+  h.add(7.0);
+  EXPECT_DOUBLE_EQ(h.quantile(-1.0), 7.0);
+  EXPECT_DOUBLE_EQ(h.quantile(2.0), 7.0);
+}
+
+TEST(Histogram, MergeAndClear) {
+  sim::Histogram a, b;
+  a.add(1.0);
+  b.add(3.0);
+  a.merge(b);
+  EXPECT_EQ(a.count(), 2u);
+  EXPECT_DOUBLE_EQ(a.mean(), 2.0);
+  a.clear();
+  EXPECT_TRUE(a.empty());
+}
+
+TEST(Histogram, AddAfterQuantileStillCorrect) {
+  sim::Histogram h;
+  h.add(2.0);
+  h.add(1.0);
+  EXPECT_DOUBLE_EQ(h.median(), 1.5);
+  h.add(10.0);  // must re-sort lazily
+  EXPECT_DOUBLE_EQ(h.median(), 2.0);
+}
+
+// --- CSV writer ------------------------------------------------------------------
+
+TEST(Csv, WritesHeaderAndRows) {
+  const std::string dir = ::testing::TempDir();
+  {
+    scenario::CsvWriter w{dir, "vgr_csv_test"};
+    ASSERT_TRUE(w.ok());
+    w.header({"t", "value"});
+    w.row({1.0, 0.5});
+    w.row({2.0, 0.25});
+  }
+  std::FILE* f = std::fopen((dir + "/vgr_csv_test.csv").c_str(), "r");
+  ASSERT_NE(f, nullptr);
+  char buf[256];
+  std::string content;
+  while (std::fgets(buf, sizeof buf, f) != nullptr) content += buf;
+  std::fclose(f);
+  EXPECT_NE(content.find("t,value"), std::string::npos);
+  EXPECT_NE(content.find("1.000000,0.500000"), std::string::npos);
+}
+
+TEST(Csv, EmptyDirIsNoop) {
+  scenario::CsvWriter w{"", "nothing"};
+  EXPECT_FALSE(w.ok());
+  w.header({"a"});  // must not crash
+  w.row({1.0});
+}
+
+TEST(Csv, WriteTimelinesDumpsAlignedSeries) {
+  using namespace sim::literals;
+  sim::BinnedRate a{5_s, 10_s}, b{5_s, 10_s};
+  a.record(sim::TimePoint::at(1_s), 1.0, 1.0);
+  b.record(sim::TimePoint::at(1_s), 0.0, 1.0);
+  const std::string dir = ::testing::TempDir();
+  scenario::CsvWriter::write_timelines(dir, "vgr_csv_series", {"af", "atk"}, {&a, &b});
+  std::FILE* f = std::fopen((dir + "/vgr_csv_series.csv").c_str(), "r");
+  ASSERT_NE(f, nullptr);
+  std::fclose(f);
+}
+
+}  // namespace
+}  // namespace vgr

@@ -1,0 +1,269 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "vgr/traffic/idm.hpp"
+#include "vgr/traffic/road.hpp"
+#include "vgr/traffic/traffic_sim.hpp"
+#include "vgr/traffic/vehicle.hpp"
+
+namespace vgr::traffic {
+namespace {
+
+using namespace vgr::sim::literals;
+
+// --- IDM -------------------------------------------------------------------
+
+TEST(Idm, FreeRoadAcceleratesFromRest) {
+  const IdmParameters p;
+  EXPECT_DOUBLE_EQ(idm_acceleration(p, 0.0, std::nullopt), p.max_acceleration_mps2);
+}
+
+TEST(Idm, FreeRoadZeroAccelAtDesiredSpeed) {
+  const IdmParameters p;
+  EXPECT_NEAR(idm_acceleration(p, p.desired_velocity_mps, std::nullopt), 0.0, 1e-12);
+}
+
+TEST(Idm, FreeRoadDeceleratesAboveDesiredSpeed) {
+  const IdmParameters p;
+  EXPECT_LT(idm_acceleration(p, 40.0, std::nullopt), 0.0);
+}
+
+TEST(Idm, TightGapForcesBraking) {
+  const IdmParameters p;
+  EXPECT_LT(idm_acceleration(p, 30.0, Leader{5.0, 0.0}), -3.0);
+}
+
+TEST(Idm, LargeGapApproachesFreeAcceleration) {
+  const IdmParameters p;
+  const double free = idm_acceleration(p, 20.0, std::nullopt);
+  const double follow = idm_acceleration(p, 20.0, Leader{2000.0, 20.0});
+  EXPECT_NEAR(follow, free, 0.01);
+}
+
+TEST(Idm, ClosingSpeedIncreasesBraking) {
+  const IdmParameters p;
+  const double same_speed = idm_acceleration(p, 25.0, Leader{50.0, 25.0});
+  const double closing = idm_acceleration(p, 25.0, Leader{50.0, 10.0});
+  EXPECT_LT(closing, same_speed);
+}
+
+TEST(Idm, AccelerationMonotoneInGap) {
+  const IdmParameters p;
+  double prev = -1e9;
+  for (double gap = 3.0; gap < 300.0; gap += 5.0) {
+    const double a = idm_acceleration(p, 25.0, Leader{gap, 25.0});
+    EXPECT_GE(a, prev);
+    prev = a;
+  }
+}
+
+// Equilibrium property: following at the IDM equilibrium gap produces ~zero
+// acceleration, for several speeds.
+class IdmEquilibrium : public ::testing::TestWithParam<double> {};
+
+TEST_P(IdmEquilibrium, EquilibriumGapGivesZeroAcceleration) {
+  const IdmParameters p;
+  const double v = GetParam();
+  // Equilibrium spacing for same-speed follower: s* = s0 + v*T, and
+  // a = a_max [1 - (v/v0)^4 - (s*/s)^2] = 0 => s = s*/sqrt(1-(v/v0)^4).
+  const double s_star = p.minimum_distance_m + v * p.safe_time_headway_s;
+  const double s = s_star / std::sqrt(1.0 - std::pow(v / p.desired_velocity_mps, 4.0));
+  EXPECT_NEAR(idm_acceleration(p, v, Leader{s, v}), 0.0, 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(Speeds, IdmEquilibrium, ::testing::Values(5.0, 10.0, 20.0, 25.0));
+
+// --- Vehicle ----------------------------------------------------------------
+
+TEST(Vehicle, AdvanceIntegratesBallistically) {
+  Vehicle v{1, Direction::kEastbound, 0, 0.0, 10.0};
+  v.advance(2.0, 1.0);  // accelerate 2 m/s^2 for 1 s
+  EXPECT_DOUBLE_EQ(v.speed(), 12.0);
+  EXPECT_DOUBLE_EQ(v.x(), 11.0);  // average speed 11
+}
+
+TEST(Vehicle, SpeedClampsAtZero) {
+  Vehicle v{1, Direction::kEastbound, 0, 0.0, 1.0};
+  v.advance(-10.0, 1.0);
+  EXPECT_DOUBLE_EQ(v.speed(), 0.0);
+  EXPECT_GT(v.x(), 0.0);  // rolled a little before stopping
+}
+
+TEST(Vehicle, WestboundMovesNegativeX) {
+  Vehicle v{1, Direction::kWestbound, 0, 1000.0, 20.0};
+  v.advance(0.0, 1.0);
+  EXPECT_DOUBLE_EQ(v.x(), 980.0);
+}
+
+TEST(Vehicle, ProgressMeasuresFromEntrance) {
+  const RoadSegment road{4000.0, 2, true};
+  Vehicle east{1, Direction::kEastbound, 0, 1000.0, 0.0};
+  Vehicle west{2, Direction::kWestbound, 0, 1000.0, 0.0};
+  EXPECT_DOUBLE_EQ(east.progress(road), 1000.0);
+  EXPECT_DOUBLE_EQ(west.progress(road), 3000.0);
+}
+
+TEST(Vehicle, ForcedAccelerationOverride) {
+  Vehicle v{1, Direction::kEastbound, 0, 0.0, 10.0};
+  v.set_forced_acceleration(-2.0);
+  EXPECT_EQ(v.forced_acceleration(), -2.0);
+  v.set_forced_acceleration(std::nullopt);
+  EXPECT_FALSE(v.forced_acceleration().has_value());
+}
+
+// --- RoadSegment -------------------------------------------------------------
+
+TEST(RoadSegment, LaneGeometry) {
+  const RoadSegment road{4000.0, 2, true, 5.0};
+  EXPECT_DOUBLE_EQ(road.lane_center_y(Direction::kEastbound, 0), 2.5);
+  EXPECT_DOUBLE_EQ(road.lane_center_y(Direction::kEastbound, 1), 7.5);
+  EXPECT_DOUBLE_EQ(road.lane_center_y(Direction::kWestbound, 0), -2.5);
+  EXPECT_DOUBLE_EQ(road.lane_center_y(Direction::kWestbound, 1), -7.5);
+}
+
+TEST(RoadSegment, EntrancesAndExits) {
+  const RoadSegment road{4000.0, 2, true};
+  EXPECT_DOUBLE_EQ(road.entrance_x(Direction::kEastbound), 0.0);
+  EXPECT_DOUBLE_EQ(road.entrance_x(Direction::kWestbound), 4000.0);
+  EXPECT_TRUE(road.past_exit(Direction::kEastbound, 4001.0));
+  EXPECT_FALSE(road.past_exit(Direction::kEastbound, 3999.0));
+  EXPECT_TRUE(road.past_exit(Direction::kWestbound, -1.0));
+}
+
+TEST(RoadSegment, PositionOf) {
+  const RoadSegment road{4000.0, 2, true};
+  const geo::Position p = road.position_of(Direction::kWestbound, 1, 1234.0);
+  EXPECT_DOUBLE_EQ(p.x, 1234.0);
+  EXPECT_DOUBLE_EQ(p.y, -7.5);
+}
+
+// --- TrafficSimulation --------------------------------------------------------
+
+TrafficSimulation::Config sim_config(double prefill = 30.0) {
+  TrafficSimulation::Config cfg;
+  cfg.prefill_spacing_m = prefill;
+  return cfg;
+}
+
+TEST(TrafficSim, PrefillPopulatesAllLanes) {
+  TrafficSimulation sim{RoadSegment{4000.0, 2, false}, sim_config(30.0)};
+  sim.prefill();
+  // 4000/30 + 1 = 134 per lane, 2 lanes, one direction.
+  EXPECT_EQ(sim.vehicle_count(), 268u);
+  EXPECT_EQ(sim.count(Direction::kEastbound), 268u);
+  EXPECT_EQ(sim.count(Direction::kWestbound), 0u);
+}
+
+TEST(TrafficSim, PrefillTwoWayDoubles) {
+  TrafficSimulation sim{RoadSegment{4000.0, 2, true}, sim_config(30.0)};
+  sim.prefill();
+  EXPECT_EQ(sim.count(Direction::kEastbound), sim.count(Direction::kWestbound));
+  EXPECT_EQ(sim.vehicle_count(), 536u);
+}
+
+TEST(TrafficSim, EmptyPrefillStartsEmpty) {
+  TrafficSimulation sim{RoadSegment{4000.0, 2, false}, sim_config(0.0)};
+  sim.prefill();
+  EXPECT_EQ(sim.vehicle_count(), 0u);
+}
+
+TEST(TrafficSim, EntriesFillAnEmptyRoad) {
+  TrafficSimulation sim{RoadSegment{4000.0, 2, false}, sim_config(0.0)};
+  for (int i = 0; i < 100; ++i) sim.tick();  // 10 s
+  // Entry once the previous vehicle clears 30 m at 30 m/s: ~1/s per lane.
+  EXPECT_GE(sim.vehicle_count(), 16u);
+  EXPECT_LE(sim.vehicle_count(), 24u);
+}
+
+TEST(TrafficSim, EntryDisableStopsInflow) {
+  TrafficSimulation sim{RoadSegment{4000.0, 2, false}, sim_config(0.0)};
+  sim.set_entry_enabled(Direction::kEastbound, false);
+  for (int i = 0; i < 100; ++i) sim.tick();
+  EXPECT_EQ(sim.vehicle_count(), 0u);
+}
+
+TEST(TrafficSim, VehiclesExitAtSegmentEnd) {
+  TrafficSimulation sim{RoadSegment{300.0, 1, false}, sim_config(100.0)};
+  sim.set_entry_enabled(Direction::kEastbound, false);
+  sim.prefill();
+  const auto initial = sim.vehicle_count();
+  int exits = 0;
+  sim.set_on_exit([&](Vehicle&) { ++exits; });
+  for (int i = 0; i < 200; ++i) sim.tick();  // 20 s at 30 m/s clears 300 m
+  EXPECT_EQ(sim.vehicle_count(), 0u);
+  EXPECT_EQ(exits, static_cast<int>(initial));
+}
+
+TEST(TrafficSim, SteadyFlowIsCollisionFree) {
+  TrafficSimulation sim{RoadSegment{2000.0, 2, true}, sim_config(30.0)};
+  sim.prefill();
+  for (int i = 0; i < 600; ++i) sim.tick();  // 60 s
+  EXPECT_EQ(sim.collisions(), 0u);
+}
+
+TEST(TrafficSim, HazardQueuesTrafficWithoutCollisions) {
+  TrafficSimulation sim{RoadSegment{2000.0, 1, false}, sim_config(60.0)};
+  sim.prefill();
+  sim.set_hazard(Direction::kEastbound, 1500.0);
+  for (int i = 0; i < 1200; ++i) sim.tick();  // 120 s
+  EXPECT_EQ(sim.collisions(), 0u);
+  // Everything behind the hazard is stopped or crawling; nobody passed it.
+  for (const Vehicle* v : const_cast<const TrafficSimulation&>(sim).vehicles()) {
+    EXPECT_LE(v->x(), 1500.0 + 1.0);
+  }
+  EXPECT_GT(sim.vehicle_count(), 10u);  // the queue holds vehicles on road
+}
+
+TEST(TrafficSim, HazardClearRestoresFlow) {
+  TrafficSimulation sim{RoadSegment{2000.0, 1, false}, sim_config(100.0)};
+  sim.prefill();
+  sim.set_hazard(Direction::kEastbound, 1000.0);
+  for (int i = 0; i < 300; ++i) sim.tick();
+  sim.set_hazard(Direction::kEastbound, std::nullopt);
+  for (int i = 0; i < 300; ++i) sim.tick();
+  // The front vehicle moves again past the cleared hazard point.
+  double max_x = 0.0;
+  for (const Vehicle* v : const_cast<const TrafficSimulation&>(sim).vehicles()) {
+    max_x = std::max(max_x, v->x());
+  }
+  EXPECT_GT(max_x, 1000.0);
+}
+
+TEST(TrafficSim, SpawnHookSeesEveryVehicle) {
+  TrafficSimulation sim{RoadSegment{1000.0, 2, false}, sim_config(0.0)};
+  int spawned = 0;
+  sim.set_on_spawn([&](Vehicle&) { ++spawned; });
+  for (int i = 0; i < 50; ++i) sim.tick();
+  EXPECT_EQ(static_cast<std::size_t>(spawned), sim.vehicle_count());
+}
+
+TEST(TrafficSim, FindLocatesVehicleById) {
+  TrafficSimulation sim{RoadSegment{1000.0, 1, false}, sim_config(0.0)};
+  Vehicle& v = sim.add_vehicle(Direction::kEastbound, 0, 123.0, 10.0);
+  EXPECT_EQ(sim.find(v.id()), &v);
+  EXPECT_EQ(sim.find(9999), nullptr);
+}
+
+TEST(TrafficSim, RunOnAdvancesWithEventQueue) {
+  TrafficSimulation sim{RoadSegment{1000.0, 1, false}, sim_config(0.0)};
+  sim::EventQueue events;
+  sim.run_on(events, sim::TimePoint::at(5_s));
+  events.run_until(sim::TimePoint::at(5_s));
+  EXPECT_EQ(sim.ticks(), 50u);
+}
+
+TEST(TrafficSim, FollowerNeverOvertakesLeaderInLane) {
+  TrafficSimulation sim{RoadSegment{3000.0, 1, false}, sim_config(0.0)};
+  Vehicle& lead = sim.add_vehicle(Direction::kEastbound, 0, 200.0, 5.0);   // slow leader
+  Vehicle& tail = sim.add_vehicle(Direction::kEastbound, 0, 100.0, 30.0);  // fast follower
+  sim.set_entry_enabled(Direction::kEastbound, false);
+  for (int i = 0; i < 500; ++i) {
+    sim.tick();
+    EXPECT_LT(tail.x(), lead.x()) << "tick " << i;
+  }
+  EXPECT_EQ(sim.collisions(), 0u);
+}
+
+}  // namespace
+}  // namespace vgr::traffic

@@ -1,0 +1,23 @@
+# Plots the reception-rate CSV series exported by the benches.
+#
+# Usage:
+#   VGR_CSV_DIR=out ./build/bench/bench_fig7_inter_area
+#   gnuplot -e "csv='out/fig7a_wN.csv'; out='fig7a_wN.png'" tools/plot_csv.gnuplot
+#
+# Produces the paper-style plot: solid attacker-free line, dashed attacked
+# line, reception rate over simulated time.
+
+if (!exists("csv")) csv = "fig7a_wN.csv"
+if (!exists("out")) out = csv . ".png"
+
+set terminal pngcairo size 800,500 font "sans,11"
+set output out
+set datafile separator ","
+set key top right
+set xlabel "time (s)"
+set ylabel "packet reception rate"
+set yrange [0:1.05]
+set grid
+
+plot csv using 1:2 with lines lw 2 lc rgb "#2e7d32" title "attacker-free", \
+     csv using 1:3 with lines lw 2 dt 2 lc rgb "#c62828" title "attacked"
