@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig13_safety.dir/bench_fig13_safety.cpp.o"
+  "CMakeFiles/bench_fig13_safety.dir/bench_fig13_safety.cpp.o.d"
+  "bench_fig13_safety"
+  "bench_fig13_safety.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig13_safety.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

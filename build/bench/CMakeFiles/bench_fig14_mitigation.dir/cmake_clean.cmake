@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig14_mitigation.dir/bench_fig14_mitigation.cpp.o"
+  "CMakeFiles/bench_fig14_mitigation.dir/bench_fig14_mitigation.cpp.o.d"
+  "bench_fig14_mitigation"
+  "bench_fig14_mitigation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig14_mitigation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig7_inter_area.dir/bench_fig7_inter_area.cpp.o"
+  "CMakeFiles/bench_fig7_inter_area.dir/bench_fig7_inter_area.cpp.o.d"
+  "bench_fig7_inter_area"
+  "bench_fig7_inter_area.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig7_inter_area.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

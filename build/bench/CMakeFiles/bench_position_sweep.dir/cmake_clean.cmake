@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_position_sweep.dir/bench_position_sweep.cpp.o"
+  "CMakeFiles/bench_position_sweep.dir/bench_position_sweep.cpp.o.d"
+  "bench_position_sweep"
+  "bench_position_sweep.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_position_sweep.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_cam_denm_facilities.dir/cam_denm_facilities.cpp.o"
+  "CMakeFiles/example_cam_denm_facilities.dir/cam_denm_facilities.cpp.o.d"
+  "example_cam_denm_facilities"
+  "example_cam_denm_facilities.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_cam_denm_facilities.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

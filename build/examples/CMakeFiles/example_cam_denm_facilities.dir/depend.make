@@ -1,0 +1,2 @@
+# Empty dependencies file for example_cam_denm_facilities.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_curve_collision.dir/curve_collision.cpp.o"
+  "CMakeFiles/example_curve_collision.dir/curve_collision.cpp.o.d"
+  "example_curve_collision"
+  "example_curve_collision.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_curve_collision.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

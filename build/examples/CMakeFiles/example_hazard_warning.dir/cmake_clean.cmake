@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_hazard_warning.dir/hazard_warning.cpp.o"
+  "CMakeFiles/example_hazard_warning.dir/hazard_warning.cpp.o.d"
+  "example_hazard_warning"
+  "example_hazard_warning.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_hazard_warning.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

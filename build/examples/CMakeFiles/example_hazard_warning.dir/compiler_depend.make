@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for example_hazard_warning.
+# This may be replaced when dependencies are built.

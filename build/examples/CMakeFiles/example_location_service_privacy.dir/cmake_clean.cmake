@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_location_service_privacy.dir/location_service_privacy.cpp.o"
+  "CMakeFiles/example_location_service_privacy.dir/location_service_privacy.cpp.o.d"
+  "example_location_service_privacy"
+  "example_location_service_privacy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_location_service_privacy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

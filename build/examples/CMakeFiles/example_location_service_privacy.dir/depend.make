@@ -1,0 +1,2 @@
+# Empty dependencies file for example_location_service_privacy.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vgr_attack.dir/vgr/attack/blackhole.cpp.o"
+  "CMakeFiles/vgr_attack.dir/vgr/attack/blackhole.cpp.o.d"
+  "CMakeFiles/vgr_attack.dir/vgr/attack/inter_area.cpp.o"
+  "CMakeFiles/vgr_attack.dir/vgr/attack/inter_area.cpp.o.d"
+  "CMakeFiles/vgr_attack.dir/vgr/attack/intra_area.cpp.o"
+  "CMakeFiles/vgr_attack.dir/vgr/attack/intra_area.cpp.o.d"
+  "CMakeFiles/vgr_attack.dir/vgr/attack/sniffer.cpp.o"
+  "CMakeFiles/vgr_attack.dir/vgr/attack/sniffer.cpp.o.d"
+  "libvgr_attack.a"
+  "libvgr_attack.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vgr_attack.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vgr_facilities.dir/vgr/facilities/cam.cpp.o"
+  "CMakeFiles/vgr_facilities.dir/vgr/facilities/cam.cpp.o.d"
+  "CMakeFiles/vgr_facilities.dir/vgr/facilities/denm.cpp.o"
+  "CMakeFiles/vgr_facilities.dir/vgr/facilities/denm.cpp.o.d"
+  "libvgr_facilities.a"
+  "libvgr_facilities.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vgr_facilities.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for vgr_facilities.
+# This may be replaced when dependencies are built.

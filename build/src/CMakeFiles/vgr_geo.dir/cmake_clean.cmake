@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vgr_geo.dir/vgr/geo/area.cpp.o"
+  "CMakeFiles/vgr_geo.dir/vgr/geo/area.cpp.o.d"
+  "CMakeFiles/vgr_geo.dir/vgr/geo/vec2.cpp.o"
+  "CMakeFiles/vgr_geo.dir/vgr/geo/vec2.cpp.o.d"
+  "libvgr_geo.a"
+  "libvgr_geo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vgr_geo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vgr_gn.dir/vgr/gn/cbf.cpp.o"
+  "CMakeFiles/vgr_gn.dir/vgr/gn/cbf.cpp.o.d"
+  "CMakeFiles/vgr_gn.dir/vgr/gn/greedy_forwarder.cpp.o"
+  "CMakeFiles/vgr_gn.dir/vgr/gn/greedy_forwarder.cpp.o.d"
+  "CMakeFiles/vgr_gn.dir/vgr/gn/location_table.cpp.o"
+  "CMakeFiles/vgr_gn.dir/vgr/gn/location_table.cpp.o.d"
+  "CMakeFiles/vgr_gn.dir/vgr/gn/router.cpp.o"
+  "CMakeFiles/vgr_gn.dir/vgr/gn/router.cpp.o.d"
+  "libvgr_gn.a"
+  "libvgr_gn.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vgr_gn.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/vgr/mitigation/profiles.cpp" "src/CMakeFiles/vgr_mitigation.dir/vgr/mitigation/profiles.cpp.o" "gcc" "src/CMakeFiles/vgr_mitigation.dir/vgr/mitigation/profiles.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/vgr_gn.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/vgr_phy.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/vgr_security.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/vgr_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/vgr_geo.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/vgr_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

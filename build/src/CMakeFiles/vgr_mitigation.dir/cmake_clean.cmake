@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vgr_mitigation.dir/vgr/mitigation/profiles.cpp.o"
+  "CMakeFiles/vgr_mitigation.dir/vgr/mitigation/profiles.cpp.o.d"
+  "libvgr_mitigation.a"
+  "libvgr_mitigation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vgr_mitigation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/vgr/net/address.cpp" "src/CMakeFiles/vgr_net.dir/vgr/net/address.cpp.o" "gcc" "src/CMakeFiles/vgr_net.dir/vgr/net/address.cpp.o.d"
+  "/root/repo/src/vgr/net/codec.cpp" "src/CMakeFiles/vgr_net.dir/vgr/net/codec.cpp.o" "gcc" "src/CMakeFiles/vgr_net.dir/vgr/net/codec.cpp.o.d"
+  "/root/repo/src/vgr/net/duplicate_detector.cpp" "src/CMakeFiles/vgr_net.dir/vgr/net/duplicate_detector.cpp.o" "gcc" "src/CMakeFiles/vgr_net.dir/vgr/net/duplicate_detector.cpp.o.d"
+  "/root/repo/src/vgr/net/packet.cpp" "src/CMakeFiles/vgr_net.dir/vgr/net/packet.cpp.o" "gcc" "src/CMakeFiles/vgr_net.dir/vgr/net/packet.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/vgr_geo.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/vgr_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vgr_net.dir/vgr/net/address.cpp.o"
+  "CMakeFiles/vgr_net.dir/vgr/net/address.cpp.o.d"
+  "CMakeFiles/vgr_net.dir/vgr/net/codec.cpp.o"
+  "CMakeFiles/vgr_net.dir/vgr/net/codec.cpp.o.d"
+  "CMakeFiles/vgr_net.dir/vgr/net/duplicate_detector.cpp.o"
+  "CMakeFiles/vgr_net.dir/vgr/net/duplicate_detector.cpp.o.d"
+  "CMakeFiles/vgr_net.dir/vgr/net/packet.cpp.o"
+  "CMakeFiles/vgr_net.dir/vgr/net/packet.cpp.o.d"
+  "libvgr_net.a"
+  "libvgr_net.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vgr_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

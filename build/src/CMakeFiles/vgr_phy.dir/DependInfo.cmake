@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/vgr/phy/medium.cpp" "src/CMakeFiles/vgr_phy.dir/vgr/phy/medium.cpp.o" "gcc" "src/CMakeFiles/vgr_phy.dir/vgr/phy/medium.cpp.o.d"
+  "/root/repo/src/vgr/phy/technology.cpp" "src/CMakeFiles/vgr_phy.dir/vgr/phy/technology.cpp.o" "gcc" "src/CMakeFiles/vgr_phy.dir/vgr/phy/technology.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/vgr_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/vgr_geo.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/vgr_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vgr_phy.dir/vgr/phy/medium.cpp.o"
+  "CMakeFiles/vgr_phy.dir/vgr/phy/medium.cpp.o.d"
+  "CMakeFiles/vgr_phy.dir/vgr/phy/technology.cpp.o"
+  "CMakeFiles/vgr_phy.dir/vgr/phy/technology.cpp.o.d"
+  "libvgr_phy.a"
+  "libvgr_phy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vgr_phy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

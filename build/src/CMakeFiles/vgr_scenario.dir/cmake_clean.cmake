@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vgr_scenario.dir/vgr/scenario/ab_runner.cpp.o"
+  "CMakeFiles/vgr_scenario.dir/vgr/scenario/ab_runner.cpp.o.d"
+  "CMakeFiles/vgr_scenario.dir/vgr/scenario/csv.cpp.o"
+  "CMakeFiles/vgr_scenario.dir/vgr/scenario/csv.cpp.o.d"
+  "CMakeFiles/vgr_scenario.dir/vgr/scenario/curve.cpp.o"
+  "CMakeFiles/vgr_scenario.dir/vgr/scenario/curve.cpp.o.d"
+  "CMakeFiles/vgr_scenario.dir/vgr/scenario/hazard.cpp.o"
+  "CMakeFiles/vgr_scenario.dir/vgr/scenario/hazard.cpp.o.d"
+  "CMakeFiles/vgr_scenario.dir/vgr/scenario/highway.cpp.o"
+  "CMakeFiles/vgr_scenario.dir/vgr/scenario/highway.cpp.o.d"
+  "libvgr_scenario.a"
+  "libvgr_scenario.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vgr_scenario.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/vgr/security/authority.cpp" "src/CMakeFiles/vgr_security.dir/vgr/security/authority.cpp.o" "gcc" "src/CMakeFiles/vgr_security.dir/vgr/security/authority.cpp.o.d"
+  "/root/repo/src/vgr/security/crypto.cpp" "src/CMakeFiles/vgr_security.dir/vgr/security/crypto.cpp.o" "gcc" "src/CMakeFiles/vgr_security.dir/vgr/security/crypto.cpp.o.d"
+  "/root/repo/src/vgr/security/pseudonym.cpp" "src/CMakeFiles/vgr_security.dir/vgr/security/pseudonym.cpp.o" "gcc" "src/CMakeFiles/vgr_security.dir/vgr/security/pseudonym.cpp.o.d"
+  "/root/repo/src/vgr/security/secured_message.cpp" "src/CMakeFiles/vgr_security.dir/vgr/security/secured_message.cpp.o" "gcc" "src/CMakeFiles/vgr_security.dir/vgr/security/secured_message.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/vgr_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/vgr_geo.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/vgr_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

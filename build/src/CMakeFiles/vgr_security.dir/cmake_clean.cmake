@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vgr_security.dir/vgr/security/authority.cpp.o"
+  "CMakeFiles/vgr_security.dir/vgr/security/authority.cpp.o.d"
+  "CMakeFiles/vgr_security.dir/vgr/security/crypto.cpp.o"
+  "CMakeFiles/vgr_security.dir/vgr/security/crypto.cpp.o.d"
+  "CMakeFiles/vgr_security.dir/vgr/security/pseudonym.cpp.o"
+  "CMakeFiles/vgr_security.dir/vgr/security/pseudonym.cpp.o.d"
+  "CMakeFiles/vgr_security.dir/vgr/security/secured_message.cpp.o"
+  "CMakeFiles/vgr_security.dir/vgr/security/secured_message.cpp.o.d"
+  "libvgr_security.a"
+  "libvgr_security.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vgr_security.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

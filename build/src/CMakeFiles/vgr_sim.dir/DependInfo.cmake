@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/vgr/sim/event_queue.cpp" "src/CMakeFiles/vgr_sim.dir/vgr/sim/event_queue.cpp.o" "gcc" "src/CMakeFiles/vgr_sim.dir/vgr/sim/event_queue.cpp.o.d"
+  "/root/repo/src/vgr/sim/histogram.cpp" "src/CMakeFiles/vgr_sim.dir/vgr/sim/histogram.cpp.o" "gcc" "src/CMakeFiles/vgr_sim.dir/vgr/sim/histogram.cpp.o.d"
+  "/root/repo/src/vgr/sim/log.cpp" "src/CMakeFiles/vgr_sim.dir/vgr/sim/log.cpp.o" "gcc" "src/CMakeFiles/vgr_sim.dir/vgr/sim/log.cpp.o.d"
+  "/root/repo/src/vgr/sim/random.cpp" "src/CMakeFiles/vgr_sim.dir/vgr/sim/random.cpp.o" "gcc" "src/CMakeFiles/vgr_sim.dir/vgr/sim/random.cpp.o.d"
+  "/root/repo/src/vgr/sim/time.cpp" "src/CMakeFiles/vgr_sim.dir/vgr/sim/time.cpp.o" "gcc" "src/CMakeFiles/vgr_sim.dir/vgr/sim/time.cpp.o.d"
+  "/root/repo/src/vgr/sim/timeline.cpp" "src/CMakeFiles/vgr_sim.dir/vgr/sim/timeline.cpp.o" "gcc" "src/CMakeFiles/vgr_sim.dir/vgr/sim/timeline.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vgr_sim.dir/vgr/sim/event_queue.cpp.o"
+  "CMakeFiles/vgr_sim.dir/vgr/sim/event_queue.cpp.o.d"
+  "CMakeFiles/vgr_sim.dir/vgr/sim/histogram.cpp.o"
+  "CMakeFiles/vgr_sim.dir/vgr/sim/histogram.cpp.o.d"
+  "CMakeFiles/vgr_sim.dir/vgr/sim/log.cpp.o"
+  "CMakeFiles/vgr_sim.dir/vgr/sim/log.cpp.o.d"
+  "CMakeFiles/vgr_sim.dir/vgr/sim/random.cpp.o"
+  "CMakeFiles/vgr_sim.dir/vgr/sim/random.cpp.o.d"
+  "CMakeFiles/vgr_sim.dir/vgr/sim/time.cpp.o"
+  "CMakeFiles/vgr_sim.dir/vgr/sim/time.cpp.o.d"
+  "CMakeFiles/vgr_sim.dir/vgr/sim/timeline.cpp.o"
+  "CMakeFiles/vgr_sim.dir/vgr/sim/timeline.cpp.o.d"
+  "libvgr_sim.a"
+  "libvgr_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vgr_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

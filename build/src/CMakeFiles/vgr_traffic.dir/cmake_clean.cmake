@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vgr_traffic.dir/vgr/traffic/idm.cpp.o"
+  "CMakeFiles/vgr_traffic.dir/vgr/traffic/idm.cpp.o.d"
+  "CMakeFiles/vgr_traffic.dir/vgr/traffic/traffic_sim.cpp.o"
+  "CMakeFiles/vgr_traffic.dir/vgr/traffic/traffic_sim.cpp.o.d"
+  "libvgr_traffic.a"
+  "libvgr_traffic.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vgr_traffic.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

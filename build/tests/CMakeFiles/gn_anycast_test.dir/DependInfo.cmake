@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/gn_anycast_test.cpp" "tests/CMakeFiles/gn_anycast_test.dir/gn_anycast_test.cpp.o" "gcc" "tests/CMakeFiles/gn_anycast_test.dir/gn_anycast_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/vgr_facilities.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/vgr_scenario.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/vgr_traffic.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/vgr_attack.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/vgr_mitigation.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/vgr_gn.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/vgr_security.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/vgr_phy.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/vgr_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/vgr_geo.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/vgr_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gn_anycast_test.dir/gn_anycast_test.cpp.o"
+  "CMakeFiles/gn_anycast_test.dir/gn_anycast_test.cpp.o.d"
+  "gn_anycast_test"
+  "gn_anycast_test.pdb"
+  "gn_anycast_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gn_anycast_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

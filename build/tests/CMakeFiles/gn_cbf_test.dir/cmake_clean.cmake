@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gn_cbf_test.dir/gn_cbf_test.cpp.o"
+  "CMakeFiles/gn_cbf_test.dir/gn_cbf_test.cpp.o.d"
+  "gn_cbf_test"
+  "gn_cbf_test.pdb"
+  "gn_cbf_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gn_cbf_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gn_extensions_test.dir/gn_extensions_test.cpp.o"
+  "CMakeFiles/gn_extensions_test.dir/gn_extensions_test.cpp.o.d"
+  "gn_extensions_test"
+  "gn_extensions_test.pdb"
+  "gn_extensions_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gn_extensions_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

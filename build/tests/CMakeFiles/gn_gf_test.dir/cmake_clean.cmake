@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gn_gf_test.dir/gn_gf_test.cpp.o"
+  "CMakeFiles/gn_gf_test.dir/gn_gf_test.cpp.o.d"
+  "gn_gf_test"
+  "gn_gf_test.pdb"
+  "gn_gf_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gn_gf_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

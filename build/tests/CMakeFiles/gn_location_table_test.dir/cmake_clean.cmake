@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gn_location_table_test.dir/gn_location_table_test.cpp.o"
+  "CMakeFiles/gn_location_table_test.dir/gn_location_table_test.cpp.o.d"
+  "gn_location_table_test"
+  "gn_location_table_test.pdb"
+  "gn_location_table_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gn_location_table_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gn_router_edge_test.dir/gn_router_edge_test.cpp.o"
+  "CMakeFiles/gn_router_edge_test.dir/gn_router_edge_test.cpp.o.d"
+  "gn_router_edge_test"
+  "gn_router_edge_test.pdb"
+  "gn_router_edge_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gn_router_edge_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

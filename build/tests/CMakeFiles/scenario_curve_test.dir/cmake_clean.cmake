@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/scenario_curve_test.dir/scenario_curve_test.cpp.o"
+  "CMakeFiles/scenario_curve_test.dir/scenario_curve_test.cpp.o.d"
+  "scenario_curve_test"
+  "scenario_curve_test.pdb"
+  "scenario_curve_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/scenario_curve_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/traffic_lane_change_test.dir/traffic_lane_change_test.cpp.o"
+  "CMakeFiles/traffic_lane_change_test.dir/traffic_lane_change_test.cpp.o.d"
+  "traffic_lane_change_test"
+  "traffic_lane_change_test.pdb"
+  "traffic_lane_change_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/traffic_lane_change_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,32 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/attack_sniffer_test[1]_include.cmake")
+include("/root/repo/build/tests/attack_test[1]_include.cmake")
+include("/root/repo/build/tests/facilities_test[1]_include.cmake")
+include("/root/repo/build/tests/geo_test[1]_include.cmake")
+include("/root/repo/build/tests/gn_anycast_test[1]_include.cmake")
+include("/root/repo/build/tests/gn_cbf_test[1]_include.cmake")
+include("/root/repo/build/tests/gn_extensions_test[1]_include.cmake")
+include("/root/repo/build/tests/gn_gf_test[1]_include.cmake")
+include("/root/repo/build/tests/gn_location_table_test[1]_include.cmake")
+include("/root/repo/build/tests/gn_router_edge_test[1]_include.cmake")
+include("/root/repo/build/tests/gn_router_test[1]_include.cmake")
+include("/root/repo/build/tests/mitigation_test[1]_include.cmake")
+include("/root/repo/build/tests/net_codec_test[1]_include.cmake")
+include("/root/repo/build/tests/net_misc_test[1]_include.cmake")
+include("/root/repo/build/tests/phy_medium_test[1]_include.cmake")
+include("/root/repo/build/tests/property_test[1]_include.cmake")
+include("/root/repo/build/tests/scenario_curve_test[1]_include.cmake")
+include("/root/repo/build/tests/scenario_test[1]_include.cmake")
+include("/root/repo/build/tests/security_test[1]_include.cmake")
+include("/root/repo/build/tests/sim_event_queue_test[1]_include.cmake")
+include("/root/repo/build/tests/sim_log_config_test[1]_include.cmake")
+include("/root/repo/build/tests/sim_random_test[1]_include.cmake")
+include("/root/repo/build/tests/sim_time_test[1]_include.cmake")
+include("/root/repo/build/tests/sim_timeline_test[1]_include.cmake")
+include("/root/repo/build/tests/traffic_lane_change_test[1]_include.cmake")
+include("/root/repo/build/tests/traffic_test[1]_include.cmake")
