@@ -2,8 +2,18 @@
 // codec, signing/verification, location table, GF selection, CBF math,
 // duplicate detection, event queue and medium delivery. These bound the
 // simulator's throughput and document the cost of the security envelope.
+//
+// Besides the console table, the binary writes BENCH_micro.json (override
+// the path with VGR_BENCH_JSON) with ns/op per kernel so the perf
+// trajectory is tracked across PRs — compare the committed file against a
+// fresh run before and after a change.
 
 #include <benchmark/benchmark.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
 
 #include "vgr/gn/cbf.hpp"
 #include "vgr/gn/greedy_forwarder.hpp"
@@ -147,31 +157,123 @@ void BM_EventQueueScheduleFire(benchmark::State& state) {
 }
 BENCHMARK(BM_EventQueueScheduleFire);
 
-void BM_MediumBroadcast(benchmark::State& state) {
+// One Medium::transmit plus delivery of every scheduled reception, on a
+// road populated at the paper's density (one node per 15 m, DSRC NLoS range
+// 486 m) so the in-range neighbourhood k stays constant as N grows. With
+// the spatial index the per-frame cost is O(k); the `Scan` variant disables
+// the index to expose the O(N) reference path the seed harness used.
+void medium_broadcast(benchmark::State& state, bool spatial_index) {
   sim::EventQueue events;
   phy::Medium medium{events, phy::AccessTechnology::kDsrc};
+  medium.set_spatial_index(spatial_index);
+  // Positions are static here, as they are between two traffic ticks of a
+  // scenario run; kExplicit amortises the index rebuild the same way the
+  // scenarios do (one rebuild per movement batch, not per frame).
+  medium.set_index_mode(phy::IndexMode::kExplicit);
+  const std::int64_t n = state.range(0);
+  const double road_length = static_cast<double>(n) * 15.0;
   sim::Rng rng{3};
-  phy::RadioId first{};
-  for (std::int64_t i = 0; i < state.range(0); ++i) {
+  phy::RadioId sender{};
+  for (std::int64_t i = 0; i < n; ++i) {
     phy::Medium::NodeConfig cfg;
     cfg.mac = net::MacAddress{static_cast<std::uint64_t>(i) + 1};
-    const geo::Position pos{rng.uniform(0.0, 4000.0), 2.5};
+    // Sender in the middle of the road; everyone else spread uniformly.
+    const geo::Position pos{i == 0 ? road_length / 2.0 : rng.uniform(0.0, road_length), 2.5};
     cfg.position = [pos] { return pos; };
     cfg.tx_range_m = 486.0;
     const auto id = medium.add_node(std::move(cfg), [](const phy::Frame&, phy::RadioId) {});
-    if (i == 0) first = id;
+    if (i == 0) sender = id;
   }
   phy::Frame frame;
   frame.src = net::MacAddress{1};
   frame.msg.packet = sample_gbc();
   for (auto _ : state) {
-    medium.transmit(first, frame);
+    medium.transmit(sender, frame);
     events.run_until(events.now() + sim::Duration::seconds(1.0));
   }
-  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) * state.range(0));
+  // items/s == frames/s through Medium::transmit.
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
 }
-BENCHMARK(BM_MediumBroadcast)->Arg(64)->Arg(268);
+
+void BM_MediumBroadcast(benchmark::State& state) { medium_broadcast(state, true); }
+BENCHMARK(BM_MediumBroadcast)->Arg(50)->Arg(200)->Arg(800);
+
+void BM_MediumBroadcastScan(benchmark::State& state) { medium_broadcast(state, false); }
+BENCHMARK(BM_MediumBroadcastScan)->Arg(50)->Arg(200)->Arg(800);
+
+void BM_SpatialGridRebuild(benchmark::State& state) {
+  sim::Rng rng{7};
+  std::vector<phy::SpatialGrid::Entry> entries;
+  const double road_length = static_cast<double>(state.range(0)) * 15.0;
+  for (std::int64_t i = 0; i < state.range(0); ++i) {
+    entries.push_back({static_cast<std::uint32_t>(i) + 1,
+                       {rng.uniform(0.0, road_length), rng.uniform(-7.5, 7.5)}});
+  }
+  phy::SpatialGrid grid;
+  for (auto _ : state) {
+    grid.rebuild(entries, 486.0);
+    benchmark::DoNotOptimize(grid.cell_count());
+  }
+}
+BENCHMARK(BM_SpatialGridRebuild)->Arg(200)->Arg(800);
+
+/// Console output plus a flat JSON file: one record per benchmark run with
+/// the per-iteration wall time (ns) and the items/s rate when the
+/// benchmark reports one. The file is the cross-PR perf trajectory.
+class TrajectoryReporter : public benchmark::ConsoleReporter {
+ public:
+  void ReportRuns(const std::vector<Run>& runs) override {
+    ConsoleReporter::ReportRuns(runs);
+    for (const Run& run : runs) {
+      Record rec;
+      rec.name = run.benchmark_name();
+      rec.real_time_ns = run.GetAdjustedRealTime();
+      const auto it = run.counters.find("items_per_second");
+      rec.items_per_second = it != run.counters.end() ? static_cast<double>(it->second) : -1.0;
+      records_.push_back(std::move(rec));
+    }
+  }
+
+  bool write_json(const std::string& path) const {
+    std::FILE* f = std::fopen(path.c_str(), "w");
+    if (f == nullptr) {
+      std::fprintf(stderr, "bench_micro: cannot write %s\n", path.c_str());
+      return false;
+    }
+    std::fprintf(f, "{\n  \"benchmarks\": [\n");
+    for (std::size_t i = 0; i < records_.size(); ++i) {
+      const Record& r = records_[i];
+      std::fprintf(f, "    {\"name\": \"%s\", \"ns_per_op\": %.2f", r.name.c_str(),
+                   r.real_time_ns);
+      if (r.items_per_second >= 0.0) {
+        std::fprintf(f, ", \"items_per_second\": %.1f", r.items_per_second);
+      }
+      std::fprintf(f, "}%s\n", i + 1 < records_.size() ? "," : "");
+    }
+    std::fprintf(f, "  ]\n}\n");
+    std::fclose(f);
+    return true;
+  }
+
+ private:
+  struct Record {
+    std::string name;
+    double real_time_ns{0.0};
+    double items_per_second{-1.0};
+  };
+  std::vector<Record> records_;
+};
 
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  TrajectoryReporter reporter;
+  benchmark::RunSpecifiedBenchmarks(&reporter);
+  const char* out = std::getenv("VGR_BENCH_JSON");
+  const std::string path = out != nullptr ? out : "BENCH_micro.json";
+  const bool ok = reporter.write_json(path);
+  benchmark::Shutdown();
+  return ok ? 0 : 1;
+}

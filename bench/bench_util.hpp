@@ -10,6 +10,7 @@
 
 #include "vgr/scenario/ab_runner.hpp"
 #include "vgr/scenario/csv.hpp"
+#include "vgr/sim/thread_pool.hpp"
 
 namespace vgr::bench {
 
@@ -19,9 +20,11 @@ inline void banner(const char* artifact, const char* description,
   std::printf("%s — %s\n", artifact, description);
   const double secs =
       fidelity.sim_seconds > 0.0 ? fidelity.sim_seconds : default_sim_seconds;
-  std::printf("fidelity: %llu run(s) x %.0f simulated seconds per arm "
-              "(override: VGR_RUNS / VGR_SIM_SECONDS; paper: 100 x 200)\n",
-              static_cast<unsigned long long>(fidelity.runs), secs);
+  const std::size_t threads =
+      fidelity.threads > 0 ? fidelity.threads : sim::ThreadPool::default_thread_count();
+  std::printf("fidelity: %llu run(s) x %.0f simulated seconds per arm, %zu thread(s) "
+              "(override: VGR_RUNS / VGR_SIM_SECONDS / VGR_THREADS; paper: 100 x 200)\n",
+              static_cast<unsigned long long>(fidelity.runs), secs, threads);
   std::printf("==========================================================================\n");
 }
 

@@ -15,25 +15,32 @@ RadioId Medium::add_node(NodeConfig config, RxCallback rx) {
   assert(rx && "node needs a receive callback");
   const RadioId id{next_id_++};
   nodes_.emplace(id.value, Node{std::move(config), std::move(rx), true, {}, {}});
+  index_dirty_ = true;
   return id;
 }
 
 void Medium::remove_node(RadioId id) {
-  // Mark dead rather than erase so in-flight deliveries resolve safely.
+  // Mark dead rather than erase so in-flight deliveries resolve safely; the
+  // next index rebuild purges the entry for good.
   const auto it = nodes_.find(id.value);
-  if (it != nodes_.end()) it->second.alive = false;
+  if (it != nodes_.end()) {
+    it->second.alive = false;
+    index_dirty_ = true;
+  }
 }
 
 void Medium::set_tx_range(RadioId id, double range_m) {
   const auto it = nodes_.find(id.value);
   assert(it != nodes_.end());
   it->second.config.tx_range_m = range_m;
+  index_dirty_ = true;  // ranges feed the index cell size
 }
 
 void Medium::set_rx_range(RadioId id, double range_m) {
   const auto it = nodes_.find(id.value);
   assert(it != nodes_.end());
   it->second.config.rx_range_m = range_m;
+  index_dirty_ = true;  // rx overrides widen the query radius
 }
 
 void Medium::set_mac(RadioId id, net::MacAddress mac) {
@@ -100,9 +107,28 @@ void Medium::transmit(RadioId sender, Frame frame, double range_override_m) {
         Node::Reception{events_.now(), tx_end, std::make_shared<bool>(true)});
   }
 
+  // Candidate receivers. With the index on, only the nodes whose grid cells
+  // a transmission of this power can reach are visited (O(k) instead of
+  // O(N)); the exact per-node distance/receivable check below is unchanged,
+  // so both paths select the same receivers. A node hearing by its own
+  // rx-range override is reachable out to `max_rx_range_m_`, hence the
+  // query radius. Visit order is ascending RadioId in both paths so event
+  // scheduling (and thus the run) is independent of hash-map layout.
+  ensure_index();
+  if (use_index_) {
+    grid_.query_into(from, std::max(range, max_rx_range_m_), candidates_);
+  } else {
+    candidates_.clear();
+    for (const auto& [id, node] : nodes_) candidates_.push_back(id);
+    std::sort(candidates_.begin(), candidates_.end());
+  }
+
   const auto frame_ptr = std::make_shared<const Frame>(std::move(frame));
-  for (auto& [id, node] : nodes_) {
-    if (id == sender.value || !node.alive) continue;
+  for (const std::uint32_t id : candidates_) {
+    if (id == sender.value) continue;
+    const auto nit = nodes_.find(id);
+    if (nit == nodes_.end() || !nit->second.alive) continue;
+    Node& node = nit->second;
     const double dist = geo::distance(from, node.config.position());
     if (!receivable(node, from, range, dist)) continue;
     // Carrier sense: every node in radio range perceives the channel busy
@@ -151,6 +177,37 @@ void Medium::transmit(RadioId sender, Frame frame, double range_override_m) {
       it->second.rx(*frame_ptr, sender);
     });
   }
+}
+
+void Medium::ensure_index() {
+  if (!use_index_) return;
+  // In kPerEvent mode any event-queue progress invalidates the snapshot:
+  // positions only move inside event callbacks, so a snapshot taken within
+  // the currently-running callback is exact until the next one fires.
+  const bool progressed = index_built_at_ != events_.now() ||
+                          index_built_fired_ != events_.fired_count();
+  if (!index_dirty_ && !(index_mode_ == IndexMode::kPerEvent && progressed)) return;
+
+  // Purge nodes that died since the last rebuild; in-flight deliveries to
+  // them resolve safely via the nodes_.find in the delivery callback.
+  for (auto it = nodes_.begin(); it != nodes_.end();) {
+    it = it->second.alive ? std::next(it) : nodes_.erase(it);
+  }
+
+  std::vector<SpatialGrid::Entry> entries;
+  entries.reserve(nodes_.size());
+  double max_reach = 0.0;
+  max_rx_range_m_ = 0.0;
+  for (const auto& [id, node] : nodes_) {
+    entries.push_back({id, node.config.position()});
+    max_reach = std::max({max_reach, node.config.tx_range_m, node.config.rx_range_m});
+    max_rx_range_m_ = std::max(max_rx_range_m_, node.config.rx_range_m);
+  }
+  grid_.rebuild(entries, max_reach);
+  index_dirty_ = false;
+  index_built_at_ = events_.now();
+  index_built_fired_ = events_.fired_count();
+  ++index_rebuilds_;
 }
 
 }  // namespace vgr::phy

@@ -8,6 +8,7 @@
 
 #include "vgr/geo/vec2.hpp"
 #include "vgr/net/address.hpp"
+#include "vgr/phy/spatial_grid.hpp"
 #include "vgr/phy/technology.hpp"
 #include "vgr/security/secured_message.hpp"
 #include "vgr/sim/event_queue.hpp"
@@ -39,6 +40,19 @@ struct RadioId {
 ///   loss (success probability falls from 1 at `fading_onset_fraction` of
 ///   the range to 0 at the range edge), for ablation studies.
 enum class ReceptionModel { kDisk, kLogDistanceFading };
+
+/// Rebuild cadence of the medium's spatial index (see Medium::set_index_mode).
+///
+/// * kPerEvent — the index is rebuilt lazily whenever the event queue has
+///   progressed since the last build (positions can only change inside event
+///   callbacks, so within one callback the snapshot is always exact). Safe
+///   for any driver, including tests that poke the medium directly.
+/// * kExplicit — the index is rebuilt only when `invalidate_index()` is
+///   called or the node set changes. Scenario drivers whose node positions
+///   move exclusively on a mobility tick (e.g. the highway's 100 ms IDM
+///   tick) use this to amortise one O(N) rebuild over every frame sent
+///   between ticks, which is where the O(N^2) -> O(N*k) win comes from.
+enum class IndexMode { kPerEvent, kExplicit };
 
 /// The shared broadcast radio channel.
 ///
@@ -112,6 +126,27 @@ class Medium {
   /// elsewhere). Routers defer CBF rebroadcasts while busy, like CSMA/CA.
   [[nodiscard]] sim::TimePoint busy_until(RadioId id) const;
 
+  // --- Spatial index ----------------------------------------------------
+
+  /// Disables/enables the spatial index; off falls back to the O(N) scan
+  /// over every node per frame (reference path, used by `bench_scale` to
+  /// measure the crossover). Receiver visit order is ascending RadioId in
+  /// both paths, so delivery results are identical either way.
+  void set_spatial_index(bool on) { use_index_ = on; }
+  [[nodiscard]] bool spatial_index_enabled() const { return use_index_; }
+
+  /// Selects the index rebuild cadence (see IndexMode). Callers choosing
+  /// kExplicit take on the obligation to call `invalidate_index()` after
+  /// every batch of position updates.
+  void set_index_mode(IndexMode mode) { index_mode_ = mode; }
+
+  /// Marks the index stale; the next transmit rebuilds it (and purges nodes
+  /// removed since the last build).
+  void invalidate_index() { index_dirty_ = true; }
+
+  /// Number of index rebuilds so far (perf introspection).
+  [[nodiscard]] std::uint64_t index_rebuilds() const { return index_rebuilds_; }
+
   [[nodiscard]] AccessTechnology technology() const { return tech_; }
   [[nodiscard]] std::size_t node_count() const { return nodes_.size(); }
   [[nodiscard]] std::uint64_t frames_sent() const { return frames_sent_; }
@@ -135,6 +170,10 @@ class Medium {
   [[nodiscard]] bool receivable(const Node& to, geo::Position from_pos, double range_m,
                                 double distance_m);
 
+  /// Rebuilds the spatial index if it may be stale; erases dead nodes so
+  /// they stop occupying the node table. No-op while the index is current.
+  void ensure_index();
+
   sim::EventQueue& events_;
   AccessTechnology tech_;
   sim::Rng rng_;
@@ -147,6 +186,20 @@ class Medium {
   std::uint64_t frames_sent_{0};
   std::uint64_t frames_delivered_{0};
   std::uint64_t frames_collided_{0};
+
+  // Spatial index state.
+  SpatialGrid grid_;
+  bool use_index_{true};
+  IndexMode index_mode_{IndexMode::kPerEvent};
+  bool index_dirty_{true};
+  sim::TimePoint index_built_at_{};
+  std::uint64_t index_built_fired_{~0ULL};
+  /// Largest receive-range override among indexed nodes; a transmit must
+  /// query at least this far because such a node hears by *its* range even
+  /// when the sender's power would not reach it.
+  double max_rx_range_m_{0.0};
+  std::uint64_t index_rebuilds_{0};
+  std::vector<std::uint32_t> candidates_;  ///< query scratch (hot path)
 };
 
 }  // namespace vgr::phy

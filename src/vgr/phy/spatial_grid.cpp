@@ -1,0 +1,73 @@
+#include "vgr/phy/spatial_grid.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace vgr::phy {
+namespace {
+
+constexpr double kMinCellSize = 1.0;
+
+std::int32_t cell_coord(double v, double cell_size) {
+  return static_cast<std::int32_t>(std::floor(v / cell_size));
+}
+
+}  // namespace
+
+SpatialGrid::CellKey SpatialGrid::key_for(geo::Position p) const {
+  const auto cx = static_cast<std::uint64_t>(static_cast<std::uint32_t>(cell_coord(p.x, cell_size_m_)));
+  const auto cy = static_cast<std::uint64_t>(static_cast<std::uint32_t>(cell_coord(p.y, cell_size_m_)));
+  return (cx << 32) | cy;
+}
+
+void SpatialGrid::rebuild(const std::vector<Entry>& entries, double cell_size_m) {
+  cell_size_m_ = std::max(cell_size_m, kMinCellSize);
+  entries_ = entries;
+  cells_.clear();
+  cells_.reserve(entries_.size());
+  for (std::uint32_t i = 0; i < entries_.size(); ++i) {
+    cells_[key_for(entries_[i].pos)].push_back(i);
+  }
+}
+
+std::vector<std::uint32_t> SpatialGrid::query(geo::Position center, double radius_m) const {
+  std::vector<std::uint32_t> out;
+  query_into(center, radius_m, out);
+  return out;
+}
+
+void SpatialGrid::query_into(geo::Position center, double radius_m,
+                             std::vector<std::uint32_t>& out) const {
+  out.clear();
+  if (radius_m < 0.0 || entries_.empty()) return;
+  const std::int32_t x_lo = cell_coord(center.x - radius_m, cell_size_m_);
+  const std::int32_t x_hi = cell_coord(center.x + radius_m, cell_size_m_);
+  const std::int32_t y_lo = cell_coord(center.y - radius_m, cell_size_m_);
+  const std::int32_t y_hi = cell_coord(center.y + radius_m, cell_size_m_);
+  for (std::int32_t cx = x_lo; cx <= x_hi; ++cx) {
+    for (std::int32_t cy = y_lo; cy <= y_hi; ++cy) {
+      const CellKey key = (static_cast<std::uint64_t>(static_cast<std::uint32_t>(cx)) << 32) |
+                          static_cast<std::uint64_t>(static_cast<std::uint32_t>(cy));
+      const auto it = cells_.find(key);
+      if (it == cells_.end()) continue;
+      for (const std::uint32_t idx : it->second) {
+        const Entry& e = entries_[idx];
+        if (geo::distance(center, e.pos) <= radius_m) out.push_back(e.id);
+      }
+    }
+  }
+  std::sort(out.begin(), out.end());
+}
+
+std::vector<std::uint32_t> SpatialGrid::query_brute_force(geo::Position center,
+                                                          double radius_m) const {
+  std::vector<std::uint32_t> out;
+  if (radius_m < 0.0) return out;
+  for (const Entry& e : entries_) {
+    if (geo::distance(center, e.pos) <= radius_m) out.push_back(e.id);
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+}  // namespace vgr::phy

@@ -1,0 +1,62 @@
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "vgr/geo/vec2.hpp"
+
+namespace vgr::phy {
+
+/// Uniform spatial hash over node positions, used by `Medium::transmit` to
+/// prune the per-frame receiver scan from all N nodes down to the nodes in
+/// the cells a transmission can actually reach.
+///
+/// Design: cells are squares of `cell_size_m` (the medium rebuilds with cell
+/// size = the largest radio range seen, so a query visits at most the 3x3
+/// neighbourhood around the sender in the common case). The grid is a
+/// snapshot: it holds positions as of `rebuild()`, and the owner decides the
+/// rebuild cadence (the medium rebuilds lazily when positions may have
+/// changed — see Medium's index modes). `query` filters candidates by exact
+/// distance against the *snapshot* positions, so its result is precisely the
+/// brute-force "all ids within radius of center" set over the same snapshot.
+class SpatialGrid {
+ public:
+  struct Entry {
+    std::uint32_t id;
+    geo::Position pos;
+  };
+
+  /// Clears and re-inserts every entry. `cell_size_m` is clamped below to
+  /// 1 m so a degenerate range cannot explode the cell count.
+  void rebuild(const std::vector<Entry>& entries, double cell_size_m);
+
+  /// Ids whose snapshot position lies within `radius_m` of `center`
+  /// (inclusive), in ascending id order so downstream iteration is
+  /// deterministic regardless of hash layout.
+  [[nodiscard]] std::vector<std::uint32_t> query(geo::Position center, double radius_m) const;
+
+  /// Allocation-free variant for the transmit hot path: clears `out` and
+  /// fills it with the same result as `query`.
+  void query_into(geo::Position center, double radius_m, std::vector<std::uint32_t>& out) const;
+
+  /// Brute-force reference implementation of `query` over the same
+  /// snapshot; used by tests and the `bench_scale` crossover sweep.
+  [[nodiscard]] std::vector<std::uint32_t> query_brute_force(geo::Position center,
+                                                             double radius_m) const;
+
+  [[nodiscard]] std::size_t size() const { return entries_.size(); }
+  [[nodiscard]] double cell_size() const { return cell_size_m_; }
+  [[nodiscard]] std::size_t cell_count() const { return cells_.size(); }
+
+ private:
+  using CellKey = std::uint64_t;
+  [[nodiscard]] CellKey key_for(geo::Position p) const;
+
+  double cell_size_m_{1.0};
+  std::vector<Entry> entries_;
+  /// Cell key -> indices into `entries_`.
+  std::unordered_map<CellKey, std::vector<std::uint32_t>> cells_;
+};
+
+}  // namespace vgr::phy

@@ -1,6 +1,11 @@
 #include "vgr/scenario/ab_runner.hpp"
 
-#include <cstdlib>
+#include <optional>
+#include <utility>
+#include <vector>
+
+#include "vgr/sim/env.hpp"
+#include "vgr/sim/thread_pool.hpp"
 
 namespace vgr::scenario {
 namespace {
@@ -13,18 +18,35 @@ void apply_fidelity(HighwayConfig& config, const Fidelity& fidelity) {
   }
 }
 
+/// Dispatches `fidelity.runs` independent runs across a thread pool and
+/// hands each per-run result to `merge` in strict seed order. Each run is a
+/// self-contained `HighwayScenario` (own event queue, medium, RNG stream
+/// seeded from the run index), so the only cross-thread state is the result
+/// slot each run writes once. Merging in seed order keeps every floating-
+/// point accumulation in the exact order of the serial loop, which is what
+/// makes the output bit-identical for any VGR_THREADS.
+template <typename RunResult, typename RunFn, typename MergeFn>
+void for_each_run_in_order(const Fidelity& fidelity, RunFn run_fn, MergeFn merge) {
+  const std::size_t runs = static_cast<std::size_t>(fidelity.runs);
+  std::vector<std::optional<RunResult>> results(runs);
+  sim::ThreadPool pool{fidelity.threads};
+  pool.parallel_for(runs, [&](std::size_t run) { results[run].emplace(run_fn(run)); });
+  for (std::size_t run = 0; run < runs; ++run) merge(*results[run]);
+}
+
 }  // namespace
 
 Fidelity Fidelity::from_env(std::uint64_t default_runs) {
   Fidelity f;
   f.runs = default_runs;
-  if (const char* env = std::getenv("VGR_RUNS")) {
-    const long v = std::strtol(env, nullptr, 10);
-    if (v > 0) f.runs = static_cast<std::uint64_t>(v);
+  if (const auto v = sim::env_int("VGR_RUNS"); v.has_value() && *v > 0) {
+    f.runs = static_cast<std::uint64_t>(*v);
   }
-  if (const char* env = std::getenv("VGR_SIM_SECONDS")) {
-    const double v = std::strtod(env, nullptr);
-    if (v > 0.0) f.sim_seconds = v;
+  if (const auto v = sim::env_double("VGR_SIM_SECONDS"); v.has_value() && *v > 0.0) {
+    f.sim_seconds = *v;
+  }
+  if (const auto v = sim::env_int("VGR_THREADS"); v.has_value() && *v > 0) {
+    f.threads = static_cast<std::size_t>(*v);
   }
   return f;
 }
@@ -34,23 +56,34 @@ AbResult run_inter_area_ab(HighwayConfig config, const Fidelity& fidelity) {
   AbResult out{sim::BinnedRate{kBin, config.sim_duration},
                sim::BinnedRate{kBin, config.sim_duration}};
   double base_hits = 0.0, base_total = 0.0, atk_hits = 0.0, atk_total = 0.0;
-  for (std::uint64_t run = 0; run < fidelity.runs; ++run) {
-    HighwayConfig a = config;
-    a.seed = run + 1;
-    a.attack = AttackKind::kNone;
-    HighwayConfig b = config;
-    b.seed = run + 1;
-    b.attack = AttackKind::kInterArea;
 
-    const InterAreaResult ra = HighwayScenario{a}.run_inter_area();
-    const InterAreaResult rb = HighwayScenario{b}.run_inter_area();
-    out.baseline.merge(ra.binned(kBin));
-    out.attacked.merge(rb.binned(kBin));
-    base_hits += ra.overall_reception() * static_cast<double>(ra.packets.size());
-    base_total += static_cast<double>(ra.packets.size());
-    atk_hits += rb.overall_reception() * static_cast<double>(rb.packets.size());
-    atk_total += static_cast<double>(rb.packets.size());
-  }
+  struct RunResult {
+    InterAreaResult baseline;
+    InterAreaResult attacked;
+  };
+  for_each_run_in_order<RunResult>(
+      fidelity,
+      [&config](std::size_t run) {
+        HighwayConfig a = config;
+        a.seed = run + 1;
+        a.attack = AttackKind::kNone;
+        HighwayConfig b = config;
+        b.seed = run + 1;
+        b.attack = AttackKind::kInterArea;
+        return RunResult{HighwayScenario{a}.run_inter_area(),
+                         HighwayScenario{b}.run_inter_area()};
+      },
+      [&](const RunResult& r) {
+        out.baseline.merge(r.baseline.binned(kBin));
+        out.attacked.merge(r.attacked.binned(kBin));
+        base_hits += r.baseline.overall_reception() *
+                     static_cast<double>(r.baseline.packets.size());
+        base_total += static_cast<double>(r.baseline.packets.size());
+        atk_hits += r.attacked.overall_reception() *
+                    static_cast<double>(r.attacked.packets.size());
+        atk_total += static_cast<double>(r.attacked.packets.size());
+      });
+
   out.runs = fidelity.runs;
   out.attack_rate = sim::BinnedRate::average_drop(out.baseline, out.attacked);
   out.baseline_reception = base_total > 0.0 ? base_hits / base_total : 0.0;
@@ -62,19 +95,28 @@ AbResult run_intra_area_ab(HighwayConfig config, const Fidelity& fidelity) {
   apply_fidelity(config, fidelity);
   AbResult out{sim::BinnedRate{kBin, config.sim_duration},
                sim::BinnedRate{kBin, config.sim_duration}};
-  for (std::uint64_t run = 0; run < fidelity.runs; ++run) {
-    HighwayConfig a = config;
-    a.seed = run + 1;
-    a.attack = AttackKind::kNone;
-    HighwayConfig b = config;
-    b.seed = run + 1;
-    b.attack = AttackKind::kIntraArea;
 
-    const IntraAreaResult ra = HighwayScenario{a}.run_intra_area();
-    const IntraAreaResult rb = HighwayScenario{b}.run_intra_area();
-    out.baseline.merge(ra.binned(kBin));
-    out.attacked.merge(rb.binned(kBin));
-  }
+  struct RunResult {
+    IntraAreaResult baseline;
+    IntraAreaResult attacked;
+  };
+  for_each_run_in_order<RunResult>(
+      fidelity,
+      [&config](std::size_t run) {
+        HighwayConfig a = config;
+        a.seed = run + 1;
+        a.attack = AttackKind::kNone;
+        HighwayConfig b = config;
+        b.seed = run + 1;
+        b.attack = AttackKind::kIntraArea;
+        return RunResult{HighwayScenario{a}.run_intra_area(),
+                         HighwayScenario{b}.run_intra_area()};
+      },
+      [&](const RunResult& r) {
+        out.baseline.merge(r.baseline.binned(kBin));
+        out.attacked.merge(r.attacked.binned(kBin));
+      });
+
   out.runs = fidelity.runs;
   out.attack_rate = sim::BinnedRate::average_drop(out.baseline, out.attacked);
   out.baseline_reception = out.baseline.overall();
@@ -85,20 +127,28 @@ AbResult run_intra_area_ab(HighwayConfig config, const Fidelity& fidelity) {
 sim::BinnedRate run_inter_area_arm(HighwayConfig config, const Fidelity& fidelity) {
   apply_fidelity(config, fidelity);
   sim::BinnedRate merged{kBin, config.sim_duration};
-  for (std::uint64_t run = 0; run < fidelity.runs; ++run) {
-    config.seed = run + 1;
-    merged.merge(HighwayScenario{config}.run_inter_area().binned(kBin));
-  }
+  for_each_run_in_order<sim::BinnedRate>(
+      fidelity,
+      [&config](std::size_t run) {
+        HighwayConfig c = config;
+        c.seed = run + 1;
+        return HighwayScenario{c}.run_inter_area().binned(kBin);
+      },
+      [&](const sim::BinnedRate& r) { merged.merge(r); });
   return merged;
 }
 
 sim::BinnedRate run_intra_area_arm(HighwayConfig config, const Fidelity& fidelity) {
   apply_fidelity(config, fidelity);
   sim::BinnedRate merged{kBin, config.sim_duration};
-  for (std::uint64_t run = 0; run < fidelity.runs; ++run) {
-    config.seed = run + 1;
-    merged.merge(HighwayScenario{config}.run_intra_area().binned(kBin));
-  }
+  for_each_run_in_order<sim::BinnedRate>(
+      fidelity,
+      [&config](std::size_t run) {
+        HighwayConfig c = config;
+        c.seed = run + 1;
+        return HighwayScenario{c}.run_intra_area().binned(kBin);
+      },
+      [&](const sim::BinnedRate& r) { merged.merge(r); });
   return merged;
 }
 

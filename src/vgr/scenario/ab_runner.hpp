@@ -1,5 +1,6 @@
 #pragma once
 
+#include <cstddef>
 #include <cstdint>
 #include <string>
 
@@ -24,9 +25,17 @@ struct AbResult {
 /// minutes on a laptop or at full paper fidelity (100 runs x 200 s):
 ///   VGR_RUNS         — runs per setting (default `default_runs`)
 ///   VGR_SIM_SECONDS  — simulated seconds per run (default from config)
+///   VGR_THREADS      — worker threads for run-level parallelism
+///                      (default: all hardware threads; 1 = serial)
+/// Malformed values are rejected whole-token with a stderr warning rather
+/// than silently parsed as a prefix or as 0.
 struct Fidelity {
   std::uint64_t runs{3};
   double sim_seconds{-1.0};  ///< <= 0 keeps the config's duration
+  /// Worker threads for independent runs; 0 = auto (VGR_THREADS or all
+  /// hardware threads). Results are bit-identical for every value because
+  /// runs are merged in seed order (see ab_runner.cpp).
+  std::size_t threads{0};
 
   static Fidelity from_env(std::uint64_t default_runs = 3);
 };

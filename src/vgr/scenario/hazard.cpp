@@ -20,6 +20,9 @@ HazardScenario::HazardScenario(HazardConfig config)
       master_rng_{config.seed},
       road_{config.road_length_m, config.lanes_per_direction, /*two_way=*/true} {
   medium_ = std::make_unique<phy::Medium>(events_, config_.tech, master_rng_.fork());
+  // Positions move only on the traffic tick; rebuild the radio index once
+  // per tick instead of per event (see HighwayScenario for the rationale).
+  medium_->set_index_mode(phy::IndexMode::kExplicit);
 
   traffic::TrafficSimulation::Config tcfg;
   tcfg.entry_spacing_m = 30.0;
@@ -33,6 +36,7 @@ HazardScenario::HazardScenario(HazardConfig config)
   traffic_ = std::make_unique<traffic::TrafficSimulation>(road_, tcfg);
   traffic_->set_on_spawn([this](traffic::Vehicle& v) { spawn_station(v); });
   traffic_->set_on_exit([this](traffic::Vehicle& v) { destroy_station(v); });
+  traffic_->set_on_tick([this] { medium_->invalidate_index(); });
 }
 
 HazardScenario::~HazardScenario() = default;

@@ -104,6 +104,10 @@ HighwayScenario::HighwayScenario(HighwayConfig config)
       road_{config.road_length_m, config.lanes_per_direction, config.two_way} {
   medium_ = std::make_unique<phy::Medium>(events_, config_.tech, master_rng_.fork());
   medium_->set_interference(config_.interference);
+  medium_->set_spatial_index(config_.spatial_index);
+  // Vehicle positions only change on the traffic tick, so one index rebuild
+  // per tick serves every frame transmitted until the next tick.
+  medium_->set_index_mode(phy::IndexMode::kExplicit);
 
   traffic::TrafficSimulation::Config tcfg;
   tcfg.entry_spacing_m = config_.entry_spacing_m;
@@ -111,6 +115,7 @@ HighwayScenario::HighwayScenario(HighwayConfig config)
   traffic_ = std::make_unique<traffic::TrafficSimulation>(road_, tcfg);
   traffic_->set_on_spawn([this](traffic::Vehicle& v) { spawn_station(v); });
   traffic_->set_on_exit([this](traffic::Vehicle& v) { destroy_station(v); });
+  traffic_->set_on_tick([this] { medium_->invalidate_index(); });
 }
 
 HighwayScenario::~HighwayScenario() = default;

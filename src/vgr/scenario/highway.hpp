@@ -63,6 +63,10 @@ struct HighwayConfig {
   // Ablation switches.
   /// Enables co-channel interference on the medium (off in the paper).
   bool interference{false};
+  /// Disables the medium's spatial index (falls back to the O(N) per-frame
+  /// scan). Results are identical either way; `bench_scale` uses this to
+  /// measure the crossover and the determinism test to prove equivalence.
+  bool spatial_index{true};
   /// > 0: every vehicle rotates to a fresh pseudonym with this period —
   /// demonstrates that unlinkable identities do not blunt either attack.
   double pseudonym_period_s{-1.0};

@@ -223,6 +223,7 @@ void TrafficSimulation::tick() {
   remove_exited();
   try_entries();
   ++ticks_;
+  if (on_tick_) on_tick_();
 }
 
 void TrafficSimulation::run_on(sim::EventQueue& events, sim::TimePoint until) {

@@ -100,6 +100,10 @@ class TrafficSimulation {
   void set_on_spawn(VehicleHook hook) { on_spawn_ = std::move(hook); }
   /// Invoked right before a vehicle is removed at its exit.
   void set_on_exit(VehicleHook hook) { on_exit_ = std::move(hook); }
+  /// Invoked at the end of every tick(), after all vehicles have moved.
+  /// Scenarios use this to invalidate position-derived caches (e.g. the
+  /// radio medium's spatial index) exactly once per movement batch.
+  void set_on_tick(std::function<void()> hook) { on_tick_ = std::move(hook); }
 
   /// Manually adds a vehicle (scripted scenarios); returns it.
   Vehicle& add_vehicle(Direction dir, int lane, double x, double speed_mps);
@@ -129,6 +133,7 @@ class TrafficSimulation {
   std::array<bool, 2> entry_enabled_{true, true};
   VehicleHook on_spawn_;
   VehicleHook on_exit_;
+  std::function<void()> on_tick_;
   std::uint64_t ticks_{0};
   std::uint64_t collisions_{0};
   std::uint64_t lane_changes_{0};

@@ -1,0 +1,120 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <memory>
+#include <vector>
+
+#include "vgr/phy/medium.hpp"
+#include "vgr/phy/spatial_grid.hpp"
+#include "vgr/sim/random.hpp"
+
+namespace vgr::phy {
+namespace {
+
+std::vector<SpatialGrid::Entry> random_layout(sim::Rng& rng, std::size_t n, double length,
+                                              double width) {
+  std::vector<SpatialGrid::Entry> entries;
+  entries.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    entries.push_back({static_cast<std::uint32_t>(i) + 1,
+                       {rng.uniform(0.0, length), rng.uniform(-width, width)}});
+  }
+  return entries;
+}
+
+TEST(SpatialGrid, QueryMatchesBruteForceOnRandomLayouts) {
+  sim::Rng rng{0xC0FFEE};
+  SpatialGrid grid;
+  for (int layout = 0; layout < 20; ++layout) {
+    const std::size_t n = static_cast<std::size_t>(rng.uniform_int(1, 400));
+    const auto entries = random_layout(rng, n, 4000.0, 10.0);
+    const double cell = rng.uniform(20.0, 600.0);
+    grid.rebuild(entries, cell);
+    for (int q = 0; q < 25; ++q) {
+      const geo::Position center{rng.uniform(-200.0, 4200.0), rng.uniform(-30.0, 30.0)};
+      const double radius = rng.uniform(0.0, 800.0);
+      EXPECT_EQ(grid.query(center, radius), grid.query_brute_force(center, radius))
+          << "layout " << layout << " n=" << n << " cell=" << cell << " r=" << radius;
+    }
+  }
+}
+
+TEST(SpatialGrid, ResultIsSortedById) {
+  sim::Rng rng{7};
+  SpatialGrid grid;
+  const auto entries = random_layout(rng, 200, 1000.0, 10.0);
+  grid.rebuild(entries, 100.0);
+  const auto ids = grid.query({500.0, 0.0}, 400.0);
+  EXPECT_FALSE(ids.empty());
+  EXPECT_TRUE(std::is_sorted(ids.begin(), ids.end()));
+}
+
+TEST(SpatialGrid, EmptyAndDegenerateQueries) {
+  SpatialGrid grid;
+  EXPECT_TRUE(grid.query({0.0, 0.0}, 100.0).empty());  // nothing indexed
+  grid.rebuild({{1, {0.0, 0.0}}, {2, {10.0, 0.0}}}, 50.0);
+  EXPECT_TRUE(grid.query({0.0, 0.0}, -1.0).empty());  // negative radius
+  // Zero radius still returns a node exactly at the centre.
+  EXPECT_EQ(grid.query({0.0, 0.0}, 0.0), (std::vector<std::uint32_t>{1}));
+}
+
+TEST(SpatialGrid, BoundaryIsInclusive) {
+  SpatialGrid grid;
+  grid.rebuild({{1, {100.0, 0.0}}}, 50.0);
+  EXPECT_EQ(grid.query({0.0, 0.0}, 100.0).size(), 1u);
+  EXPECT_TRUE(grid.query({0.0, 0.0}, 99.999).empty());
+}
+
+TEST(SpatialGrid, NegativeCoordinatesAreIndexed) {
+  SpatialGrid grid;
+  grid.rebuild({{1, {-250.0, -40.0}}, {2, {250.0, 40.0}}}, 100.0);
+  EXPECT_EQ(grid.query({-250.0, -40.0}, 10.0), (std::vector<std::uint32_t>{1}));
+  EXPECT_EQ(grid.query({0.0, 0.0}, 1000.0).size(), 2u);
+}
+
+// Medium-level equivalence: with the index on or off, the same frames reach
+// the same receivers (the index only prunes, never filters).
+TEST(MediumIndex, DeliverySetMatchesScanPath) {
+  std::vector<int> reference;
+  for (const bool index_on : {false, true}) {
+    sim::EventQueue events;
+    Medium medium{events, AccessTechnology::kDsrc};
+    medium.set_spatial_index(index_on);
+    sim::Rng rng{42};
+    struct NodeState {
+      geo::Position pos;
+      int received{0};
+    };
+    std::vector<std::unique_ptr<NodeState>> nodes;
+    std::vector<RadioId> ids;
+    for (int i = 0; i < 120; ++i) {
+      nodes.push_back(std::make_unique<NodeState>());
+      NodeState& n = *nodes.back();
+      n.pos = {rng.uniform(0.0, 3000.0), rng.uniform(-10.0, 10.0)};
+      Medium::NodeConfig cfg;
+      cfg.mac = net::MacAddress{static_cast<std::uint64_t>(i) + 1};
+      cfg.position = [&n] { return n.pos; };
+      cfg.tx_range_m = 486.0;
+      ids.push_back(medium.add_node(std::move(cfg), [&n](const Frame&, RadioId) {
+        ++n.received;
+      }));
+    }
+    Frame f;
+    f.src = net::MacAddress{1};
+    for (const RadioId sender : ids) {
+      medium.transmit(sender, f);
+      events.run_until(events.now() + sim::Duration::seconds(1.0));
+    }
+    // Record the delivery pattern of this mode, compare across modes.
+    std::vector<int> pattern;
+    for (const auto& n : nodes) pattern.push_back(n->received);
+    if (!index_on) {
+      reference = pattern;
+    } else {
+      EXPECT_EQ(pattern, reference);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace vgr::phy

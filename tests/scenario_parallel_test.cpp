@@ -1,0 +1,114 @@
+// Determinism of the parallel experiment harness: dispatching independent
+// runs across a thread pool and merging in seed order must reproduce the
+// serial path bit for bit — attack rate, every timeline bin, and the
+// overall reception figures. This is the contract that lets VGR_THREADS be
+// a pure performance knob.
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+
+#include "vgr/scenario/ab_runner.hpp"
+
+namespace vgr::scenario {
+namespace {
+
+HighwayConfig quick_config(AttackKind attack) {
+  HighwayConfig cfg;
+  cfg.attack = attack;
+  cfg.sim_duration = sim::Duration::seconds(15.0);
+  // Thinner traffic keeps the 4-runs-x-2-arms suite fast while still
+  // exercising spawns, exits, forwarding, and the attacker.
+  cfg.prefill_spacing_m = 90.0;
+  cfg.entry_spacing_m = 90.0;
+  return cfg;
+}
+
+Fidelity with_threads(std::size_t threads) {
+  Fidelity f;
+  f.runs = 4;
+  f.threads = threads;
+  return f;
+}
+
+void expect_bit_identical(const AbResult& serial, const AbResult& parallel) {
+  // Exact equality on purpose: merging in seed order preserves the
+  // floating-point accumulation order, so these are the same bits.
+  EXPECT_EQ(serial.attack_rate, parallel.attack_rate);
+  EXPECT_EQ(serial.baseline_reception, parallel.baseline_reception);
+  EXPECT_EQ(serial.attacked_reception, parallel.attacked_reception);
+  EXPECT_EQ(serial.runs, parallel.runs);
+  ASSERT_EQ(serial.baseline.bin_count(), parallel.baseline.bin_count());
+  for (std::size_t i = 0; i < serial.baseline.bin_count(); ++i) {
+    EXPECT_EQ(serial.baseline.has_data(i), parallel.baseline.has_data(i)) << "bin " << i;
+    EXPECT_EQ(serial.baseline.rate(i), parallel.baseline.rate(i)) << "bin " << i;
+    EXPECT_EQ(serial.attacked.rate(i), parallel.attacked.rate(i)) << "bin " << i;
+  }
+}
+
+TEST(ParallelHarness, InterAreaSerialAndParallelAreBitIdentical) {
+  const HighwayConfig cfg = quick_config(AttackKind::kInterArea);
+  const AbResult serial = run_inter_area_ab(cfg, with_threads(1));
+  const AbResult parallel = run_inter_area_ab(cfg, with_threads(4));
+  expect_bit_identical(serial, parallel);
+  // Sanity: the attack actually bites, so we are not comparing zeros.
+  EXPECT_GT(serial.baseline_reception, 0.0);
+}
+
+TEST(ParallelHarness, IntraAreaSerialAndParallelAreBitIdentical) {
+  const HighwayConfig cfg = quick_config(AttackKind::kIntraArea);
+  const AbResult serial = run_intra_area_ab(cfg, with_threads(1));
+  const AbResult parallel = run_intra_area_ab(cfg, with_threads(4));
+  expect_bit_identical(serial, parallel);
+  EXPECT_GT(serial.baseline_reception, 0.0);
+}
+
+TEST(ParallelHarness, SingleArmHelpersAreBitIdentical) {
+  HighwayConfig cfg = quick_config(AttackKind::kInterArea);
+  const sim::BinnedRate serial = run_inter_area_arm(cfg, with_threads(1));
+  const sim::BinnedRate parallel = run_inter_area_arm(cfg, with_threads(4));
+  ASSERT_EQ(serial.bin_count(), parallel.bin_count());
+  for (std::size_t i = 0; i < serial.bin_count(); ++i) {
+    EXPECT_EQ(serial.rate(i), parallel.rate(i)) << "bin " << i;
+  }
+  EXPECT_EQ(serial.overall(), parallel.overall());
+}
+
+TEST(ParallelHarness, SpatialIndexDoesNotChangeResults) {
+  // The medium's spatial index must be a pure accelerator: a full A/B
+  // experiment with the index disabled reproduces the indexed results.
+  HighwayConfig cfg = quick_config(AttackKind::kInterArea);
+  const AbResult indexed = run_inter_area_ab(cfg, with_threads(2));
+  cfg.spatial_index = false;
+  const AbResult scanned = run_inter_area_ab(cfg, with_threads(2));
+  expect_bit_identical(indexed, scanned);
+}
+
+TEST(Fidelity, FromEnvRejectsMalformedTokensWhole) {
+  ::setenv("VGR_RUNS", "5", 1);
+  ::setenv("VGR_SIM_SECONDS", "12.5", 1);
+  ::setenv("VGR_THREADS", "2", 1);
+  Fidelity f = Fidelity::from_env(3);
+  EXPECT_EQ(f.runs, 5u);
+  EXPECT_DOUBLE_EQ(f.sim_seconds, 12.5);
+  EXPECT_EQ(f.threads, 2u);
+
+  // "5x" used to be accepted as 5 (strtol prefix parse) and "abc" silently
+  // became the default; both are now rejected whole-token with a warning.
+  ::setenv("VGR_RUNS", "5x", 1);
+  ::setenv("VGR_SIM_SECONDS", "abc", 1);
+  ::setenv("VGR_THREADS", "-2", 1);  // parses, but non-positive: ignored
+  f = Fidelity::from_env(3);
+  EXPECT_EQ(f.runs, 3u);
+  EXPECT_DOUBLE_EQ(f.sim_seconds, -1.0);
+  EXPECT_EQ(f.threads, 0u);
+
+  ::unsetenv("VGR_RUNS");
+  ::unsetenv("VGR_SIM_SECONDS");
+  ::unsetenv("VGR_THREADS");
+  f = Fidelity::from_env(7);
+  EXPECT_EQ(f.runs, 7u);
+}
+
+}  // namespace
+}  // namespace vgr::scenario
