@@ -1,0 +1,131 @@
+// bench_resilience — PDR and interception under deterministic fault
+// injection and node churn (docs/robustness.md).
+//
+// Two sweeps over the inter-area experiment, each point a full paired A/B
+// (attacker-free vs inter-area interceptor) plus a mitigated arm (both §V
+// defenses enabled under attack):
+//
+//  1. Channel-loss sweep: frame drop + per-link loss + byte corruption
+//     scaled together from a clean channel to a badly degraded one, with a
+//     Gilbert–Elliott burst component at the upper settings.
+//  2. Churn sweep: fleet-wide crash/reboot rate from none to one crash
+//     every two seconds.
+//
+// The question each curve answers: does the attack's advantage (and the
+// mitigation's recovery) survive on a lossy, churning network, or was it an
+// artifact of the clean simulation? Writes BENCH_resilience.json (override
+// with VGR_BENCH_JSON). Defaults finish in a few minutes; raise VGR_RUNS /
+// VGR_SIM_SECONDS for full fidelity.
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "bench_util.hpp"
+
+namespace {
+
+using namespace vgr;
+
+struct Row {
+  std::string axis;      // "loss" or "churn"
+  double level;          // drop probability / crashes per second
+  double recv_baseline;  // attacker-free reception
+  double recv_attacked;  // attacked reception
+  double gamma;          // interception rate, no mitigation
+  double recv_mitigated; // attacked reception, both §V defenses
+  double gamma_mitigated;
+};
+
+Row run_point(const scenario::HighwayConfig& cfg, const scenario::Fidelity& fidelity,
+              const std::string& axis, double level) {
+  Row row;
+  row.axis = axis;
+  row.level = level;
+
+  const scenario::AbResult plain = scenario::run_inter_area_ab(cfg, fidelity);
+  row.recv_baseline = plain.baseline_reception;
+  row.recv_attacked = plain.attacked_reception;
+  row.gamma = plain.attack_rate;
+
+  scenario::HighwayConfig mitigated = cfg;
+  mitigated.mitigation = mitigation::Profile::kFull;
+  const scenario::AbResult guarded = scenario::run_inter_area_ab(mitigated, fidelity);
+  row.recv_mitigated = guarded.attacked_reception;
+  row.gamma_mitigated = guarded.attack_rate;
+  return row;
+}
+
+void print_row(const Row& r) {
+  std::printf("  %-7s %-8.3f recv_af=%6.3f recv_atk=%6.3f gamma=%6.1f%%  "
+              "recv_mit=%6.3f gamma_mit=%6.1f%%\n",
+              r.axis.c_str(), r.level, r.recv_baseline, r.recv_attacked, r.gamma * 100.0,
+              r.recv_mitigated, r.gamma_mitigated * 100.0);
+}
+
+}  // namespace
+
+int main() {
+  const scenario::Fidelity fidelity = scenario::Fidelity::from_env(/*default_runs=*/4);
+  vgr::bench::banner("bench_resilience",
+                     "attack + mitigation under channel faults and node churn", fidelity,
+                     /*default_sim_seconds=*/20.0);
+  scenario::Fidelity f = fidelity;
+  if (f.sim_seconds <= 0.0) f.sim_seconds = 20.0;
+
+  std::vector<Row> rows;
+
+  // --- Sweep 1: channel loss ----------------------------------------------
+  std::printf("\n[1] Channel-loss sweep (frame drop + link loss + corruption, GE bursts)\n");
+  for (const double drop : {0.0, 0.05, 0.1, 0.2, 0.4}) {
+    scenario::HighwayConfig cfg;
+    cfg.attack = scenario::AttackKind::kInterArea;
+    cfg.faults.drop_probability = drop;
+    cfg.faults.link_loss_probability = drop / 2.0;
+    cfg.faults.corrupt_probability = drop / 4.0;
+    if (drop >= 0.2) {
+      // Upper settings add a burst component: ~5-frame bad states in which
+      // everything is lost, entered roughly every hundred frames.
+      cfg.faults.ge_p_good_to_bad = 0.01;
+      cfg.faults.ge_p_bad_to_good = 0.2;
+    }
+    rows.push_back(run_point(cfg, f, "loss", drop));
+    print_row(rows.back());
+  }
+
+  // --- Sweep 2: node churn ------------------------------------------------
+  std::printf("\n[2] Churn sweep (fleet-wide crash rate, 2 s downtime, always reboot)\n");
+  for (const double rate : {0.0, 0.1, 0.25, 0.5}) {
+    scenario::HighwayConfig cfg;
+    cfg.attack = scenario::AttackKind::kInterArea;
+    cfg.churn.crash_rate_hz = rate;
+    cfg.churn.downtime_s = 2.0;
+    rows.push_back(run_point(cfg, f, "churn", rate));
+    print_row(rows.back());
+  }
+
+  // --- JSON artifact ------------------------------------------------------
+  const char* out = std::getenv("VGR_BENCH_JSON");
+  const std::string path = out != nullptr ? out : "BENCH_resilience.json";
+  std::FILE* fjson = std::fopen(path.c_str(), "w");
+  if (fjson == nullptr) {
+    std::fprintf(stderr, "bench_resilience: cannot write %s\n", path.c_str());
+    return 1;
+  }
+  std::fprintf(fjson, "{\n  \"runs\": %llu,\n  \"sim_seconds\": %.1f,\n  \"points\": [\n",
+               static_cast<unsigned long long>(f.runs), f.sim_seconds);
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    const Row& r = rows[i];
+    std::fprintf(fjson,
+                 "    {\"axis\": \"%s\", \"level\": %.3f, \"recv_baseline\": %.17g, "
+                 "\"recv_attacked\": %.17g, \"gamma\": %.17g, \"recv_mitigated\": %.17g, "
+                 "\"gamma_mitigated\": %.17g}%s\n",
+                 r.axis.c_str(), r.level, r.recv_baseline, r.recv_attacked, r.gamma,
+                 r.recv_mitigated, r.gamma_mitigated, i + 1 < rows.size() ? "," : "");
+  }
+  std::fprintf(fjson, "  ]\n}\n");
+  std::fclose(fjson);
+  std::printf("\nwrote %s\n", path.c_str());
+  return 0;
+}

@@ -1,11 +1,31 @@
 #include "vgr/gn/router.hpp"
 
 #include <cassert>
+#include <cmath>
 #include <utility>
 
+#include "vgr/net/codec.hpp"
 #include "vgr/sim/log.hpp"
 
 namespace vgr::gn {
+namespace {
+
+bool finite_lpv(const net::LongPositionVector& pv) {
+  return std::isfinite(pv.position.x) && std::isfinite(pv.position.y) &&
+         std::isfinite(pv.speed_mps) && std::isfinite(pv.heading_rad);
+}
+
+bool finite_spv(const net::ShortPositionVector& pv) {
+  return std::isfinite(pv.position.x) && std::isfinite(pv.position.y);
+}
+
+bool finite_area(const geo::GeoArea& a) {
+  return std::isfinite(a.center().x) && std::isfinite(a.center().y) &&
+         std::isfinite(a.a()) && std::isfinite(a.b()) && std::isfinite(a.azimuth()) &&
+         a.a() > 0.0 && a.b() > 0.0;
+}
+
+}  // namespace
 
 using sim::Log;
 using sim::LogLevel;
@@ -280,14 +300,38 @@ net::SequenceNumber Router::send_topo_broadcast(net::Bytes payload,
 }
 
 void Router::on_frame(const phy::Frame& frame) {
-  // 1. Security: every GeoNetworking message must verify against the trust
+  // 0. Wire hardening. A fault-injected (or hostile) delivery carries its
+  //    damaged wire image in `frame.raw`; decode it before trusting anything.
+  //    An undecodable frame is counted and dropped here, exactly like a
+  //    frame that failed the access layer's CRC. When decode succeeds the
+  //    decoded packet replaces the structured one under the original
+  //    security envelope: damage inside the signed portion then dies at the
+  //    signature check below, while basic-header damage (RHL, lifetime —
+  //    outside the signature scope, as EN 302 636-4-1 allows) slips past
+  //    verification and must be caught by the semantic checks instead.
+  security::SecuredMessage msg = frame.msg;
+  if (!frame.raw.empty()) {
+    auto decoded = net::Codec::decode(frame.raw);
+    if (!decoded.has_value()) {
+      ++stats_.ingest_decode_failures;
+      return;
+    }
+    msg.packet = std::move(*decoded);
+  }
+
+  // 1. Semantic validation, before any router state is touched: a malformed
+  //    packet must never reach the location table, the duplicate detector or
+  //    the greedy-forwarding geometry.
+  if (!validate_ingest(msg.packet)) return;
+
+  // 2. Security: every GeoNetworking message must verify against the trust
   //    store. Forged messages (e.g. a blackhole attacker's fake beacons) die
   //    here; *replayed* ones sail through — the paper's key observation.
-  if (!frame.msg.verify(*trust_)) {
+  if (!msg.verify(*trust_)) {
     ++stats_.auth_failures;
     return;
   }
-  const net::Packet& p = frame.msg.packet;
+  const net::Packet& p = msg.packet;
   const net::LongPositionVector& so = p.source_pv();
   if (so.address == address_) {
     // Our own GN address arriving from the air: either a genuine address
@@ -302,7 +346,7 @@ void Router::on_frame(const phy::Frame& frame) {
 
   const sim::TimePoint now = events_.now();
 
-  // 2. Location table update. Beacon PVs must be fresh (timestamp check);
+  // 3. Location table update. Beacon PVs must be fresh (timestamp check);
   //    multi-hop packets may legitimately carry an older source PV, which
   //    updates the table but never sets the neighbour flag unless the
   //    source itself is the link-layer sender.
@@ -313,7 +357,7 @@ void Router::on_frame(const phy::Frame& frame) {
       return;
     }
     loc_table_.update(so, now, direct);
-    handle_beacon(frame.msg);
+    handle_beacon(msg);
     return;
   }
   loc_table_.update(so, now, direct);
@@ -327,32 +371,76 @@ void Router::on_frame(const phy::Frame& frame) {
 
   switch (p.common.type) {
     case net::CommonHeader::HeaderType::kGeoBroadcast:
-      handle_gbc(frame.msg, frame);
+      handle_gbc(std::move(msg), frame);
       break;
     case net::CommonHeader::HeaderType::kGeoUnicast:
-      handle_guc(frame.msg, frame);
+      handle_guc(std::move(msg), frame);
       break;
     case net::CommonHeader::HeaderType::kGeoAnycast:
-      handle_gac(frame.msg, frame);
+      handle_gac(std::move(msg), frame);
       break;
     case net::CommonHeader::HeaderType::kTopoBroadcast:
-      handle_tsb(frame.msg, frame);
+      handle_tsb(std::move(msg), frame);
       break;
     case net::CommonHeader::HeaderType::kSingleHopBroadcast:
       deliver(p, frame.src);
       break;
     case net::CommonHeader::HeaderType::kLsRequest:
-      handle_ls_request(frame.msg, frame);
+      handle_ls_request(std::move(msg), frame);
       break;
     case net::CommonHeader::HeaderType::kLsReply:
-      handle_ls_reply(frame.msg, frame);
+      handle_ls_reply(std::move(msg), frame);
       break;
     case net::CommonHeader::HeaderType::kAck:
-      handle_ack(frame.msg);
+      handle_ack(msg);
       break;
     default:
       break;
   }
+}
+
+bool Router::validate_ingest(const net::Packet& p) {
+  // Position vectors: a NaN/inf coordinate poisons every distance
+  // comparison downstream (NaN compares false against everything, so a
+  // greedy-forwarding argmin silently misroutes instead of crashing).
+  bool geometry_ok = finite_lpv(p.source_pv());
+  if (geometry_ok) {
+    if (const auto* u = p.guc()) {
+      geometry_ok = finite_spv(u->destination);
+    } else if (const auto* lr = p.ls_reply()) {
+      geometry_ok = finite_spv(lr->destination);
+    } else if (const auto* g = p.gbc()) {
+      geometry_ok = finite_area(g->area);
+    } else if (const auto* a = p.gac()) {
+      geometry_ok = finite_area(a->area);
+    }
+  }
+  if (!geometry_ok) {
+    ++stats_.ingest_invalid_pv;
+    return false;
+  }
+  // Hop limits: an honest station sends RHL >= 1 and forwarders only ever
+  // decrement it, so RHL == 0 (should have died a hop earlier), MHL == 0,
+  // or RHL > MHL (an impossible history) cannot occur on a clean channel.
+  if (p.basic.remaining_hop_limit == 0 || p.common.max_hop_limit == 0 ||
+      p.basic.remaining_hop_limit > p.common.max_hop_limit) {
+    ++stats_.ingest_invalid_rhl;
+    return false;
+  }
+  // A non-positive lifetime means the packet is already dead; buffering or
+  // forwarding it would only feed CBF/GF machinery with expired state.
+  if (p.basic.lifetime <= sim::Duration::zero()) {
+    ++stats_.ingest_invalid_lifetime;
+    return false;
+  }
+  // Payload cap mirrors the codec's wire-format bound; the structured path
+  // (in-process attacker handing the router an absurd packet) is checked
+  // here so both ingest paths share one limit.
+  if (p.payload.size() > net::kMaxPayloadBytes) {
+    ++stats_.ingest_oversized_payload;
+    return false;
+  }
+  return true;
 }
 
 void Router::handle_tsb(security::SecuredMessage msg, const phy::Frame& frame) {

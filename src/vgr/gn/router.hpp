@@ -39,6 +39,15 @@ struct RouterStats {
   std::uint64_t cbf_suppressed{0};
   std::uint64_t cbf_mitigation_keeps{0};
   std::uint64_t auth_failures{0};
+  // --- Hardened-ingest drop counters, one per cause (see Router::ingest):
+  //     every malformed or semantically invalid frame increments exactly one
+  //     of these and is dropped before any router state (location table,
+  //     duplicate detector, CBF buffer) is touched.
+  std::uint64_t ingest_decode_failures{0};   ///< corrupted wire failed decode
+  std::uint64_t ingest_invalid_pv{0};        ///< NaN/inf position vector field
+  std::uint64_t ingest_invalid_rhl{0};       ///< RHL 0 or above max hop limit
+  std::uint64_t ingest_invalid_lifetime{0};  ///< non-positive packet lifetime
+  std::uint64_t ingest_oversized_payload{0}; ///< payload above kMaxPayloadBytes
   std::uint64_t stale_pv_drops{0};
   std::uint64_t duplicates{0};
   std::uint64_t rhl_exhausted{0};
@@ -130,6 +139,21 @@ class Router {
   /// Sends one beacon immediately (also used by tests).
   void send_beacon_now();
 
+  /// Injects `frame` exactly as if it had been received from the medium —
+  /// the entry point the fuzz harness and the malformed-frame tests drive.
+  /// Runs the full hardened ingest pipeline: wire decode (when `frame.raw`
+  /// is set), semantic validation, signature verification, then routing.
+  void ingest(const phy::Frame& frame) {
+    if (running_) on_frame(frame);
+  }
+
+  /// Overrides the next originated sequence number. A rebooting station
+  /// calls this with a random draw so its post-reboot packets do not reuse
+  /// sequence numbers its peers' duplicate detectors already hold (which
+  /// would black-hole the station until the window ages out) — see
+  /// docs/robustness.md.
+  void seed_sequence_number(net::SequenceNumber sn) { next_sequence_ = sn; }
+
   /// Swaps the signing identity (pseudonym rotation, ETSI TS 102 731
   /// privacy service): subsequent transmissions use the new certificate,
   /// GN address and link-layer address. Peers' stale entries for the old
@@ -168,6 +192,13 @@ class Router {
 
  private:
   void on_frame(const phy::Frame& frame);
+
+  /// Semantic ingest validation: rejects packets whose decoded fields could
+  /// crash or poison the router (non-finite PV coordinates, impossible hop
+  /// limits, non-positive lifetimes, oversized payloads), incrementing the
+  /// matching per-cause drop counter. Runs before any state mutation.
+  [[nodiscard]] bool validate_ingest(const net::Packet& p);
+
   void handle_beacon(const security::SecuredMessage& msg);
   void handle_gbc(security::SecuredMessage msg, const phy::Frame& frame);
   void handle_guc(security::SecuredMessage msg, const phy::Frame& frame);

@@ -1,7 +1,9 @@
 #include "vgr/net/codec.hpp"
 
 #include <bit>
+#include <cmath>
 #include <cstring>
+#include <initializer_list>
 
 namespace vgr::net {
 
@@ -64,7 +66,10 @@ std::optional<double> ByteReader::f64() {
 std::optional<Bytes> ByteReader::bytes() {
   const auto n = u32();
   if (!n) return std::nullopt;
-  if (pos_ + *n > in_.size()) return std::nullopt;
+  // Validate against remaining input (subtraction, not addition, so the
+  // check cannot overflow) and the wire maximum before touching memory.
+  if (*n > kMaxChunkBytes) return std::nullopt;
+  if (*n > in_.size() - pos_) return std::nullopt;
   Bytes out(in_.begin() + static_cast<std::ptrdiff_t>(pos_),
             in_.begin() + static_cast<std::ptrdiff_t>(pos_ + *n));
   pos_ += *n;
@@ -72,6 +77,17 @@ std::optional<Bytes> ByteReader::bytes() {
 }
 
 namespace {
+
+/// Decoded floating-point fields must be finite: a NaN/inf coordinate that
+/// slipped into a LocationTable would poison every distance comparison (NaN
+/// compares false with everything, so Greedy Forwarding would silently skip
+/// or keep such a neighbour forever) and propagate through IDM math.
+bool all_finite(std::initializer_list<double> vs) {
+  for (const double v : vs) {
+    if (!std::isfinite(v)) return false;
+  }
+  return true;
+}
 
 void write_lpv(ByteWriter& w, const LongPositionVector& pv) {
   w.u64(pv.address.bits());
@@ -91,6 +107,7 @@ std::optional<LongPositionVector> read_lpv(ByteReader& r) {
   const auto speed = r.f64();
   const auto heading = r.f64();
   if (!addr || !ts || !x || !y || !speed || !heading) return std::nullopt;
+  if (!all_finite({*x, *y, *speed, *heading})) return std::nullopt;
   pv.address = GnAddress::from_bits(*addr);
   pv.timestamp = sim::TimePoint::at(sim::Duration::nanos(static_cast<std::int64_t>(*ts)));
   pv.position = {*x, *y};
@@ -113,6 +130,7 @@ std::optional<ShortPositionVector> read_spv(ByteReader& r) {
   const auto x = r.f64();
   const auto y = r.f64();
   if (!addr || !ts || !x || !y) return std::nullopt;
+  if (!all_finite({*x, *y})) return std::nullopt;
   pv.address = GnAddress::from_bits(*addr);
   pv.timestamp = sim::TimePoint::at(sim::Duration::nanos(static_cast<std::int64_t>(*ts)));
   pv.position = {*x, *y};
@@ -136,6 +154,9 @@ std::optional<geo::GeoArea> read_area(ByteReader& r) {
   const auto b = r.f64();
   const auto az = r.f64();
   if (!shape || !cx || !cy || !a || !b || !az) return std::nullopt;
+  // NaN extents sail past a `<= 0` test (NaN compares false), so finiteness
+  // comes first.
+  if (!all_finite({*cx, *cy, *a, *b, *az})) return std::nullopt;
   if (*a <= 0.0 || *b <= 0.0) return std::nullopt;
   switch (static_cast<geo::GeoArea::Shape>(*shape)) {
     case geo::GeoArea::Shape::kCircle:
@@ -295,6 +316,7 @@ std::optional<Packet> Codec::decode(const Bytes& wire) {
   }
   const auto payload = r.bytes();
   if (!payload || !r.exhausted()) return std::nullopt;
+  if (payload->size() > kMaxPayloadBytes) return std::nullopt;
   p.payload = *payload;
   return p;
 }

@@ -8,6 +8,18 @@
 
 namespace vgr::net {
 
+/// Hard ceiling on any length-prefixed chunk on the wire. A GeoNetworking
+/// frame is bounded by the access-layer MTU (~1500 B for both DSRC and
+/// C-V2X); 16 KiB leaves generous headroom for every header combination
+/// while guaranteeing that a hostile u32 length prefix in a 3-byte frame
+/// can never request a 4 GiB allocation.
+inline constexpr std::size_t kMaxChunkBytes = 16 * 1024;
+
+/// Ceiling on the application payload carried by one packet (the GN MTU
+/// minus headers, rounded up). Enforced both at decode time and at router
+/// ingest so oversized payloads are counted-and-dropped, never forwarded.
+inline constexpr std::size_t kMaxPayloadBytes = 2048;
+
 /// Little-endian byte writer used by the codec and by the security layer to
 /// produce the exact byte string a signature covers.
 class ByteWriter {
@@ -37,6 +49,9 @@ class ByteReader {
   std::optional<std::uint32_t> u32();
   std::optional<std::uint64_t> u64();
   std::optional<double> f64();
+  /// Length-prefixed chunk. The length is validated against both the bytes
+  /// actually remaining and `kMaxChunkBytes` *before* any allocation, so a
+  /// hostile prefix cannot trigger a huge buffer or an overflowing index.
   std::optional<Bytes> bytes();
 
   [[nodiscard]] bool exhausted() const { return pos_ == in_.size(); }

@@ -1,0 +1,91 @@
+#include "vgr/phy/fault_injector.hpp"
+
+#include "vgr/sim/env.hpp"
+
+namespace vgr::phy {
+
+FaultConfig FaultConfig::with_env_overrides() const {
+  FaultConfig c = *this;
+  const auto prob = [](const char* name, double& field) {
+    if (const auto v = sim::env_double(name); v.has_value() && *v >= 0.0 && *v <= 1.0) {
+      field = *v;
+    }
+  };
+  prob("VGR_FAULT_DROP", c.drop_probability);
+  prob("VGR_FAULT_LINK_LOSS", c.link_loss_probability);
+  prob("VGR_FAULT_CORRUPT", c.corrupt_probability);
+  prob("VGR_FAULT_DUP", c.duplicate_probability);
+  prob("VGR_FAULT_GE_P_GB", c.ge_p_good_to_bad);
+  prob("VGR_FAULT_GE_P_BG", c.ge_p_bad_to_good);
+  prob("VGR_FAULT_GE_LOSS_GOOD", c.ge_loss_good);
+  prob("VGR_FAULT_GE_LOSS_BAD", c.ge_loss_bad);
+  if (const auto v = sim::env_double("VGR_FAULT_DELAY_MS"); v.has_value() && *v >= 0.0) {
+    c.max_extra_delay_s = *v / 1000.0;
+  }
+  return c;
+}
+
+FaultInjector::FrameDecision FaultInjector::on_frame() {
+  FrameDecision d;
+  if (!enabled_) return d;
+
+  // Gilbert–Elliott: advance the chain first (the state transition is part
+  // of the channel's evolution whether or not this frame survives), then
+  // sample the state's loss probability.
+  bool burst_loss = false;
+  if (config_.ge_p_good_to_bad > 0.0) {
+    const double p_flip = ge_bad_ ? config_.ge_p_bad_to_good : config_.ge_p_good_to_bad;
+    if (rng_.bernoulli(p_flip)) ge_bad_ = !ge_bad_;
+    const double loss = ge_bad_ ? config_.ge_loss_bad : config_.ge_loss_good;
+    if (loss > 0.0 && rng_.bernoulli(loss)) {
+      burst_loss = ge_bad_;
+      d.drop = true;
+    }
+  }
+  if (!d.drop && config_.drop_probability > 0.0 && rng_.bernoulli(config_.drop_probability)) {
+    d.drop = true;
+  }
+  if (d.drop) {
+    ++stats_.frames_dropped;
+    if (burst_loss) ++stats_.frames_dropped_burst;
+    return d;
+  }
+
+  if (config_.duplicate_probability > 0.0 && rng_.bernoulli(config_.duplicate_probability)) {
+    d.duplicate = true;
+    ++stats_.frames_duplicated;
+  }
+  if (config_.max_extra_delay_s > 0.0) {
+    const double extra = rng_.uniform(0.0, config_.max_extra_delay_s);
+    if (extra > 0.0) {
+      d.extra_delay = sim::Duration::seconds(extra);
+      ++stats_.frames_delayed;
+    }
+  }
+  return d;
+}
+
+bool FaultInjector::drop_delivery() {
+  if (config_.link_loss_probability <= 0.0) return false;
+  if (!rng_.bernoulli(config_.link_loss_probability)) return false;
+  ++stats_.deliveries_dropped;
+  return true;
+}
+
+bool FaultInjector::corrupt_delivery() {
+  if (config_.corrupt_probability <= 0.0) return false;
+  return rng_.bernoulli(config_.corrupt_probability);
+}
+
+void FaultInjector::corrupt_bytes(net::Bytes& wire) {
+  ++stats_.deliveries_corrupted;
+  if (wire.empty()) return;
+  const std::int64_t flips = rng_.uniform_int(1, 4);
+  for (std::int64_t i = 0; i < flips; ++i) {
+    const auto bit = static_cast<std::size_t>(
+        rng_.uniform_int(0, static_cast<std::int64_t>(wire.size()) * 8 - 1));
+    wire[bit / 8] ^= static_cast<std::uint8_t>(1u << (bit % 8));
+  }
+}
+
+}  // namespace vgr::phy

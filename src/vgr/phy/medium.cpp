@@ -77,6 +77,17 @@ bool Medium::receivable(const Node& to, geo::Position from_pos, double range_m,
 }
 
 void Medium::transmit(RadioId sender, Frame frame, double range_override_m) {
+  // Frame-level fault decisions (channel-wide loss, duplication, extra
+  // delay) are drawn once per transmission, before the fan-out, in the
+  // single-threaded event loop — so fault-injected runs replay exactly from
+  // (seed, config) regardless of the harness's thread count.
+  FaultInjector::FrameDecision faults;
+  if (injector_ && injector_->enabled()) faults = injector_->on_frame();
+  transmit_impl(sender, std::move(frame), range_override_m, faults);
+}
+
+void Medium::transmit_impl(RadioId sender, Frame frame, double range_override_m,
+                           const FaultInjector::FrameDecision& faults) {
   const auto sit = nodes_.find(sender.value);
   assert(sit != nodes_.end() && sit->second.alive && "unknown sender");
   const geo::Position from = sit->second.config.position();
@@ -107,6 +118,24 @@ void Medium::transmit(RadioId sender, Frame frame, double range_override_m) {
         Node::Reception{events_.now(), tx_end, std::make_shared<bool>(true)});
   }
 
+  // Channel-wide loss (i.i.d. drop or Gilbert–Elliott burst): the frame was
+  // sent — the transmitter's radio was busy for its airtime — but reaches no
+  // receiver. Modelled as zero radiated energy at every receiver, so no
+  // carrier sense and no interference footprint either.
+  if (faults.drop) return;
+
+  // Fault-injected duplication: a second, identical transmission airs right
+  // after the original's airtime (a stale retransmission). It is a real
+  // frame — it counts in frames_sent_ and contends for the channel — but is
+  // exempt from further frame-level fault draws to keep the model bounded.
+  if (faults.duplicate) {
+    events_.schedule_in(tx_time, [this, sender, copy = frame, range_override_m]() mutable {
+      const auto it = nodes_.find(sender.value);
+      if (it == nodes_.end() || !it->second.alive) return;
+      transmit_impl(sender, std::move(copy), range_override_m, {});
+    });
+  }
+
   // Candidate receivers. With the index on, only the nodes whose grid cells
   // a transmission of this power can reach are visited (O(k) instead of
   // O(N)); the exact per-node distance/receivable check below is unchanged,
@@ -124,6 +153,7 @@ void Medium::transmit(RadioId sender, Frame frame, double range_override_m) {
   }
 
   const auto frame_ptr = std::make_shared<const Frame>(std::move(frame));
+  net::Bytes wire_cache;  ///< lazy wire image, shared by corrupted deliveries
   for (const std::uint32_t id : candidates_) {
     if (id == sender.value) continue;
     const auto nit = nodes_.find(id);
@@ -165,11 +195,30 @@ void Medium::transmit(RadioId sender, Frame frame, double range_override_m) {
         frame_ptr->dst != node.config.mac) {
       continue;
     }
-    const sim::Duration delay = tx_time + propagation_delay(dist);
+
+    // Delivery-level faults: each (frame, receiver) pair independently
+    // suffers clean loss or byte corruption. Corruption re-encodes the
+    // packet once per frame (cached), damages a private copy of the wire
+    // bytes, and ships them in `Frame::raw` for the receiver to decode —
+    // the structured packet stays pristine for the other receivers.
+    std::shared_ptr<const Frame> deliver_ptr = frame_ptr;
+    if (injector_ && injector_->enabled()) {
+      if (injector_->drop_delivery()) continue;
+      if (injector_->corrupt_delivery()) {
+        if (wire_cache.empty()) wire_cache = net::Codec::encode(frame_ptr->msg.packet);
+        auto damaged = std::make_shared<Frame>(*frame_ptr);
+        damaged->raw = wire_cache;
+        injector_->corrupt_bytes(damaged->raw);
+        deliver_ptr = std::move(damaged);
+      }
+    }
+
+    const sim::Duration delay = tx_time + propagation_delay(dist) + faults.extra_delay;
     // Deliver via the event queue so reception ordering is global and the
     // callback runs after the frame's airtime, like a real channel.
     const RadioId rx_id{id};
-    events_.schedule_in(delay, [this, rx_id, frame_ptr, sender, corrupted] {
+    events_.schedule_in(delay, [this, rx_id, frame_ptr = std::move(deliver_ptr), sender,
+                                corrupted] {
       if (*corrupted) return;
       const auto it = nodes_.find(rx_id.value);
       if (it == nodes_.end() || !it->second.alive) return;

@@ -8,6 +8,7 @@
 
 #include "vgr/geo/vec2.hpp"
 #include "vgr/net/address.hpp"
+#include "vgr/phy/fault_injector.hpp"
 #include "vgr/phy/spatial_grid.hpp"
 #include "vgr/phy/technology.hpp"
 #include "vgr/security/secured_message.hpp"
@@ -23,6 +24,12 @@ struct Frame {
   net::MacAddress src{};
   net::MacAddress dst{net::MacAddress::broadcast()};
   security::SecuredMessage msg{};
+  /// When non-empty, this receiver's copy arrived byte-corrupted: `raw` is
+  /// the damaged wire image of `msg.packet` and MUST be decoded instead of
+  /// trusting the structured packet (the router's ingest path does this,
+  /// counting undecodable frames). Empty on the clean fast path, so no
+  /// per-delivery encode/decode cost is paid without fault injection.
+  net::Bytes raw{};
 };
 
 /// Identifies a node registered on the medium.
@@ -112,6 +119,15 @@ class Medium {
   /// Installs an obstruction predicate (empty = free space everywhere).
   void set_obstruction(ObstructionFn fn) { obstruction_ = std::move(fn); }
 
+  /// Installs the channel fault injector (nullptr removes it). A disabled
+  /// injector is inert: it draws nothing from its RNG stream and the run is
+  /// bit-identical to one without any injector installed.
+  void set_fault_injector(std::unique_ptr<FaultInjector> injector) {
+    injector_ = std::move(injector);
+  }
+  [[nodiscard]] FaultInjector* fault_injector() { return injector_.get(); }
+  [[nodiscard]] const FaultInjector* fault_injector() const { return injector_.get(); }
+
   void set_reception_model(ReceptionModel model) { reception_model_ = model; }
   /// For kLogDistanceFading: fraction of the range where loss begins.
   void set_fading_onset_fraction(double f) { fading_onset_ = f; }
@@ -170,6 +186,11 @@ class Medium {
   [[nodiscard]] bool receivable(const Node& to, geo::Position from_pos, double range_m,
                                 double distance_m);
 
+  /// Transmit body shared by the public entry point and fault-injected
+  /// duplicates; `faults` carries the frame-level decisions already drawn.
+  void transmit_impl(RadioId sender, Frame frame, double range_override_m,
+                     const FaultInjector::FrameDecision& faults);
+
   /// Rebuilds the spatial index if it may be stale; erases dead nodes so
   /// they stop occupying the node table. No-op while the index is current.
   void ensure_index();
@@ -180,6 +201,7 @@ class Medium {
   ReceptionModel reception_model_{ReceptionModel::kDisk};
   double fading_onset_{0.8};
   ObstructionFn obstruction_{};
+  std::unique_ptr<FaultInjector> injector_{};
   std::uint32_t next_id_{1};
   std::unordered_map<std::uint32_t, Node> nodes_;
   bool interference_{false};

@@ -16,6 +16,12 @@ void apply_fidelity(HighwayConfig& config, const Fidelity& fidelity) {
   if (fidelity.sim_seconds > 0.0) {
     config.sim_duration = sim::Duration::seconds(fidelity.sim_seconds);
   }
+  // Resilience knobs (VGR_FAULT_*, VGR_CHURN_*) apply to every run of every
+  // experiment binary, so any existing sweep can be re-run under channel
+  // faults or node churn without a rebuild. Absent variables leave the
+  // programmatic config untouched and the runs bit-identical.
+  config.faults = config.faults.with_env_overrides();
+  config.churn = config.churn.with_env_overrides();
 }
 
 /// Dispatches `fidelity.runs` independent runs across a thread pool and

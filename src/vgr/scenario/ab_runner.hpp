@@ -27,6 +27,9 @@ struct AbResult {
 ///   VGR_SIM_SECONDS  — simulated seconds per run (default from config)
 ///   VGR_THREADS      — worker threads for run-level parallelism
 ///                      (default: all hardware threads; 1 = serial)
+/// The resilience knobs (`VGR_FAULT_*`, `VGR_CHURN_*`; see
+/// docs/robustness.md) are likewise applied to every run's config, so any
+/// experiment can be replayed under channel faults or node churn.
 /// Malformed values are rejected whole-token with a stderr warning rather
 /// than silently parsed as a prefix or as 0.
 struct Fidelity {

@@ -2,6 +2,9 @@
 
 #include <algorithm>
 #include <cassert>
+#include <cmath>
+
+#include "vgr/sim/env.hpp"
 
 namespace vgr::scenario {
 namespace {
@@ -20,6 +23,21 @@ std::uint64_t decode_packet_id(const net::Bytes& b) {
 }
 
 }  // namespace
+
+ChurnConfig ChurnConfig::with_env_overrides() const {
+  ChurnConfig c = *this;
+  if (const auto v = sim::env_double("VGR_CHURN_RATE"); v.has_value() && *v >= 0.0) {
+    c.crash_rate_hz = *v;
+  }
+  if (const auto v = sim::env_double("VGR_CHURN_DOWNTIME_MS"); v.has_value() && *v >= 0.0) {
+    c.downtime_s = *v / 1000.0;
+  }
+  if (const auto v = sim::env_double("VGR_CHURN_REBOOT_P");
+      v.has_value() && *v >= 0.0 && *v <= 1.0) {
+    c.reboot_probability = *v;
+  }
+  return c;
+}
 
 double HighwayConfig::resolved_vehicle_range() const {
   if (vehicle_range_m > 0.0) return vehicle_range_m;
@@ -101,10 +119,20 @@ HighwayScenario::HighwayScenario(HighwayConfig config)
       geometry_{config.attack_geometry()},
       master_rng_{config.seed},
       workload_rng_{master_rng_.fork()},
+      // Salted independent seed, NOT a master fork: forking here would shift
+      // the stream every later fork() consumer sees and silently change all
+      // pre-churn results.
+      churn_rng_{config.seed ^ 0xC0FF'EE00'5EED'1234ULL},
       road_{config.road_length_m, config.lanes_per_direction, config.two_way} {
   medium_ = std::make_unique<phy::Medium>(events_, config_.tech, master_rng_.fork());
   medium_->set_interference(config_.interference);
   medium_->set_spatial_index(config_.spatial_index);
+  if (config_.faults.enabled()) {
+    // The injector's stream is likewise salted and private; installing it
+    // only when faults are configured keeps fault-free runs bit-identical.
+    medium_->set_fault_injector(std::make_unique<phy::FaultInjector>(
+        config_.faults, sim::Rng{config_.seed ^ 0xFA01'7EC7'0000'BEEFULL}));
+  }
   // Vehicle positions only change on the traffic tick, so one index rebuild
   // per tick serves every frame transmitted until the next tick.
   medium_->set_index_mode(phy::IndexMode::kExplicit);
@@ -138,30 +166,39 @@ void HighwayScenario::schedule_pseudonym_rotation(traffic::VehicleId id) {
   events_.schedule_in(period + jitter, [this, id] {
     const auto it = stations_.find(id);
     if (it == stations_.end()) return;  // vehicle exited
-    const net::MacAddress alias_mac{workload_rng_.next_u64()};
-    it->second.router->rotate_identity(ca_.issue_pseudonym(
-        net::GnAddress{net::GnAddress::StationType::kPassengerCar, alias_mac}));
+    if (it->second.router) {            // crashed stations skip this rotation
+      const net::MacAddress alias_mac{workload_rng_.next_u64()};
+      it->second.router->rotate_identity(ca_.issue_pseudonym(
+          net::GnAddress{net::GnAddress::StationType::kPassengerCar, alias_mac}));
+    }
     schedule_pseudonym_rotation(id);
   });
 }
 
-void HighwayScenario::spawn_station(traffic::Vehicle& v) {
+void HighwayScenario::install_vehicle_router(traffic::VehicleId vid, Station& st, sim::Rng rng,
+                                             bool rebooted) {
   // Identity: one long-term certificate per vehicle, MAC derived from the
-  // vehicle id (unique within a run).
-  const net::MacAddress mac{0x0200'0000'0000ULL | v.id()};
+  // vehicle id (unique within a run). A rebooted station keeps its
+  // canonical address — rebooting does not change who you are — which is
+  // precisely what makes the stale duplicate-detector state at its peers
+  // dangerous (see the sequence-number randomization below).
+  const net::MacAddress mac{0x0200'0000'0000ULL | vid};
   const net::GnAddress addr{net::GnAddress::StationType::kPassengerCar, mac};
-  auto identity = ca_.enroll(addr);
-
-  Station st;
-  st.mobility = std::make_unique<VehicleMobility>(v, road_);
-  st.router = std::make_unique<gn::Router>(events_, *medium_, security::Signer{identity},
+  st.router = std::make_unique<gn::Router>(events_, *medium_, security::Signer{ca_.enroll(addr)},
                                            ca_.trust_store(), *st.mobility,
-                                           make_router_config(), vehicle_range_m_,
-                                           master_rng_.fork());
+                                           make_router_config(), vehicle_range_m_, rng);
+  if (rebooted) {
+    // TCP-ISN-style randomization: peers still hold (address, sequence)
+    // entries from before the crash, so a reboot that restarts at 0 gets
+    // its first packets swallowed as duplicates (black-holed) until that
+    // state ages out. A random starting point turns the certain collision
+    // into a small-window accident (see docs/robustness.md).
+    st.router->seed_sequence_number(
+        static_cast<net::SequenceNumber>(churn_rng_.uniform_int(0, 0xFFFF)));
+  }
   st.router->start();
 
   if (intra_mode_) {
-    const traffic::VehicleId vid = v.id();
     st.router->set_delivery_handler([this, vid](const gn::Router::Delivery& d) {
       const std::uint64_t id = decode_packet_id(d.packet.payload);
       const auto it = floods_pending_.find(id);
@@ -173,17 +210,66 @@ void HighwayScenario::spawn_station(traffic::Vehicle& v) {
       }
     });
   }
+}
 
+void HighwayScenario::spawn_station(traffic::Vehicle& v) {
+  Station st;
+  st.mobility = std::make_unique<VehicleMobility>(v, road_);
+  const auto [it, inserted] = stations_.emplace(v.id(), std::move(st));
+  assert(inserted);
+  install_vehicle_router(v.id(), it->second, master_rng_.fork(), /*rebooted=*/false);
   ++stations_created_;
-  stations_.emplace(v.id(), std::move(st));
   if (config_.pseudonym_period_s > 0.0) schedule_pseudonym_rotation(v.id());
 }
 
 void HighwayScenario::destroy_station(traffic::Vehicle& v) {
   const auto it = stations_.find(v.id());
   if (it == stations_.end()) return;
-  it->second.router->shutdown();
+  if (it->second.router) it->second.router->shutdown();
   stations_.erase(it);
+}
+
+void HighwayScenario::schedule_churn() {
+  if (!config_.churn.enabled()) return;
+  // Poisson process: exponential inter-arrival between fleet-wide crashes.
+  const double dt = -std::log(1.0 - churn_rng_.uniform()) / config_.churn.crash_rate_hz;
+  events_.schedule_in(sim::Duration::seconds(dt), [this] {
+    crash_random_station();
+    schedule_churn();
+  });
+}
+
+void HighwayScenario::crash_random_station() {
+  std::vector<traffic::VehicleId> live;
+  live.reserve(stations_.size());
+  for (const auto& [vid, st] : stations_) {
+    if (st.router) live.push_back(vid);
+  }
+  if (live.empty()) return;
+  std::sort(live.begin(), live.end());  // map order is not deterministic
+  const traffic::VehicleId victim = live[static_cast<std::size_t>(
+      churn_rng_.uniform_int(0, static_cast<std::int64_t>(live.size()) - 1))];
+
+  // A crash is an abrupt power loss: the radio falls silent mid-protocol
+  // and every bit of soft state — location table, CBF/GF buffers, duplicate
+  // detector, pending timers — is gone. The vehicle keeps driving.
+  auto& st = stations_.at(victim);
+  st.router->shutdown();
+  st.router.reset();
+  ++churn_crashes_;
+
+  if (config_.churn.reboot_probability > 0.0 &&
+      churn_rng_.bernoulli(config_.churn.reboot_probability)) {
+    events_.schedule_in(sim::Duration::seconds(config_.churn.downtime_s),
+                        [this, victim] { reboot_station(victim); });
+  }
+}
+
+void HighwayScenario::reboot_station(traffic::VehicleId vid) {
+  const auto it = stations_.find(vid);
+  if (it == stations_.end() || it->second.router) return;  // exited while down
+  install_vehicle_router(vid, it->second, churn_rng_.fork(), /*rebooted=*/true);
+  ++churn_reboots_;
 }
 
 geo::GeoArea HighwayScenario::destination_area(traffic::Direction dir) const {
@@ -217,6 +303,7 @@ void HighwayScenario::generate_inter_area_packet() {
   };
   std::vector<Candidate> candidates;
   for (const auto& [vid, st] : stations_) {
+    if (!st.router) continue;  // crashed station cannot originate
     const traffic::Vehicle* v = nullptr;
     v = traffic_->find(vid);
     if (v == nullptr) continue;
@@ -282,12 +369,15 @@ InterAreaResult HighwayScenario::run_inter_area() {
   traffic_->prefill();
   traffic_->run_on(events_, sim::TimePoint::at(config_.sim_duration));
   schedule_inter_area_workload();
+  schedule_churn();
   events_.run_until(sim::TimePoint::at(config_.sim_duration));
 
   InterAreaResult result;
   result.packets = std::move(inter_records_);
   result.horizon = config_.sim_duration;
   if (interceptor_) result.beacons_replayed = interceptor_->beacons_replayed();
+  result.churn_crashes = churn_crashes_;
+  result.churn_reboots = churn_reboots_;
   return result;
 }
 
@@ -302,13 +392,22 @@ void HighwayScenario::schedule_intra_area_workload() {
 
 void HighwayScenario::generate_intra_area_flood() {
   // Uniformly pick a source among live vehicles (ordered for determinism).
+  // Crashed stations cannot originate but stay in the flood audience: the
+  // flood is judged against every vehicle on the road, so churn shows up as
+  // lost coverage rather than a shrunken denominator.
   std::vector<traffic::VehicleId> ids;
+  std::vector<traffic::VehicleId> live;
   ids.reserve(stations_.size());
-  for (const auto& [vid, st] : stations_) ids.push_back(vid);
-  if (ids.empty()) return;
+  live.reserve(stations_.size());
+  for (const auto& [vid, st] : stations_) {
+    ids.push_back(vid);
+    if (st.router) live.push_back(vid);
+  }
+  if (live.empty()) return;
   std::sort(ids.begin(), ids.end());
+  std::sort(live.begin(), live.end());
   const traffic::VehicleId source =
-      ids[static_cast<std::size_t>(workload_rng_.uniform_int(0, static_cast<std::int64_t>(ids.size()) - 1))];
+      live[static_cast<std::size_t>(workload_rng_.uniform_int(0, static_cast<std::int64_t>(live.size()) - 1))];
 
   const traffic::Vehicle* v = traffic_->find(source);
   if (v == nullptr) return;
@@ -345,12 +444,15 @@ IntraAreaResult HighwayScenario::run_intra_area() {
   traffic_->prefill();
   traffic_->run_on(events_, sim::TimePoint::at(config_.sim_duration));
   schedule_intra_area_workload();
+  schedule_churn();
   events_.run_until(sim::TimePoint::at(config_.sim_duration));
 
   IntraAreaResult result;
   result.floods = std::move(flood_records_);
   result.horizon = config_.sim_duration;
   if (blocker_) result.packets_replayed = blocker_->packets_replayed();
+  result.churn_crashes = churn_crashes_;
+  result.churn_reboots = churn_reboots_;
   return result;
 }
 

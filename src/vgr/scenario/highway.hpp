@@ -27,6 +27,27 @@ namespace vgr::scenario {
 /// identical workloads.
 enum class AttackKind { kNone, kInterArea, kIntraArea };
 
+/// Node churn: stations crash at random (their radio goes silent
+/// mid-protocol, losing location table, CBF/GF buffers and duplicate-
+/// detector state) and optionally reboot after a fixed downtime. Crash
+/// times and victims are drawn from a dedicated seeded stream, so churn
+/// runs replay exactly and a disabled config (`crash_rate_hz == 0`)
+/// leaves the simulation bit-identical to one without churn support.
+struct ChurnConfig {
+  /// Expected crashes per second across the whole fleet (Poisson process).
+  double crash_rate_hz{0.0};
+  /// Crash-to-reboot delay, seconds.
+  double downtime_s{2.0};
+  /// Probability a crashed station reboots at all (else it stays dark
+  /// until it leaves the road).
+  double reboot_probability{1.0};
+
+  [[nodiscard]] bool enabled() const { return crash_rate_hz > 0.0; }
+  /// Copy with `VGR_CHURN_RATE`, `VGR_CHURN_DOWNTIME_MS` and
+  /// `VGR_CHURN_REBOOT_P` applied over the programmatic values.
+  [[nodiscard]] ChurnConfig with_env_overrides() const;
+};
+
 /// Full configuration of one simulation run on the paper's 4,000 m highway.
 struct HighwayConfig {
   phy::AccessTechnology tech{phy::AccessTechnology::kDsrc};
@@ -73,6 +94,12 @@ struct HighwayConfig {
   /// Enables the ACK'd-forwarding extension on every router.
   bool gf_ack{false};
 
+  // Resilience (docs/robustness.md). Both default to disabled; a disabled
+  // fault/churn config draws nothing from any RNG stream, so every output
+  // stays bit-identical to a build without the resilience layer.
+  phy::FaultConfig faults{};
+  ChurnConfig churn{};
+
   [[nodiscard]] double resolved_vehicle_range() const;
   [[nodiscard]] double resolved_attacker_x() const;
   [[nodiscard]] AttackGeometry attack_geometry() const;
@@ -92,6 +119,8 @@ struct InterAreaResult {
   sim::Duration horizon{};
   std::uint64_t beacons_replayed{0};
   std::uint64_t auth_failures{0};
+  std::uint64_t churn_crashes{0};
+  std::uint64_t churn_reboots{0};
 
   [[nodiscard]] double overall_reception() const;
   [[nodiscard]] sim::BinnedRate binned(
@@ -114,6 +143,8 @@ struct IntraAreaResult {
   std::vector<IntraAreaFloodRecord> floods;
   sim::Duration horizon{};
   std::uint64_t packets_replayed{0};
+  std::uint64_t churn_crashes{0};
+  std::uint64_t churn_reboots{0};
 
   [[nodiscard]] double overall_reception() const;
   [[nodiscard]] sim::BinnedRate binned(
@@ -151,9 +182,19 @@ class HighwayScenario {
   [[nodiscard]] std::size_t stations_created() const { return stations_created_; }
   [[nodiscard]] const HighwayConfig& config() const { return config_; }
 
+  [[nodiscard]] std::uint64_t churn_crashes() const { return churn_crashes_; }
+  [[nodiscard]] std::uint64_t churn_reboots() const { return churn_reboots_; }
+
  private:
   void spawn_station(traffic::Vehicle& v);
   void destroy_station(traffic::Vehicle& v);
+  /// Creates (or re-creates, on reboot) the router half of a vehicle
+  /// station; `st.mobility` must already be set. Reboots draw their RNG and
+  /// their randomized initial sequence number from the churn stream.
+  void install_vehicle_router(traffic::VehicleId vid, Station& st, sim::Rng rng, bool rebooted);
+  void schedule_churn();
+  void crash_random_station();
+  void reboot_station(traffic::VehicleId vid);
   void schedule_pseudonym_rotation(traffic::VehicleId id);
   gn::RouterConfig make_router_config() const;
   void schedule_inter_area_workload();
@@ -169,6 +210,10 @@ class HighwayScenario {
 
   sim::Rng master_rng_;
   sim::Rng workload_rng_;
+  /// Dedicated churn stream, seeded independently of `master_rng_` (salted
+  /// run seed) so enabling churn never perturbs the fork order that every
+  /// pre-existing consumer depends on for reproducibility.
+  sim::Rng churn_rng_;
   sim::EventQueue events_;
   security::CertificateAuthority ca_;
   std::unique_ptr<phy::Medium> medium_;
@@ -177,6 +222,8 @@ class HighwayScenario {
 
   std::unordered_map<traffic::VehicleId, Station> stations_;
   std::size_t stations_created_{0};
+  std::uint64_t churn_crashes_{0};
+  std::uint64_t churn_reboots_{0};
 
   // Static destination stations (inter-area mode).
   Station east_destination_;

@@ -2,6 +2,10 @@
 
 #include <gtest/gtest.h>
 
+#include <array>
+#include <bit>
+#include <limits>
+
 namespace vgr::net {
 namespace {
 
@@ -87,6 +91,32 @@ TEST(ByteWriterReader, BytesWithLyingLengthFails) {
   w.u32(1000);  // claims 1000 bytes, provides none
   ByteReader r{w.data()};
   EXPECT_EQ(r.bytes(), std::nullopt);
+}
+
+TEST(ByteWriterReader, HostileLengthPrefixRejectedBeforeAllocation) {
+  // A 4-byte frame claiming 4 GiB - 1 of content must fail cleanly; the
+  // length check happens before any buffer is sized from the prefix.
+  ByteWriter w;
+  w.u32(0xFFFFFFFFu);
+  ByteReader r{w.data()};
+  EXPECT_EQ(r.bytes(), std::nullopt);
+}
+
+TEST(ByteWriterReader, ChunkAboveWireMaximumRejected) {
+  // Even when the bytes are genuinely present, a chunk larger than the
+  // documented wire maximum is rejected — no standards-conformant frame is
+  // that big, so it can only be hostile or corrupt.
+  ByteWriter w;
+  w.bytes(Bytes(kMaxChunkBytes + 1, 0x55));
+  ByteReader r{w.data()};
+  EXPECT_EQ(r.bytes(), std::nullopt);
+
+  ByteWriter ok;
+  ok.bytes(Bytes(kMaxChunkBytes, 0x55));
+  ByteReader r2{ok.data()};
+  const auto chunk = r2.bytes();
+  ASSERT_TRUE(chunk.has_value());
+  EXPECT_EQ(chunk->size(), kMaxChunkBytes);
 }
 
 class CodecRoundTrip : public ::testing::TestWithParam<int> {
@@ -184,6 +214,57 @@ TEST(Codec, DecodeRejectsNonPositiveAreaExtent) {
   constexpr std::size_t kAreaAOffset = 10 + 4 + 3 + 2 + 48 + 1 + 16;
   for (std::size_t i = 0; i < 8; ++i) wire[kAreaAOffset + i] = 0;  // a = +0.0
   EXPECT_EQ(Codec::decode(wire), std::nullopt);
+}
+
+TEST(Codec, DecodeRejectsNonFinitePositionVectorFields) {
+  // Each LPV double (x, y, speed, heading) poisoned with NaN or inf must
+  // fail decode so it can never reach a LocationTable.
+  for (const double bad : {std::numeric_limits<double>::quiet_NaN(),
+                           std::numeric_limits<double>::infinity(),
+                           -std::numeric_limits<double>::infinity()}) {
+    for (int field = 0; field < 4; ++field) {
+      Packet p = sample_beacon();
+      LongPositionVector pv = sample_lpv();
+      switch (field) {
+        case 0: pv.position.x = bad; break;
+        case 1: pv.position.y = bad; break;
+        case 2: pv.speed_mps = bad; break;
+        default: pv.heading_rad = bad; break;
+      }
+      p.extended = BeaconHeader{pv};
+      EXPECT_EQ(Codec::decode(Codec::encode(p)), std::nullopt)
+          << "field " << field << " value " << bad;
+    }
+  }
+}
+
+TEST(Codec, DecodeRejectsNonFiniteAreaFields) {
+  Packet p = sample_gbc();
+  GbcHeader gbc = *p.gbc();
+  gbc.area = geo::GeoArea::circle({std::numeric_limits<double>::quiet_NaN(), 0.0}, 30.0);
+  p.extended = gbc;
+  EXPECT_EQ(Codec::decode(Codec::encode(p)), std::nullopt);
+}
+
+TEST(Codec, DecodeRejectsNaNAreaExtent) {
+  // NaN compares false with everything, so a bare `a <= 0` check would have
+  // accepted a NaN radius; the finiteness check must catch it.
+  Bytes wire = Codec::encode(sample_gbc());
+  constexpr std::size_t kAreaAOffset = 10 + 4 + 3 + 2 + 48 + 1 + 16;
+  const auto nan_bits = std::bit_cast<std::array<std::uint8_t, 8>>(
+      std::numeric_limits<double>::quiet_NaN());
+  for (std::size_t i = 0; i < 8; ++i) wire[kAreaAOffset + i] = nan_bits[i];
+  EXPECT_EQ(Codec::decode(wire), std::nullopt);
+}
+
+TEST(Codec, DecodeRejectsOversizedPayload) {
+  Packet p = sample_gbc();
+  p.payload = Bytes(kMaxPayloadBytes + 1, 0xAA);
+  EXPECT_EQ(Codec::decode(Codec::encode(p)), std::nullopt);
+  p.payload = Bytes(kMaxPayloadBytes, 0xAA);
+  const auto decoded = Codec::decode(Codec::encode(p));
+  ASSERT_TRUE(decoded.has_value());
+  EXPECT_EQ(decoded->payload.size(), kMaxPayloadBytes);
 }
 
 TEST(Packet, DuplicateKeyPresence) {

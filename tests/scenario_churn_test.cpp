@@ -1,0 +1,160 @@
+// Node-churn tests: deterministic crash/reboot scheduling at the scenario
+// layer, inert-when-disabled semantics, env knob parsing, and the duplicate-
+// detector black-hole a rebooted station avoids by randomizing its initial
+// sequence number (docs/robustness.md).
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <memory>
+
+#include "vgr/scenario/highway.hpp"
+#include "vgr/security/authority.hpp"
+
+namespace vgr::scenario {
+namespace {
+
+HighwayConfig churn_config() {
+  HighwayConfig cfg;
+  cfg.sim_duration = sim::Duration::seconds(20.0);
+  cfg.seed = 5;
+  cfg.churn.crash_rate_hz = 0.5;
+  cfg.churn.downtime_s = 1.0;
+  return cfg;
+}
+
+TEST(ChurnConfig, DisabledByDefault) {
+  EXPECT_FALSE(ChurnConfig{}.enabled());
+  ChurnConfig c;
+  c.crash_rate_hz = 0.1;
+  EXPECT_TRUE(c.enabled());
+}
+
+TEST(ChurnConfig, EnvOverridesParseAndValidate) {
+  ::setenv("VGR_CHURN_RATE", "0.75", 1);
+  ::setenv("VGR_CHURN_DOWNTIME_MS", "1500", 1);
+  ::setenv("VGR_CHURN_REBOOT_P", "1.25", 1);  // out of range: ignored
+  const ChurnConfig c = ChurnConfig{}.with_env_overrides();
+  EXPECT_DOUBLE_EQ(c.crash_rate_hz, 0.75);
+  EXPECT_DOUBLE_EQ(c.downtime_s, 1.5);
+  EXPECT_DOUBLE_EQ(c.reboot_probability, 1.0);
+  ::unsetenv("VGR_CHURN_RATE");
+  ::unsetenv("VGR_CHURN_DOWNTIME_MS");
+  ::unsetenv("VGR_CHURN_REBOOT_P");
+}
+
+TEST(ScenarioChurn, CrashesAndRebootsHappenAndNetworkSurvives) {
+  HighwayScenario scenario{churn_config()};
+  const IntraAreaResult r = scenario.run_intra_area();
+  EXPECT_GT(r.churn_crashes, 0u);
+  EXPECT_GT(r.churn_reboots, 0u);
+  EXPECT_LE(r.churn_reboots, r.churn_crashes);
+  // The network keeps working through the churn.
+  EXPECT_GT(r.overall_reception(), 0.0);
+}
+
+TEST(ScenarioChurn, ChurnRunsReplayBitIdentically) {
+  HighwayScenario a{churn_config()};
+  const IntraAreaResult ra = a.run_intra_area();
+  HighwayScenario b{churn_config()};
+  const IntraAreaResult rb = b.run_intra_area();
+  EXPECT_EQ(ra.overall_reception(), rb.overall_reception());
+  EXPECT_EQ(ra.churn_crashes, rb.churn_crashes);
+  EXPECT_EQ(ra.churn_reboots, rb.churn_reboots);
+  EXPECT_EQ(ra.floods.size(), rb.floods.size());
+}
+
+TEST(ScenarioChurn, DisabledChurnReportsNothing) {
+  HighwayConfig cfg = churn_config();
+  cfg.churn = ChurnConfig{};
+  HighwayScenario scenario{cfg};
+  const IntraAreaResult r = scenario.run_intra_area();
+  EXPECT_EQ(r.churn_crashes, 0u);
+  EXPECT_EQ(r.churn_reboots, 0u);
+}
+
+TEST(ScenarioChurn, NoRebootWhenRebootProbabilityZero) {
+  HighwayConfig cfg = churn_config();
+  cfg.churn.reboot_probability = 0.0;
+  HighwayScenario scenario{cfg};
+  const IntraAreaResult r = scenario.run_intra_area();
+  EXPECT_GT(r.churn_crashes, 0u);
+  EXPECT_EQ(r.churn_reboots, 0u);
+}
+
+// --- The reboot black-hole (and its fix) --------------------------------
+//
+// Peers remember (source address, sequence number) pairs. A station that
+// reboots with the same address and a sequence counter restarting at 0
+// replays numbers its peers have already recorded: its first packets are
+// silently swallowed as duplicates. Randomizing the post-reboot starting
+// sequence (as HighwayScenario::reboot_station does) avoids the overlap.
+
+class RebootSequenceTest : public ::testing::Test {
+ protected:
+  RebootSequenceTest() : medium_{events_, phy::AccessTechnology::kDsrc} {
+    addr_a_ = net::GnAddress{net::GnAddress::StationType::kPassengerCar, net::MacAddress{0xAA}};
+    const net::GnAddress addr_b{net::GnAddress::StationType::kPassengerCar,
+                                net::MacAddress{0xBB}};
+    b_router_ = std::make_unique<gn::Router>(
+        events_, medium_, security::Signer{ca_.enroll(addr_b)}, ca_.trust_store(), b_mobility_,
+        cfg(), 500.0, sim::Rng{2});
+    b_router_->set_delivery_handler([this](const gn::Router::Delivery&) { ++b_delivered_; });
+    a_router_ = make_a();
+  }
+
+  static gn::RouterConfig cfg() {
+    return gn::RouterConfig::for_technology(phy::AccessTechnology::kDsrc);
+  }
+
+  std::unique_ptr<gn::Router> make_a() {
+    return std::make_unique<gn::Router>(events_, medium_,
+                                        security::Signer{ca_.enroll(addr_a_)},
+                                        ca_.trust_store(), a_mobility_, cfg(), 500.0,
+                                        sim::Rng{3});
+  }
+
+  void send_from_a() {
+    // Both stations sit inside the target area, so A broadcasts immediately
+    // and B delivers on reception.
+    a_router_->send_geo_broadcast(geo::GeoArea::circle({50.0, 0.0}, 200.0), {0x42});
+    events_.run_until(events_.now() + sim::Duration::seconds(0.5));
+  }
+
+  sim::EventQueue events_;
+  phy::Medium medium_;
+  security::CertificateAuthority ca_;
+  gn::StaticMobility a_mobility_{geo::Position{0.0, 0.0}};
+  gn::StaticMobility b_mobility_{geo::Position{100.0, 0.0}};
+  net::GnAddress addr_a_{};
+  std::unique_ptr<gn::Router> a_router_;
+  std::unique_ptr<gn::Router> b_router_;
+  int b_delivered_{0};
+};
+
+TEST_F(RebootSequenceTest, RebootAtSequenceZeroIsBlackholed) {
+  send_from_a();  // sequence 0
+  ASSERT_EQ(b_delivered_, 1);
+
+  // Crash and reboot A without sequence randomization: it reuses sequence 0,
+  // which B has already recorded for A's address.
+  a_router_->shutdown();
+  a_router_ = make_a();
+  send_from_a();
+  EXPECT_EQ(b_delivered_, 1) << "expected the rebooted station's packet to be black-holed";
+  EXPECT_GE(b_router_->stats().duplicates, 1u);
+}
+
+TEST_F(RebootSequenceTest, RandomizedSequenceSurvivesReboot) {
+  send_from_a();  // sequence 0
+  ASSERT_EQ(b_delivered_, 1);
+
+  a_router_->shutdown();
+  a_router_ = make_a();
+  a_router_->seed_sequence_number(1000);  // what reboot_station() does
+  send_from_a();
+  EXPECT_EQ(b_delivered_, 2) << "randomized post-reboot sequence must not be black-holed";
+}
+
+}  // namespace
+}  // namespace vgr::scenario
