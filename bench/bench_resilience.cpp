@@ -3,7 +3,10 @@
 //
 // Two sweeps over the inter-area experiment, each point a full paired A/B
 // (attacker-free vs inter-area interceptor) plus a mitigated arm (both §V
-// defenses enabled under attack):
+// defenses enabled under attack) and a recovery arm (the self-healing
+// forwarding plane of docs/robustness.md — SCF buffering, bounded per-hop
+// retransmission and the neighbour monitor — with no attacker, against
+// the same degraded channel):
 //
 //  1. Channel-loss sweep: frame drop + per-link loss + byte corruption
 //     scaled together from a clean channel to a badly degraded one, with a
@@ -36,6 +39,8 @@ struct Row {
   double gamma;          // interception rate, no mitigation
   double recv_mitigated; // attacked reception, both §V defenses
   double gamma_mitigated;
+  double recv_recovered;  // attacker-free reception, SCF+retx+monitor on
+  double gamma_recovered; // interception rate with the recovery layer on
 };
 
 Row run_point(const scenario::HighwayConfig& cfg, const scenario::Fidelity& fidelity,
@@ -54,14 +59,30 @@ Row run_point(const scenario::HighwayConfig& cfg, const scenario::Fidelity& fide
   const scenario::AbResult guarded = scenario::run_inter_area_ab(mitigated, fidelity);
   row.recv_mitigated = guarded.attacked_reception;
   row.gamma_mitigated = guarded.attack_rate;
+
+  scenario::HighwayConfig recovered = cfg;
+  recovered.recovery.scf = true;
+  recovered.recovery.retx = true;
+  recovered.recovery.nbr_monitor = true;
+  const scenario::AbResult healed = scenario::run_inter_area_ab(recovered, fidelity);
+  row.recv_recovered = healed.baseline_reception;
+  row.gamma_recovered = healed.attack_rate;
+
+  const auto timed_out =
+      plain.timed_out_runs + guarded.timed_out_runs + healed.timed_out_runs;
+  if (timed_out > 0) {
+    std::fprintf(stderr, "  [watchdog] %llu run(s) stopped on the per-run budget\n",
+                 static_cast<unsigned long long>(timed_out));
+  }
   return row;
 }
 
 void print_row(const Row& r) {
   std::printf("  %-7s %-8.3f recv_af=%6.3f recv_atk=%6.3f gamma=%6.1f%%  "
-              "recv_mit=%6.3f gamma_mit=%6.1f%%\n",
+              "recv_mit=%6.3f gamma_mit=%6.1f%%  recv_rec=%6.3f gamma_rec=%6.1f%%\n",
               r.axis.c_str(), r.level, r.recv_baseline, r.recv_attacked, r.gamma * 100.0,
-              r.recv_mitigated, r.gamma_mitigated * 100.0);
+              r.recv_mitigated, r.gamma_mitigated * 100.0, r.recv_recovered,
+              r.gamma_recovered * 100.0);
 }
 
 }  // namespace
@@ -120,9 +141,11 @@ int main() {
     std::fprintf(fjson,
                  "    {\"axis\": \"%s\", \"level\": %.3f, \"recv_baseline\": %.17g, "
                  "\"recv_attacked\": %.17g, \"gamma\": %.17g, \"recv_mitigated\": %.17g, "
-                 "\"gamma_mitigated\": %.17g}%s\n",
+                 "\"gamma_mitigated\": %.17g, \"recv_recovered\": %.17g, "
+                 "\"gamma_recovered\": %.17g}%s\n",
                  r.axis.c_str(), r.level, r.recv_baseline, r.recv_attacked, r.gamma,
-                 r.recv_mitigated, r.gamma_mitigated, i + 1 < rows.size() ? "," : "");
+                 r.recv_mitigated, r.gamma_mitigated, r.recv_recovered, r.gamma_recovered,
+                 i + 1 < rows.size() ? "," : "");
   }
   std::fprintf(fjson, "  ]\n}\n");
   std::fclose(fjson);

@@ -13,10 +13,11 @@ sim::Duration cbf_timeout(double dist_m, sim::Duration to_min, sim::Duration to_
 }
 
 void CbfBuffer::insert(const CbfKey& key, security::SecuredMessage msg, std::uint8_t received_rhl,
-                       sim::Duration timeout, RebroadcastFn on_timeout, DeferFn defer) {
+                       sim::Duration timeout, RebroadcastFn on_timeout, DeferFn defer,
+                       std::optional<sim::TimePoint> expiry) {
   if (entries_.contains(key)) return;
   entries_.emplace(key, Entry{std::move(msg), received_rhl, sim::EventId{},
-                              std::move(on_timeout), std::move(defer)});
+                              std::move(on_timeout), std::move(defer), expiry});
   arm_timer(key, timeout);
 }
 
@@ -25,6 +26,11 @@ void CbfBuffer::arm_timer(const CbfKey& key, sim::Duration timeout) {
   entry.timer = events_.schedule_in(timeout, [this, key] {
     const auto it = entries_.find(key);
     if (it == entries_.end()) return;
+    if (it->second.expiry && events_.now() >= *it->second.expiry) {
+      ++lifetime_expired_;
+      entries_.erase(it);
+      return;
+    }
     if (it->second.defer) {
       if (const auto wait = it->second.defer()) {
         // Channel busy: stay buffered (a duplicate can still cancel us) and

@@ -69,9 +69,13 @@ class CbfBuffer {
   /// the key is already buffered. A deferred entry stays buffered, so a
   /// duplicate arriving during the deferral still cancels it — this is how
   /// two equidistant candidates resolve to a single forwarder, as CSMA does
-  /// on a real channel.
+  /// on a real channel. `expiry`, when given, bounds the whole contention
+  /// by the packet's lifetime: a deferral loop on a persistently busy
+  /// channel can otherwise re-arm past the point where rebroadcasting the
+  /// packet is useful (recovery layer, `RouterConfig::cbf_lifetime_expiry`).
   void insert(const CbfKey& key, security::SecuredMessage msg, std::uint8_t received_rhl,
-              sim::Duration timeout, RebroadcastFn on_timeout, DeferFn defer = {});
+              sim::Duration timeout, RebroadcastFn on_timeout, DeferFn defer = {},
+              std::optional<sim::TimePoint> expiry = std::nullopt);
 
   /// Handles a duplicate reception carrying `duplicate_rhl`. When
   /// `rhl_check` is enabled, the duplicate only cancels the contention if
@@ -81,6 +85,9 @@ class CbfBuffer {
 
   [[nodiscard]] bool contains(const CbfKey& key) const { return entries_.contains(key); }
   [[nodiscard]] std::size_t size() const { return entries_.size(); }
+
+  /// Entries dropped because their packet lifetime ran out mid-contention.
+  [[nodiscard]] std::uint64_t lifetime_expired() const { return lifetime_expired_; }
 
   /// Cancels all pending timers (used at router shutdown).
   void clear();
@@ -92,12 +99,14 @@ class CbfBuffer {
     sim::EventId timer;
     RebroadcastFn on_timeout;
     DeferFn defer;
+    std::optional<sim::TimePoint> expiry;
   };
 
   void arm_timer(const CbfKey& key, sim::Duration timeout);
 
   sim::EventQueue& events_;
   std::unordered_map<CbfKey, Entry, CbfKeyHash> entries_;
+  std::uint64_t lifetime_expired_{0};
 };
 
 }  // namespace vgr::gn

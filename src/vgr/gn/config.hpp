@@ -1,5 +1,6 @@
 #pragma once
 
+#include <cstddef>
 #include <cstdint>
 
 #include "vgr/phy/technology.hpp"
@@ -71,6 +72,42 @@ struct RouterConfig {
   bool gf_ack{false};
   sim::Duration gf_ack_timeout{sim::Duration::millis(10)};
   int gf_ack_max_retries{2};
+
+  // --- Recovery layer (docs/robustness.md): store-carry-forward, neighbour
+  //     soft-state and bounded retransmission. Everything below is off by
+  //     default, and off means *free*: no RNG draws, no scheduled events,
+  //     so pre-recovery results stay bit-identical.
+
+  /// Store-carry-forward (ETSI §E.2 done properly): the GF buffer becomes
+  /// capacity-bounded with head-drop, entries expire with their packet's
+  /// lifetime instead of a fixed retry budget, and a newly learned (or
+  /// revived) neighbour flushes the buffer immediately from beacon ingest.
+  bool scf_enabled{false};
+  std::size_t scf_max_packets{64};
+  std::size_t scf_max_bytes{64 * 1024};
+
+  /// Bounded per-hop retransmission: a GF unicast hop that stays silent is
+  /// retransmitted to the *same* hop up to `retx_max_attempts` times with
+  /// exponential backoff before the next-best neighbour is tried (contrast
+  /// gf_ack, which reroutes on the first silence). Backoff for attempt k is
+  /// `retx_backoff_base * 2^k` plus a uniform draw from
+  /// `retx_backoff_jitter`, taken from the router's deterministic stream.
+  bool retx_enabled{false};
+  int retx_max_attempts{3};
+  sim::Duration retx_backoff_base{sim::Duration::millis(10)};
+  sim::Duration retx_backoff_jitter{sim::Duration::millis(2)};
+
+  /// Neighbour soft-state monitor: beacon-miss counting quarantines stale
+  /// hops long before the 20 s LocTE TTL and evicts dead ones, so greedy
+  /// forwarding stops selecting crashed/departed nodes.
+  bool nbr_monitor{false};
+  int nbr_quarantine_after{2};
+  int nbr_evict_after{4};
+
+  /// Bound CBF contention entries by their packet's lifetime: a deferred
+  /// entry on a persistently busy channel can otherwise outlive the packet
+  /// it carries. Enabled alongside SCF by the scenario harness.
+  bool cbf_lifetime_expiry{false};
 
   // --- Mitigation #1 (paper §V-A): plausibility check at forwarding time.
   bool plausibility_check{false};

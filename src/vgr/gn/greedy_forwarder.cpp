@@ -14,6 +14,7 @@ std::optional<GfSelection> select_next_hop(const LocationTable& table, net::GnAd
     if (!entry.is_neighbor) return;           // GF only considers one-hop peers
     if (entry.pv.address == self) return;     // never forward to ourselves
     if (exclude != nullptr && exclude->contains(entry.pv.address)) return;
+    if (policy.monitor != nullptr && !policy.monitor->alive(entry.pv.address, now)) return;
     const double d = geo::distance(entry.pv.position, destination);
     if (d >= best_distance) return;           // no (better) progress
     if (policy.plausibility_check) {

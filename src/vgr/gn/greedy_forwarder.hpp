@@ -5,6 +5,7 @@
 
 #include "vgr/geo/vec2.hpp"
 #include "vgr/gn/location_table.hpp"
+#include "vgr/gn/neighbor_monitor.hpp"
 
 namespace vgr::gn {
 
@@ -15,6 +16,10 @@ struct GfPolicy {
   bool plausibility_check{false};
   double threshold_m{486.0};
   bool extrapolate{true};
+  /// When set, neighbours the monitor has quarantined (too many missed
+  /// beacon periods) are skipped — the recovery layer's liveness filter
+  /// (docs/robustness.md).
+  const NeighborMonitor* monitor{nullptr};
 };
 
 /// Result of a greedy next-hop selection.

@@ -2,18 +2,22 @@
 
 namespace vgr::gn {
 
-void LocationTable::update(const net::LongPositionVector& pv, sim::TimePoint now, bool direct) {
+bool LocationTable::update(const net::LongPositionVector& pv, sim::TimePoint now, bool direct) {
   auto [it, inserted] = entries_.try_emplace(pv.address);
   LocTableEntry& entry = it->second;
   if (!inserted && !entry.expired(now)) {
-    if (pv.timestamp < entry.pv.timestamp) return;  // stale update
+    if (pv.timestamp < entry.pv.timestamp) return false;  // stale update
+    const bool was_neighbor = entry.is_neighbor;
     entry.pv = pv;
     entry.expiry = now + ttl_;
-    entry.is_neighbor = entry.is_neighbor || direct;
-    return;
+    entry.is_neighbor = was_neighbor || direct;
+    return direct && !was_neighbor;
   }
   entry = LocTableEntry{pv, now + ttl_, direct};
+  return direct;
 }
+
+bool LocationTable::erase(net::GnAddress addr) { return entries_.erase(addr) > 0; }
 
 std::optional<LocTableEntry> LocationTable::find(net::GnAddress addr, sim::TimePoint now) const {
   const auto it = entries_.find(addr);

@@ -35,8 +35,15 @@ class LocationTable {
   /// Inserts or refreshes the entry for `pv.address`. Updates carrying a
   /// strictly older timestamp than the stored PV are ignored (out-of-order
   /// protection). `direct` marks a one-hop observation and sets the
-  /// neighbour flag (sticky until the entry expires).
-  void update(const net::LongPositionVector& pv, sim::TimePoint now, bool direct);
+  /// neighbour flag (sticky until the entry expires). Returns true when the
+  /// observation produced a *new* live neighbour — first sight, re-learned
+  /// after expiry or eviction, or an indirect entry upgraded by a direct
+  /// one — the edge the router's SCF flush-on-new-neighbour keys on.
+  bool update(const net::LongPositionVector& pv, sim::TimePoint now, bool direct);
+
+  /// Removes the entry outright (neighbour-monitor eviction, identity
+  /// rotation). Returns whether anything was removed.
+  bool erase(net::GnAddress addr);
 
   /// Live entry for `addr`, if any.
   [[nodiscard]] std::optional<LocTableEntry> find(net::GnAddress addr, sim::TimePoint now) const;

@@ -1,0 +1,57 @@
+#include "vgr/gn/neighbor_monitor.hpp"
+
+#include <algorithm>
+
+namespace vgr::gn {
+
+bool NeighborMonitor::heard(net::GnAddress addr, sim::TimePoint now) {
+  const auto it = last_heard_.find(addr);
+  const bool revived = it == last_heard_.end() || !alive(addr, now);
+  if (it == last_heard_.end()) {
+    last_heard_.emplace(addr, now);
+  } else {
+    it->second = now;
+  }
+  if (revived) ++stats_.revivals;
+  return revived;
+}
+
+void NeighborMonitor::forget(net::GnAddress addr) { last_heard_.erase(addr); }
+
+int NeighborMonitor::missed(net::GnAddress addr, sim::TimePoint now) const {
+  const auto it = last_heard_.find(addr);
+  if (it == last_heard_.end()) return 0;
+  const sim::Duration silence = now - it->second;
+  if (silence <= sim::Duration::zero() || config_.miss_period <= sim::Duration::zero()) return 0;
+  return static_cast<int>(silence.count() / config_.miss_period.count());
+}
+
+bool NeighborMonitor::alive(net::GnAddress addr, sim::TimePoint now) const {
+  const auto it = last_heard_.find(addr);
+  if (it == last_heard_.end()) return true;
+  const sim::Duration silence = now - it->second;
+  if (silence <= sim::Duration::zero() || config_.miss_period <= sim::Duration::zero()) return true;
+  return silence.count() / config_.miss_period.count() < config_.quarantine_after;
+}
+
+std::vector<net::GnAddress> NeighborMonitor::evictable(sim::TimePoint now) const {
+  std::vector<net::GnAddress> out;
+  for (const auto& [addr, last] : last_heard_) {
+    if (missed(addr, now) >= config_.evict_after) out.push_back(addr);
+  }
+  std::sort(out.begin(), out.end(),
+            [](net::GnAddress a, net::GnAddress b) { return a.bits() < b.bits(); });
+  return out;
+}
+
+std::size_t NeighborMonitor::quarantined(sim::TimePoint now) const {
+  std::size_t n = 0;
+  for (const auto& [addr, last] : last_heard_) {
+    if (!alive(addr, now)) ++n;
+  }
+  return n;
+}
+
+void NeighborMonitor::clear() { last_heard_.clear(); }
+
+}  // namespace vgr::gn

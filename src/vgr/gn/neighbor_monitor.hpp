@@ -1,0 +1,78 @@
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "vgr/net/address.hpp"
+#include "vgr/sim/time.hpp"
+
+namespace vgr::gn {
+
+struct NeighborMonitorConfig {
+  /// One "miss" is one of these periods elapsed without hearing the
+  /// neighbour directly. The router sets it to its beacon interval plus
+  /// the full jitter, so an on-time beacon can never count as missed.
+  sim::Duration miss_period{sim::Duration::seconds(3.75)};
+  /// Misses before the neighbour is quarantined: still in the location
+  /// table, but skipped by greedy next-hop selection.
+  int quarantine_after{2};
+  /// Misses before the entry should be evicted from the location table
+  /// outright (well before the 20 s LocTE TTL would get there).
+  int evict_after{4};
+};
+
+struct NeighborMonitorStats {
+  std::uint64_t revivals{0};   ///< quarantined/unknown neighbour heard again
+  std::uint64_t evictions{0};  ///< counted by the router when it evicts
+};
+
+/// Per-neighbour liveness soft state (ETSI EN 302 636-4-1 §8.1.2 keeps this
+/// inside the LocTE; split out here so the location table stays a pure
+/// position cache). Tracks when each direct neighbour was last heard and
+/// derives beacon-miss counts from elapsed time — no per-beacon timers.
+///
+/// The point: the default 20 s LocTE TTL keeps a crashed or departed
+/// neighbour attractive to greedy forwarding for up to 20 s, a black hole
+/// under churn. With the monitor on, two missed beacon periods quarantine
+/// the hop and four evict it.
+class NeighborMonitor {
+ public:
+  explicit NeighborMonitor(NeighborMonitorConfig config = {}) : config_{config} {}
+
+  /// Records a direct observation. Returns true when this *revived* the
+  /// neighbour — first sight, or heard again after reaching quarantine —
+  /// the edge the router uses to flush its SCF buffer.
+  bool heard(net::GnAddress addr, sim::TimePoint now);
+
+  /// Drops all soft state for `addr` (router eviction, identity rotation).
+  void forget(net::GnAddress addr);
+
+  /// Whole beacon-miss periods since `addr` was last heard; 0 for unknown
+  /// addresses.
+  [[nodiscard]] int missed(net::GnAddress addr, sim::TimePoint now) const;
+
+  /// False once the neighbour has missed enough periods to be quarantined.
+  /// Unknown addresses are alive: entries learned only indirectly fall back
+  /// to the location-table TTL, exactly the pre-monitor behaviour.
+  [[nodiscard]] bool alive(net::GnAddress addr, sim::TimePoint now) const;
+
+  /// Addresses at or past the eviction threshold, sorted by address bits so
+  /// the caller's eviction order is deterministic.
+  [[nodiscard]] std::vector<net::GnAddress> evictable(sim::TimePoint now) const;
+
+  [[nodiscard]] std::size_t tracked() const { return last_heard_.size(); }
+  [[nodiscard]] std::size_t quarantined(sim::TimePoint now) const;
+  [[nodiscard]] const NeighborMonitorConfig& config() const { return config_; }
+  [[nodiscard]] const NeighborMonitorStats& stats() const { return stats_; }
+
+  void clear();
+
+ private:
+  NeighborMonitorConfig config_;
+  NeighborMonitorStats stats_;
+  std::unordered_map<net::GnAddress, sim::TimePoint> last_heard_;
+};
+
+}  // namespace vgr::gn

@@ -45,6 +45,17 @@ Router::Router(sim::EventQueue& events, phy::Medium& medium, security::Signer si
       loc_table_{config.locte_ttl},
       cbf_{events} {
   assert(trust_ != nullptr);
+  if (config_.scf_enabled) {
+    scf_ = ScfBuffer{ScfConfig{config_.scf_max_packets, config_.scf_max_bytes}};
+  }
+  if (config_.nbr_monitor) {
+    NeighborMonitorConfig mc;
+    // Beacon interval plus the full jitter: an on-time beacon never misses.
+    mc.miss_period = config_.beacon_interval + config_.beacon_jitter;
+    mc.quarantine_after = config_.nbr_quarantine_after;
+    mc.evict_after = config_.nbr_evict_after;
+    monitor_ = NeighborMonitor{mc};
+  }
   phy::Medium::NodeConfig node;
   node.mac = address_.mac();
   node.position = [this] { return mobility_.position(); };
@@ -60,6 +71,7 @@ Router::~Router() { shutdown(); }
 
 void Router::start() {
   if (beacon_event_.value != 0 && events_.pending(beacon_event_)) return;
+  if (config_.nbr_monitor && !events_.pending(monitor_event_)) schedule_monitor_sweep();
   // Desynchronise stations: first beacon lands uniformly within one period.
   const auto delay =
       sim::Duration::nanos(static_cast<std::int64_t>(
@@ -75,12 +87,14 @@ void Router::shutdown() {
   running_ = false;
   events_.cancel(beacon_event_);
   events_.cancel(gf_retry_event_);
+  events_.cancel(monitor_event_);
   for (auto& [addr, pending] : ls_pending_) events_.cancel(pending.retry_timer);
   for (auto& [key, pending] : ack_pending_) events_.cancel(pending.timer);
   ls_pending_.clear();
   ack_pending_.clear();
   cbf_.clear();
-  gf_buffer_.clear();
+  scf_.clear();
+  monitor_.clear();
   medium_.remove_node(radio_);
 }
 
@@ -205,7 +219,7 @@ net::SequenceNumber Router::send_geo_anycast(const geo::GeoArea& area, net::Byte
 
 void Router::handle_gac(security::SecuredMessage msg, const phy::Frame& frame) {
   net::Packet& p = msg.packet;
-  if (duplicates_.check_and_record(p)) {
+  if (duplicates_.check_and_record(p, frame.src)) {
     ++stats_.duplicates;
     return;
   }
@@ -351,21 +365,32 @@ void Router::on_frame(const phy::Frame& frame) {
   //    updates the table but never sets the neighbour flag unless the
   //    source itself is the link-layer sender.
   const bool direct = p.is_beacon() || frame.src == so.address.mac();
+  if (p.is_beacon() && now - so.timestamp > config_.pv_max_age) {
+    ++stats_.stale_pv_drops;
+    return;
+  }
+  bool revived = false;
+  if (config_.nbr_monitor && direct) revived = monitor_.heard(so.address, now);
+  const bool new_neighbor = loc_table_.update(so, now, direct) || revived;
+  if (config_.scf_enabled && new_neighbor && !scf_.empty()) {
+    // Store-carry-forward flush: a just-learned (or revived) neighbour may
+    // unblock buffered packets — try immediately instead of waiting for the
+    // next retry tick.
+    ++stats_.scf_flush_triggers;
+    run_gf_retries();
+  }
   if (p.is_beacon()) {
-    if (now - so.timestamp > config_.pv_max_age) {
-      ++stats_.stale_pv_drops;
-      return;
-    }
-    loc_table_.update(so, now, direct);
     handle_beacon(msg);
     return;
   }
-  loc_table_.update(so, now, direct);
 
-  // ACK'd-forwarding extension: confirm any unicast routed through us back
-  // to the previous hop, before duplicate filtering (the retransmitter may
-  // be retrying because our earlier ACK got lost).
-  if (config_.gf_ack && frame.dst == address_.mac() && p.duplicate_key().has_value()) {
+  // ACK'd-forwarding / retransmission: confirm any unicast routed through us
+  // back to the previous hop, before duplicate filtering (the retransmitter
+  // may be retrying because our earlier ACK got lost).
+  if (hop_confirm_enabled() && frame.dst == address_.mac() && p.duplicate_key().has_value()) {
+    if (config_.retx_enabled && duplicates_.is_same_hop_retransmit(p, frame.src)) {
+      ++stats_.retx_duplicate_reacks;
+    }
     send_ack_for(p, frame.src);
   }
 
@@ -445,7 +470,7 @@ bool Router::validate_ingest(const net::Packet& p) {
 
 void Router::handle_tsb(security::SecuredMessage msg, const phy::Frame& frame) {
   net::Packet& p = msg.packet;
-  if (duplicates_.check_and_record(p)) {
+  if (duplicates_.check_and_record(p, frame.src)) {
     ++stats_.duplicates;
     return;
   }
@@ -461,9 +486,8 @@ void Router::handle_tsb(security::SecuredMessage msg, const phy::Frame& frame) {
 }
 
 void Router::handle_ls_request(security::SecuredMessage msg, const phy::Frame& frame) {
-  (void)frame;
   net::Packet& p = msg.packet;
-  if (duplicates_.check_and_record(p)) {
+  if (duplicates_.check_and_record(p, frame.src)) {
     ++stats_.duplicates;
     return;
   }
@@ -496,9 +520,9 @@ void Router::handle_ls_request(security::SecuredMessage msg, const phy::Frame& f
   transmit(msg, net::MacAddress::broadcast());
 }
 
-void Router::handle_ls_reply(security::SecuredMessage msg, const phy::Frame& /*frame*/) {
+void Router::handle_ls_reply(security::SecuredMessage msg, const phy::Frame& frame) {
   net::Packet& p = msg.packet;
-  if (duplicates_.check_and_record(p)) {
+  if (duplicates_.check_and_record(p, frame.src)) {
     ++stats_.duplicates;
     return;
   }
@@ -557,7 +581,50 @@ void Router::handle_ack(const security::SecuredMessage& msg) {
 void Router::arm_ack_timer(const CbfKey& key) {
   auto& pending = ack_pending_.at(key);
   events_.cancel(pending.timer);
-  pending.timer = events_.schedule_in(config_.gf_ack_timeout, [this, key] { ack_timeout(key); });
+  sim::Duration timeout = config_.gf_ack_timeout;
+  if (config_.retx_enabled) {
+    // Exponential backoff: base * 2^attempt, plus a uniform jitter draw
+    // from the router's deterministic stream so colliding retransmitters
+    // desynchronise identically for every thread count.
+    timeout = config_.retx_backoff_base;
+    for (int i = 0; i < pending.attempts_this_hop; ++i) timeout += timeout;
+    timeout += config_.retx_backoff_jitter * rng_.uniform();
+  }
+  pending.timer = events_.schedule_in(timeout, [this, key] { ack_timeout(key); });
+}
+
+void Router::arm_hop_confirm(security::SecuredMessage msg, geo::Position destination,
+                             net::GnAddress hop) {
+  const auto key_opt = msg.packet.duplicate_key();
+  if (!key_opt) return;
+  const CbfKey key{key_opt->first, key_opt->second};
+  auto& pending = ack_pending_[key];
+  pending.msg = std::move(msg);
+  pending.destination = destination;
+  pending.tried.insert(hop);
+  pending.current_hop = hop;
+  pending.attempts_this_hop = 0;
+  arm_ack_timer(key);
+}
+
+void Router::hop_confirm_give_up(const CbfKey& key) {
+  const auto it = ack_pending_.find(key);
+  AckPending& pending = it->second;
+  events_.cancel(pending.timer);
+  if (config_.retx_enabled) ++stats_.retx_exhausted;
+  if (config_.retx_enabled && config_.scf_enabled &&
+      config_.gf_fallback == GfFallback::kBuffer) {
+    // Out of hops and attempts, but not out of lifetime: park the packet in
+    // the SCF buffer — a new neighbour or the retry tick gives it another
+    // chance.
+    const sim::TimePoint expiry = scf_expiry(pending.msg.packet);
+    scf_.push(std::move(pending.msg), pending.destination, expiry);
+    ++stats_.gf_buffered;
+    schedule_gf_retry();
+  } else {
+    ++stats_.ack_failures;
+  }
+  ack_pending_.erase(it);
 }
 
 void Router::ack_timeout(const CbfKey& key) {
@@ -565,9 +632,17 @@ void Router::ack_timeout(const CbfKey& key) {
   const auto it = ack_pending_.find(key);
   if (it == ack_pending_.end()) return;
   AckPending& pending = it->second;
+  if (config_.retx_enabled && pending.attempts_this_hop < config_.retx_max_attempts) {
+    // Same-hop retransmission: the frame (or our ACK) may have been lost
+    // rather than the neighbour — retry it before rerouting around it.
+    ++pending.attempts_this_hop;
+    ++stats_.retx_attempts;
+    transmit(pending.msg, pending.current_hop.mac());
+    arm_ack_timer(key);
+    return;
+  }
   if (++pending.retries > config_.gf_ack_max_retries) {
-    ++stats_.ack_failures;
-    ack_pending_.erase(it);
+    hop_confirm_give_up(key);
     return;
   }
   // Silent hop: pick the next-best neighbour we have not tried yet.
@@ -575,14 +650,14 @@ void Router::ack_timeout(const CbfKey& key) {
                                          pending.destination, events_.now(), gf_policy(),
                                          &pending.tried);
   if (!selection) {
-    ++stats_.ack_failures;
-    events_.cancel(pending.timer);
-    ack_pending_.erase(it);
+    hop_confirm_give_up(key);
     return;
   }
   ++stats_.ack_retries;
   ++stats_.gf_unicast_forwards;
   pending.tried.insert(selection->next_hop.address);
+  pending.current_hop = selection->next_hop.address;
+  pending.attempts_this_hop = 0;
   transmit(pending.msg, selection->next_hop.address.mac());
   arm_ack_timer(key);
 }
@@ -607,7 +682,7 @@ void Router::handle_gbc(security::SecuredMessage msg, const phy::Frame& frame) {
     if (outcome == CbfDuplicateOutcome::kKeptByMitigation) ++stats_.cbf_mitigation_keeps;
     return;
   }
-  duplicates_.check_and_record(p);
+  duplicates_.check_and_record(p, frame.src);
 
   const bool inside = p.gbc()->area.contains(mobility_.position());
   if (inside) deliver(p, frame.src);
@@ -630,7 +705,7 @@ void Router::handle_gbc(security::SecuredMessage msg, const phy::Frame& frame) {
 
 void Router::handle_guc(security::SecuredMessage msg, const phy::Frame& frame) {
   net::Packet& p = msg.packet;
-  if (duplicates_.check_and_record(p)) {
+  if (duplicates_.check_and_record(p, frame.src)) {
     ++stats_.duplicates;
     return;
   }
@@ -667,6 +742,12 @@ void Router::cbf_contend(security::SecuredMessage msg, std::uint8_t received_rhl
   // CSMA-style desynchronisation; see RouterConfig::cbf_jitter.
   timeout += config_.cbf_jitter * rng_.uniform();
   ++stats_.cbf_contentions;
+  // With the recovery layer on, bound the whole contention (including any
+  // carrier-sense deferral loop) by the packet's lifetime.
+  const std::optional<sim::TimePoint> expiry =
+      config_.cbf_lifetime_expiry
+          ? std::optional<sim::TimePoint>{events_.now() + msg.packet.basic.lifetime}
+          : std::nullopt;
   cbf_.insert(
       key, std::move(msg), received_rhl, timeout,
       [this](const security::SecuredMessage& buffered) {
@@ -682,7 +763,8 @@ void Router::cbf_contend(security::SecuredMessage msg, std::uint8_t received_rhl
         const auto backoff = sim::Duration::micros(
             50 + static_cast<std::int64_t>(rng_.uniform() * 200.0));
         return busy - events_.now() + backoff;
-      });
+      },
+      expiry);
 }
 
 void Router::gf_route(security::SecuredMessage msg, geo::Position destination, bool allow_buffer,
@@ -692,21 +774,14 @@ void Router::gf_route(security::SecuredMessage msg, geo::Position destination, b
   if (selection) {
     transmit(msg, selection->next_hop.address.mac());
     ++stats_.gf_unicast_forwards;
-    if (config_.gf_ack) {
-      if (const auto key_opt = msg.packet.duplicate_key()) {
-        const CbfKey key{key_opt->first, key_opt->second};
-        auto& pending = ack_pending_[key];
-        pending.msg = std::move(msg);
-        pending.destination = destination;
-        pending.tried.insert(selection->next_hop.address);
-        arm_ack_timer(key);
-      }
+    if (hop_confirm_enabled()) {
+      arm_hop_confirm(std::move(msg), destination, selection->next_hop.address);
     }
     return;
   }
   // Track how often the plausibility check vetoed an otherwise-chosen hop.
   if (config_.plausibility_check) {
-    GfPolicy no_check;
+    GfPolicy no_check = gf_policy();
     no_check.plausibility_check = false;
     if (select_next_hop(loc_table_, address_, mobility_.position(), destination, events_.now(),
                         no_check)) {
@@ -720,9 +795,8 @@ void Router::gf_route(security::SecuredMessage msg, geo::Position destination, b
       return;
     case GfFallback::kBuffer:
       if (allow_buffer) {
-        gf_buffer_.push_back(
-            GfPending{std::move(msg), destination,
-                      events_.now() + config_.gf_retry_interval * 20.0});
+        const sim::TimePoint expiry = scf_expiry(msg.packet);
+        scf_.push(std::move(msg), destination, expiry);
         ++stats_.gf_buffered;
         schedule_gf_retry();
         return;
@@ -734,8 +808,17 @@ void Router::gf_route(security::SecuredMessage msg, geo::Position destination, b
   }
 }
 
+sim::TimePoint Router::scf_expiry(const net::Packet& p) const {
+  if (config_.scf_enabled) {
+    // Lifetimes are not decremented per hop in this simulator, so the field
+    // still holds the packet's remaining time budget when it reaches us.
+    return events_.now() + p.basic.lifetime;
+  }
+  return events_.now() + config_.gf_retry_interval * 20.0;
+}
+
 void Router::schedule_gf_retry() {
-  if (gf_buffer_.empty() || events_.pending(gf_retry_event_)) return;
+  if (scf_.empty() || events_.pending(gf_retry_event_)) return;
   gf_retry_event_ = events_.schedule_in(config_.gf_retry_interval, [this] {
     if (!running_) return;
     run_gf_retries();
@@ -745,24 +828,40 @@ void Router::schedule_gf_retry() {
 
 void Router::run_gf_retries() {
   const sim::TimePoint now = events_.now();
-  std::deque<GfPending> keep;
-  while (!gf_buffer_.empty()) {
-    GfPending pending = std::move(gf_buffer_.front());
-    gf_buffer_.pop_front();
-    if (now >= pending.expiry) {
-      ++stats_.gf_drops;
-      continue;
-    }
+  const std::uint64_t expired_before = scf_.stats().expired;
+  scf_.sweep(now, [this, now](const ScfBuffer::Entry& entry) {
     const auto selection = select_next_hop(loc_table_, address_, mobility_.position(),
-                                           pending.destination, now, gf_policy());
-    if (selection) {
-      transmit(pending.msg, selection->next_hop.address.mac());
-      ++stats_.gf_unicast_forwards;
-    } else {
-      keep.push_back(std::move(pending));
+                                           entry.destination, now, gf_policy());
+    if (!selection) return false;
+    transmit(entry.msg, selection->next_hop.address.mac());
+    ++stats_.gf_unicast_forwards;
+    if (config_.retx_enabled) {
+      // A flushed packet re-enters hop confirmation with a fresh attempt
+      // budget (its earlier `tried` set is stale by now anyway).
+      arm_hop_confirm(entry.msg, entry.destination, selection->next_hop.address);
     }
+    return true;
+  });
+  // Lifetime expiries surface under the legacy drop counter as well, so
+  // gf_drops keeps meaning "packet abandoned by greedy forwarding".
+  stats_.gf_drops += scf_.stats().expired - expired_before;
+}
+
+void Router::schedule_monitor_sweep() {
+  monitor_event_ = events_.schedule_in(monitor_.config().miss_period, [this] {
+    if (!running_) return;
+    run_monitor_sweep();
+    schedule_monitor_sweep();
+  });
+}
+
+void Router::run_monitor_sweep() {
+  const sim::TimePoint now = events_.now();
+  for (const net::GnAddress addr : monitor_.evictable(now)) {
+    loc_table_.erase(addr);
+    monitor_.forget(addr);
+    ++stats_.neighbor_evictions;
   }
-  gf_buffer_ = std::move(keep);
 }
 
 void Router::deliver(const net::Packet& packet, net::MacAddress from) {

@@ -14,6 +14,8 @@
 #include "vgr/gn/greedy_forwarder.hpp"
 #include "vgr/gn/location_table.hpp"
 #include "vgr/gn/mobility.hpp"
+#include "vgr/gn/neighbor_monitor.hpp"
+#include "vgr/gn/scf_buffer.hpp"
 #include "vgr/net/duplicate_detector.hpp"
 #include "vgr/phy/medium.hpp"
 #include "vgr/security/secured_message.hpp"
@@ -64,6 +66,15 @@ struct RouterStats {
   std::uint64_t ack_failures{0};
   std::uint64_t identity_rotations{0};
   std::uint64_t dad_conflicts{0};
+  // --- Recovery layer (docs/robustness.md): SCF buffering, neighbour
+  //     soft-state and bounded retransmission. All zero unless the matching
+  //     RouterConfig knobs are on; the SCF buffer's own insert/flush/expiry
+  //     counters live in Router::scf().stats().
+  std::uint64_t scf_flush_triggers{0};    ///< new-neighbour edges that swept the buffer
+  std::uint64_t retx_attempts{0};         ///< same-hop retransmissions sent
+  std::uint64_t retx_exhausted{0};        ///< forwards that ran out of hops and attempts
+  std::uint64_t retx_duplicate_reacks{0}; ///< same-hop retransmits re-ACKed, not dropped
+  std::uint64_t neighbor_evictions{0};    ///< monitor-evicted location-table entries
 };
 
 /// A complete GeoNetworking router for one station, per ETSI EN 302
@@ -187,6 +198,18 @@ class Router {
   [[nodiscard]] RouterConfig& config() { return config_; }
   [[nodiscard]] bool running() const { return running_; }
 
+  /// The greedy next hop the router would pick right now toward
+  /// `destination` (before any fallback) — introspection for the
+  /// staleness/quarantine tests and the churn experiments.
+  [[nodiscard]] std::optional<GfSelection> next_hop_toward(geo::Position destination) const {
+    return select_next_hop(loc_table_, address_, mobility_.position(), destination,
+                           events_.now(), gf_policy());
+  }
+  [[nodiscard]] const NeighborMonitor& neighbor_monitor() const { return monitor_; }
+  [[nodiscard]] const ScfBuffer& scf() const { return scf_; }
+  /// CBF contention entries dropped by the packet-lifetime bound.
+  [[nodiscard]] std::uint64_t cbf_lifetime_drops() const { return cbf_.lifetime_expired(); }
+
   /// The router's current long position vector (self PV).
   [[nodiscard]] net::LongPositionVector self_pv() const;
 
@@ -213,6 +236,26 @@ class Router {
   void arm_ack_timer(const CbfKey& key);
   void ack_timeout(const CbfKey& key);
 
+  /// Per-hop confirmation is armed for every GF unicast when either the
+  /// legacy ACK extension or the recovery layer's bounded retransmission is
+  /// on; they share the ACK wire format and pending-map machinery.
+  [[nodiscard]] bool hop_confirm_enabled() const {
+    return config_.gf_ack || config_.retx_enabled;
+  }
+  void arm_hop_confirm(security::SecuredMessage msg, geo::Position destination,
+                       net::GnAddress hop);
+  /// Out of hops and attempts: park the packet in the SCF buffer when the
+  /// recovery layer allows, otherwise count the failure.
+  void hop_confirm_give_up(const CbfKey& key);
+
+  /// Buffer deadline for a packet entering the SCF buffer: its remaining
+  /// lifetime with the recovery layer on, the legacy fixed retry budget
+  /// (20 retry intervals) otherwise.
+  [[nodiscard]] sim::TimePoint scf_expiry(const net::Packet& p) const;
+
+  void schedule_monitor_sweep();
+  void run_monitor_sweep();
+
   /// Routes `msg` (a GBC/GUC whose RHL is already decremented) toward
   /// `destination` with Greedy Forwarding, applying the configured fallback.
   /// `exclude` removes unresponsive hops during ACK retries.
@@ -230,7 +273,8 @@ class Router {
 
   [[nodiscard]] GfPolicy gf_policy() const {
     return GfPolicy{config_.plausibility_check, config_.plausibility_threshold_m,
-                    config_.plausibility_extrapolate};
+                    config_.plausibility_extrapolate,
+                    config_.nbr_monitor ? &monitor_ : nullptr};
   }
 
   sim::EventQueue& events_;
@@ -251,13 +295,14 @@ class Router {
   std::vector<DeliveryHandler> listeners_;
   std::function<void()> on_address_conflict_;
 
-  struct GfPending {
-    security::SecuredMessage msg;
-    geo::Position destination;
-    sim::TimePoint expiry;
-  };
-  std::deque<GfPending> gf_buffer_;
+  /// Store-carry-forward buffer. With `RouterConfig::scf_enabled` it runs
+  /// capacity-bounded with per-packet lifetime expiry and is flushed the
+  /// moment a new neighbour is learned; disabled, it is configured
+  /// unbounded and reproduces the legacy GF retry buffer bit-for-bit.
+  ScfBuffer scf_;
+  NeighborMonitor monitor_;
   sim::EventId gf_retry_event_{};
+  sim::EventId monitor_event_{};
   sim::EventId beacon_event_{};
   net::SequenceNumber next_sequence_{0};
   bool running_{false};
@@ -275,13 +320,19 @@ class Router {
   };
   std::unordered_map<net::GnAddress, LsPending> ls_pending_;
 
-  /// ACK'd-forwarding state: unicast forwards awaiting confirmation.
+  /// ACK'd-forwarding / retransmission state: unicast forwards awaiting
+  /// confirmation. `retries` counts hop *reroutes* (legacy gf_ack
+  /// semantics); with the recovery layer on, each hop additionally gets
+  /// `retx_max_attempts` same-hop retransmissions with exponential backoff
+  /// before being rerouted past.
   struct AckPending {
     security::SecuredMessage msg;
     geo::Position destination;
     std::unordered_set<net::GnAddress> tried;
     sim::EventId timer{};
     int retries{0};
+    net::GnAddress current_hop{};
+    int attempts_this_hop{0};
   };
   std::unordered_map<CbfKey, AckPending, CbfKeyHash> ack_pending_;
 };

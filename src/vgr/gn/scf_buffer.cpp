@@ -1,0 +1,60 @@
+#include "vgr/gn/scf_buffer.hpp"
+
+#include <utility>
+
+namespace vgr::gn {
+namespace {
+
+/// Fixed per-packet accounting overhead (headers plus security envelope).
+/// The byte bound is a memory budget, not a wire-accurate frame size.
+constexpr std::size_t kEntryOverheadBytes = 64;
+
+}  // namespace
+
+void ScfBuffer::push(security::SecuredMessage msg, geo::Position destination,
+                     sim::TimePoint expiry) {
+  Entry entry{std::move(msg), destination, expiry, 0};
+  entry.bytes = entry.msg.packet.payload.size() + kEntryOverheadBytes;
+  bytes_ += entry.bytes;
+  entries_.push_back(std::move(entry));
+  ++stats_.inserted;
+  while (entries_.size() > 1 &&
+         ((config_.max_packets != 0 && entries_.size() > config_.max_packets) ||
+          (config_.max_bytes != 0 && bytes_ > config_.max_bytes))) {
+    drop_front();
+  }
+}
+
+void ScfBuffer::drop_front() {
+  bytes_ -= entries_.front().bytes;
+  entries_.pop_front();
+  ++stats_.head_drops;
+}
+
+void ScfBuffer::sweep(sim::TimePoint now, const TrySend& try_send) {
+  std::deque<Entry> keep;
+  std::size_t keep_bytes = 0;
+  while (!entries_.empty()) {
+    Entry entry = std::move(entries_.front());
+    entries_.pop_front();
+    if (now >= entry.expiry) {
+      ++stats_.expired;
+      continue;
+    }
+    if (try_send(entry)) {
+      ++stats_.flushed;
+      continue;
+    }
+    keep_bytes += entry.bytes;
+    keep.push_back(std::move(entry));
+  }
+  entries_ = std::move(keep);
+  bytes_ = keep_bytes;
+}
+
+void ScfBuffer::clear() {
+  entries_.clear();
+  bytes_ = 0;
+}
+
+}  // namespace vgr::gn

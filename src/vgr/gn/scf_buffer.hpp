@@ -1,0 +1,80 @@
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <deque>
+#include <functional>
+
+#include "vgr/geo/vec2.hpp"
+#include "vgr/security/secured_message.hpp"
+#include "vgr/sim/time.hpp"
+
+namespace vgr::gn {
+
+/// Capacity bounds for the store-carry-forward buffer. Zero disables a
+/// bound; the default-constructed config is fully unbounded, matching the
+/// legacy GF retry buffer the router falls back to when the SCF recovery
+/// layer is off.
+struct ScfConfig {
+  std::size_t max_packets{0};
+  std::size_t max_bytes{0};
+};
+
+/// Lifetime counters of one SCF buffer.
+struct ScfStats {
+  std::uint64_t inserted{0};
+  std::uint64_t flushed{0};     ///< handed back to the forwarder and sent
+  std::uint64_t expired{0};     ///< lifetime ran out while buffered
+  std::uint64_t head_drops{0};  ///< oldest entries evicted to fit a new one
+};
+
+/// Store-carry-forward packet buffer (ETSI EN 302 636-4-1 §7.4 / Annex E):
+/// a GeoUnicast/GeoBroadcast with no eligible greedy next hop is queued
+/// here instead of dropped, carried while the vehicle moves, and offered
+/// back to the forwarder on the periodic retry tick or — with the recovery
+/// layer on — the moment a new neighbour is learned from beacon ingest.
+///
+/// Strictly FIFO. When a capacity bound is exceeded the *oldest* entries
+/// are dropped first (head-drop): under sustained overload the freshest
+/// packet is the one whose delivery window is still open.
+class ScfBuffer {
+ public:
+  struct Entry {
+    security::SecuredMessage msg;
+    geo::Position destination;
+    sim::TimePoint expiry;
+    std::size_t bytes{0};
+  };
+
+  /// Send predicate used by `sweep`; returning true means the packet found
+  /// a next hop and leaves the buffer.
+  using TrySend = std::function<bool(const Entry&)>;
+
+  explicit ScfBuffer(ScfConfig config = {}) : config_{config} {}
+
+  /// Queues one packet, head-dropping older entries while a capacity bound
+  /// is exceeded. The packet just queued is never the one evicted.
+  void push(security::SecuredMessage msg, geo::Position destination, sim::TimePoint expiry);
+
+  /// Visits entries oldest-first: expired ones are removed and counted,
+  /// live ones are offered to `try_send` and removed when it succeeds.
+  void sweep(sim::TimePoint now, const TrySend& try_send);
+
+  [[nodiscard]] bool empty() const { return entries_.empty(); }
+  [[nodiscard]] std::size_t size() const { return entries_.size(); }
+  [[nodiscard]] std::size_t bytes() const { return bytes_; }
+  [[nodiscard]] const ScfStats& stats() const { return stats_; }
+  [[nodiscard]] const ScfConfig& config() const { return config_; }
+
+  void clear();
+
+ private:
+  void drop_front();
+
+  ScfConfig config_;
+  ScfStats stats_;
+  std::deque<Entry> entries_;
+  std::size_t bytes_{0};
+};
+
+}  // namespace vgr::gn

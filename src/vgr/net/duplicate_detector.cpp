@@ -2,12 +2,12 @@
 
 namespace vgr::net {
 
-bool DuplicateDetector::check_and_record(const Packet& p) {
+bool DuplicateDetector::check_and_record(const Packet& p, MacAddress from) {
   const auto key = p.duplicate_key();
   if (!key) return false;
   auto& state = per_source_[key->first];
   if (state.seen.contains(key->second)) return true;
-  state.seen.insert(key->second);
+  state.seen.emplace(key->second, from);
   state.order.push_back(key->second);
   if (state.order.size() > window_) {
     state.seen.erase(state.order.front());
@@ -22,6 +22,16 @@ bool DuplicateDetector::is_duplicate(const Packet& p) const {
   const auto it = per_source_.find(key->first);
   if (it == per_source_.end()) return false;
   return it->second.seen.contains(key->second);
+}
+
+bool DuplicateDetector::is_same_hop_retransmit(const Packet& p, MacAddress from) const {
+  const auto key = p.duplicate_key();
+  if (!key) return false;
+  const auto it = per_source_.find(key->first);
+  if (it == per_source_.end()) return false;
+  const auto seen = it->second.seen.find(key->second);
+  if (seen == it->second.seen.end()) return false;
+  return seen->second == from && from != MacAddress{};
 }
 
 }  // namespace vgr::net

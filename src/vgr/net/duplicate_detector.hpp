@@ -3,7 +3,6 @@
 #include <cstddef>
 #include <deque>
 #include <unordered_map>
-#include <unordered_set>
 
 #include "vgr/net/address.hpp"
 #include "vgr/net/packet.hpp"
@@ -17,6 +16,12 @@ namespace vgr::net {
 /// not* look at: it cannot distinguish which hop retransmitted the packet,
 /// nor verify the retransmitter's position — any retransmission with a known
 /// key counts as a duplicate.
+///
+/// For the recovery layer's bounded retransmission the detector additionally
+/// remembers the link-layer sender that first delivered each key, so a
+/// receiver can tell a *same-hop retransmission* (the previous hop retrying
+/// because our ACK was lost) apart from a copy arriving over another path —
+/// without weakening the duplicate semantics the attack relies on.
 class DuplicateDetector {
  public:
   /// Keeps at most `window` sequence numbers per source (FIFO eviction).
@@ -24,17 +29,29 @@ class DuplicateDetector {
 
   /// Records the packet's key; returns true if it was already known
   /// (i.e. the packet is a duplicate). Beacons never count as duplicates.
-  bool check_and_record(const Packet& p);
+  bool check_and_record(const Packet& p) { return check_and_record(p, MacAddress{}); }
+
+  /// Same, but also remembers `from` (the frame's link-layer source) as the
+  /// hop that first delivered this key.
+  bool check_and_record(const Packet& p, MacAddress from);
 
   /// Pure query without recording.
   [[nodiscard]] bool is_duplicate(const Packet& p) const;
+
+  /// True when `p` is a known duplicate that was first recorded from the
+  /// same link-layer sender `from` — a per-hop retransmission, which a
+  /// forwarder must re-ACK rather than black-hole (docs/robustness.md).
+  /// Keys recorded through the hop-less overload never match.
+  [[nodiscard]] bool is_same_hop_retransmit(const Packet& p, MacAddress from) const;
 
   void clear() { per_source_.clear(); }
   [[nodiscard]] std::size_t source_count() const { return per_source_.size(); }
 
  private:
   struct SourceState {
-    std::unordered_set<SequenceNumber> seen;
+    /// sequence number -> link-layer sender of the first copy (a
+    /// default-constructed MacAddress when the hop was not recorded).
+    std::unordered_map<SequenceNumber, MacAddress> seen;
     std::deque<SequenceNumber> order;
   };
 

@@ -16,12 +16,16 @@ void apply_fidelity(HighwayConfig& config, const Fidelity& fidelity) {
   if (fidelity.sim_seconds > 0.0) {
     config.sim_duration = sim::Duration::seconds(fidelity.sim_seconds);
   }
-  // Resilience knobs (VGR_FAULT_*, VGR_CHURN_*) apply to every run of every
-  // experiment binary, so any existing sweep can be re-run under channel
-  // faults or node churn without a rebuild. Absent variables leave the
+  // Resilience knobs (VGR_FAULT_*, VGR_CHURN_*, VGR_SCF*, VGR_RETX*,
+  // VGR_NBR_MONITOR) apply to every run of every experiment binary, so any
+  // existing sweep can be re-run under channel faults, node churn, or with
+  // the recovery layer enabled without a rebuild. Absent variables leave the
   // programmatic config untouched and the runs bit-identical.
   config.faults = config.faults.with_env_overrides();
   config.churn = config.churn.with_env_overrides();
+  config.recovery = config.recovery.with_env_overrides();
+  config.run_wall_budget_s = fidelity.run_wall_budget_s;
+  config.run_max_events = fidelity.run_max_events;
 }
 
 /// Dispatches `fidelity.runs` independent runs across a thread pool and
@@ -54,6 +58,12 @@ Fidelity Fidelity::from_env(std::uint64_t default_runs) {
   if (const auto v = sim::env_int("VGR_THREADS"); v.has_value() && *v > 0) {
     f.threads = static_cast<std::size_t>(*v);
   }
+  if (const auto v = sim::env_double("VGR_RUN_TIMEOUT_S"); v.has_value() && *v > 0.0) {
+    f.run_wall_budget_s = *v;
+  }
+  if (const auto v = sim::env_int("VGR_RUN_MAX_EVENTS"); v.has_value() && *v > 0) {
+    f.run_max_events = static_cast<std::uint64_t>(*v);
+  }
   return f;
 }
 
@@ -82,6 +92,7 @@ AbResult run_inter_area_ab(HighwayConfig config, const Fidelity& fidelity) {
       [&](const RunResult& r) {
         out.baseline.merge(r.baseline.binned(kBin));
         out.attacked.merge(r.attacked.binned(kBin));
+        if (r.baseline.timed_out || r.attacked.timed_out) ++out.timed_out_runs;
         base_hits += r.baseline.overall_reception() *
                      static_cast<double>(r.baseline.packets.size());
         base_total += static_cast<double>(r.baseline.packets.size());
@@ -121,6 +132,7 @@ AbResult run_intra_area_ab(HighwayConfig config, const Fidelity& fidelity) {
       [&](const RunResult& r) {
         out.baseline.merge(r.baseline.binned(kBin));
         out.attacked.merge(r.attacked.binned(kBin));
+        if (r.baseline.timed_out || r.attacked.timed_out) ++out.timed_out_runs;
       });
 
   out.runs = fidelity.runs;

@@ -19,6 +19,11 @@ struct AbResult {
   double baseline_reception{0.0};   ///< overall rate, attacker-free
   double attacked_reception{0.0};   ///< overall rate, attacked
   std::uint64_t runs{0};
+  /// Runs (seed-paired A/B executions) where at least one arm tripped the
+  /// per-run watchdog (`Fidelity::run_wall_budget_s` / `run_max_events`) and
+  /// stopped before its horizon. Such runs still contribute their partial
+  /// timelines; a non-zero count flags the sweep as degraded.
+  std::uint64_t timed_out_runs{0};
 };
 
 /// Experiment fidelity, environment-overridable so the same benches run in
@@ -27,9 +32,12 @@ struct AbResult {
 ///   VGR_SIM_SECONDS  — simulated seconds per run (default from config)
 ///   VGR_THREADS      — worker threads for run-level parallelism
 ///                      (default: all hardware threads; 1 = serial)
-/// The resilience knobs (`VGR_FAULT_*`, `VGR_CHURN_*`; see
-/// docs/robustness.md) are likewise applied to every run's config, so any
-/// experiment can be replayed under channel faults or node churn.
+///   VGR_RUN_TIMEOUT_S   — per-run wall-clock watchdog, seconds (0 = off)
+///   VGR_RUN_MAX_EVENTS  — per-run event-count circuit breaker (0 = off)
+/// The resilience knobs (`VGR_FAULT_*`, `VGR_CHURN_*`, `VGR_SCF*`,
+/// `VGR_RETX*`, `VGR_NBR_MONITOR`; see docs/robustness.md) are likewise
+/// applied to every run's config, so any experiment can be replayed under
+/// channel faults, node churn, or with the recovery layer enabled.
 /// Malformed values are rejected whole-token with a stderr warning rather
 /// than silently parsed as a prefix or as 0.
 struct Fidelity {
@@ -39,6 +47,9 @@ struct Fidelity {
   /// hardware threads). Results are bit-identical for every value because
   /// runs are merged in seed order (see ab_runner.cpp).
   std::size_t threads{0};
+  /// Per-run watchdog (see HighwayConfig): 0 disables either bound.
+  double run_wall_budget_s{0.0};
+  std::uint64_t run_max_events{0};
 
   static Fidelity from_env(std::uint64_t default_runs = 3);
 };

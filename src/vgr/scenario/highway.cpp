@@ -39,6 +39,26 @@ ChurnConfig ChurnConfig::with_env_overrides() const {
   return c;
 }
 
+RecoveryConfig RecoveryConfig::with_env_overrides() const {
+  RecoveryConfig r = *this;
+  if (const auto v = sim::env_int("VGR_SCF"); v.has_value()) r.scf = *v != 0;
+  if (const auto v = sim::env_int("VGR_SCF_MAX_PKTS"); v.has_value() && *v >= 0) {
+    r.scf_max_packets = static_cast<std::size_t>(*v);
+  }
+  if (const auto v = sim::env_int("VGR_SCF_MAX_BYTES"); v.has_value() && *v >= 0) {
+    r.scf_max_bytes = static_cast<std::size_t>(*v);
+  }
+  if (const auto v = sim::env_int("VGR_RETX"); v.has_value()) r.retx = *v != 0;
+  if (const auto v = sim::env_int("VGR_RETX_MAX"); v.has_value() && *v > 0) {
+    r.retx_max_attempts = static_cast<int>(*v);
+  }
+  if (const auto v = sim::env_double("VGR_RETX_BACKOFF_MS"); v.has_value() && *v > 0.0) {
+    r.retx_backoff_ms = *v;
+  }
+  if (const auto v = sim::env_int("VGR_NBR_MONITOR"); v.has_value()) r.nbr_monitor = *v != 0;
+  return r;
+}
+
 double HighwayConfig::resolved_vehicle_range() const {
   if (vehicle_range_m > 0.0) return vehicle_range_m;
   return phy::range_table(tech).nlos_median_m;
@@ -155,6 +175,17 @@ gn::RouterConfig HighwayScenario::make_router_config() const {
   rc.cbf_dist_max_m = vehicle_range_m_;
   rc.default_hop_limit = config_.hop_limit;
   rc.gf_ack = config_.gf_ack;
+  rc.scf_enabled = config_.recovery.scf;
+  rc.scf_max_packets = config_.recovery.scf_max_packets;
+  rc.scf_max_bytes = config_.recovery.scf_max_bytes;
+  rc.retx_enabled = config_.recovery.retx;
+  rc.retx_max_attempts = config_.recovery.retx_max_attempts;
+  rc.retx_backoff_base = sim::Duration::seconds(config_.recovery.retx_backoff_ms / 1000.0);
+  rc.retx_backoff_jitter = rc.retx_backoff_base * 0.2;
+  rc.nbr_monitor = config_.recovery.nbr_monitor;
+  // SCF implies the CBF lifetime bound: both exist to stop per-packet state
+  // outliving the packet.
+  rc.cbf_lifetime_expiry = config_.recovery.scf;
   mitigation::apply(config_.mitigation, rc, config_.mitigation_params);
   return rc;
 }
@@ -370,6 +401,7 @@ InterAreaResult HighwayScenario::run_inter_area() {
   traffic_->run_on(events_, sim::TimePoint::at(config_.sim_duration));
   schedule_inter_area_workload();
   schedule_churn();
+  events_.set_run_budget(config_.run_max_events, config_.run_wall_budget_s);
   events_.run_until(sim::TimePoint::at(config_.sim_duration));
 
   InterAreaResult result;
@@ -378,6 +410,7 @@ InterAreaResult HighwayScenario::run_inter_area() {
   if (interceptor_) result.beacons_replayed = interceptor_->beacons_replayed();
   result.churn_crashes = churn_crashes_;
   result.churn_reboots = churn_reboots_;
+  result.timed_out = events_.budget_exceeded();
   return result;
 }
 
@@ -445,6 +478,7 @@ IntraAreaResult HighwayScenario::run_intra_area() {
   traffic_->run_on(events_, sim::TimePoint::at(config_.sim_duration));
   schedule_intra_area_workload();
   schedule_churn();
+  events_.set_run_budget(config_.run_max_events, config_.run_wall_budget_s);
   events_.run_until(sim::TimePoint::at(config_.sim_duration));
 
   IntraAreaResult result;
@@ -453,6 +487,7 @@ IntraAreaResult HighwayScenario::run_intra_area() {
   if (blocker_) result.packets_replayed = blocker_->packets_replayed();
   result.churn_crashes = churn_crashes_;
   result.churn_reboots = churn_reboots_;
+  result.timed_out = events_.budget_exceeded();
   return result;
 }
 

@@ -48,6 +48,27 @@ struct ChurnConfig {
   [[nodiscard]] ChurnConfig with_env_overrides() const;
 };
 
+/// Recovery-layer switches applied to every vehicle router
+/// (docs/robustness.md): store-carry-forward buffering, bounded per-hop
+/// retransmission, and the neighbour soft-state monitor. Everything
+/// defaults to off; a disabled config schedules no events and draws nothing
+/// from any RNG stream, so pre-recovery outputs stay bit-identical.
+struct RecoveryConfig {
+  bool scf{false};
+  std::size_t scf_max_packets{64};
+  std::size_t scf_max_bytes{64 * 1024};
+  bool retx{false};
+  int retx_max_attempts{3};
+  double retx_backoff_ms{10.0};
+  bool nbr_monitor{false};
+
+  [[nodiscard]] bool enabled() const { return scf || retx || nbr_monitor; }
+  /// Copy with `VGR_SCF`, `VGR_SCF_MAX_PKTS`, `VGR_SCF_MAX_BYTES`,
+  /// `VGR_RETX`, `VGR_RETX_MAX`, `VGR_RETX_BACKOFF_MS` and
+  /// `VGR_NBR_MONITOR` applied over the programmatic values.
+  [[nodiscard]] RecoveryConfig with_env_overrides() const;
+};
+
 /// Full configuration of one simulation run on the paper's 4,000 m highway.
 struct HighwayConfig {
   phy::AccessTechnology tech{phy::AccessTechnology::kDsrc};
@@ -99,6 +120,14 @@ struct HighwayConfig {
   // stays bit-identical to a build without the resilience layer.
   phy::FaultConfig faults{};
   ChurnConfig churn{};
+  RecoveryConfig recovery{};
+
+  // Per-run watchdog (0 = off): a run whose event queue exceeds either
+  // budget stops early and is reported as `timed_out` instead of hanging
+  // the sweep. The event-count breaker is deterministic; the wall-clock one
+  // is host-dependent by nature and meant for CI hang protection only.
+  double run_wall_budget_s{0.0};
+  std::uint64_t run_max_events{0};
 
   [[nodiscard]] double resolved_vehicle_range() const;
   [[nodiscard]] double resolved_attacker_x() const;
@@ -121,6 +150,8 @@ struct InterAreaResult {
   std::uint64_t auth_failures{0};
   std::uint64_t churn_crashes{0};
   std::uint64_t churn_reboots{0};
+  /// The run tripped the per-run watchdog and stopped before its horizon.
+  bool timed_out{false};
 
   [[nodiscard]] double overall_reception() const;
   [[nodiscard]] sim::BinnedRate binned(
@@ -145,6 +176,8 @@ struct IntraAreaResult {
   std::uint64_t packets_replayed{0};
   std::uint64_t churn_crashes{0};
   std::uint64_t churn_reboots{0};
+  /// The run tripped the per-run watchdog and stopped before its horizon.
+  bool timed_out{false};
 
   [[nodiscard]] double overall_reception() const;
   [[nodiscard]] sim::BinnedRate binned(

@@ -33,15 +33,43 @@ bool EventQueue::pending(EventId id) const {
 }
 
 void EventQueue::run_until(TimePoint until) {
+  const bool budgeted = budget_events_end_ != 0 || has_wall_deadline_;
   for (;;) {
     // Discard cancelled entries *before* inspecting the top's timestamp —
     // otherwise a cancelled event at the boundary would admit the next
     // live event even when it lies beyond `until`.
     purge_cancelled_top();
     if (heap_.empty() || heap_.top().when > until) break;
+    if (budgeted && budget_tripped()) {
+      budget_exceeded_ = true;
+      break;
+    }
     step();
   }
   if (now_ < until) now_ = until;
+}
+
+void EventQueue::set_run_budget(std::uint64_t max_events, double wall_seconds) {
+  budget_exceeded_ = false;
+  budget_events_end_ = max_events == 0 ? 0 : fired_ + max_events;
+  has_wall_deadline_ = wall_seconds > 0.0;
+  if (has_wall_deadline_) {
+    wall_deadline_ = std::chrono::steady_clock::now() +
+                     std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+                         std::chrono::duration<double>(wall_seconds));
+  }
+}
+
+bool EventQueue::budget_tripped() {
+  if (budget_events_end_ != 0 && fired_ >= budget_events_end_) return true;
+  // The wall clock is only consulted every 4096 events: a syscall per event
+  // would dominate the hot loop, and watchdog precision of a few
+  // milliseconds is ample for budgets measured in seconds.
+  if (has_wall_deadline_ && (fired_ & 0xFFFU) == 0 &&
+      std::chrono::steady_clock::now() >= wall_deadline_) {
+    return true;
+  }
+  return false;
 }
 
 void EventQueue::purge_cancelled_top() {

@@ -1,5 +1,6 @@
 #pragma once
 
+#include <chrono>
 #include <cstdint>
 #include <functional>
 #include <queue>
@@ -56,6 +57,19 @@ class EventQueue {
   /// Total number of callbacks executed so far (for stats/tests).
   [[nodiscard]] std::uint64_t fired_count() const { return fired_; }
 
+  /// Per-run circuit breaker (the parallel harness's watchdog): run_until
+  /// stops early once `max_events` further callbacks have fired or
+  /// `wall_seconds` of real time have elapsed. Zero disables either bound.
+  /// The event-count breaker is deterministic; the wall-clock one (checked
+  /// every 4096 events) is best-effort protection against a hung run and is
+  /// inherently host-dependent — opt-in only. Calling this resets
+  /// budget_exceeded().
+  void set_run_budget(std::uint64_t max_events, double wall_seconds);
+
+  /// True when the last run_until stopped on the budget rather than on
+  /// `until` (the run is reported as timed out by the scenario harness).
+  [[nodiscard]] bool budget_exceeded() const { return budget_exceeded_; }
+
  private:
   struct Entry {
     TimePoint when;
@@ -73,7 +87,13 @@ class EventQueue {
   /// Drops cancelled entries sitting on top of the heap.
   void purge_cancelled_top();
 
+  [[nodiscard]] bool budget_tripped();
+
   TimePoint now_{};
+  std::uint64_t budget_events_end_{0};  ///< fired_ value at which to stop (0 = off)
+  bool has_wall_deadline_{false};
+  bool budget_exceeded_{false};
+  std::chrono::steady_clock::time_point wall_deadline_{};
   std::uint64_t next_seq_{0};
   std::uint64_t next_id_{1};
   std::uint64_t fired_{0};

@@ -142,6 +142,69 @@ TEST(LocationTable, ForEachVisitsLiveEntries) {
   EXPECT_EQ(visited, 1);  // entries 1 & 2 expired by t0+20
 }
 
+// --- New-neighbour edge & erase (recovery layer, docs/robustness.md) ------
+//
+// `update` reports whether the observation produced a *new live neighbour* —
+// the edge the router uses to flush its store-carry-forward buffer.
+
+TEST(LocationTable, UpdateReportsNewDirectNeighborOnce) {
+  LocationTable t{20_s};
+  const auto t0 = sim::TimePoint::origin();
+  EXPECT_TRUE(t.update(pv(1, 100.0, t0), t0, /*direct=*/true));
+  // Refreshing a known neighbour is not a new-neighbour edge.
+  EXPECT_FALSE(t.update(pv(1, 130.0, t0 + 1_s), t0 + 1_s, /*direct=*/true));
+}
+
+TEST(LocationTable, IndirectObservationsAreNeverNewNeighbors) {
+  LocationTable t{20_s};
+  const auto t0 = sim::TimePoint::origin();
+  EXPECT_FALSE(t.update(pv(1, 100.0, t0), t0, /*direct=*/false));
+  EXPECT_FALSE(t.update(pv(1, 120.0, t0 + 1_s), t0 + 1_s, /*direct=*/false));
+}
+
+TEST(LocationTable, IndirectToDirectUpgradeIsANewNeighbor) {
+  LocationTable t{20_s};
+  const auto t0 = sim::TimePoint::origin();
+  t.update(pv(1, 100.0, t0), t0, /*direct=*/false);
+  EXPECT_TRUE(t.update(pv(1, 110.0, t0 + 1_s), t0 + 1_s, /*direct=*/true));
+  EXPECT_FALSE(t.update(pv(1, 120.0, t0 + 2_s), t0 + 2_s, /*direct=*/true));
+}
+
+TEST(LocationTable, ExpiredEntryReplacedDirectlyIsANewNeighbor) {
+  LocationTable t{10_s};
+  const auto t0 = sim::TimePoint::origin();
+  t.update(pv(1, 100.0, t0), t0, true);
+  // The station went silent past the TTL; its next beacon re-learns it.
+  EXPECT_TRUE(t.update(pv(1, 200.0, t0 + 15_s), t0 + 15_s, /*direct=*/true));
+}
+
+TEST(LocationTable, StaleTimestampIsNotANewNeighbor) {
+  LocationTable t{20_s};
+  const auto t0 = sim::TimePoint::origin();
+  t.update(pv(1, 100.0, t0 + 5_s), t0 + 5_s, true);
+  EXPECT_FALSE(t.update(pv(1, 50.0, t0 + 1_s), t0 + 6_s, true));
+}
+
+TEST(LocationTable, EraseRemovesEntry) {
+  LocationTable t{20_s};
+  const auto t0 = sim::TimePoint::origin();
+  t.update(pv(1, 100.0, t0), t0, true);
+  EXPECT_TRUE(t.erase(pv(1, 0).address));
+  EXPECT_FALSE(t.find(pv(1, 0).address, t0).has_value());
+  EXPECT_EQ(t.raw_size(), 0u);
+  EXPECT_FALSE(t.erase(pv(1, 0).address));  // already gone
+}
+
+TEST(LocationTable, ErasedNeighborRelearnedAsNew) {
+  // Monitor eviction followed by the station's next beacon: the table must
+  // report the re-learn as a new-neighbour edge so buffered packets flush.
+  LocationTable t{20_s};
+  const auto t0 = sim::TimePoint::origin();
+  t.update(pv(1, 100.0, t0), t0, true);
+  t.erase(pv(1, 0).address);
+  EXPECT_TRUE(t.update(pv(1, 140.0, t0 + 1_s), t0 + 1_s, true));
+}
+
 class TtlSweep : public ::testing::TestWithParam<int> {};
 
 TEST_P(TtlSweep, ExpiryHonorsConfiguredTtl) {

@@ -1,0 +1,358 @@
+// Recovery-layer tests (docs/robustness.md): the store-carry-forward
+// buffer, the neighbour soft-state monitor, and the router-level wiring —
+// flush-on-new-neighbour delivery and the bounded retransmission state
+// machine, including the duplicate-detector fix that keeps a same-hop
+// retransmission from being black-holed.
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <vector>
+
+#include "vgr/gn/neighbor_monitor.hpp"
+#include "vgr/gn/router.hpp"
+#include "vgr/gn/scf_buffer.hpp"
+#include "vgr/security/authority.hpp"
+
+namespace vgr::gn {
+namespace {
+
+using namespace vgr::sim::literals;
+
+// --- ScfBuffer unit -------------------------------------------------------
+
+security::SecuredMessage msg_with_payload(std::size_t payload_bytes) {
+  security::SecuredMessage m;
+  m.packet.common.type = net::CommonHeader::HeaderType::kGeoUnicast;
+  m.packet.payload.assign(payload_bytes, 0x5A);
+  return m;
+}
+
+TEST(ScfBuffer, SweepOffersEntriesOldestFirst) {
+  ScfBuffer buf;
+  for (std::size_t i = 1; i <= 3; ++i) {
+    buf.push(msg_with_payload(i), {static_cast<double>(i), 0.0}, sim::TimePoint::at(10_s));
+  }
+  std::vector<std::size_t> order;
+  buf.sweep(sim::TimePoint::origin(), [&](const ScfBuffer::Entry& e) {
+    order.push_back(e.msg.packet.payload.size());
+    return true;
+  });
+  ASSERT_EQ(order.size(), 3u);
+  EXPECT_EQ(order[0], 1u);
+  EXPECT_EQ(order[1], 2u);
+  EXPECT_EQ(order[2], 3u);
+  EXPECT_TRUE(buf.empty());
+  EXPECT_EQ(buf.stats().flushed, 3u);
+  EXPECT_EQ(buf.bytes(), 0u);
+}
+
+TEST(ScfBuffer, PacketCapHeadDropsOldest) {
+  ScfBuffer buf{ScfConfig{/*max_packets=*/2, /*max_bytes=*/0}};
+  for (std::size_t i = 1; i <= 3; ++i) {
+    buf.push(msg_with_payload(i), {0.0, 0.0}, sim::TimePoint::at(10_s));
+  }
+  EXPECT_EQ(buf.size(), 2u);
+  EXPECT_EQ(buf.stats().head_drops, 1u);
+  std::vector<std::size_t> kept;
+  buf.sweep(sim::TimePoint::origin(), [&](const ScfBuffer::Entry& e) {
+    kept.push_back(e.msg.packet.payload.size());
+    return true;
+  });
+  // The oldest entry (payload 1) was the one evicted.
+  ASSERT_EQ(kept.size(), 2u);
+  EXPECT_EQ(kept[0], 2u);
+  EXPECT_EQ(kept[1], 3u);
+}
+
+TEST(ScfBuffer, ByteCapEvictsUntilNewEntryFits) {
+  // Each entry costs payload + fixed overhead; a 300-byte cap holds only
+  // one of these ~164-byte entries at a time.
+  ScfBuffer buf{ScfConfig{/*max_packets=*/0, /*max_bytes=*/300}};
+  buf.push(msg_with_payload(100), {0.0, 0.0}, sim::TimePoint::at(10_s));
+  buf.push(msg_with_payload(100), {0.0, 0.0}, sim::TimePoint::at(10_s));
+  EXPECT_EQ(buf.size(), 1u);
+  EXPECT_EQ(buf.stats().head_drops, 1u);
+  EXPECT_LE(buf.bytes(), 300u);
+}
+
+TEST(ScfBuffer, JustPushedEntrySurvivesEvenWhenOverCap) {
+  // A packet larger than the whole byte budget is still queued (dropping it
+  // on push would make the buffer silently lossy for big payloads); only
+  // *older* entries are ever head-dropped.
+  ScfBuffer buf{ScfConfig{/*max_packets=*/1, /*max_bytes=*/8}};
+  buf.push(msg_with_payload(500), {0.0, 0.0}, sim::TimePoint::at(10_s));
+  EXPECT_EQ(buf.size(), 1u);
+  EXPECT_EQ(buf.stats().head_drops, 0u);
+}
+
+TEST(ScfBuffer, SweepExpiresLapsedEntriesWithoutOfferingThem) {
+  ScfBuffer buf;
+  buf.push(msg_with_payload(1), {0.0, 0.0}, sim::TimePoint::at(1_s));
+  buf.push(msg_with_payload(2), {0.0, 0.0}, sim::TimePoint::at(10_s));
+  int offered = 0;
+  buf.sweep(sim::TimePoint::at(5_s), [&](const ScfBuffer::Entry&) {
+    ++offered;
+    return false;
+  });
+  EXPECT_EQ(offered, 1);  // only the live entry was offered
+  EXPECT_EQ(buf.stats().expired, 1u);
+  EXPECT_EQ(buf.size(), 1u);  // unsendable live entry is kept
+  EXPECT_EQ(buf.stats().flushed, 0u);
+}
+
+TEST(ScfBuffer, ClearDropsEntriesButKeepsStats) {
+  ScfBuffer buf;
+  buf.push(msg_with_payload(4), {0.0, 0.0}, sim::TimePoint::at(10_s));
+  buf.clear();
+  EXPECT_TRUE(buf.empty());
+  EXPECT_EQ(buf.bytes(), 0u);
+  EXPECT_EQ(buf.stats().inserted, 1u);
+}
+
+// --- NeighborMonitor unit -------------------------------------------------
+
+net::GnAddress nbr_addr(std::uint64_t mac) {
+  return net::GnAddress{net::GnAddress::StationType::kPassengerCar, net::MacAddress{mac}};
+}
+
+NeighborMonitorConfig fast_monitor() {
+  NeighborMonitorConfig cfg;
+  cfg.miss_period = 1_s;
+  cfg.quarantine_after = 2;
+  cfg.evict_after = 4;
+  return cfg;
+}
+
+TEST(NeighborMonitor, FirstSightIsARevival) {
+  NeighborMonitor m{fast_monitor()};
+  const auto t0 = sim::TimePoint::origin();
+  EXPECT_TRUE(m.heard(nbr_addr(1), t0));
+  EXPECT_FALSE(m.heard(nbr_addr(1), t0 + 100_ms));
+  EXPECT_EQ(m.tracked(), 1u);
+}
+
+TEST(NeighborMonitor, QuarantinesAfterMissedPeriods) {
+  NeighborMonitor m{fast_monitor()};
+  const auto t0 = sim::TimePoint::origin();
+  m.heard(nbr_addr(1), t0);
+  EXPECT_TRUE(m.alive(nbr_addr(1), t0 + 1900_ms));   // one full miss: still alive
+  EXPECT_FALSE(m.alive(nbr_addr(1), t0 + 2_s));      // two misses: quarantined
+  EXPECT_EQ(m.missed(nbr_addr(1), t0 + 2_s), 2);
+  EXPECT_EQ(m.quarantined(t0 + 2_s), 1u);
+}
+
+TEST(NeighborMonitor, HearingAQuarantinedNeighborRevivesIt) {
+  NeighborMonitor m{fast_monitor()};
+  const auto t0 = sim::TimePoint::origin();
+  m.heard(nbr_addr(1), t0);
+  ASSERT_FALSE(m.alive(nbr_addr(1), t0 + 3_s));
+  EXPECT_TRUE(m.heard(nbr_addr(1), t0 + 3_s));  // the SCF-flush edge
+  EXPECT_TRUE(m.alive(nbr_addr(1), t0 + 3_s));
+}
+
+TEST(NeighborMonitor, UnknownAddressesAreAlive) {
+  // Entries learned only indirectly (no beacon heard) must fall back to the
+  // plain location-table TTL, i.e. the monitor never quarantines them.
+  NeighborMonitor m{fast_monitor()};
+  EXPECT_TRUE(m.alive(nbr_addr(9), sim::TimePoint::at(100_s)));
+  EXPECT_EQ(m.missed(nbr_addr(9), sim::TimePoint::at(100_s)), 0);
+}
+
+TEST(NeighborMonitor, EvictableIsThresholdedAndSorted) {
+  NeighborMonitor m{fast_monitor()};
+  const auto t0 = sim::TimePoint::origin();
+  m.heard(nbr_addr(7), t0);
+  m.heard(nbr_addr(3), t0);
+  m.heard(nbr_addr(5), t0 + 3_s);  // fresh enough to survive
+  const auto evict = m.evictable(t0 + 4_s);
+  ASSERT_EQ(evict.size(), 2u);
+  EXPECT_EQ(evict[0], nbr_addr(3));  // sorted by address bits: deterministic
+  EXPECT_EQ(evict[1], nbr_addr(7));
+  m.forget(nbr_addr(3));
+  m.forget(nbr_addr(7));
+  EXPECT_EQ(m.tracked(), 1u);
+  EXPECT_TRUE(m.evictable(t0 + 4_s).empty());
+}
+
+// --- Router-level recovery ------------------------------------------------
+
+constexpr double kRange = 486.0;
+
+struct Node {
+  std::unique_ptr<StaticMobility> mobility;
+  std::unique_ptr<Router> router;
+  std::vector<Router::Delivery> deliveries;
+};
+
+class ScfRouterTest : public ::testing::Test {
+ protected:
+  ScfRouterTest() : medium_{events_, phy::AccessTechnology::kDsrc} {}
+
+  Node& add_node(double x, RouterConfig cfg, double range = kRange) {
+    nodes_.push_back(std::make_unique<Node>());
+    Node& n = *nodes_.back();
+    n.mobility = std::make_unique<StaticMobility>(geo::Position{x, 0.0});
+    const net::GnAddress addr{net::GnAddress::StationType::kPassengerCar,
+                              net::MacAddress{0x200 + nodes_.size()}};
+    n.router = std::make_unique<Router>(events_, medium_, security::Signer{ca_.enroll(addr)},
+                                        ca_.trust_store(), *n.mobility, cfg, range,
+                                        rng_.fork());
+    n.router->set_delivery_handler(
+        [&n](const Router::Delivery& d) { n.deliveries.push_back(d); });
+    return n;
+  }
+
+  static RouterConfig recovery_config() {
+    RouterConfig cfg = RouterConfig::for_technology(phy::AccessTechnology::kDsrc);
+    cfg.cbf_dist_max_m = kRange;
+    cfg.scf_enabled = true;
+    cfg.retx_enabled = true;
+    cfg.nbr_monitor = true;
+    return cfg;
+  }
+
+  void run_for(sim::Duration d) { events_.run_until(events_.now() + d); }
+
+  sim::EventQueue events_;
+  phy::Medium medium_;
+  security::CertificateAuthority ca_;
+  sim::Rng rng_{4242};
+  std::vector<std::unique_ptr<Node>> nodes_;
+};
+
+TEST_F(ScfRouterTest, NewNeighborBeaconFlushesBufferedUnicast) {
+  // A has no neighbours when it originates a unicast toward C: the packet
+  // parks in the SCF buffer. The moment relay B's beacon arrives, the buffer
+  // flushes from beacon ingest — well before the 500 ms periodic retry — and
+  // the packet reaches C through B.
+  Node& a = add_node(0.0, recovery_config());
+  Node& b = add_node(400.0, recovery_config());
+  Node& c = add_node(800.0, recovery_config());
+
+  c.router->send_beacon_now();  // B learns C; A is out of range
+  run_for(10_ms);
+
+  a.router->send_geo_unicast(c.router->address(), {800.0, 0.0}, {0xAB},
+                             /*hop_limit=*/std::nullopt, /*lifetime=*/10_s);
+  run_for(10_ms);
+  EXPECT_EQ(a.router->scf().size(), 1u);
+  EXPECT_EQ(a.router->stats().gf_buffered, 1u);
+
+  b.router->send_beacon_now();
+  run_for(100_ms);  // < gf_retry_interval: only the flush path can deliver
+  EXPECT_EQ(a.router->stats().scf_flush_triggers, 1u);
+  EXPECT_EQ(a.router->scf().stats().flushed, 1u);
+  ASSERT_EQ(c.deliveries.size(), 1u);
+  EXPECT_EQ(c.deliveries[0].packet.payload, net::Bytes{0xAB});
+}
+
+TEST_F(ScfRouterTest, BufferedPacketExpiresWithItsLifetime) {
+  Node& a = add_node(0.0, recovery_config());
+  a.router->send_geo_unicast(nbr_addr(0xC0FFEE), {1000.0, 0.0}, {0x01},
+                             /*hop_limit=*/std::nullopt, /*lifetime=*/1_s);
+  run_for(10_ms);
+  ASSERT_EQ(a.router->scf().size(), 1u);
+  run_for(3_s);  // periodic retry sweeps find it expired
+  EXPECT_EQ(a.router->scf().size(), 0u);
+  EXPECT_EQ(a.router->scf().stats().expired, 1u);
+  EXPECT_GE(a.router->stats().gf_drops, 1u);
+}
+
+TEST_F(ScfRouterTest, SilentHopIsRetransmittedThenParkedInScf) {
+  // B never acknowledges (its recovery layer is off), so A retries the same
+  // hop retx_max_attempts times with backoff, has no alternative neighbour,
+  // and finally parks the packet in its SCF buffer instead of dropping it.
+  RouterConfig a_cfg = recovery_config();
+  a_cfg.retx_max_attempts = 2;
+  Node& a = add_node(0.0, a_cfg);
+  RouterConfig plain = RouterConfig::for_technology(phy::AccessTechnology::kDsrc);
+  plain.cbf_dist_max_m = kRange;
+  Node& b = add_node(400.0, plain);
+
+  b.router->send_beacon_now();
+  run_for(10_ms);
+
+  a.router->send_geo_unicast(nbr_addr(0xDEAD), {2000.0, 0.0}, {0x7E},
+                             /*hop_limit=*/std::nullopt, /*lifetime=*/30_s);
+  // Stay below gf_retry_interval: the periodic SCF tick would re-offer the
+  // parked packet to the same silent hop and start a second retx cycle.
+  run_for(400_ms);
+  EXPECT_EQ(a.router->stats().retx_attempts, 2u);
+  EXPECT_EQ(a.router->stats().retx_exhausted, 1u);
+  EXPECT_EQ(a.router->stats().ack_failures, 0u);  // parked, not dropped
+  EXPECT_GE(a.router->scf().size(), 1u);
+  (void)b;
+}
+
+TEST_F(ScfRouterTest, SameHopRetransmissionIsReAckedNotBlackholed) {
+  // Regression for the retransmission black hole: hop P forwards a unicast
+  // to R, R's ACK is lost, P retransmits the identical frame. R's duplicate
+  // detector knows the key — pre-fix it silently swallowed the frame, P kept
+  // retrying and eventually declared the hop dead. With bounded
+  // retransmission on, R re-ACKs the same-hop copy (and still delivers the
+  // payload exactly once).
+  RouterConfig cfg = recovery_config();
+  Node& r = add_node(0.0, cfg);
+
+  const net::GnAddress peer{net::GnAddress::StationType::kPassengerCar,
+                            net::MacAddress{0xF00ULL}};
+  security::Signer peer_signer{ca_.enroll(peer)};
+  net::LongPositionVector so;
+  so.address = peer;
+  so.timestamp = events_.now();
+  so.position = {300.0, 0.0};
+  so.speed_mps = 0.0;
+  net::ShortPositionVector de;
+  de.address = r.router->address();
+  de.timestamp = events_.now();
+  de.position = {0.0, 0.0};
+
+  net::Packet p;
+  p.basic.remaining_hop_limit = 5;
+  p.basic.lifetime = 10_s;
+  p.common.type = net::CommonHeader::HeaderType::kGeoUnicast;
+  p.common.max_hop_limit = 5;
+  p.extended = net::GucHeader{77, so, de};
+  p.payload = {0x11, 0x22};
+
+  phy::Frame frame;
+  frame.src = peer.mac();
+  frame.dst = r.router->address().mac();
+  frame.msg = security::SecuredMessage::sign(p, peer_signer);
+
+  r.router->ingest(frame);
+  r.router->ingest(frame);  // the lost-ACK retransmission
+  EXPECT_EQ(r.router->stats().acks_sent, 2u);
+  EXPECT_EQ(r.router->stats().retx_duplicate_reacks, 1u);
+  EXPECT_EQ(r.deliveries.size(), 1u);
+
+  // A copy of the same key from a *different* hop is still confirmed (the
+  // hop that chose us deserves its ACK — legacy behaviour) but it is an
+  // ordinary duplicate: not a same-hop retransmission, nothing delivered.
+  phy::Frame other = frame;
+  other.src = net::MacAddress{0xBEEFULL};
+  r.router->ingest(other);
+  EXPECT_EQ(r.router->stats().acks_sent, 3u);
+  EXPECT_EQ(r.router->stats().retx_duplicate_reacks, 1u);
+  EXPECT_EQ(r.deliveries.size(), 1u);
+}
+
+TEST_F(ScfRouterTest, DisabledRecoveryKeepsLegacyGfBufferSemantics) {
+  // With every recovery knob off the SCF object degrades to the legacy
+  // unbounded GF retry buffer: packets are retried on the periodic tick and
+  // survive far past their lifetime (the fixed 20-retry-interval budget).
+  RouterConfig cfg = RouterConfig::for_technology(phy::AccessTechnology::kDsrc);
+  cfg.cbf_dist_max_m = kRange;
+  Node& a = add_node(0.0, cfg);
+  a.router->send_geo_unicast(nbr_addr(0xDEAD), {1000.0, 0.0}, {0x01},
+                             /*hop_limit=*/std::nullopt, /*lifetime=*/1_s);
+  run_for(5_s);  // lifetime long gone, legacy budget (10 s) is not
+  EXPECT_EQ(a.router->scf().size(), 1u);
+  EXPECT_EQ(a.router->scf().stats().expired, 0u);
+  EXPECT_EQ(a.router->stats().scf_flush_triggers, 0u);
+  EXPECT_EQ(a.router->stats().retx_attempts, 0u);
+}
+
+}  // namespace
+}  // namespace vgr::gn

@@ -160,5 +160,55 @@ TEST(DuplicateDetector, RhlChangeDoesNotAffectKey) {
   EXPECT_TRUE(d.is_duplicate(replayed));
 }
 
+// --- Same-hop retransmission attribution (docs/robustness.md) -------------
+//
+// The black hole this pins down: a forwarder retries a unicast because the
+// receiver's ACK was lost. The receiver's duplicate detector knows the key,
+// so without hop attribution the retransmission is indistinguishable from a
+// multi-path duplicate — it gets swallowed, the forwarder keeps retrying a
+// hop that already has the packet, and finally declares it dead.
+
+TEST(DuplicateDetector, RemembersFirstDeliveryHop) {
+  DuplicateDetector d;
+  const MacAddress hop{0x42};
+  EXPECT_FALSE(d.check_and_record(make_gbc(1, 3), hop));
+  // The identical frame from the same link-layer sender is a same-hop
+  // retransmission; from anyone else it is an ordinary duplicate.
+  EXPECT_TRUE(d.is_same_hop_retransmit(make_gbc(1, 3), hop));
+  EXPECT_FALSE(d.is_same_hop_retransmit(make_gbc(1, 3), MacAddress{0x43}));
+  // Either way it still *is* a duplicate — the attack semantics are intact.
+  EXPECT_TRUE(d.is_duplicate(make_gbc(1, 3)));
+}
+
+TEST(DuplicateDetector, HoplessRecordingNeverMatchesSameHop) {
+  // Keys recorded through the legacy hop-less overload (and unknown keys)
+  // must never be mistaken for a same-hop retransmission.
+  DuplicateDetector d;
+  d.check_and_record(make_gbc(1, 4));
+  EXPECT_TRUE(d.is_duplicate(make_gbc(1, 4)));
+  EXPECT_FALSE(d.is_same_hop_retransmit(make_gbc(1, 4), MacAddress{}));
+  EXPECT_FALSE(d.is_same_hop_retransmit(make_gbc(1, 4), MacAddress{0x42}));
+  EXPECT_FALSE(d.is_same_hop_retransmit(make_gbc(2, 4), MacAddress{0x42}));  // unknown key
+}
+
+TEST(DuplicateDetector, SecondHopDoesNotOverwriteAttribution) {
+  DuplicateDetector d;
+  const MacAddress first{0x11};
+  const MacAddress second{0x22};
+  d.check_and_record(make_gbc(1, 5), first);
+  EXPECT_TRUE(d.check_and_record(make_gbc(1, 5), second));  // duplicate
+  EXPECT_TRUE(d.is_same_hop_retransmit(make_gbc(1, 5), first));
+  EXPECT_FALSE(d.is_same_hop_retransmit(make_gbc(1, 5), second));
+}
+
+TEST(DuplicateDetector, BeaconsAreNeverSameHopRetransmits) {
+  DuplicateDetector d;
+  Packet beacon;
+  beacon.common.type = CommonHeader::HeaderType::kBeacon;
+  beacon.extended = BeaconHeader{};
+  d.check_and_record(beacon, MacAddress{0x7});
+  EXPECT_FALSE(d.is_same_hop_retransmit(beacon, MacAddress{0x7}));
+}
+
 }  // namespace
 }  // namespace vgr::net

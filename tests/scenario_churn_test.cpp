@@ -156,5 +156,107 @@ TEST_F(RebootSequenceTest, RandomizedSequenceSurvivesReboot) {
   EXPECT_EQ(b_delivered_, 2) << "randomized post-reboot sequence must not be black-holed";
 }
 
+// --- Neighbour staleness under churn (docs/robustness.md) ----------------
+//
+// The 20 s LocTE TTL keeps a crashed neighbour attractive to greedy
+// forwarding long after it went silent. With the soft-state monitor on, two
+// missed beacon periods quarantine the hop (greedy skips it while the table
+// entry is still live) and four evict it outright; the station's first
+// beacon after reboot re-learns it immediately.
+
+class StaleNeighborTest : public ::testing::Test {
+ protected:
+  StaleNeighborTest() : medium_{events_, phy::AccessTechnology::kDsrc} {
+    addr_b_ = net::GnAddress{net::GnAddress::StationType::kPassengerCar, net::MacAddress{0xB0}};
+    const net::GnAddress addr_a{net::GnAddress::StationType::kPassengerCar,
+                                net::MacAddress{0xA0}};
+    gn::RouterConfig cfg = gn::RouterConfig::for_technology(phy::AccessTechnology::kDsrc);
+    cfg.nbr_monitor = true;  // quarantine after 2 misses, evict after 4
+    a_router_ = std::make_unique<gn::Router>(events_, medium_,
+                                             security::Signer{ca_.enroll(addr_a)},
+                                             ca_.trust_store(), a_mobility_, cfg, 500.0,
+                                             sim::Rng{7});
+    b_router_ = make_b();
+  }
+
+  std::unique_ptr<gn::Router> make_b() {
+    return std::make_unique<gn::Router>(
+        events_, medium_, security::Signer{ca_.enroll(addr_b_)}, ca_.trust_store(),
+        b_mobility_, gn::RouterConfig::for_technology(phy::AccessTechnology::kDsrc), 500.0,
+        sim::Rng{8});
+  }
+
+  void run_for(sim::Duration d) { events_.run_until(events_.now() + d); }
+
+  sim::EventQueue events_;
+  phy::Medium medium_;
+  security::CertificateAuthority ca_;
+  gn::StaticMobility a_mobility_{geo::Position{0.0, 0.0}};
+  gn::StaticMobility b_mobility_{geo::Position{400.0, 0.0}};
+  net::GnAddress addr_b_{};
+  std::unique_ptr<gn::Router> a_router_;
+  std::unique_ptr<gn::Router> b_router_;
+};
+
+TEST_F(StaleNeighborTest, CrashedNeighborIsQuarantinedLongBeforeTtl) {
+  b_router_->send_beacon_now();
+  run_for(sim::Duration::millis(10));
+  ASSERT_TRUE(a_router_->next_hop_toward({1000.0, 0.0}).has_value());
+
+  b_router_->shutdown();  // crash: the radio goes silent mid-protocol
+  // Two beacon periods (2 x 3.75 s) later the hop is quarantined: the
+  // location-table entry is still live (TTL 20 s), greedy skips it anyway.
+  run_for(sim::Duration::seconds(8.0));
+  EXPECT_TRUE(a_router_->location_table().find(addr_b_, events_.now()).has_value());
+  EXPECT_FALSE(a_router_->next_hop_toward({1000.0, 0.0}).has_value());
+  EXPECT_EQ(a_router_->neighbor_monitor().quarantined(events_.now()), 1u);
+}
+
+TEST_F(StaleNeighborTest, CrashedNeighborIsEvictedByTheMonitorSweep) {
+  a_router_->start();  // schedules the periodic monitor sweep
+  b_router_->send_beacon_now();
+  run_for(sim::Duration::millis(10));
+  b_router_->shutdown();
+
+  // Four missed periods (4 x 3.75 s = 15 s) + one sweep tick, still well
+  // inside the 20 s TTL: the entry is gone from the table entirely.
+  run_for(sim::Duration::seconds(19.0));
+  EXPECT_FALSE(a_router_->location_table().find(addr_b_, events_.now()).has_value());
+  EXPECT_GE(a_router_->stats().neighbor_evictions, 1u);
+  EXPECT_EQ(a_router_->neighbor_monitor().tracked(), 0u);
+}
+
+TEST_F(StaleNeighborTest, RebootedStationIsRelearnedFromItsFirstBeacon) {
+  b_router_->send_beacon_now();
+  run_for(sim::Duration::millis(10));
+  b_router_->shutdown();
+  run_for(sim::Duration::seconds(8.0));
+  ASSERT_FALSE(a_router_->next_hop_toward({1000.0, 0.0}).has_value());
+
+  b_router_ = make_b();  // reboot with the same address
+  b_router_->send_beacon_now();
+  run_for(sim::Duration::millis(10));
+  const auto hop = a_router_->next_hop_toward({1000.0, 0.0});
+  ASSERT_TRUE(hop.has_value());
+  EXPECT_EQ(hop->next_hop.address, addr_b_);
+  EXPECT_GE(a_router_->neighbor_monitor().stats().revivals, 1u);
+}
+
+TEST(ScenarioChurnRecovery, RecoveryUnderChurnReplaysBitIdentically) {
+  HighwayConfig cfg = churn_config();
+  cfg.recovery.scf = true;
+  cfg.recovery.retx = true;
+  cfg.recovery.nbr_monitor = true;
+  HighwayScenario a{cfg};
+  const IntraAreaResult ra = a.run_intra_area();
+  HighwayScenario b{cfg};
+  const IntraAreaResult rb = b.run_intra_area();
+  EXPECT_EQ(ra.overall_reception(), rb.overall_reception());
+  EXPECT_EQ(ra.churn_crashes, rb.churn_crashes);
+  EXPECT_EQ(ra.churn_reboots, rb.churn_reboots);
+  // The network still works with the recovery layer on under churn.
+  EXPECT_GT(ra.overall_reception(), 0.0);
+}
+
 }  // namespace
 }  // namespace vgr::scenario

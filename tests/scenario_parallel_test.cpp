@@ -110,5 +110,44 @@ TEST(Fidelity, FromEnvRejectsMalformedTokensWhole) {
   EXPECT_EQ(f.runs, 7u);
 }
 
+// --- Per-run watchdog (docs/robustness.md) --------------------------------
+
+TEST(Fidelity, WatchdogKnobsParseFromEnv) {
+  ::setenv("VGR_RUN_TIMEOUT_S", "2.5", 1);
+  ::setenv("VGR_RUN_MAX_EVENTS", "5000", 1);
+  Fidelity f = Fidelity::from_env(3);
+  EXPECT_DOUBLE_EQ(f.run_wall_budget_s, 2.5);
+  EXPECT_EQ(f.run_max_events, 5000u);
+
+  ::setenv("VGR_RUN_TIMEOUT_S", "-1", 1);   // non-positive: ignored
+  ::setenv("VGR_RUN_MAX_EVENTS", "12x", 1); // malformed: rejected whole-token
+  f = Fidelity::from_env(3);
+  EXPECT_DOUBLE_EQ(f.run_wall_budget_s, 0.0);
+  EXPECT_EQ(f.run_max_events, 0u);
+
+  ::unsetenv("VGR_RUN_TIMEOUT_S");
+  ::unsetenv("VGR_RUN_MAX_EVENTS");
+}
+
+TEST(ParallelHarness, TinyEventBudgetReportsRunsAsTimedOut) {
+  // An event budget far below what a run needs trips the circuit breaker in
+  // every run; all of them are reported as timed out in the merged result
+  // instead of hanging or silently passing truncated data off as complete.
+  const HighwayConfig cfg = quick_config(AttackKind::kInterArea);
+  Fidelity f = with_threads(2);
+  f.runs = 2;
+  f.run_max_events = 50;
+  const AbResult r = run_inter_area_ab(cfg, f);
+  EXPECT_EQ(r.timed_out_runs, r.runs);
+}
+
+TEST(ParallelHarness, NoWatchdogMeansNoTimedOutRuns) {
+  const HighwayConfig cfg = quick_config(AttackKind::kInterArea);
+  Fidelity f = with_threads(2);
+  f.runs = 2;
+  const AbResult r = run_inter_area_ab(cfg, f);
+  EXPECT_EQ(r.timed_out_runs, 0u);
+}
+
 }  // namespace
 }  // namespace vgr::scenario

@@ -13,10 +13,16 @@
 //   * length tamper — 32-bit length prefixes overwritten with huge values
 //                     (the classic allocation-bomb vector)
 //   * garbage       — uniformly random bytes, arbitrary length
+//   * live replay   — *valid* signed packets against the recovery-enabled
+//                     router: unicasts/broadcasts toward an empty horizon
+//                     park in the SCF buffer, fresh beacons flush it and arm
+//                     retransmission, and a bounded number of event-queue
+//                     steps fires the retry/expiry/backoff timers in situ
 //
 // Every mutant goes through Codec::decode; every successful decode must
 // re-encode and decode back to an equal packet (round-trip invariant), and
-// every mutant — decodable or not — is additionally fed to a live Router via
+// every mutant — decodable or not — is additionally fed to a live Router
+// (SCF, bounded retransmission and the neighbour monitor all enabled) via
 // its ingest path, which must neither crash nor trip a sanitizer. Exit code
 // 0 means every invariant held for every iteration.
 
@@ -183,17 +189,27 @@ int main(int argc, char** argv) {
   // A live router on a real medium: mutants arrive through the same ingest
   // path a fault-injected delivery uses (Frame::raw), so decode failures,
   // semantic rejections and signature failures are all exercised in situ.
+  // The full recovery layer is enabled so the replay strategy below drives
+  // the SCF buffer, the retransmission state machine and the neighbour
+  // monitor with hostile traffic interleaved.
   sim::EventQueue events;
   phy::Medium medium{events, phy::AccessTechnology::kDsrc};
   security::CertificateAuthority ca;
   gn::StaticMobility mobility{geo::Position{0.0, 0.0}};
   const net::GnAddress addr{net::GnAddress::StationType::kPassengerCar, net::MacAddress{0x77}};
+  gn::RouterConfig router_config = gn::RouterConfig::for_technology(phy::AccessTechnology::kDsrc);
+  router_config.scf_enabled = true;
+  router_config.scf_max_packets = 8;
+  router_config.scf_max_bytes = 4096;
+  router_config.retx_enabled = true;
+  router_config.retx_max_attempts = 2;
+  router_config.nbr_monitor = true;
   gn::Router router{events,
                     medium,
                     security::Signer{ca.enroll(addr)},
                     ca.trust_store(),
                     mobility,
-                    gn::RouterConfig::for_technology(phy::AccessTechnology::kDsrc),
+                    router_config,
                     486.0,
                     sim::Rng{seed ^ 0x0123'4567'89AB'CDEFULL}};
 
@@ -203,10 +219,82 @@ int main(int argc, char** argv) {
   frame.src = peer.mac();
   frame.msg = security::SecuredMessage::sign(corpus[1], peer_signer);
 
+  // Enrolled neighbours for the live-replay strategy: their fresh beacons
+  // turn into location-table entries and flush the SCF buffer.
+  std::vector<std::pair<net::GnAddress, security::Signer>> neighbors;
+  for (std::uint64_t k = 0; k < 4; ++k) {
+    const net::GnAddress a{net::GnAddress::StationType::kPassengerCar,
+                           net::MacAddress{0x1111ULL + k}};
+    neighbors.emplace_back(a, security::Signer{ca.enroll(a)});
+  }
+
   sim::Rng rng{seed};
   std::int64_t decode_ok = 0;
   std::int64_t decode_rejected = 0;
+  std::int64_t replayed = 0;
+  std::uint16_t replay_sn = 1000;
   for (std::int64_t i = 0; i < iterations; ++i) {
+    // Sixth strategy (~1/16 of iterations): craft a *valid* signed packet and
+    // run it through the live router, then step the event queue so the SCF
+    // retry, lifetime-expiry and retransmission timers fire amid the mutant
+    // barrage. Unicasts/broadcasts toward the empty east horizon cannot be
+    // forwarded and park in the SCF buffer; a fresh beacon from an enrolled
+    // neighbour then flushes them and arms the per-hop retransmission timer.
+    if (rng.uniform_int(0, 15) == 0) {
+      ++replayed;
+      const sim::TimePoint now = events.now();
+      net::LongPositionVector so = sample_lpv();
+      so.address = peer;
+      so.timestamp = now;
+      so.position = {-100.0, 0.0};
+      net::Packet p;
+      p.basic.remaining_hop_limit = 8;
+      p.basic.lifetime = sim::Duration::seconds(0.5);
+      p.common.max_hop_limit = 8;
+      phy::Frame live;
+      live.src = peer.mac();
+      live.dst = addr.mac();
+      switch (rng.uniform_int(0, 2)) {
+        case 0: {  // GUC toward the empty horizon -> SCF buffer (+ hop ACK)
+          net::ShortPositionVector de;
+          de.address = net::GnAddress{net::GnAddress::StationType::kPassengerCar,
+                                      net::MacAddress{0xD0D0ULL}};
+          de.timestamp = now;
+          de.position = {2500.0, 0.0};
+          p.common.type = net::CommonHeader::HeaderType::kGeoUnicast;
+          p.extended = net::GucHeader{replay_sn++, so, de};
+          p.payload = {0x42, 0x43};
+          live.msg = security::SecuredMessage::sign(p, peer_signer);
+          break;
+        }
+        case 1: {  // GBC whose area lies beyond every neighbour -> SCF buffer
+          p.common.type = net::CommonHeader::HeaderType::kGeoBroadcast;
+          p.extended = net::GbcHeader{replay_sn++, so,
+                                      geo::GeoArea::circle({2500.0, 0.0}, 150.0)};
+          p.payload = {0x51};
+          live.msg = security::SecuredMessage::sign(p, peer_signer);
+          break;
+        }
+        default: {  // fresh beacon from an enrolled neighbour -> SCF flush
+          const auto& [nbr, signer] = neighbors[static_cast<std::size_t>(
+              rng.uniform_int(0, static_cast<std::int64_t>(neighbors.size()) - 1))];
+          so.address = nbr;
+          so.position = {400.0, 0.0};  // in range, with progress toward the east
+          p.basic.remaining_hop_limit = 1;
+          p.common.type = net::CommonHeader::HeaderType::kBeacon;
+          p.common.max_hop_limit = 1;
+          p.extended = net::BeaconHeader{so};
+          live.src = nbr.mac();
+          live.msg = security::SecuredMessage::sign(p, signer);
+          break;
+        }
+      }
+      router.ingest(live);
+      for (int s = 0; s < 4 && events.step(); ++s) {
+      }
+      continue;
+    }
+
     const net::Bytes mutant = mutate(wires, rng);
 
     const auto decoded = net::Codec::decode(mutant);
@@ -240,6 +328,14 @@ int main(int argc, char** argv) {
               static_cast<unsigned long long>(stats.ingest_decode_failures),
               static_cast<unsigned long long>(semantic_drops),
               static_cast<unsigned long long>(stats.auth_failures));
+  const auto& scf = router.scf().stats();
+  std::printf("  replay: %lld live rounds (scf in=%llu flush=%llu expire=%llu drop=%llu, "
+              "retx=%llu)\n",
+              static_cast<long long>(replayed), static_cast<unsigned long long>(scf.inserted),
+              static_cast<unsigned long long>(scf.flushed),
+              static_cast<unsigned long long>(scf.expired),
+              static_cast<unsigned long long>(scf.head_drops),
+              static_cast<unsigned long long>(stats.retx_attempts));
 
   // Partition invariant: each fed frame increments at most one ingest drop
   // counter, so their sum can never exceed the number of frames fed. (Frames
