@@ -57,6 +57,7 @@ DenmService::DenmService(sim::EventQueue& events, gn::Router& router, Config con
 }
 
 DenmService::~DenmService() {
+  // vgr-lint: ordered-ok (cancelling timers commutes across orders)
   for (auto& [id, event] : active_) events_.cancel(event.timer);
   *alive_ = false;
 }

@@ -64,6 +64,7 @@ CbfDuplicateOutcome CbfBuffer::on_duplicate(const CbfKey& key, std::uint8_t dupl
 }
 
 void CbfBuffer::clear() {
+  // vgr-lint: ordered-ok (cancelling timers commutes across orders)
   for (auto& [key, entry] : entries_) events_.cancel(entry.timer);
   entries_.clear();
 }

@@ -16,7 +16,20 @@ std::optional<GfSelection> select_next_hop(const LocationTable& table, net::GnAd
     if (exclude != nullptr && exclude->contains(entry.pv.address)) return;
     if (policy.monitor != nullptr && !policy.monitor->alive(entry.pv.address, now)) return;
     const double d = geo::distance(entry.pv.position, destination);
-    if (d >= best_distance) return;           // no (better) progress
+    if (d > best_distance) return;            // no (better) progress
+    if (d == best_distance) {
+      // Exact-tie progress. for_each visits in hash order, which must not
+      // pick the winner. The freshest position vector wins — two aliases of
+      // one vehicle (pseudonym rotation) tie at the same position, and only
+      // the newest binding's MAC is still live — then the lowest GN address
+      // as a total order over distinct same-distance vehicles. A tie with
+      // our own distance is still "no progress" (best is empty then).
+      if (!best) return;
+      const bool fresher = entry.pv.timestamp > best->next_hop.timestamp ||
+                           (entry.pv.timestamp == best->next_hop.timestamp &&
+                            entry.pv.address.bits() < best->next_hop.address.bits());
+      if (!fresher) return;
+    }
     if (policy.plausibility_check) {
       const geo::Position at_now =
           policy.extrapolate ? entry.pv.position_at(now) : entry.pv.position;

@@ -29,20 +29,36 @@ std::optional<LocTableEntry> LocationTable::find_by_mac(net::MacAddress mac,
                                                         sim::TimePoint now) const {
   // GN addresses embed the link-layer address, so the lookup is a scan over
   // live entries; tables hold at most a few hundred entries in our scenarios.
+  // Two live entries share a MAC across a pseudonym rotation (old and new
+  // alias), and hash order must not pick between them: the newest binding
+  // wins — that is the alias the peer is actually using — with the lowest
+  // GN address as a deterministic tie-break.
+  std::optional<LocTableEntry> best;
+  // vgr-lint: ordered-ok (order-insensitive selection: newest binding, then lowest address)
   for (const auto& [addr, entry] : entries_) {
-    if (addr.mac() == mac && !entry.expired(now)) return entry;
+    if (addr.mac() != mac || entry.expired(now)) continue;
+    const bool newer = !best || entry.pv.timestamp > best->pv.timestamp ||
+                       (entry.pv.timestamp == best->pv.timestamp &&
+                        addr.bits() < best->pv.address.bits());
+    if (newer) best = entry;
   }
-  return std::nullopt;
+  return best;
 }
 
 void LocationTable::for_each(sim::TimePoint now,
                              const std::function<void(const LocTableEntry&)>& visit) const {
+  // Visitation is in hash order by contract: callers that derive a decision
+  // from the walk must be order-insensitive (counting, min/max with an
+  // explicit address tie-break — see select_next_hop) or sort what they
+  // collect before acting on it.
+  // vgr-lint: ordered-ok (contract documented above; consumers audited)
   for (const auto& [addr, entry] : entries_) {
     if (!entry.expired(now)) visit(entry);
   }
 }
 
 void LocationTable::purge(sim::TimePoint now) {
+  // vgr-lint: ordered-ok (erasing expired entries commutes across orders)
   for (auto it = entries_.begin(); it != entries_.end();) {
     if (it->second.expired(now)) {
       it = entries_.erase(it);
@@ -54,6 +70,7 @@ void LocationTable::purge(sim::TimePoint now) {
 
 std::size_t LocationTable::size(sim::TimePoint now) const {
   std::size_t n = 0;
+  // vgr-lint: ordered-ok (pure count, order-insensitive)
   for (const auto& [addr, entry] : entries_) {
     if (!entry.expired(now)) ++n;
   }

@@ -36,6 +36,7 @@ bool NeighborMonitor::alive(net::GnAddress addr, sim::TimePoint now) const {
 
 std::vector<net::GnAddress> NeighborMonitor::evictable(sim::TimePoint now) const {
   std::vector<net::GnAddress> out;
+  // vgr-lint: ordered-ok (collected set is sorted below before callers act on it)
   for (const auto& [addr, last] : last_heard_) {
     if (missed(addr, now) >= config_.evict_after) out.push_back(addr);
   }
@@ -46,6 +47,7 @@ std::vector<net::GnAddress> NeighborMonitor::evictable(sim::TimePoint now) const
 
 std::size_t NeighborMonitor::quarantined(sim::TimePoint now) const {
   std::size_t n = 0;
+  // vgr-lint: ordered-ok (pure count, order-insensitive)
   for (const auto& [addr, last] : last_heard_) {
     if (!alive(addr, now)) ++n;
   }

@@ -88,7 +88,9 @@ void Router::shutdown() {
   events_.cancel(beacon_event_);
   events_.cancel(gf_retry_event_);
   events_.cancel(monitor_event_);
+  // vgr-lint: ordered-ok (cancelling timers commutes across orders)
   for (auto& [addr, pending] : ls_pending_) events_.cancel(pending.retry_timer);
+  // vgr-lint: ordered-ok (cancelling timers commutes across orders)
   for (auto& [key, pending] : ack_pending_) events_.cancel(pending.timer);
   ls_pending_.clear();
   ack_pending_.clear();

@@ -148,6 +148,7 @@ void Medium::transmit_impl(RadioId sender, Frame frame, double range_override_m,
     grid_.query_into(from, std::max(range, max_rx_range_m_), candidates_);
   } else {
     candidates_.clear();
+    // vgr-lint: ordered-ok (collected ids are sorted on the next line)
     for (const auto& [id, node] : nodes_) candidates_.push_back(id);
     std::sort(candidates_.begin(), candidates_.end());
   }
@@ -239,6 +240,7 @@ void Medium::ensure_index() {
 
   // Purge nodes that died since the last rebuild; in-flight deliveries to
   // them resolve safely via the nodes_.find in the delivery callback.
+  // vgr-lint: ordered-ok (erasing dead nodes commutes across orders)
   for (auto it = nodes_.begin(); it != nodes_.end();) {
     it = it->second.alive ? std::next(it) : nodes_.erase(it);
   }
@@ -247,6 +249,7 @@ void Medium::ensure_index() {
   entries.reserve(nodes_.size());
   double max_reach = 0.0;
   max_rx_range_m_ = 0.0;
+  // vgr-lint: ordered-ok (grid bucket order is irrelevant: query_into sorts its output)
   for (const auto& [id, node] : nodes_) {
     entries.push_back({id, node.config.position()});
     max_reach = std::max({max_reach, node.config.tx_range_m, node.config.rx_range_m});

@@ -273,6 +273,7 @@ void HighwayScenario::schedule_churn() {
 void HighwayScenario::crash_random_station() {
   std::vector<traffic::VehicleId> live;
   live.reserve(stations_.size());
+  // vgr-lint: ordered-ok (collected ids are sorted below)
   for (const auto& [vid, st] : stations_) {
     if (st.router) live.push_back(vid);
   }
@@ -333,6 +334,7 @@ void HighwayScenario::generate_inter_area_packet() {
     traffic::Direction dir;
   };
   std::vector<Candidate> candidates;
+  // vgr-lint: ordered-ok (candidates are sorted below before the RNG pick)
   for (const auto& [vid, st] : stations_) {
     if (!st.router) continue;  // crashed station cannot originate
     const traffic::Vehicle* v = nullptr;
@@ -432,6 +434,7 @@ void HighwayScenario::generate_intra_area_flood() {
   std::vector<traffic::VehicleId> live;
   ids.reserve(stations_.size());
   live.reserve(stations_.size());
+  // vgr-lint: ordered-ok (both collections are sorted below before use)
   for (const auto& [vid, st] : stations_) {
     ids.push_back(vid);
     if (st.router) live.push_back(vid);

@@ -1,0 +1,301 @@
+// Golden tests for tools/vgr_lint: every rule class must fire on a minimal
+// bad translation unit with the exact rule ID, waivers must silence exactly
+// what they claim, whitelisted files must stay exempt, and run_lint's exit
+// codes must match its contract (0 clean / 1 findings / 2 usage error).
+// These tests are what "the lint demonstrably fails on each rule class"
+// means in CI: if a rule regresses into silence, this file goes red.
+
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "vgr_lint.hpp"
+
+namespace {
+
+using vgr::lint::Finding;
+using vgr::lint::lint_source;
+using vgr::lint::run_lint;
+
+std::vector<std::string> rules_of(const std::vector<Finding>& findings) {
+  std::vector<std::string> out;
+  out.reserve(findings.size());
+  for (const Finding& f : findings) out.push_back(f.rule);
+  return out;
+}
+
+// --- VGR001 wall-clock ------------------------------------------------------
+
+TEST(LintWallClock, FlagsChronoClocksWithExactLines) {
+  const auto f = lint_source("src/vgr/gn/foo.cpp",
+                             "#include <chrono>\n"
+                             "auto t() { return std::chrono::steady_clock::now(); }\n"
+                             "auto u() { return std::chrono::system_clock::now(); }\n");
+  ASSERT_EQ(f.size(), 2u);
+  EXPECT_EQ(f[0].rule, "VGR001");
+  EXPECT_EQ(f[0].line, 2);
+  EXPECT_EQ(f[1].rule, "VGR001");
+  EXPECT_EQ(f[1].line, 3);
+}
+
+TEST(LintWallClock, FlagsCLibraryTime) {
+  const auto f = lint_source("src/vgr/net/x.cpp", "long n() { return time(nullptr); }\n");
+  ASSERT_EQ(f.size(), 1u);
+  EXPECT_EQ(f[0].rule, "VGR001");
+  EXPECT_EQ(f[0].tag, "wall-clock-ok");
+}
+
+TEST(LintWallClock, IgnoresMemberAndForeignNamespaceCalls) {
+  // x.time(), x->time() and sim::time() are not the C library function.
+  const auto f = lint_source("src/vgr/net/x.cpp",
+                             "double a(T x) { return x.time(); }\n"
+                             "double b(T* x) { return x->time(); }\n"
+                             "double c() { return sim::time(); }\n");
+  EXPECT_TRUE(f.empty());
+}
+
+TEST(LintWallClock, EventQueueWatchdogIsWhitelisted) {
+  const std::string src = "auto d = std::chrono::steady_clock::now();\n";
+  EXPECT_TRUE(lint_source("src/vgr/sim/event_queue.cpp", src).empty());
+  EXPECT_TRUE(lint_source("src/vgr/sim/event_queue.hpp", src).empty());
+  EXPECT_EQ(lint_source("src/vgr/sim/timeline.cpp", src).size(), 1u);
+}
+
+// --- VGR002 ambient RNG -----------------------------------------------------
+
+TEST(LintRng, FlagsEnginesAndCLibrary) {
+  const auto f = lint_source("src/vgr/phy/x.cpp",
+                             "#include <random>\n"
+                             "int a() { std::random_device rd; return rd(); }\n"
+                             "int b() { std::mt19937 g{1}; return g(); }\n"
+                             "int c() { return rand(); }\n"
+                             "void d() { srand(7); }\n");
+  EXPECT_EQ(rules_of(f), (std::vector<std::string>{"VGR002", "VGR002", "VGR002", "VGR002"}));
+}
+
+TEST(LintRng, SimRandomIsWhitelistedAndMembersIgnored) {
+  EXPECT_TRUE(lint_source("src/vgr/sim/random.cpp", "std::mt19937 g{1};\n").empty());
+  // A member named rand() is not the C library.
+  EXPECT_TRUE(lint_source("src/vgr/gn/x.cpp", "int f(R& r) { return r.rand(); }\n").empty());
+}
+
+// --- VGR003 unordered iteration ---------------------------------------------
+
+TEST(LintUnordered, FlagsRangeForOverLocalAndMember) {
+  const auto f = lint_source("src/vgr/gn/x.cpp",
+                             "void a() {\n"
+                             "  std::unordered_map<int, int> m;\n"
+                             "  for (const auto& [k, v] : m) { (void)k; (void)v; }\n"
+                             "}\n");
+  ASSERT_EQ(f.size(), 1u);
+  EXPECT_EQ(f[0].rule, "VGR003");
+  EXPECT_EQ(f[0].line, 3);
+  EXPECT_EQ(f[0].tag, "ordered-ok");
+}
+
+TEST(LintUnordered, FlagsIteratorWalk) {
+  const auto f = lint_source("src/vgr/gn/x.cpp",
+                             "void a(std::unordered_set<int>& s) {\n"
+                             "  for (auto it = s.begin(); it != s.end(); ++it) { }\n"
+                             "}\n");
+  ASSERT_EQ(f.size(), 1u);
+  EXPECT_EQ(f[0].rule, "VGR003");
+  EXPECT_EQ(f[0].line, 2);
+}
+
+TEST(LintUnordered, HarvestsDeclarationsFromSiblingHeader) {
+  // The member lives in the header; the iteration in the .cpp must still be
+  // caught (this is the LocationTable::entries_ shape from the audit).
+  const auto f = lint_source("src/vgr/gn/table.cpp",
+                             "void Table::walk() { for (auto& [k, v] : entries_) { } }\n",
+                             "struct Table { std::unordered_map<long, E> entries_; };\n");
+  ASSERT_EQ(f.size(), 1u);
+  EXPECT_EQ(f[0].rule, "VGR003");
+}
+
+TEST(LintUnordered, LookupAndOrderedContainersAreFine) {
+  // Note the distinct names: the analyzer tracks declared names per file, so
+  // an ordered container that *shares a name* with an unordered one would be
+  // flagged too (a documented, conservative false positive).
+  const auto f = lint_source("src/vgr/gn/x.cpp",
+                             "int a(std::unordered_map<int, int>& um) { return um.find(3)->second; }\n"
+                             "void b(std::map<int, int>& om) { for (auto& [k, v] : om) { } }\n"
+                             "void c(std::vector<int>& v) { for (int x : v) { } }\n");
+  EXPECT_TRUE(f.empty());
+}
+
+// --- VGR004 pointer-keyed ordered containers --------------------------------
+
+TEST(LintPointerKey, FlagsPointerKeyedMapAndSet) {
+  const auto f = lint_source("src/vgr/gn/x.cpp",
+                             "std::map<Node*, int> by_node;\n"
+                             "std::set<const Entry*> seen;\n");
+  EXPECT_EQ(rules_of(f), (std::vector<std::string>{"VGR004", "VGR004"}));
+}
+
+TEST(LintPointerKey, ValueKeysAndPointerValuesAreFine) {
+  const auto f = lint_source("src/vgr/gn/x.cpp",
+                             "std::map<int, Node*> by_id;\n"
+                             "std::set<std::uint64_t> ids;\n");
+  EXPECT_TRUE(f.empty());
+}
+
+// --- VGR005 float accumulation in parallel/merge paths ----------------------
+
+TEST(LintFloatAccum, FlagsAccumulationOnlyInParallelFiles) {
+  const std::string body =
+      "void merge(Pool& p) {\n"
+      "  double hits = 0.0, total = 0.0;\n"
+      "  p.parallel_for(8, [&](std::size_t i) { run(i); });\n"
+      "  hits += 1.0;\n"
+      "  total += 2.0;\n"
+      "}\n";
+  const auto f = lint_source("src/vgr/scenario/x.cpp", body);
+  ASSERT_EQ(f.size(), 2u);
+  EXPECT_EQ(f[0].rule, "VGR005");
+  EXPECT_EQ(f[0].line, 4);
+  EXPECT_EQ(f[1].line, 5);
+
+  // The same accumulation in a file with no parallel_for is not a finding.
+  const std::string serial = "void f() { double hits = 0.0; hits += 1.0; }\n";
+  EXPECT_TRUE(lint_source("src/vgr/scenario/y.cpp", serial).empty());
+}
+
+// --- VGR006 threading includes ----------------------------------------------
+
+TEST(LintThreadInclude, FlagsOutsideThreadPool) {
+  const auto f = lint_source("src/vgr/gn/x.cpp",
+                             "#include <thread>\n"
+                             "#include <mutex>\n"
+                             "#include <atomic>\n"
+                             "#include <vector>\n");
+  EXPECT_EQ(rules_of(f), (std::vector<std::string>{"VGR006", "VGR006", "VGR006"}));
+}
+
+TEST(LintThreadInclude, ThreadPoolIsWhitelisted) {
+  const std::string src = "#include <thread>\n#include <mutex>\n#include <atomic>\n";
+  EXPECT_TRUE(lint_source("src/vgr/sim/thread_pool.hpp", src).empty());
+  EXPECT_TRUE(lint_source("src/vgr/sim/thread_pool.cpp", src).empty());
+}
+
+// --- Waivers ----------------------------------------------------------------
+
+TEST(LintWaiver, SameLineAndLineAboveSilence) {
+  const auto f = lint_source(
+      "src/vgr/gn/x.cpp",
+      "void a(std::unordered_map<int, int>& m) {\n"
+      "  for (auto& [k, v] : m) { }  // vgr-lint: ordered-ok (commutative)\n"
+      "  // vgr-lint: ordered-ok (commutative)\n"
+      "  for (auto& [k, v] : m) { }\n"
+      "}\n");
+  EXPECT_TRUE(f.empty());
+}
+
+TEST(LintWaiver, WrongTagDoesNotSilence) {
+  const auto f = lint_source("src/vgr/gn/x.cpp",
+                             "void a(std::unordered_map<int, int>& m) {\n"
+                             "  // vgr-lint: wall-clock-ok\n"
+                             "  for (auto& [k, v] : m) { }\n"
+                             "}\n");
+  ASSERT_EQ(f.size(), 1u);
+  EXPECT_EQ(f[0].rule, "VGR003");
+}
+
+TEST(LintWaiver, BeginEndRegionCoversOnlyItsSpan) {
+  const auto f = lint_source("src/vgr/gn/x.cpp",
+                             "void a(std::unordered_map<int, int>& m) {\n"
+                             "  // vgr-lint: begin ordered-ok (audited)\n"
+                             "  for (auto& [k, v] : m) { }\n"
+                             "  for (auto& [k, v] : m) { }\n"
+                             "  // vgr-lint: end\n"
+                             "  for (auto& [k, v] : m) { }\n"
+                             "}\n");
+  ASSERT_EQ(f.size(), 1u);
+  EXPECT_EQ(f[0].rule, "VGR003");
+  EXPECT_EQ(f[0].line, 6);
+}
+
+TEST(LintWaiver, UnknownTagAndDanglingEndAreVGR007) {
+  const auto f = lint_source("src/vgr/gn/x.cpp",
+                             "// vgr-lint: orderd-ok\n"
+                             "// vgr-lint: end\n"
+                             "// vgr-lint: begin\n"
+                             "int x;\n");
+  EXPECT_EQ(rules_of(f), (std::vector<std::string>{"VGR007", "VGR007", "VGR007"}));
+}
+
+TEST(LintWaiver, ProseMentionIsNotADirective) {
+  // A comment that merely talks about "the vgr-lint: ordered-ok waiver"
+  // mid-sentence must neither waive anything nor report VGR007.
+  const auto f = lint_source("src/vgr/gn/x.cpp",
+                             "// This documents the vgr-lint: nonsense-tag mention.\n"
+                             "void a(std::unordered_map<int, int>& m) {\n"
+                             "  for (auto& [k, v] : m) { }\n"
+                             "}\n");
+  ASSERT_EQ(f.size(), 1u);
+  EXPECT_EQ(f[0].rule, "VGR003");
+}
+
+// --- Tokenizer robustness ---------------------------------------------------
+
+TEST(LintTokenizer, StringsCommentsAndRawStringsAreInert) {
+  const auto f = lint_source("src/vgr/gn/x.cpp",
+                             "const char* a = \"std::steady_clock::now() rand()\";\n"
+                             "/* std::random_device in a block comment */\n"
+                             "const char* b = R\"(for (auto& x : entries_) time(0))\";\n");
+  EXPECT_TRUE(f.empty());
+}
+
+// --- run_lint CLI contract --------------------------------------------------
+
+class LintCli : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    root_ = std::filesystem::path{::testing::TempDir()} /
+            ("vgr_lint_" + std::to_string(::testing::UnitTest::GetInstance()->random_seed()) + "_" +
+             ::testing::UnitTest::GetInstance()->current_test_info()->name());
+    std::filesystem::create_directories(root_ / "src");
+  }
+  void TearDown() override { std::filesystem::remove_all(root_); }
+
+  void write(const std::string& rel, const std::string& content) {
+    std::ofstream out{root_ / rel};
+    out << content;
+  }
+
+  std::filesystem::path root_;
+};
+
+TEST_F(LintCli, CleanTreeExitsZero) {
+  write("src/ok.cpp", "int main() { return 0; }\n");
+  std::ostringstream out, err;
+  EXPECT_EQ(run_lint({"--root", root_.string()}, out, err), 0);
+  EXPECT_NE(out.str().find("clean"), std::string::npos);
+}
+
+TEST_F(LintCli, ViolationExitsOneAndPrintsFileLineRule) {
+  write("src/bad.cpp", "#include <thread>\nint main() { return 0; }\n");
+  std::ostringstream out, err;
+  EXPECT_EQ(run_lint({"--root", root_.string()}, out, err), 1);
+  EXPECT_NE(out.str().find("src/bad.cpp:1: VGR006"), std::string::npos);
+}
+
+TEST_F(LintCli, BadRootAndUnknownOptionExitTwo) {
+  std::ostringstream out, err;
+  EXPECT_EQ(run_lint({"--root", (root_ / "nope").string()}, out, err), 2);
+  EXPECT_EQ(run_lint({"--frobnicate"}, out, err), 2);
+}
+
+TEST_F(LintCli, SiblingHeaderDeclarationsReachTheCpp) {
+  write("src/t.hpp", "struct T { std::unordered_map<int, int> m_; void f(); };\n");
+  write("src/t.cpp", "void T::f() { for (auto& [k, v] : m_) { } }\n");
+  std::ostringstream out, err;
+  EXPECT_EQ(run_lint({"--root", root_.string()}, out, err), 1);
+  EXPECT_NE(out.str().find("src/t.cpp:1: VGR003"), std::string::npos);
+}
+
+}  // namespace

@@ -1,0 +1,646 @@
+#include "vgr_lint.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <fstream>
+#include <map>
+#include <set>
+#include <sstream>
+
+namespace vgr::lint {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Tokenizer. Comments, string literals and char literals are stripped (their
+// contents can never violate a rule); comments are routed to the waiver
+// parser. Preprocessor lines are swallowed except `#include <header>`, which
+// becomes a single header-name token. A handful of two-char operators are
+// kept atomic ("::", "->", "+=", ">>", ...) because the rules below lean on
+// them for qualifier checks and template-angle balancing.
+// ---------------------------------------------------------------------------
+
+enum class TokKind { kIdent, kNumber, kPunct, kHeader };
+
+struct Tok {
+  std::string text;
+  int line{0};
+  TokKind kind{TokKind::kPunct};
+};
+
+struct WaiverRegion {
+  int begin_line{0};
+  int end_line{0};  // inclusive; INT_MAX for unterminated regions
+  std::set<std::string> tags;
+};
+
+struct Scan {
+  std::vector<Tok> toks;
+  std::map<int, std::set<std::string>> line_waivers;
+  std::vector<WaiverRegion> regions;
+  std::vector<Finding> waiver_errors;  // VGR007, reported unconditionally
+};
+
+const std::set<std::string>& known_tags() {
+  static const std::set<std::string> tags{"wall-clock-ok",   "rng-ok",         "ordered-ok",
+                                          "pointer-key-ok",  "float-accum-ok", "thread-include-ok"};
+  return tags;
+}
+
+bool ident_start(char c) { return std::isalpha(static_cast<unsigned char>(c)) || c == '_'; }
+bool ident_char(char c) { return std::isalnum(static_cast<unsigned char>(c)) || c == '_'; }
+
+/// Parses one comment's text for a `vgr-lint:` waiver directive.
+void parse_waiver(std::string_view comment, int line, std::string_view rel_path, Scan& scan,
+                  std::vector<int>& open_regions) {
+  const std::size_t at = comment.find("vgr-lint:");
+  if (at == std::string_view::npos) return;
+  // Only dedicated directive comments count: prose that merely *mentions*
+  // vgr-lint (docs, this tool's own sources) must not parse as a waiver.
+  for (std::size_t k = 0; k < at; ++k) {
+    const char c = comment[k];
+    if (c != ' ' && c != '\t' && c != '/' && c != '*' && c != '!' && c != '<') return;
+  }
+  std::string_view rest = comment.substr(at + 9);
+  // Tags end at an opening paren (rationale) or end of comment.
+  if (const std::size_t paren = rest.find('('); paren != std::string_view::npos) {
+    rest = rest.substr(0, paren);
+  }
+  std::istringstream words{std::string{rest}};
+  std::string word;
+  bool begin = false, end = false;
+  std::set<std::string> tags;
+  while (words >> word) {
+    while (!word.empty() && (word.back() == ',' || word.back() == '.')) word.pop_back();
+    if (word.empty()) continue;
+    if (word == "begin") {
+      begin = true;
+    } else if (word == "end") {
+      end = true;
+    } else if (known_tags().contains(word)) {
+      tags.insert(word);
+    } else {
+      scan.waiver_errors.push_back({std::string{rel_path}, line, "VGR007", "",
+                                    "unknown vgr-lint waiver tag '" + word +
+                                        "' (known: wall-clock-ok rng-ok ordered-ok "
+                                        "pointer-key-ok float-accum-ok thread-include-ok)"});
+    }
+  }
+  if (end) {
+    if (open_regions.empty()) {
+      scan.waiver_errors.push_back(
+          {std::string{rel_path}, line, "VGR007", "", "'vgr-lint: end' without an open region"});
+    } else {
+      scan.regions[static_cast<std::size_t>(open_regions.back())].end_line = line;
+      open_regions.pop_back();
+    }
+    return;
+  }
+  if (begin) {
+    if (tags.empty()) {
+      scan.waiver_errors.push_back({std::string{rel_path}, line, "VGR007", "",
+                                    "'vgr-lint: begin' without any waiver tag"});
+      return;
+    }
+    scan.regions.push_back({line, 1 << 30, std::move(tags)});
+    open_regions.push_back(static_cast<int>(scan.regions.size()) - 1);
+    return;
+  }
+  if (!tags.empty()) scan.line_waivers[line].insert(tags.begin(), tags.end());
+}
+
+Scan tokenize(std::string_view src, std::string_view rel_path) {
+  Scan scan;
+  std::vector<int> open_regions;
+  int line = 1;
+  std::size_t i = 0;
+  const std::size_t n = src.size();
+
+  auto at_line_start = [&](std::size_t pos) {
+    while (pos > 0 && (src[pos - 1] == ' ' || src[pos - 1] == '\t')) --pos;
+    return pos == 0 || src[pos - 1] == '\n';
+  };
+
+  while (i < n) {
+    const char c = src[i];
+    if (c == '\n') {
+      ++line;
+      ++i;
+      continue;
+    }
+    if (std::isspace(static_cast<unsigned char>(c))) {
+      ++i;
+      continue;
+    }
+    // Line comment.
+    if (c == '/' && i + 1 < n && src[i + 1] == '/') {
+      const std::size_t start = i + 2;
+      std::size_t e = src.find('\n', start);
+      if (e == std::string_view::npos) e = n;
+      parse_waiver(src.substr(start, e - start), line, rel_path, scan, open_regions);
+      i = e;
+      continue;
+    }
+    // Block comment.
+    if (c == '/' && i + 1 < n && src[i + 1] == '*') {
+      const int start_line = line;
+      const std::size_t start = i + 2;
+      std::size_t e = src.find("*/", start);
+      if (e == std::string_view::npos) e = n;
+      for (std::size_t k = start; k < e; ++k) {
+        if (src[k] == '\n') ++line;
+      }
+      parse_waiver(src.substr(start, e - start), start_line, rel_path, scan, open_regions);
+      i = e == n ? n : e + 2;
+      continue;
+    }
+    // Raw string literal (possibly behind an encoding prefix consumed as an
+    // identifier below — handle the common R"..." spelling here).
+    if (c == 'R' && i + 1 < n && src[i + 1] == '"') {
+      std::size_t d = i + 2;
+      while (d < n && src[d] != '(') ++d;
+      const std::string close = ")" + std::string{src.substr(i + 2, d - (i + 2))} + "\"";
+      std::size_t e = src.find(close, d);
+      if (e == std::string_view::npos) e = n;
+      for (std::size_t k = i; k < e && k < n; ++k) {
+        if (src[k] == '\n') ++line;
+      }
+      i = std::min(n, e + close.size());
+      continue;
+    }
+    // String / char literal.
+    if (c == '"' || c == '\'') {
+      ++i;
+      while (i < n && src[i] != c) {
+        if (src[i] == '\\') ++i;
+        if (i < n && src[i] == '\n') ++line;
+        ++i;
+      }
+      ++i;
+      continue;
+    }
+    // Preprocessor directive: keep `#include <header>`, swallow the rest
+    // (including backslash continuations).
+    if (c == '#' && at_line_start(i)) {
+      std::size_t j = i + 1;
+      while (j < n && (src[j] == ' ' || src[j] == '\t')) ++j;
+      std::size_t w = j;
+      while (w < n && ident_char(src[w])) ++w;
+      const std::string_view directive = src.substr(j, w - j);
+      if (directive == "include") {
+        std::size_t h = w;
+        while (h < n && (src[h] == ' ' || src[h] == '\t')) ++h;
+        if (h < n && src[h] == '<') {
+          std::size_t e = src.find('>', h);
+          if (e != std::string_view::npos) {
+            scan.toks.push_back({std::string{src.substr(h, e - h + 1)}, line, TokKind::kHeader});
+          }
+        }
+      }
+      while (i < n && src[i] != '\n') {
+        if (src[i] == '\\' && i + 1 < n && src[i + 1] == '\n') {
+          ++line;
+          i += 2;
+          continue;
+        }
+        ++i;
+      }
+      continue;
+    }
+    // Identifier.
+    if (ident_start(c)) {
+      std::size_t e = i;
+      while (e < n && ident_char(src[e])) ++e;
+      scan.toks.push_back({std::string{src.substr(i, e - i)}, line, TokKind::kIdent});
+      i = e;
+      continue;
+    }
+    // Number (digits, hex, separators, exponents — precision is irrelevant,
+    // it just must not split into identifier-like fragments).
+    if (std::isdigit(static_cast<unsigned char>(c))) {
+      std::size_t e = i;
+      while (e < n && (ident_char(src[e]) || src[e] == '.' || src[e] == '\'')) ++e;
+      scan.toks.push_back({std::string{src.substr(i, e - i)}, line, TokKind::kNumber});
+      i = e;
+      continue;
+    }
+    // Two-char operators the rules rely on.
+    static const char* kTwo[] = {"::", "->", "+=", "-=", "*=", "/=", "<<", ">>",
+                                 "<=", ">=", "==", "!=", "&&", "||", "++", "--"};
+    bool matched = false;
+    if (i + 1 < n) {
+      const std::string two{src.substr(i, 2)};
+      for (const char* op : kTwo) {
+        if (two == op) {
+          scan.toks.push_back({two, line, TokKind::kPunct});
+          i += 2;
+          matched = true;
+          break;
+        }
+      }
+    }
+    if (matched) continue;
+    scan.toks.push_back({std::string(1, c), line, TokKind::kPunct});
+    ++i;
+  }
+  return scan;
+}
+
+// ---------------------------------------------------------------------------
+// Rule helpers.
+// ---------------------------------------------------------------------------
+
+struct Linter {
+  std::string_view rel_path;
+  const Scan& scan;
+  std::vector<Finding> findings;
+
+  [[nodiscard]] bool waived(int line, const std::string& tag) const {
+    for (int l : {line, line - 1}) {
+      const auto it = scan.line_waivers.find(l);
+      if (it != scan.line_waivers.end() && it->second.contains(tag)) return true;
+    }
+    return std::any_of(scan.regions.begin(), scan.regions.end(), [&](const WaiverRegion& r) {
+      return r.begin_line <= line && line <= r.end_line && r.tags.contains(tag);
+    });
+  }
+
+  void report(int line, const char* rule, const char* tag, std::string message) {
+    if (waived(line, tag)) return;
+    findings.push_back({std::string{rel_path}, line, rule, tag, std::move(message)});
+  }
+};
+
+bool path_is(std::string_view rel_path, std::initializer_list<std::string_view> allowed) {
+  return std::any_of(allowed.begin(), allowed.end(),
+                     [&](std::string_view a) { return rel_path == a; });
+}
+
+const Tok* tok_at(const std::vector<Tok>& t, std::size_t i) {
+  return i < t.size() ? &t[i] : nullptr;
+}
+
+/// True when the call at token i (an identifier) is qualified by something
+/// other than `std` — a member call (`x.time(...)`) or a foreign namespace
+/// (`sim::time(...)`). Those are not the C library functions the rule hunts.
+bool foreign_qualified(const std::vector<Tok>& t, std::size_t i) {
+  if (i == 0) return false;
+  const std::string& prev = t[i - 1].text;
+  if (prev == "." || prev == "->") return true;
+  if (prev == "::") {
+    if (i >= 2 && t[i - 2].kind == TokKind::kIdent && t[i - 2].text != "std") return true;
+  }
+  return false;
+}
+
+/// Skips a balanced template-argument list starting at the '<' at index i.
+/// Returns the index just past the closing '>', or i on balance failure.
+/// Angle tokens inside parentheses (e.g. `array<int, f(1)>`) are ignored.
+std::size_t skip_angles(const std::vector<Tok>& t, std::size_t i) {
+  if (i >= t.size() || t[i].text != "<") return i;
+  int angle = 0, paren = 0;
+  for (std::size_t j = i; j < t.size(); ++j) {
+    const std::string& s = t[j].text;
+    if (s == "(" || s == "[") ++paren;
+    if (s == ")" || s == "]") --paren;
+    if (paren > 0) continue;
+    if (s == "<") ++angle;
+    if (s == ">") --angle;
+    if (s == ">>") angle -= 2;
+    if (angle <= 0) return j + 1;
+    if (s == ";") break;  // statement ended: not a template argument list
+  }
+  return i;
+}
+
+// ---------------------------------------------------------------------------
+// VGR001 — wall-clock access outside the simulator's virtual clock.
+// ---------------------------------------------------------------------------
+void rule_wall_clock(Linter& lint) {
+  if (path_is(lint.rel_path, {"src/vgr/sim/event_queue.cpp", "src/vgr/sim/event_queue.hpp"})) {
+    // The per-run watchdog's wall deadline is the one sanctioned consumer of
+    // real time inside the simulator (documented in event_queue.hpp).
+    return;
+  }
+  static const std::set<std::string> kClocks{"system_clock",  "steady_clock", "high_resolution_clock",
+                                            "gettimeofday",   "localtime",    "gmtime",
+                                            "timespec_get",   "clock_gettime"};
+  const auto& t = lint.scan.toks;
+  for (std::size_t i = 0; i < t.size(); ++i) {
+    if (t[i].kind != TokKind::kIdent) continue;
+    if (kClocks.contains(t[i].text)) {
+      lint.report(t[i].line, "VGR001", "wall-clock-ok",
+                  "wall-clock source '" + t[i].text +
+                      "' — simulation code must use sim::TimePoint (EventQueue::now)");
+      continue;
+    }
+    if ((t[i].text == "time" || t[i].text == "clock") && tok_at(t, i + 1) &&
+        t[i + 1].text == "(" && !foreign_qualified(t, i)) {
+      lint.report(t[i].line, "VGR001", "wall-clock-ok",
+                  "C library wall-clock call '" + t[i].text +
+                      "()' — simulation code must use sim::TimePoint");
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// VGR002 — ambient randomness outside the seeded sim/random source.
+// ---------------------------------------------------------------------------
+void rule_ambient_rng(Linter& lint) {
+  if (path_is(lint.rel_path, {"src/vgr/sim/random.cpp", "src/vgr/sim/random.hpp"})) return;
+  static const std::set<std::string> kEngines{"random_device", "mt19937",      "mt19937_64",
+                                              "default_random_engine", "minstd_rand",
+                                              "minstd_rand0",  "ranlux24",     "ranlux48",
+                                              "knuth_b"};
+  const auto& t = lint.scan.toks;
+  for (std::size_t i = 0; i < t.size(); ++i) {
+    if (t[i].kind != TokKind::kIdent) continue;
+    if (kEngines.contains(t[i].text)) {
+      lint.report(t[i].line, "VGR002", "rng-ok",
+                  "ambient RNG '" + t[i].text +
+                      "' — draw randomness from sim::Rng (seeded, replayable) instead");
+      continue;
+    }
+    if ((t[i].text == "rand" || t[i].text == "srand") && tok_at(t, i + 1) &&
+        t[i + 1].text == "(" && !foreign_qualified(t, i)) {
+      lint.report(t[i].line, "VGR002", "rng-ok",
+                  "C library RNG '" + t[i].text + "()' — use sim::Rng instead");
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// VGR003 — iteration over hash-ordered containers.
+// ---------------------------------------------------------------------------
+static const std::set<std::string> kUnorderedTypes{"unordered_map", "unordered_set",
+                                                   "unordered_multimap", "unordered_multiset"};
+
+/// Collects names declared with an unordered container type:
+/// `std::unordered_map<K, V> name` (members, locals, parameters).
+std::set<std::string> unordered_decl_names(const std::vector<Tok>& t) {
+  std::set<std::string> names;
+  for (std::size_t i = 0; i < t.size(); ++i) {
+    if (t[i].kind != TokKind::kIdent || !kUnorderedTypes.contains(t[i].text)) continue;
+    std::size_t j = skip_angles(t, i + 1);
+    if (j == i + 1) continue;  // no template argument list: a bare mention
+    while (j < t.size() && (t[j].text == "&" || t[j].text == "*" || t[j].text == "const")) ++j;
+    if (j < t.size() && t[j].kind == TokKind::kIdent) names.insert(t[j].text);
+  }
+  return names;
+}
+
+void rule_unordered_iter(Linter& lint, const std::set<std::string>& names) {
+  if (names.empty()) return;
+  const auto& t = lint.scan.toks;
+  for (std::size_t i = 0; i < t.size(); ++i) {
+    // Range-for whose range expression mentions an unordered container.
+    if (t[i].text == "for" && tok_at(t, i + 1) && t[i + 1].text == "(") {
+      int depth = 0;
+      std::size_t colon = 0, close = 0;
+      bool has_semi = false;
+      for (std::size_t j = i + 1; j < t.size(); ++j) {
+        if (t[j].text == "(") ++depth;
+        if (t[j].text == ")" && --depth == 0) {
+          close = j;
+          break;
+        }
+        if (depth == 1 && t[j].text == ";") has_semi = true;
+        if (depth == 1 && t[j].text == ":" && colon == 0) colon = j;
+      }
+      if (close != 0 && colon != 0 && !has_semi) {
+        for (std::size_t j = colon + 1; j < close; ++j) {
+          if (t[j].kind == TokKind::kIdent && names.contains(t[j].text)) {
+            lint.report(t[i].line, "VGR003", "ordered-ok",
+                        "range-for over unordered container '" + t[j].text +
+                            "' — hash order is not deterministic across builds; sort first "
+                            "or waive with a rationale");
+            break;
+          }
+        }
+      }
+    }
+    // Explicit iterator walk: name.begin() / cbegin / rbegin.
+    if (t[i].kind == TokKind::kIdent && names.contains(t[i].text) && tok_at(t, i + 3) &&
+        (t[i + 1].text == "." || t[i + 1].text == "->") &&
+        (t[i + 2].text == "begin" || t[i + 2].text == "cbegin" || t[i + 2].text == "rbegin" ||
+         t[i + 2].text == "crbegin") &&
+        t[i + 3].text == "(") {
+      lint.report(t[i].line, "VGR003", "ordered-ok",
+                  "iterator walk over unordered container '" + t[i].text +
+                      "' — hash order is not deterministic across builds; sort first or "
+                      "waive with a rationale");
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// VGR004 — ordered containers keyed by raw pointers.
+// ---------------------------------------------------------------------------
+void rule_pointer_key(Linter& lint) {
+  static const std::set<std::string> kOrdered{"map", "set", "multimap", "multiset"};
+  const auto& t = lint.scan.toks;
+  for (std::size_t i = 2; i < t.size(); ++i) {
+    if (t[i].kind != TokKind::kIdent || !kOrdered.contains(t[i].text)) continue;
+    if (t[i - 1].text != "::" || t[i - 2].text != "std") continue;
+    if (!tok_at(t, i + 1) || t[i + 1].text != "<") continue;
+    // First template argument: tokens until a top-level ',' or the close.
+    int angle = 1, paren = 0;
+    std::size_t last = 0;
+    for (std::size_t j = i + 2; j < t.size(); ++j) {
+      const std::string& s = t[j].text;
+      if (s == "(") ++paren;
+      if (s == ")") --paren;
+      if (paren == 0) {
+        if (s == "<") ++angle;
+        if (s == ">") --angle;
+        if (s == ">>") angle -= 2;
+        if ((s == "," && angle == 1) || angle <= 0) break;
+      }
+      last = j;
+    }
+    if (last != 0 && t[last].text == "*") {
+      lint.report(t[i].line, "VGR004", "pointer-key-ok",
+                  "std::" + t[i].text +
+                      " keyed by a raw pointer — iteration order follows allocation "
+                      "addresses, which vary run to run");
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// VGR005 — floating-point accumulation in parallel/merge paths.
+// ---------------------------------------------------------------------------
+void rule_float_accum(Linter& lint) {
+  const auto& t = lint.scan.toks;
+  const bool parallel_path =
+      lint.rel_path.starts_with("src/vgr/sim/thread_pool") ||
+      std::any_of(t.begin(), t.end(), [](const Tok& tok) { return tok.text == "parallel_for"; });
+  if (!parallel_path) return;
+  std::set<std::string> fp_names;
+  for (std::size_t i = 0; i + 1 < t.size(); ++i) {
+    if ((t[i].text != "double" && t[i].text != "float") || t[i + 1].kind != TokKind::kIdent) {
+      continue;
+    }
+    fp_names.insert(t[i + 1].text);
+    // Further declarators of the same statement: `double a = 0, b = 0;`.
+    int depth = 0;
+    for (std::size_t j = i + 2; j + 1 < t.size(); ++j) {
+      const std::string& s = t[j].text;
+      if (s == "(" || s == "[" || s == "{") ++depth;
+      if (s == ")" || s == "]" || s == "}") --depth;
+      if (depth < 0 || s == ";") break;
+      if (depth == 0 && s == "," && t[j + 1].kind == TokKind::kIdent) {
+        fp_names.insert(t[j + 1].text);
+      }
+    }
+  }
+  for (std::size_t i = 0; i + 1 < t.size(); ++i) {
+    if (t[i].kind == TokKind::kIdent && fp_names.contains(t[i].text) &&
+        (t[i + 1].text == "+=" || t[i + 1].text == "-=")) {
+      lint.report(t[i].line, "VGR005", "float-accum-ok",
+                  "floating-point accumulation into '" + t[i].text +
+                      "' in a parallel/merge path — summation order must be fixed (merge in "
+                      "seed order) for bit-identical output");
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// VGR006 — threading primitives outside the pool.
+// ---------------------------------------------------------------------------
+void rule_thread_include(Linter& lint) {
+  if (path_is(lint.rel_path, {"src/vgr/sim/thread_pool.cpp", "src/vgr/sim/thread_pool.hpp"})) {
+    return;
+  }
+  static const std::set<std::string> kHeaders{
+      "<thread>", "<mutex>",     "<shared_mutex>", "<condition_variable>", "<future>",
+      "<atomic>", "<stop_token>", "<semaphore>",    "<latch>",              "<barrier>"};
+  for (const Tok& tok : lint.scan.toks) {
+    if (tok.kind == TokKind::kHeader && kHeaders.contains(tok.text)) {
+      lint.report(tok.line, "VGR006", "thread-include-ok",
+                  "#include " + tok.text +
+                      " outside sim/thread_pool — the simulator is single-threaded by "
+                      "design; run-level parallelism goes through ThreadPool");
+    }
+  }
+}
+
+}  // namespace
+
+std::vector<Finding> lint_source(std::string_view rel_path, std::string_view content,
+                                 std::string_view sibling_header) {
+  const Scan scan = tokenize(content, rel_path);
+  Linter lint{rel_path, scan, {}};
+
+  rule_wall_clock(lint);
+  rule_ambient_rng(lint);
+
+  std::set<std::string> names = unordered_decl_names(scan.toks);
+  if (!sibling_header.empty()) {
+    const Scan header = tokenize(sibling_header, rel_path);
+    const std::set<std::string> inherited = unordered_decl_names(header.toks);
+    names.insert(inherited.begin(), inherited.end());
+  }
+  rule_unordered_iter(lint, names);
+
+  rule_pointer_key(lint);
+  rule_float_accum(lint);
+  rule_thread_include(lint);
+
+  std::vector<Finding> out = std::move(lint.findings);
+  out.insert(out.end(), scan.waiver_errors.begin(), scan.waiver_errors.end());
+  std::sort(out.begin(), out.end(), [](const Finding& a, const Finding& b) {
+    if (a.line != b.line) return a.line < b.line;
+    return a.rule < b.rule;
+  });
+  return out;
+}
+
+namespace {
+
+std::string read_file(const std::filesystem::path& p) {
+  std::ifstream in{p, std::ios::binary};
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  return ss.str();
+}
+
+bool lintable(const std::filesystem::path& p) {
+  const std::string ext = p.extension().string();
+  return ext == ".hpp" || ext == ".h" || ext == ".cpp" || ext == ".cc";
+}
+
+}  // namespace
+
+int lint_tree(const std::filesystem::path& root, const std::vector<std::string>& dirs,
+              std::ostream& out) {
+  std::vector<std::filesystem::path> files;
+  for (const std::string& dir : dirs) {
+    const std::filesystem::path base = root / dir;
+    if (!std::filesystem::exists(base)) continue;
+    for (const auto& entry : std::filesystem::recursive_directory_iterator(base)) {
+      if (entry.is_regular_file() && lintable(entry.path())) files.push_back(entry.path());
+    }
+  }
+  std::sort(files.begin(), files.end());
+
+  int total = 0;
+  for (const std::filesystem::path& file : files) {
+    const std::string rel = file.lexically_relative(root).generic_string();
+    std::string sibling;
+    if (file.extension() == ".cpp" || file.extension() == ".cc") {
+      for (const char* ext : {".hpp", ".h"}) {
+        std::filesystem::path header = file;
+        header.replace_extension(ext);
+        if (std::filesystem::exists(header)) {
+          sibling = read_file(header);
+          break;
+        }
+      }
+    }
+    for (const Finding& f : lint_source(rel, read_file(file), sibling)) {
+      out << f.file << ":" << f.line << ": " << f.rule
+          << (f.tag.empty() ? "" : " [" + f.tag + "]") << " " << f.message << "\n";
+      ++total;
+    }
+  }
+  return total;
+}
+
+int run_lint(const std::vector<std::string>& argv, std::ostream& out, std::ostream& err) {
+  std::filesystem::path root = ".";
+  std::vector<std::string> dirs;
+  for (std::size_t i = 0; i < argv.size(); ++i) {
+    if (argv[i] == "--root") {
+      if (i + 1 >= argv.size()) {
+        err << "vgr_lint: --root needs a directory\n";
+        return 2;
+      }
+      root = argv[++i];
+    } else if (argv[i] == "--help" || argv[i] == "-h") {
+      out << "usage: vgr_lint [--root DIR] [subdir...]\n"
+             "Lints DIR/subdir for determinism/concurrency rule violations\n"
+             "(default subdirs: src bench tools). Exit: 0 clean, 1 findings, 2 error.\n";
+      return 0;
+    } else if (argv[i].starts_with("-")) {
+      err << "vgr_lint: unknown option '" << argv[i] << "'\n";
+      return 2;
+    } else {
+      dirs.push_back(argv[i]);
+    }
+  }
+  if (!std::filesystem::is_directory(root)) {
+    err << "vgr_lint: root '" << root.string() << "' is not a directory\n";
+    return 2;
+  }
+  if (dirs.empty()) dirs = {"src", "bench", "tools"};
+
+  const int findings = lint_tree(root, dirs, out);
+  if (findings > 0) {
+    out << "vgr_lint: " << findings << " finding(s)\n";
+    return 1;
+  }
+  out << "vgr_lint: clean\n";
+  return 0;
+}
+
+}  // namespace vgr::lint
