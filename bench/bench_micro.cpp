@@ -62,15 +62,73 @@ void BM_SignMessage(benchmark::State& state) {
 }
 BENCHMARK(BM_SignMessage);
 
-void BM_VerifyMessage(benchmark::State& state) {
+// Cold verification: every call is a memo miss — the pool of distinct
+// pre-signed messages is larger than the trust store's memo capacity and is
+// cycled sequentially, so under LRU each entry is evicted before its next
+// use. This is the price a router pays the first time a signed portion
+// crosses its ingest.
+void BM_VerifyMessageCold(benchmark::State& state) {
+  security::CertificateAuthority ca;
+  const security::Signer signer{ca.enroll(
+      net::GnAddress{net::GnAddress::StationType::kPassengerCar, net::MacAddress{1}})};
+  std::vector<security::SecuredMessage> pool;
+  const std::size_t pool_size = 10000;  // > kMemoCapacity (8192)
+  pool.reserve(pool_size);
+  net::Packet p = sample_gbc();
+  for (std::size_t i = 0; i < pool_size; ++i) {
+    p.gbc()->sequence_number = static_cast<net::SequenceNumber>(i);
+    pool.push_back(security::SecuredMessage::sign(p, signer));
+  }
+  const auto trust = ca.trust_store();
+  std::size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(pool[i].verify(*trust));
+    if (++i == pool_size) i = 0;
+  }
+}
+BENCHMARK(BM_VerifyMessageCold);
+
+// Warm verification: the same envelope re-verified — a replayed frame, a
+// CBF duplicate, or the next hop of an RHL-decremented forward. Hits the
+// verification memo; this is most of the per-receiver security cost in a
+// dense flood.
+void BM_VerifyMessageWarm(benchmark::State& state) {
   security::CertificateAuthority ca;
   const security::Signer signer{ca.enroll(
       net::GnAddress{net::GnAddress::StationType::kPassengerCar, net::MacAddress{1}})};
   const auto msg = security::SecuredMessage::sign(sample_gbc(), signer);
   const auto trust = ca.trust_store();
+  benchmark::DoNotOptimize(msg.verify(*trust));  // prime the memo
   for (auto _ : state) benchmark::DoNotOptimize(msg.verify(*trust));
 }
-BENCHMARK(BM_VerifyMessage);
+BENCHMARK(BM_VerifyMessageWarm);
+
+// Arithmetic wire size (airtime path) vs. the encode it replaced — the
+// encode cost is visible as BM_CodecEncode above.
+void BM_WireSize(benchmark::State& state) {
+  const net::Packet p = sample_gbc();
+  for (auto _ : state) benchmark::DoNotOptimize(net::Codec::wire_size(p));
+}
+BENCHMARK(BM_WireSize);
+
+// Signed-portion encoding, cold: what sign() and the raw-ingest reassembly
+// pay once per message.
+void BM_SignedPortionCold(benchmark::State& state) {
+  const net::Packet p = sample_gbc();
+  for (auto _ : state) benchmark::DoNotOptimize(net::Codec::encode_signed_portion(p));
+}
+BENCHMARK(BM_SignedPortionCold);
+
+// Signed-portion access, warm: what every later consumer pays — forwarding
+// copies, re-verification, the corruption path's wire rebuild.
+void BM_SignedPortionWarm(benchmark::State& state) {
+  security::CertificateAuthority ca;
+  const security::Signer signer{ca.enroll(
+      net::GnAddress{net::GnAddress::StationType::kPassengerCar, net::MacAddress{1}})};
+  const auto msg = security::SecuredMessage::sign(sample_gbc(), signer);
+  for (auto _ : state) benchmark::DoNotOptimize(msg.signed_portion());
+}
+BENCHMARK(BM_SignedPortionWarm);
 
 void BM_LocationTableUpdate(benchmark::State& state) {
   gn::LocationTable table{sim::Duration::seconds(20.0)};
@@ -186,7 +244,7 @@ void medium_broadcast(benchmark::State& state, bool spatial_index) {
   }
   phy::Frame frame;
   frame.src = net::MacAddress{1};
-  frame.msg.packet = sample_gbc();
+  frame.msg.set_packet(sample_gbc());
   for (auto _ : state) {
     medium.transmit(sender, frame);
     events.run_until(events.now() + sim::Duration::seconds(1.0));
@@ -200,6 +258,39 @@ BENCHMARK(BM_MediumBroadcast)->Arg(50)->Arg(200)->Arg(800);
 
 void BM_MediumBroadcastScan(benchmark::State& state) { medium_broadcast(state, false); }
 BENCHMARK(BM_MediumBroadcastScan)->Arg(50)->Arg(200)->Arg(800);
+
+// Per-receiver delivery cost: one broadcast into a dense cluster where
+// every node is in range, items/s counted per *delivery* rather than per
+// frame. This is the path the shared-frame refactor targets — one
+// transmission used to deep-copy the secured message once per receiver.
+void BM_MediumPerReceiverDelivery(benchmark::State& state) {
+  sim::EventQueue events;
+  phy::Medium medium{events, phy::AccessTechnology::kDsrc};
+  medium.set_index_mode(phy::IndexMode::kExplicit);
+  const std::int64_t n = state.range(0);
+  sim::Rng rng{5};
+  phy::RadioId sender{};
+  for (std::int64_t i = 0; i < n; ++i) {
+    phy::Medium::NodeConfig cfg;
+    cfg.mac = net::MacAddress{static_cast<std::uint64_t>(i) + 1};
+    const geo::Position pos{rng.uniform(0.0, 400.0), 2.5};  // all in range
+    cfg.position = [pos] { return pos; };
+    cfg.tx_range_m = 486.0;
+    const auto id = medium.add_node(std::move(cfg), [](const phy::Frame&, phy::RadioId) {});
+    if (i == 0) sender = id;
+  }
+  phy::Frame frame;
+  frame.src = net::MacAddress{1};
+  frame.msg.set_packet(sample_gbc());
+  const std::uint64_t delivered_before = medium.frames_delivered();
+  for (auto _ : state) {
+    medium.transmit(sender, frame);
+    events.run_until(events.now() + sim::Duration::seconds(1.0));
+  }
+  state.SetItemsProcessed(
+      static_cast<std::int64_t>(medium.frames_delivered() - delivered_before));
+}
+BENCHMARK(BM_MediumPerReceiverDelivery)->Arg(64)->Arg(256);
 
 void BM_SpatialGridRebuild(benchmark::State& state) {
   sim::Rng rng{7};

@@ -29,16 +29,16 @@ void BlackholeAttacker::send_fake_beacon() {
   p.extended = net::BeaconHeader{pv};
 
   security::SecuredMessage msg;
-  msg.packet = p;
   if (identity_) {
     // Insider variant: a validly signed lie — authentication passes.
     msg = security::SecuredMessage::sign(p, security::Signer{*identity_});
   } else {
     // Outsider variant: no key, so the best it can do is a garbage tag
     // under a self-proclaimed certificate. Every verifier rejects it.
-    msg.signer.serial = 0xDEAD;
-    msg.signer.subject = fake_address_;
-    msg.signature = 0xBAD0'BAD0'BAD0'BAD0ULL;
+    security::Certificate forged;
+    forged.serial = 0xDEAD;
+    forged.subject = fake_address_;
+    msg = security::SecuredMessage::from_parts(p, forged, 0xBAD0'BAD0'BAD0'BAD0ULL);
   }
 
   phy::Frame frame;

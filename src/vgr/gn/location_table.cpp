@@ -1,10 +1,15 @@
 #include "vgr/gn/location_table.hpp"
 
+#include <algorithm>
+
 namespace vgr::gn {
 
 bool LocationTable::update(const net::LongPositionVector& pv, sim::TimePoint now, bool direct) {
   auto [it, inserted] = entries_.try_emplace(pv.address);
   LocTableEntry& entry = it->second;
+  if (inserted) {
+    mac_index_[pv.address.mac().bits()].push_back(pv.address);
+  }
   if (!inserted && !entry.expired(now)) {
     if (pv.timestamp < entry.pv.timestamp) return false;  // stale update
     const bool was_neighbor = entry.is_neighbor;
@@ -17,7 +22,19 @@ bool LocationTable::update(const net::LongPositionVector& pv, sim::TimePoint now
   return direct;
 }
 
-bool LocationTable::erase(net::GnAddress addr) { return entries_.erase(addr) > 0; }
+void LocationTable::unindex(net::GnAddress addr) {
+  const auto bucket = mac_index_.find(addr.mac().bits());
+  if (bucket == mac_index_.end()) return;
+  auto& addrs = bucket->second;
+  addrs.erase(std::remove(addrs.begin(), addrs.end(), addr), addrs.end());
+  if (addrs.empty()) mac_index_.erase(bucket);
+}
+
+bool LocationTable::erase(net::GnAddress addr) {
+  if (entries_.erase(addr) == 0) return false;
+  unindex(addr);
+  return true;
+}
 
 std::optional<LocTableEntry> LocationTable::find(net::GnAddress addr, sim::TimePoint now) const {
   const auto it = entries_.find(addr);
@@ -27,16 +44,20 @@ std::optional<LocTableEntry> LocationTable::find(net::GnAddress addr, sim::TimeP
 
 std::optional<LocTableEntry> LocationTable::find_by_mac(net::MacAddress mac,
                                                         sim::TimePoint now) const {
-  // GN addresses embed the link-layer address, so the lookup is a scan over
-  // live entries; tables hold at most a few hundred entries in our scenarios.
-  // Two live entries share a MAC across a pseudonym rotation (old and new
-  // alias), and hash order must not pick between them: the newest binding
-  // wins — that is the alias the peer is actually using — with the lowest
-  // GN address as a deterministic tie-break.
+  // GN addresses embed the link-layer address; the MAC index narrows the
+  // candidates to the (usually single) address bound to `mac`. Two live
+  // entries share a MAC across a pseudonym rotation (old and new alias),
+  // and hash order must not pick between them: the newest binding wins —
+  // that is the alias the peer is actually using — with the lowest GN
+  // address as a deterministic tie-break.
+  const auto bucket = mac_index_.find(mac.bits());
+  if (bucket == mac_index_.end()) return std::nullopt;
   std::optional<LocTableEntry> best;
   // vgr-lint: ordered-ok (order-insensitive selection: newest binding, then lowest address)
-  for (const auto& [addr, entry] : entries_) {
-    if (addr.mac() != mac || entry.expired(now)) continue;
+  for (const net::GnAddress addr : bucket->second) {
+    const auto it = entries_.find(addr);
+    if (it == entries_.end() || it->second.expired(now)) continue;
+    const LocTableEntry& entry = it->second;
     const bool newer = !best || entry.pv.timestamp > best->pv.timestamp ||
                        (entry.pv.timestamp == best->pv.timestamp &&
                         addr.bits() < best->pv.address.bits());
@@ -61,6 +82,7 @@ void LocationTable::purge(sim::TimePoint now) {
   // vgr-lint: ordered-ok (erasing expired entries commutes across orders)
   for (auto it = entries_.begin(); it != entries_.end();) {
     if (it->second.expired(now)) {
+      unindex(it->first);
       it = entries_.erase(it);
     } else {
       ++it;

@@ -70,8 +70,19 @@ class LocationTable {
   void set_ttl(sim::Duration ttl) { ttl_ = ttl; }
 
  private:
+  /// Drops `addr` from its MAC bucket (entry removal bookkeeping).
+  void unindex(net::GnAddress addr);
+
   sim::Duration ttl_;
   std::unordered_map<net::GnAddress, LocTableEntry> entries_;
+  /// Secondary index for `find_by_mac`: MAC bits -> GN addresses currently
+  /// present in `entries_` that embed that MAC (usually one; two across a
+  /// pseudonym rotation). Invariant: an address is listed here iff it is a
+  /// key of `entries_` — expiry is still checked at lookup time, exactly as
+  /// the full-table scan this index replaced did. CBF consults the previous
+  /// sender's position once per contention, which made the O(N) scan the
+  /// single hottest kernel of a dense flood.
+  std::unordered_map<std::uint64_t, std::vector<net::GnAddress>> mac_index_;
 };
 
 }  // namespace vgr::gn

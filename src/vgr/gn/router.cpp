@@ -219,8 +219,8 @@ net::SequenceNumber Router::send_geo_anycast(const geo::GeoArea& area, net::Byte
   return sn;
 }
 
-void Router::handle_gac(security::SecuredMessage msg, const phy::Frame& frame) {
-  net::Packet& p = msg.packet;
+void Router::handle_gac(const security::SecuredMessage& msg, const phy::Frame& frame) {
+  const net::Packet& p = msg.packet();
   if (duplicates_.check_and_record(p, frame.src)) {
     ++stats_.duplicates;
     return;
@@ -236,8 +236,8 @@ void Router::handle_gac(security::SecuredMessage msg, const phy::Frame& frame) {
     ++stats_.rhl_exhausted;
     return;
   }
-  p.basic.remaining_hop_limit = received_rhl - 1;
-  gf_route(std::move(msg), gac.area.center(), /*allow_buffer=*/true);
+  gf_route(msg.with_remaining_hop_limit(received_rhl - 1), gac.area.center(),
+           /*allow_buffer=*/true);
 }
 
 void Router::send_geo_unicast_resolving(net::GnAddress destination, net::Bytes payload,
@@ -325,29 +325,46 @@ void Router::on_frame(const phy::Frame& frame) {
   //    signature check below, while basic-header damage (RHL, lifetime —
   //    outside the signature scope, as EN 302 636-4-1 allows) slips past
   //    verification and must be caught by the semantic checks instead.
-  security::SecuredMessage msg = frame.msg;
+  //
+  //    The clean fast path hands `frame.msg` onward *by reference*: one
+  //    transmission's frame is shared by every receiver, and nothing past
+  //    this point mutates the message in place.
   if (!frame.raw.empty()) {
     auto decoded = net::Codec::decode(frame.raw);
     if (!decoded.has_value()) {
       ++stats_.ingest_decode_failures;
       return;
     }
-    msg.packet = std::move(*decoded);
+    const security::SecuredMessage reassembled = security::SecuredMessage::from_parts(
+        std::move(*decoded), frame.msg.signer(), frame.msg.signature());
+    process_frame(reassembled, frame);
+    return;
   }
+  process_frame(frame.msg, frame);
+}
 
+void Router::process_frame(const security::SecuredMessage& msg, const phy::Frame& frame) {
   // 1. Semantic validation, before any router state is touched: a malformed
   //    packet must never reach the location table, the duplicate detector or
   //    the greedy-forwarding geometry.
-  if (!validate_ingest(msg.packet)) return;
+  if (!validate_ingest(msg.packet())) return;
 
   // 2. Security: every GeoNetworking message must verify against the trust
   //    store. Forged messages (e.g. a blackhole attacker's fake beacons) die
   //    here; *replayed* ones sail through — the paper's key observation.
-  if (!msg.verify(*trust_)) {
+  //    The first receiver of a transmission pays the full check; its
+  //    co-receivers (and later hops) hit the trust store's memo.
+  const security::VerifyResult verdict = msg.verify_detailed(*trust_);
+  if (verdict.from_memo) {
+    ++stats_.verify_memo_hits;
+  } else {
+    ++stats_.verify_memo_misses;
+  }
+  if (!verdict.ok) {
     ++stats_.auth_failures;
     return;
   }
-  const net::Packet& p = msg.packet;
+  const net::Packet& p = msg.packet();
   const net::LongPositionVector& so = p.source_pv();
   if (so.address == address_) {
     // Our own GN address arriving from the air: either a genuine address
@@ -398,25 +415,25 @@ void Router::on_frame(const phy::Frame& frame) {
 
   switch (p.common.type) {
     case net::CommonHeader::HeaderType::kGeoBroadcast:
-      handle_gbc(std::move(msg), frame);
+      handle_gbc(msg, frame);
       break;
     case net::CommonHeader::HeaderType::kGeoUnicast:
-      handle_guc(std::move(msg), frame);
+      handle_guc(msg, frame);
       break;
     case net::CommonHeader::HeaderType::kGeoAnycast:
-      handle_gac(std::move(msg), frame);
+      handle_gac(msg, frame);
       break;
     case net::CommonHeader::HeaderType::kTopoBroadcast:
-      handle_tsb(std::move(msg), frame);
+      handle_tsb(msg, frame);
       break;
     case net::CommonHeader::HeaderType::kSingleHopBroadcast:
       deliver(p, frame.src);
       break;
     case net::CommonHeader::HeaderType::kLsRequest:
-      handle_ls_request(std::move(msg), frame);
+      handle_ls_request(msg, frame);
       break;
     case net::CommonHeader::HeaderType::kLsReply:
-      handle_ls_reply(std::move(msg), frame);
+      handle_ls_reply(msg, frame);
       break;
     case net::CommonHeader::HeaderType::kAck:
       handle_ack(msg);
@@ -470,8 +487,8 @@ bool Router::validate_ingest(const net::Packet& p) {
   return true;
 }
 
-void Router::handle_tsb(security::SecuredMessage msg, const phy::Frame& frame) {
-  net::Packet& p = msg.packet;
+void Router::handle_tsb(const security::SecuredMessage& msg, const phy::Frame& frame) {
+  const net::Packet& p = msg.packet();
   if (duplicates_.check_and_record(p, frame.src)) {
     ++stats_.duplicates;
     return;
@@ -482,13 +499,12 @@ void Router::handle_tsb(security::SecuredMessage msg, const phy::Frame& frame) {
     ++stats_.rhl_exhausted;
     return;
   }
-  p.basic.remaining_hop_limit = received_rhl - 1;
   ++stats_.tsb_forwards;
-  transmit(msg, net::MacAddress::broadcast());
+  transmit(msg.with_remaining_hop_limit(received_rhl - 1), net::MacAddress::broadcast());
 }
 
-void Router::handle_ls_request(security::SecuredMessage msg, const phy::Frame& frame) {
-  net::Packet& p = msg.packet;
+void Router::handle_ls_request(const security::SecuredMessage& msg, const phy::Frame& frame) {
+  const net::Packet& p = msg.packet();
   if (duplicates_.check_and_record(p, frame.src)) {
     ++stats_.duplicates;
     return;
@@ -518,12 +534,11 @@ void Router::handle_ls_request(security::SecuredMessage msg, const phy::Frame& f
     ++stats_.rhl_exhausted;
     return;
   }
-  p.basic.remaining_hop_limit = received_rhl - 1;
-  transmit(msg, net::MacAddress::broadcast());
+  transmit(msg.with_remaining_hop_limit(received_rhl - 1), net::MacAddress::broadcast());
 }
 
-void Router::handle_ls_reply(security::SecuredMessage msg, const phy::Frame& frame) {
-  net::Packet& p = msg.packet;
+void Router::handle_ls_reply(const security::SecuredMessage& msg, const phy::Frame& frame) {
+  const net::Packet& p = msg.packet();
   if (duplicates_.check_and_record(p, frame.src)) {
     ++stats_.duplicates;
     return;
@@ -535,12 +550,11 @@ void Router::handle_ls_reply(security::SecuredMessage msg, const phy::Frame& fra
       ++stats_.rhl_exhausted;
       return;
     }
-    p.basic.remaining_hop_limit = received_rhl - 1;
     geo::Position dest_pos = reply.destination.position;
     if (const auto entry = loc_table_.find(reply.destination.address, events_.now())) {
       dest_pos = entry->pv.position;
     }
-    gf_route(std::move(msg), dest_pos, /*allow_buffer=*/true);
+    gf_route(msg.with_remaining_hop_limit(received_rhl - 1), dest_pos, /*allow_buffer=*/true);
     return;
   }
   // Resolution arrived: the reply's source PV *is* the target's position
@@ -571,7 +585,7 @@ void Router::send_ack_for(const net::Packet& packet, net::MacAddress to) {
 }
 
 void Router::handle_ack(const security::SecuredMessage& msg) {
-  const net::AckHeader& ack = *msg.packet.ack();
+  const net::AckHeader& ack = *msg.packet().ack();
   const CbfKey key{ack.acked_source, ack.acked_sequence};
   const auto it = ack_pending_.find(key);
   if (it == ack_pending_.end()) return;  // late or duplicate ACK
@@ -597,7 +611,7 @@ void Router::arm_ack_timer(const CbfKey& key) {
 
 void Router::arm_hop_confirm(security::SecuredMessage msg, geo::Position destination,
                              net::GnAddress hop) {
-  const auto key_opt = msg.packet.duplicate_key();
+  const auto key_opt = msg.packet().duplicate_key();
   if (!key_opt) return;
   const CbfKey key{key_opt->first, key_opt->second};
   auto& pending = ack_pending_[key];
@@ -619,7 +633,7 @@ void Router::hop_confirm_give_up(const CbfKey& key) {
     // Out of hops and attempts, but not out of lifetime: park the packet in
     // the SCF buffer — a new neighbour or the retry tick gives it another
     // chance.
-    const sim::TimePoint expiry = scf_expiry(pending.msg.packet);
+    const sim::TimePoint expiry = scf_expiry(pending.msg.packet());
     scf_.push(std::move(pending.msg), pending.destination, expiry);
     ++stats_.gf_buffered;
     schedule_gf_retry();
@@ -666,8 +680,8 @@ void Router::ack_timeout(const CbfKey& key) {
 
 void Router::handle_beacon(const security::SecuredMessage&) { ++stats_.beacons_received; }
 
-void Router::handle_gbc(security::SecuredMessage msg, const phy::Frame& frame) {
-  net::Packet& p = msg.packet;
+void Router::handle_gbc(const security::SecuredMessage& msg, const phy::Frame& frame) {
+  const net::Packet& p = msg.packet();
   const auto key_opt = p.duplicate_key();
   assert(key_opt.has_value());
   const CbfKey key{key_opt->first, key_opt->second};
@@ -696,17 +710,20 @@ void Router::handle_gbc(security::SecuredMessage msg, const phy::Frame& frame) {
     ++stats_.rhl_exhausted;
     return;
   }
-  p.basic.remaining_hop_limit = received_rhl - 1;  // outside signature scope
-
+  // Copy-on-mutate: the RHL decrement is the protocol's only per-hop
+  // rewrite, and it lives outside the signature scope — the copy shares the
+  // original's signed-portion encoding, so the next hop's verify is a memo
+  // hit too.
+  security::SecuredMessage forward = msg.with_remaining_hop_limit(received_rhl - 1);
   if (inside) {
-    cbf_contend(std::move(msg), received_rhl, frame);
+    cbf_contend(std::move(forward), received_rhl, frame);
   } else {
-    gf_route(std::move(msg), p.gbc()->area.center(), /*allow_buffer=*/true);
+    gf_route(std::move(forward), p.gbc()->area.center(), /*allow_buffer=*/true);
   }
 }
 
-void Router::handle_guc(security::SecuredMessage msg, const phy::Frame& frame) {
-  net::Packet& p = msg.packet;
+void Router::handle_guc(const security::SecuredMessage& msg, const phy::Frame& frame) {
+  const net::Packet& p = msg.packet();
   if (duplicates_.check_and_record(p, frame.src)) {
     ++stats_.duplicates;
     return;
@@ -721,17 +738,16 @@ void Router::handle_guc(security::SecuredMessage msg, const phy::Frame& frame) {
     ++stats_.rhl_exhausted;
     return;
   }
-  p.basic.remaining_hop_limit = received_rhl - 1;
   geo::Position dest_pos = guc.destination.position;
   if (const auto entry = loc_table_.find(guc.destination.address, events_.now())) {
     dest_pos = entry->pv.position;
   }
-  gf_route(std::move(msg), dest_pos, /*allow_buffer=*/true);
+  gf_route(msg.with_remaining_hop_limit(received_rhl - 1), dest_pos, /*allow_buffer=*/true);
 }
 
 void Router::cbf_contend(security::SecuredMessage msg, std::uint8_t received_rhl,
                          const phy::Frame& frame) {
-  const auto key_opt = msg.packet.duplicate_key();
+  const auto key_opt = msg.packet().duplicate_key();
   const CbfKey key{key_opt->first, key_opt->second};
 
   // TO is inversely proportional to the distance from the previous sender,
@@ -748,7 +764,7 @@ void Router::cbf_contend(security::SecuredMessage msg, std::uint8_t received_rhl
   // carrier-sense deferral loop) by the packet's lifetime.
   const std::optional<sim::TimePoint> expiry =
       config_.cbf_lifetime_expiry
-          ? std::optional<sim::TimePoint>{events_.now() + msg.packet.basic.lifetime}
+          ? std::optional<sim::TimePoint>{events_.now() + msg.packet().basic.lifetime}
           : std::nullopt;
   cbf_.insert(
       key, std::move(msg), received_rhl, timeout,
@@ -797,7 +813,7 @@ void Router::gf_route(security::SecuredMessage msg, geo::Position destination, b
       return;
     case GfFallback::kBuffer:
       if (allow_buffer) {
-        const sim::TimePoint expiry = scf_expiry(msg.packet);
+        const sim::TimePoint expiry = scf_expiry(msg.packet());
         scf_.push(std::move(msg), destination, expiry);
         ++stats_.gf_buffered;
         schedule_gf_retry();
@@ -877,7 +893,7 @@ void Router::transmit(const security::SecuredMessage& msg, net::MacAddress dst) 
   // Any outgoing GN packet proves our liveness/position to neighbours, so
   // the beacon timer restarts (ETSI beacon service). Beacons themselves are
   // rescheduled by their own send path.
-  if (config_.beacon_suppression_on_activity && !msg.packet.is_beacon() &&
+  if (config_.beacon_suppression_on_activity && !msg.packet().is_beacon() &&
       events_.pending(beacon_event_)) {
     events_.cancel(beacon_event_);
     schedule_beacon();
@@ -889,7 +905,7 @@ void Router::transmit(const security::SecuredMessage& msg, net::MacAddress dst) 
   if (Log::enabled(LogLevel::kTrace)) {
     Log::write(LogLevel::kTrace, events_.now(), "router",
                to_string(address_) + " @" + geo::to_string(mobility_.position()) + " tx " +
-                   to_string(msg.packet) + (dst.is_broadcast() ? "" : " -> " + to_string(dst)));
+                   to_string(msg.packet()) + (dst.is_broadcast() ? "" : " -> " + to_string(dst)));
   }
   medium_.transmit(radio_, std::move(frame));
 }

@@ -41,6 +41,12 @@ struct RouterStats {
   std::uint64_t cbf_suppressed{0};
   std::uint64_t cbf_mitigation_keeps{0};
   std::uint64_t auth_failures{0};
+  // --- Verification-memo counters (TrustStore caches, docs/performance.md):
+  //     one increment per ingest signature check. A hit replayed the verdict
+  //     from the trust store's memo (same signer, signature and
+  //     signed-portion bytes, re-checked in full); a miss recomputed it.
+  std::uint64_t verify_memo_hits{0};
+  std::uint64_t verify_memo_misses{0};
   // --- Hardened-ingest drop counters, one per cause (see Router::ingest):
   //     every malformed or semantically invalid frame increments exactly one
   //     of these and is dropped before any router state (location table,
@@ -216,19 +222,30 @@ class Router {
  private:
   void on_frame(const phy::Frame& frame);
 
+  /// Routing pipeline behind `on_frame`, once the wire image (if any) has
+  /// been decoded. `msg` is the *shared* immutable message — for a clean
+  /// delivery it aliases `frame.msg`, which every co-receiver of the same
+  /// transmission also sees, so nothing in here may mutate it; forwarding
+  /// rewrites copy-on-mutate via `SecuredMessage::with_remaining_hop_limit`.
+  void process_frame(const security::SecuredMessage& msg, const phy::Frame& frame);
+
   /// Semantic ingest validation: rejects packets whose decoded fields could
   /// crash or poison the router (non-finite PV coordinates, impossible hop
   /// limits, non-positive lifetimes, oversized payloads), incrementing the
   /// matching per-cause drop counter. Runs before any state mutation.
   [[nodiscard]] bool validate_ingest(const net::Packet& p);
 
+  // Handlers take the shared message by const reference: the per-receiver
+  // deep copy the old by-value signatures forced is exactly what the
+  // encode-once/verify-once hot path removes. A handler that forwards makes
+  // its own copy at the RHL rewrite point and owns it from there.
   void handle_beacon(const security::SecuredMessage& msg);
-  void handle_gbc(security::SecuredMessage msg, const phy::Frame& frame);
-  void handle_guc(security::SecuredMessage msg, const phy::Frame& frame);
-  void handle_gac(security::SecuredMessage msg, const phy::Frame& frame);
-  void handle_tsb(security::SecuredMessage msg, const phy::Frame& frame);
-  void handle_ls_request(security::SecuredMessage msg, const phy::Frame& frame);
-  void handle_ls_reply(security::SecuredMessage msg, const phy::Frame& frame);
+  void handle_gbc(const security::SecuredMessage& msg, const phy::Frame& frame);
+  void handle_guc(const security::SecuredMessage& msg, const phy::Frame& frame);
+  void handle_gac(const security::SecuredMessage& msg, const phy::Frame& frame);
+  void handle_tsb(const security::SecuredMessage& msg, const phy::Frame& frame);
+  void handle_ls_request(const security::SecuredMessage& msg, const phy::Frame& frame);
+  void handle_ls_reply(const security::SecuredMessage& msg, const phy::Frame& frame);
   void handle_ack(const security::SecuredMessage& msg);
   void send_ls_request(net::GnAddress target);
   void ls_retry(net::GnAddress target);

@@ -321,6 +321,38 @@ std::optional<Packet> Codec::decode(const Bytes& wire) {
   return p;
 }
 
-std::size_t Codec::wire_size(const Packet& p) { return encode(p).size(); }
+namespace {
+
+// Fixed on-wire footprints of the composite fields written above. Each
+// constant mirrors the corresponding write_* helper; net_codec_test pins the
+// arithmetic against the real encoder for every header type, so a codec
+// change that forgets to update these fails loudly.
+constexpr std::size_t kLpvBytes = 6 * 8;   // address, timestamp, x, y, speed, heading
+constexpr std::size_t kSpvBytes = 4 * 8;   // address, timestamp, x, y
+constexpr std::size_t kAreaBytes = 1 + 5 * 8;  // shape tag + cx, cy, a, b, azimuth
+
+std::size_t extended_header_size(const Packet& p) {
+  if (p.beacon() != nullptr || p.shb() != nullptr) return kLpvBytes;
+  if (p.gbc() != nullptr || p.gac() != nullptr) return 2 + kLpvBytes + kAreaBytes;
+  if (p.guc() != nullptr || p.ls_reply() != nullptr) return 2 + kLpvBytes + kSpvBytes;
+  if (p.tsb() != nullptr) return 2 + kLpvBytes;
+  if (p.ls_request() != nullptr) return 2 + kLpvBytes + 8;
+  if (p.ack() != nullptr) return kLpvBytes + 8 + 2;
+  return 0;
+}
+
+}  // namespace
+
+std::size_t Codec::signed_portion_size(const Packet& p) {
+  // type + traffic_class + max_hop_limit, extended header, then the
+  // length-prefixed payload.
+  return 3 + extended_header_size(p) + 4 + p.payload.size();
+}
+
+std::size_t Codec::wire_size(const Packet& p) {
+  // Basic header (version + rhl + lifetime) plus the length-prefixed signed
+  // portion.
+  return 1 + 1 + 8 + 4 + signed_portion_size(p);
+}
 
 }  // namespace vgr::net

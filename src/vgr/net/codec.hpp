@@ -72,7 +72,14 @@ struct Codec {
   static Bytes encode(const Packet& p);
   static std::optional<Packet> decode(const Bytes& wire);
 
+  /// Size of `encode_signed_portion(p)` in bytes, computed arithmetically
+  /// from the header kind and payload length — no serialization, no
+  /// allocation. Pinned equal to the real encoding for every header type by
+  /// net_codec_test.
+  static std::size_t signed_portion_size(const Packet& p);
+
   /// Size of the full encoding in bytes, used for airtime computation.
+  /// Arithmetic for the same reason as `signed_portion_size`.
   static std::size_t wire_size(const Packet& p);
 };
 

@@ -3,7 +3,6 @@
 #include <algorithm>
 #include <cassert>
 
-#include "vgr/net/codec.hpp"
 
 namespace vgr::phy {
 
@@ -83,18 +82,20 @@ void Medium::transmit(RadioId sender, Frame frame, double range_override_m) {
   // (seed, config) regardless of the harness's thread count.
   FaultInjector::FrameDecision faults;
   if (injector_ && injector_->enabled()) faults = injector_->on_frame();
-  transmit_impl(sender, std::move(frame), range_override_m, faults);
+  transmit_impl(sender, std::make_shared<const Frame>(std::move(frame)), range_override_m,
+                faults);
 }
 
-void Medium::transmit_impl(RadioId sender, Frame frame, double range_override_m,
-                           const FaultInjector::FrameDecision& faults) {
+void Medium::transmit_impl(RadioId sender, std::shared_ptr<const Frame> frame,
+                           double range_override_m, const FaultInjector::FrameDecision& faults) {
   const auto sit = nodes_.find(sender.value);
   assert(sit != nodes_.end() && sit->second.alive && "unknown sender");
   const geo::Position from = sit->second.config.position();
   const double range = range_override_m > 0.0 ? range_override_m : sit->second.config.tx_range_m;
 
   ++frames_sent_;
-  const sim::Duration tx_time = airtime(tech_, net::Codec::wire_size(frame.msg.packet));
+  // Arithmetic size — no serialization on the airtime path.
+  const sim::Duration tx_time = airtime(tech_, frame->msg.wire_size());
 
   // The transmitter occupies its own channel for the frame's airtime; a
   // half-duplex radio is deaf while transmitting, so under the
@@ -128,11 +129,12 @@ void Medium::transmit_impl(RadioId sender, Frame frame, double range_override_m,
   // after the original's airtime (a stale retransmission). It is a real
   // frame — it counts in frames_sent_ and contends for the channel — but is
   // exempt from further frame-level fault draws to keep the model bounded.
+  // The retransmission shares the immutable frame object; nothing is copied.
   if (faults.duplicate) {
-    events_.schedule_in(tx_time, [this, sender, copy = frame, range_override_m]() mutable {
+    events_.schedule_in(tx_time, [this, sender, frame, range_override_m] {
       const auto it = nodes_.find(sender.value);
       if (it == nodes_.end() || !it->second.alive) return;
-      transmit_impl(sender, std::move(copy), range_override_m, {});
+      transmit_impl(sender, frame, range_override_m, {});
     });
   }
 
@@ -153,8 +155,6 @@ void Medium::transmit_impl(RadioId sender, Frame frame, double range_override_m,
     std::sort(candidates_.begin(), candidates_.end());
   }
 
-  const auto frame_ptr = std::make_shared<const Frame>(std::move(frame));
-  net::Bytes wire_cache;  ///< lazy wire image, shared by corrupted deliveries
   for (const std::uint32_t id : candidates_) {
     if (id == sender.value) continue;
     const auto nit = nodes_.find(id);
@@ -192,23 +192,23 @@ void Medium::transmit_impl(RadioId sender, Frame frame, double range_override_m,
 
     // Link-layer address filter: radios in normal mode drop frames that are
     // neither broadcast nor addressed to them. Promiscuous sniffers see all.
-    if (!node.config.promiscuous && !frame_ptr->dst.is_broadcast() &&
-        frame_ptr->dst != node.config.mac) {
+    if (!node.config.promiscuous && !frame->dst.is_broadcast() &&
+        frame->dst != node.config.mac) {
       continue;
     }
 
     // Delivery-level faults: each (frame, receiver) pair independently
-    // suffers clean loss or byte corruption. Corruption re-encodes the
-    // packet once per frame (cached), damages a private copy of the wire
-    // bytes, and ships them in `Frame::raw` for the receiver to decode —
-    // the structured packet stays pristine for the other receivers.
-    std::shared_ptr<const Frame> deliver_ptr = frame_ptr;
+    // suffers clean loss or byte corruption. Corruption reads the message's
+    // cached wire image (encoded at most once per message, not per frame),
+    // damages a private copy of the bytes, and ships them in `Frame::raw`
+    // for the receiver to decode — the structured packet stays pristine for
+    // the other receivers.
+    std::shared_ptr<const Frame> deliver_ptr = frame;
     if (injector_ && injector_->enabled()) {
       if (injector_->drop_delivery()) continue;
       if (injector_->corrupt_delivery()) {
-        if (wire_cache.empty()) wire_cache = net::Codec::encode(frame_ptr->msg.packet);
-        auto damaged = std::make_shared<Frame>(*frame_ptr);
-        damaged->raw = wire_cache;
+        auto damaged = std::make_shared<Frame>(*frame);
+        damaged->raw = frame->msg.wire();
         injector_->corrupt_bytes(damaged->raw);
         deliver_ptr = std::move(damaged);
       }

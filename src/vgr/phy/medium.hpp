@@ -188,8 +188,12 @@ class Medium {
 
   /// Transmit body shared by the public entry point and fault-injected
   /// duplicates; `faults` carries the frame-level decisions already drawn.
-  void transmit_impl(RadioId sender, Frame frame, double range_override_m,
-                     const FaultInjector::FrameDecision& faults);
+  /// Takes the frame as an immutable shared pointer: the public `transmit`
+  /// wraps it exactly once, and from there the same object is captured by
+  /// the duplication branch and every per-receiver delivery event — no
+  /// further frame copies anywhere on the clean path.
+  void transmit_impl(RadioId sender, std::shared_ptr<const Frame> frame,
+                     double range_override_m, const FaultInjector::FrameDecision& faults);
 
   /// Rebuilds the spatial index if it may be stale; erases dead nodes so
   /// they stop occupying the node table. No-op while the index is current.

@@ -1,0 +1,28 @@
+#pragma once
+
+#include <cstdint>
+#include <memory>
+
+#include "vgr/net/packet.hpp"
+
+namespace vgr::security {
+
+/// One immutable encoding of a packet's signed portion (common header +
+/// extended header + payload — the exact bytes a signature covers).
+///
+/// Built once per logical message — at `SecuredMessage::sign()` time or on
+/// first use — and then shared by reference: every copy of the message, every
+/// receiver of the same frame, and every downstream hop that only rewrites
+/// the (unsigned) Basic Header reuses this object instead of re-serializing
+/// the packet. `digest` is a structural 64-bit digest of `bytes`, used as
+/// the bucket key of the TrustStore verification memo; memo hits always
+/// re-check the full bytes (or pointer identity), so a digest collision can
+/// never produce a false accept.
+struct SignedPortion {
+  net::Bytes bytes;
+  std::uint64_t digest{0};
+};
+
+using SignedPortionPtr = std::shared_ptr<const SignedPortion>;
+
+}  // namespace vgr::security

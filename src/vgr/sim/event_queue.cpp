@@ -9,7 +9,7 @@ EventId EventQueue::schedule_at(TimePoint when, Callback cb) {
   assert(when >= now_ && "cannot schedule into the past");
   if (when < now_) when = now_;
   const EventId id{next_id_++};
-  live_.insert(id.value);
+  live_.set(id.value);
   heap_.push(Entry{when, next_seq_++, id, std::move(cb)});
   return id;
 }
@@ -21,15 +21,18 @@ EventId EventQueue::schedule_in(Duration delay, Callback cb) {
 
 bool EventQueue::cancel(EventId id) {
   if (id.value == 0 || id.value >= next_id_) return false;
-  if (!live_.contains(id.value)) return false;  // already fired
-  // Lazy deletion: remember the id; the heap entry is dropped when popped.
-  return cancelled_.insert(id.value).second;
+  if (!live_.test(id.value)) return false;       // already fired
+  if (cancelled_.test(id.value)) return false;   // already cancelled
+  // Lazy deletion: mark the id; the heap entry is dropped when popped.
+  cancelled_.set(id.value);
+  ++cancelled_pending_;
+  return true;
 }
 
 bool EventQueue::pending(EventId id) const {
   if (id.value == 0) return false;
-  if (cancelled_.contains(id.value)) return false;
-  return live_.contains(id.value);
+  if (cancelled_.test(id.value)) return false;
+  return live_.test(id.value);
 }
 
 void EventQueue::run_until(TimePoint until) {
@@ -74,10 +77,11 @@ bool EventQueue::budget_tripped() {
 
 void EventQueue::purge_cancelled_top() {
   while (!heap_.empty()) {
-    const auto it = cancelled_.find(heap_.top().id.value);
-    if (it == cancelled_.end()) return;
-    cancelled_.erase(it);
-    live_.erase(heap_.top().id.value);
+    const std::uint64_t id = heap_.top().id.value;
+    if (!cancelled_.test(id)) return;
+    cancelled_.clear(id);
+    live_.clear(id);
+    --cancelled_pending_;
     heap_.pop();
   }
 }
@@ -86,14 +90,15 @@ bool EventQueue::step() {
   while (!heap_.empty()) {
     Entry top = std::move(const_cast<Entry&>(heap_.top()));
     heap_.pop();
-    if (auto it = cancelled_.find(top.id.value); it != cancelled_.end()) {
-      cancelled_.erase(it);
-      live_.erase(top.id.value);
+    if (cancelled_.test(top.id.value)) {
+      cancelled_.clear(top.id.value);
+      live_.clear(top.id.value);
+      --cancelled_pending_;
       continue;
     }
     assert(top.when >= now_);
     now_ = top.when;
-    live_.erase(top.id.value);
+    live_.clear(top.id.value);
     ++fired_;
     top.cb();
     return true;

@@ -4,7 +4,6 @@
 #include <cstdint>
 #include <functional>
 #include <queue>
-#include <unordered_set>
 #include <vector>
 
 #include "vgr/sim/time.hpp"
@@ -52,7 +51,9 @@ class EventQueue {
   bool step();
 
   /// Number of events that are scheduled and not cancelled.
-  [[nodiscard]] std::size_t pending_count() const { return heap_.size() - cancelled_.size(); }
+  [[nodiscard]] std::size_t pending_count() const {
+    return heap_.size() - static_cast<std::size_t>(cancelled_pending_);
+  }
 
   /// Total number of callbacks executed so far (for stats/tests).
   [[nodiscard]] std::uint64_t fired_count() const { return fired_; }
@@ -89,6 +90,33 @@ class EventQueue {
 
   [[nodiscard]] bool budget_tripped();
 
+  /// Membership bitset over event ids. Ids are handed out densely from 1,
+  /// so a flat bit vector replaces the hash sets the queue used to keep:
+  /// schedule/fire/cancel become branch-free bit ops with no per-event node
+  /// allocation — at ~4-5M events per dense-flood run the two hash sets
+  /// were a measurable slice of the whole simulation. Memory is 1 bit per
+  /// id ever issued (an 8 s, 1070-vehicle flood issues ~4.6M ids → ~0.6 MB
+  /// per set), released with the queue at the end of the run.
+  class IdBitset {
+   public:
+    void set(std::uint64_t id) {
+      const std::size_t w = static_cast<std::size_t>(id >> 6U);
+      if (w >= words_.size()) words_.resize(words_.size() + (words_.size() >> 1U) + w + 1);
+      words_[w] |= 1ULL << (id & 63U);
+    }
+    void clear(std::uint64_t id) {
+      const std::size_t w = static_cast<std::size_t>(id >> 6U);
+      if (w < words_.size()) words_[w] &= ~(1ULL << (id & 63U));
+    }
+    [[nodiscard]] bool test(std::uint64_t id) const {
+      const std::size_t w = static_cast<std::size_t>(id >> 6U);
+      return w < words_.size() && ((words_[w] >> (id & 63U)) & 1ULL) != 0;
+    }
+
+   private:
+    std::vector<std::uint64_t> words_;
+  };
+
   TimePoint now_{};
   std::uint64_t budget_events_end_{0};  ///< fired_ value at which to stop (0 = off)
   bool has_wall_deadline_{false};
@@ -98,8 +126,9 @@ class EventQueue {
   std::uint64_t next_id_{1};
   std::uint64_t fired_{0};
   std::priority_queue<Entry, std::vector<Entry>, Later> heap_;
-  std::unordered_set<std::uint64_t> cancelled_;
-  std::unordered_set<std::uint64_t> live_;
+  IdBitset cancelled_;
+  IdBitset live_;
+  std::uint64_t cancelled_pending_{0};  ///< cancelled entries still in the heap
 };
 
 }  // namespace vgr::sim

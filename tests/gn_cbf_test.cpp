@@ -63,9 +63,7 @@ class CbfBufferTest : public ::testing::Test {
     p.basic.remaining_hop_limit = rhl;
     p.common.type = net::CommonHeader::HeaderType::kGeoBroadcast;
     p.extended = net::GbcHeader{1, {}, geo::GeoArea::circle({0, 0}, 10.0)};
-    security::SecuredMessage m;
-    m.packet = p;
-    return m;
+    return security::SecuredMessage::from_parts(std::move(p), {}, 0);
   }
 
   CbfKey key(std::uint64_t src = 1, net::SequenceNumber sn = 1) {
@@ -81,7 +79,7 @@ TEST_F(CbfBufferTest, TimerFiresAndHandsBackMessage) {
   std::uint8_t fired_rhl = 0;
   buffer_.insert(key(), make_msg(9), 10, 10_ms, [&](const security::SecuredMessage& m) {
     ++rebroadcasts_;
-    fired_rhl = m.packet.basic.remaining_hop_limit;
+    fired_rhl = m.packet().basic.remaining_hop_limit;
   });
   EXPECT_TRUE(buffer_.contains(key()));
   events_.run_until(sim::TimePoint::at(20_ms));

@@ -240,8 +240,7 @@ TEST_F(RouterTest, ForgedFrameFailsAuthentication) {
 
   phy::Frame frame;
   frame.src = net::MacAddress{0x666};
-  frame.msg.packet = p;
-  frame.msg.signature = 0xFFFF;  // garbage tag, no enrolled certificate
+  frame.msg = security::SecuredMessage::from_parts(p, {}, 0xFFFF);  // garbage tag, no cert
   medium_.transmit(injector, frame);
   run_for(100_ms);
 
@@ -301,6 +300,85 @@ TEST_F(RouterTest, OwnReplayedPacketIsIgnored) {
   // b's CBF rebroadcast reached a; a must not re-deliver or re-forward.
   EXPECT_EQ(a.deliveries.size(), 0u);  // originator does not self-deliver
   EXPECT_EQ(b.deliveries.size(), 1u);
+}
+
+TEST_F(RouterTest, ForwardingDoesNotMutateSharedFrame) {
+  // Aliasing regression: the medium delivers ONE shared frame object to
+  // every receiver. The forwarder's per-hop RHL rewrite must happen on a
+  // private copy — a later delivery of the same transmission (the watcher,
+  // placed farther from the source than the forwarder) has to observe the
+  // original hop count and the original, still-valid signature.
+  Node& a = add_node(0.0);
+  Node& b = add_node(400.0);
+  add_node(850.0);  // inside the destination area, reachable only via b
+  exchange_beacons();
+
+  struct Seen {
+    net::MacAddress src;
+    std::uint8_t rhl;
+    std::uint64_t sig;
+    bool verified;
+  };
+  std::vector<Seen> seen;
+  phy::Medium::NodeConfig wcfg;
+  wcfg.mac = net::MacAddress{0xEEE};
+  wcfg.position = [] { return geo::Position{480.0, 0.0}; };
+  wcfg.tx_range_m = 1.0;
+  wcfg.promiscuous = true;
+  medium_.add_node(std::move(wcfg), [&](const phy::Frame& f, phy::RadioId) {
+    if (f.msg.packet().gbc() != nullptr) {
+      seen.push_back({f.src, f.msg.packet().basic.remaining_hop_limit, f.msg.signature(),
+                      f.msg.verify(*ca_.trust_store())});
+    }
+  });
+
+  a.router->send_geo_broadcast(geo::GeoArea::circle({850.0, 0.0}, 100.0), {7});
+  run_for(2_s);
+
+  const net::MacAddress a_mac = a.router->address().mac();
+  const net::MacAddress b_mac = b.router->address().mac();
+  std::uint8_t origin_rhl = 0;
+  std::uint64_t origin_sig = 0;
+  bool saw_forward = false;
+  for (const Seen& s : seen) {
+    if (s.src == a_mac) {
+      if (origin_sig == 0) {
+        origin_rhl = s.rhl;
+        origin_sig = s.sig;
+      }
+      // Every sighting of the origin's transmission carries the pristine
+      // hop count — b's rewrite never leaked into the shared object.
+      EXPECT_EQ(s.rhl, origin_rhl);
+    }
+    if (s.src == b_mac) {
+      saw_forward = true;
+      EXPECT_EQ(s.rhl, origin_rhl - 1);   // decremented on b's private copy
+      EXPECT_EQ(s.sig, origin_sig);       // envelope otherwise untouched
+    }
+    EXPECT_TRUE(s.verified);
+  }
+  ASSERT_NE(origin_sig, 0u);
+  EXPECT_TRUE(saw_forward);
+}
+
+TEST_F(RouterTest, VerifyMemoCountersSurfaceInStats) {
+  // The same signed envelope crosses each router's ingest once per hop or
+  // retransmission; repeats land in the trust store's verification memo and
+  // the split is visible per router.
+  Node& a = add_node(0.0);
+  Node& b = add_node(100.0);
+  exchange_beacons();
+  a.router->send_geo_broadcast(geo::GeoArea::rectangle({50.0, 0.0}, 200.0, 50.0), {1});
+  run_for(2_s);
+  const RouterStats& sa = a.router->stats();
+  const RouterStats& sb = b.router->stats();
+  // Every verified ingest is classified exactly once as hit or miss.
+  EXPECT_GT(sa.verify_memo_misses + sa.verify_memo_hits, 0u);
+  EXPECT_GT(sb.verify_memo_misses, 0u);
+  // b hears a's GBC, then a's copy of b's CBF rebroadcast of the *same*
+  // signed portion lands in the shared store's memo: a's re-verification
+  // of its own flooded packet is a hit.
+  EXPECT_GT(sa.verify_memo_hits, 0u);
 }
 
 TEST_F(RouterTest, SequenceNumbersIncrease) {

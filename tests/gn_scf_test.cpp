@@ -22,10 +22,10 @@ using namespace vgr::sim::literals;
 // --- ScfBuffer unit -------------------------------------------------------
 
 security::SecuredMessage msg_with_payload(std::size_t payload_bytes) {
-  security::SecuredMessage m;
-  m.packet.common.type = net::CommonHeader::HeaderType::kGeoUnicast;
-  m.packet.payload.assign(payload_bytes, 0x5A);
-  return m;
+  net::Packet p;
+  p.common.type = net::CommonHeader::HeaderType::kGeoUnicast;
+  p.payload.assign(payload_bytes, 0x5A);
+  return security::SecuredMessage::from_parts(std::move(p), {}, 0);
 }
 
 TEST(ScfBuffer, SweepOffersEntriesOldestFirst) {
@@ -35,7 +35,7 @@ TEST(ScfBuffer, SweepOffersEntriesOldestFirst) {
   }
   std::vector<std::size_t> order;
   buf.sweep(sim::TimePoint::origin(), [&](const ScfBuffer::Entry& e) {
-    order.push_back(e.msg.packet.payload.size());
+    order.push_back(e.msg.packet().payload.size());
     return true;
   });
   ASSERT_EQ(order.size(), 3u);
@@ -56,7 +56,7 @@ TEST(ScfBuffer, PacketCapHeadDropsOldest) {
   EXPECT_EQ(buf.stats().head_drops, 1u);
   std::vector<std::size_t> kept;
   buf.sweep(sim::TimePoint::origin(), [&](const ScfBuffer::Entry& e) {
-    kept.push_back(e.msg.packet.payload.size());
+    kept.push_back(e.msg.packet().payload.size());
     return true;
   });
   // The oldest entry (payload 1) was the one evicted.

@@ -119,15 +119,81 @@ TEST(ByteWriterReader, ChunkAboveWireMaximumRejected) {
   EXPECT_EQ(chunk->size(), kMaxChunkBytes);
 }
 
+Packet sample_gac() {
+  Packet p;
+  p.common.type = CommonHeader::HeaderType::kGeoAnycast;
+  p.extended = GacHeader{9, sample_lpv(), geo::GeoArea::rectangle({100.0, 0.0}, 250.0, 40.0)};
+  p.payload = Bytes(37, 0xC3);  // odd size: exercises the length prefix
+  return p;
+}
+
+Packet sample_tsb() {
+  Packet p;
+  p.common.type = CommonHeader::HeaderType::kTopoBroadcast;
+  p.extended = TsbHeader{3, sample_lpv()};
+  p.payload = {0x01};
+  return p;
+}
+
+Packet sample_shb() {
+  Packet p;
+  p.common.type = CommonHeader::HeaderType::kSingleHopBroadcast;
+  p.extended = ShbHeader{sample_lpv()};
+  p.payload = Bytes(300, 0x77);  // CAM-sized payload
+  return p;
+}
+
+Packet sample_ls_request() {
+  Packet p;
+  p.common.type = CommonHeader::HeaderType::kLsRequest;
+  p.extended = LsRequestHeader{
+      5, sample_lpv(),
+      GnAddress{GnAddress::StationType::kPassengerCar, MacAddress{0xBEEFULL}}};
+  return p;  // empty payload: the 4-byte length prefix still counts
+}
+
+Packet sample_ls_reply() {
+  Packet p;
+  p.common.type = CommonHeader::HeaderType::kLsReply;
+  ShortPositionVector dest;
+  dest.address = GnAddress{GnAddress::StationType::kPassengerCar, MacAddress{0xCAFEULL}};
+  dest.timestamp = sim::TimePoint::at(sim::Duration::seconds(2.0));
+  dest.position = {5.0, -5.0};
+  p.extended = LsReplyHeader{6, sample_lpv(), dest};
+  return p;
+}
+
+Packet sample_ack() {
+  Packet p;
+  p.common.type = CommonHeader::HeaderType::kAck;
+  p.extended = AckHeader{
+      sample_lpv(),
+      GnAddress{GnAddress::StationType::kRoadSideUnit, MacAddress{0x1234ULL}}, 42};
+  return p;
+}
+
+/// One sample per wire header type — the parameterized suites below must
+/// stay exhaustive so the arithmetic `wire_size`/`signed_portion_size` can
+/// never drift from the real encoder for any packet kind.
+constexpr int kPacketKindCount = 9;
+
+Packet sample_kind(int kind) {
+  switch (kind) {
+    case 0: return sample_beacon();
+    case 1: return sample_gbc();
+    case 2: return sample_guc();
+    case 3: return sample_gac();
+    case 4: return sample_tsb();
+    case 5: return sample_shb();
+    case 6: return sample_ls_request();
+    case 7: return sample_ls_reply();
+    default: return sample_ack();
+  }
+}
+
 class CodecRoundTrip : public ::testing::TestWithParam<int> {
  protected:
-  Packet make() const {
-    switch (GetParam()) {
-      case 0: return sample_beacon();
-      case 1: return sample_gbc();
-      default: return sample_guc();
-    }
-  }
+  Packet make() const { return sample_kind(GetParam()); }
 };
 
 TEST_P(CodecRoundTrip, EncodeDecodeIsIdentity) {
@@ -138,8 +204,22 @@ TEST_P(CodecRoundTrip, EncodeDecodeIsIdentity) {
 }
 
 TEST_P(CodecRoundTrip, WireSizeMatchesEncoding) {
-  const Packet p = make();
+  // Pins the arithmetic size against the real encoder, including at payload
+  // sizes other than the sample's (empty and large) — the hot path trusts
+  // wire_size() for airtime without ever serializing.
+  Packet p = make();
   EXPECT_EQ(Codec::wire_size(p), Codec::encode(p).size());
+  p.payload.clear();
+  EXPECT_EQ(Codec::wire_size(p), Codec::encode(p).size());
+  p.payload.assign(1021, 0x5C);
+  EXPECT_EQ(Codec::wire_size(p), Codec::encode(p).size());
+}
+
+TEST_P(CodecRoundTrip, SignedPortionSizeMatchesEncoding) {
+  Packet p = make();
+  EXPECT_EQ(Codec::signed_portion_size(p), Codec::encode_signed_portion(p).size());
+  p.payload.assign(509, 0x11);
+  EXPECT_EQ(Codec::signed_portion_size(p), Codec::encode_signed_portion(p).size());
 }
 
 TEST_P(CodecRoundTrip, TruncatedWireNeverDecodes) {
@@ -158,7 +238,8 @@ TEST_P(CodecRoundTrip, TrailingGarbageRejected) {
   EXPECT_EQ(Codec::decode(wire), std::nullopt);
 }
 
-INSTANTIATE_TEST_SUITE_P(AllKinds, CodecRoundTrip, ::testing::Values(0, 1, 2));
+INSTANTIATE_TEST_SUITE_P(AllKinds, CodecRoundTrip,
+                         ::testing::Range(0, kPacketKindCount));
 
 TEST(Codec, SignedPortionExcludesBasicHeader) {
   Packet p = sample_gbc();

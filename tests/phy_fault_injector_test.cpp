@@ -200,7 +200,7 @@ TEST_F(FaultMediumTest, CorruptedDeliveryCarriesDamagedWireImage) {
   for (const Frame& f : received_) {
     ASSERT_FALSE(f.raw.empty());
     // Damaged, not identical: at least one bit differs from the clean wire.
-    EXPECT_NE(f.raw, net::Codec::encode(f.msg.packet));
+    EXPECT_NE(f.raw, net::Codec::encode(f.msg.packet()));
   }
 }
 

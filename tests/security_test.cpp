@@ -117,7 +117,7 @@ TEST(SecuredMessage, RhlRewriteIsUndetectable) {
   CertificateAuthority ca;
   const Signer signer{ca.enroll(addr(1))};
   auto msg = SecuredMessage::sign(sample_gbc(1), signer);
-  msg.packet.basic.remaining_hop_limit = 1;
+  msg.mutable_packet().basic.remaining_hop_limit = 1;
   EXPECT_TRUE(msg.verify(*ca.trust_store()));
 }
 
@@ -125,7 +125,7 @@ TEST(SecuredMessage, PayloadTamperingIsDetected) {
   CertificateAuthority ca;
   const Signer signer{ca.enroll(addr(1))};
   auto msg = SecuredMessage::sign(sample_gbc(1), signer);
-  msg.packet.payload[0] ^= 0xFF;
+  msg.mutable_packet().payload[0] ^= 0xFF;
   EXPECT_FALSE(msg.verify(*ca.trust_store()));
 }
 
@@ -135,7 +135,7 @@ TEST(SecuredMessage, PositionTamperingIsDetected) {
   CertificateAuthority ca;
   const Signer signer{ca.enroll(addr(1))};
   auto msg = SecuredMessage::sign(sample_gbc(1), signer);
-  msg.packet.gbc()->source_pv.position.x += 500.0;
+  msg.mutable_packet().gbc()->source_pv.position.x += 500.0;
   EXPECT_FALSE(msg.verify(*ca.trust_store()));
 }
 
@@ -143,7 +143,7 @@ TEST(SecuredMessage, AreaTamperingIsDetected) {
   CertificateAuthority ca;
   const Signer signer{ca.enroll(addr(1))};
   auto msg = SecuredMessage::sign(sample_gbc(1), signer);
-  msg.packet.gbc()->area = geo::GeoArea::circle({0.0, 0.0}, 5.0);
+  msg.mutable_packet().gbc()->area = geo::GeoArea::circle({0.0, 0.0}, 5.0);
   EXPECT_FALSE(msg.verify(*ca.trust_store()));
 }
 
@@ -152,18 +152,18 @@ TEST(SecuredMessage, WrongSignerCertificateFails) {
   const Signer alice{ca.enroll(addr(1))};
   const auto bob = ca.enroll(addr(2));
   auto msg = SecuredMessage::sign(sample_gbc(1), alice);
-  msg.signer = bob.certificate;  // present someone else's certificate
+  msg.set_signer(bob.certificate);  // present someone else's certificate
   EXPECT_FALSE(msg.verify(*ca.trust_store()));
 }
 
 TEST(SecuredMessage, OutsiderForgeryFails) {
   // An attacker without any enrolled key cannot mint a valid envelope.
   CertificateAuthority ca;
-  SecuredMessage forged;
-  forged.packet = sample_gbc(1);
-  forged.signer.serial = 77;
-  forged.signer.subject = addr(1);
-  forged.signature = 0x1234'5678'9ABC'DEF0ULL;
+  Certificate fake;
+  fake.serial = 77;
+  fake.subject = addr(1);
+  const SecuredMessage forged =
+      SecuredMessage::from_parts(sample_gbc(1), fake, 0x1234'5678'9ABC'DEF0ULL);
   EXPECT_FALSE(forged.verify(*ca.trust_store()));
 }
 
@@ -197,6 +197,210 @@ TEST(Pseudonym, PseudonymCertificatesVerify) {
   const auto msg = SecuredMessage::sign(sample_gbc(id.certificate.subject.mac().bits()),
                                         Signer{id});
   EXPECT_TRUE(msg.verify(*ca.trust_store()));
+}
+
+// --- Wire-image cache -----------------------------------------------------
+
+TEST(SecuredMessage, WireMatchesCodecEncode) {
+  CertificateAuthority ca;
+  const auto msg = SecuredMessage::sign(sample_gbc(1), Signer{ca.enroll(addr(1))});
+  EXPECT_EQ(msg.wire(), net::Codec::encode(msg.packet()));
+  EXPECT_EQ(msg.wire_size(), msg.wire().size());
+}
+
+TEST(SecuredMessage, WireRebuiltAfterRhlRewrite) {
+  CertificateAuthority ca;
+  const auto msg = SecuredMessage::sign(sample_gbc(1), Signer{ca.enroll(addr(1))});
+  const net::Bytes before = msg.wire();  // warm the cache
+  const SecuredMessage hop = msg.with_remaining_hop_limit(3);
+  // The copy's wire image reflects the new RHL, not the cached original's.
+  EXPECT_EQ(hop.wire(), net::Codec::encode(hop.packet()));
+  EXPECT_NE(hop.wire(), before);
+  EXPECT_EQ(msg.wire(), before);  // the original is untouched
+}
+
+TEST(SecuredMessage, RhlRewriteSharesSignedPortion) {
+  CertificateAuthority ca;
+  const auto msg = SecuredMessage::sign(sample_gbc(1), Signer{ca.enroll(addr(1))});
+  const SecuredMessage hop = msg.with_remaining_hop_limit(3);
+  // Same object, not merely equal bytes: the forwarding path re-uses the
+  // encoding built at sign() time, which is what keeps the verify memo warm
+  // across hops.
+  EXPECT_EQ(msg.signed_portion().get(), hop.signed_portion().get());
+}
+
+TEST(SecuredMessage, MutablePacketDropsCaches) {
+  CertificateAuthority ca;
+  auto msg = SecuredMessage::sign(sample_gbc(1), Signer{ca.enroll(addr(1))});
+  const net::Bytes stale = msg.wire();
+  msg.mutable_packet().payload.push_back(0xEE);
+  EXPECT_EQ(msg.wire(), net::Codec::encode(msg.packet()));
+  EXPECT_NE(msg.wire(), stale);
+}
+
+// --- Verification memo: negative paths after a warm hit --------------------
+
+TEST(SecuredMessage, TamperAfterWarmVerifyStillFails) {
+  // A warm memo entry must never vouch for bytes it was not computed over.
+  // Every mutation shape the codec fuzzer can produce on the signed portion
+  // — payload bytes, position, area, sequence number, header fields — has to
+  // fall out of the memo and fail a full verification.
+  CertificateAuthority ca;
+  const Signer signer{ca.enroll(addr(1))};
+  const auto original = SecuredMessage::sign(sample_gbc(1), signer);
+  ASSERT_TRUE(original.verify(*ca.trust_store()));  // warm the memo
+  ASSERT_TRUE(original.verify(*ca.trust_store()));
+
+  const auto tampered_fails = [&](auto&& mutate) {
+    SecuredMessage copy = original;  // shares the warm caches
+    mutate(copy.mutable_packet());   // drops them; memo keyed on new bytes
+    return !copy.verify(*ca.trust_store());
+  };
+  EXPECT_TRUE(tampered_fails([](net::Packet& p) { p.payload[0] ^= 0x01; }));
+  EXPECT_TRUE(tampered_fails([](net::Packet& p) { p.payload.clear(); }));
+  EXPECT_TRUE(tampered_fails([](net::Packet& p) { p.payload.resize(64, 0xFF); }));
+  EXPECT_TRUE(tampered_fails([](net::Packet& p) { p.gbc()->source_pv.position.x += 1.0; }));
+  EXPECT_TRUE(tampered_fails(
+      [](net::Packet& p) { p.gbc()->area = geo::GeoArea::circle({0.0, 0.0}, 1.0); }));
+  EXPECT_TRUE(tampered_fails([](net::Packet& p) { ++p.gbc()->sequence_number; }));
+  EXPECT_TRUE(tampered_fails([](net::Packet& p) { p.common.traffic_class ^= 1; }));
+  // And the envelope fields outside the packet:
+  {
+    SecuredMessage copy = original;
+    copy.set_signature(original.signature() ^ 1);
+    EXPECT_FALSE(copy.verify(*ca.trust_store()));
+  }
+  {
+    SecuredMessage copy = original;
+    copy.set_signer(ca.enroll(addr(2)).certificate);
+    EXPECT_FALSE(copy.verify(*ca.trust_store()));
+  }
+  // Basic-header mutations stay verifiable — they are outside the signature
+  // scope by design (the paper's attack #2), warm memo or not.
+  SecuredMessage rhl = original.with_remaining_hop_limit(1);
+  EXPECT_TRUE(rhl.verify(*ca.trust_store()));
+  // The untouched original still verifies after all of the above.
+  EXPECT_TRUE(original.verify(*ca.trust_store()));
+}
+
+TEST(SecuredMessage, WireTamperThenReingestFailsVerification) {
+  // The over-the-air shape of the same property: flip bits in the wire
+  // image (the fault injector / fuzzer mutation), decode, reassemble via
+  // from_parts — exactly the router's raw-ingest path — and verify. Any
+  // decodable mutant that changed signed bytes must fail; mutants that only
+  // touched the basic header must still pass.
+  CertificateAuthority ca;
+  const Signer signer{ca.enroll(addr(1))};
+  const auto original = SecuredMessage::sign(sample_gbc(1), signer);
+  ASSERT_TRUE(original.verify(*ca.trust_store()));  // warm the memo
+  const net::Bytes wire = original.wire();
+  const net::Bytes signed_bytes = net::Codec::encode_signed_portion(original.packet());
+  int decodable = 0, signed_mutants = 0, benign_mutants = 0;
+  for (std::size_t byte = 0; byte < wire.size(); ++byte) {
+    net::Bytes mutant = wire;
+    mutant[byte] ^= 0x04;
+    const auto decoded = net::Codec::decode(mutant);
+    if (!decoded.has_value()) continue;  // ingest rejects it before verify
+    ++decodable;
+    const auto reassembled =
+        SecuredMessage::from_parts(*decoded, original.signer(), original.signature());
+    // The oracle is the signed portion of what actually decoded: flips in
+    // the basic header (RHL, lifetime) or in wire fields the decoder
+    // normalizes away (a circle's unused half-axis/azimuth doubles) leave
+    // it untouched and must keep verifying; anything else must fail.
+    if (net::Codec::encode_signed_portion(*decoded) == signed_bytes) {
+      ++benign_mutants;
+      EXPECT_TRUE(reassembled.verify(*ca.trust_store())) << "byte " << byte;
+    } else {
+      ++signed_mutants;
+      EXPECT_FALSE(reassembled.verify(*ca.trust_store())) << "byte " << byte;
+    }
+  }
+  EXPECT_GT(decodable, 0);
+  EXPECT_GT(signed_mutants, 0);
+  EXPECT_GT(benign_mutants, 0);
+}
+
+// --- TrustStore cache behaviour --------------------------------------------
+
+TEST(TrustStore, VerifyMemoHitsOnRepeatAndRhlRewrite) {
+  CertificateAuthority ca;
+  const auto msg = SecuredMessage::sign(sample_gbc(1), Signer{ca.enroll(addr(1))});
+  const TrustStore& trust = *ca.trust_store();
+
+  const auto first = msg.verify_detailed(trust);
+  EXPECT_TRUE(first.ok);
+  EXPECT_FALSE(first.from_memo);
+
+  const auto second = msg.verify_detailed(trust);
+  EXPECT_TRUE(second.ok);
+  EXPECT_TRUE(second.from_memo);
+
+  // An RHL-rewritten forward hits the same memo entry: identical signed
+  // portion, signer and signature.
+  const auto hop = msg.with_remaining_hop_limit(2).verify_detailed(trust);
+  EXPECT_TRUE(hop.ok);
+  EXPECT_TRUE(hop.from_memo);
+
+  const auto& stats = trust.cache_stats();
+  EXPECT_EQ(stats.memo_misses, 1u);
+  EXPECT_EQ(stats.memo_hits, 2u);
+}
+
+TEST(TrustStore, MemoDistinguishesEqualDigestBuckets) {
+  // Two different messages never share a verdict even if their structural
+  // digests collided: the hit condition re-checks the full bytes.
+  CertificateAuthority ca;
+  const Signer signer{ca.enroll(addr(1))};
+  const auto a = SecuredMessage::sign(sample_gbc(1), signer);
+  const auto b = SecuredMessage::sign(sample_gbc(2), signer);
+  EXPECT_TRUE(a.verify(*ca.trust_store()));
+  EXPECT_TRUE(b.verify(*ca.trust_store()));
+  EXPECT_TRUE(a.verify(*ca.trust_store()));
+  EXPECT_GE(ca.trust_store()->cache_stats().memo_misses, 2u);
+}
+
+TEST(TrustStore, RevocationInvalidatesWarmMemo) {
+  // Revocation bumps the store generation, so a memo entry minted before
+  // the revocation can never answer for the revoked signer.
+  CertificateAuthority ca;
+  const auto id = ca.enroll(addr(1));
+  const auto msg = SecuredMessage::sign(sample_gbc(1), Signer{id});
+  ASSERT_TRUE(msg.verify(*ca.trust_store()));
+  ASSERT_TRUE(msg.verify(*ca.trust_store()));  // warm
+  const std::uint64_t gen_before = ca.trust_store()->generation();
+  ca.revoke(id.certificate.serial);
+  EXPECT_GT(ca.trust_store()->generation(), gen_before);
+  EXPECT_FALSE(msg.verify(*ca.trust_store()));
+}
+
+TEST(TrustStore, EnrollmentAfterNegativeCacheIsVisible) {
+  // The dual hazard: a *negative* verdict cached before the signer enrolled
+  // (node churn re-enrollment) must not outlive the enrollment.
+  CertificateAuthority ca;
+  const auto id = ca.enroll(addr(1));
+  const auto msg = SecuredMessage::sign(sample_gbc(1), Signer{id});
+  CertificateAuthority other;  // different trust domain: verification fails
+  ASSERT_FALSE(msg.verify(*other.trust_store()));
+  ASSERT_FALSE(msg.verify(*other.trust_store()));  // negative memo is warm
+  other.enroll(addr(9));  // any issue bumps the generation
+  // Still fails (wrong CA), but through a fresh computation, not the memo.
+  const auto v = msg.verify_detailed(*other.trust_store());
+  EXPECT_FALSE(v.ok);
+  EXPECT_FALSE(v.from_memo);
+}
+
+TEST(TrustStore, CertificateValidityCacheCountsHits) {
+  CertificateAuthority ca;
+  const auto id = ca.enroll(addr(1));
+  const TrustStore& trust = *ca.trust_store();
+  const auto misses_before = trust.cache_stats().cert_misses;
+  ASSERT_TRUE(trust.certificate_valid(id.certificate));
+  const auto hits_before = trust.cache_stats().cert_hits;
+  ASSERT_TRUE(trust.certificate_valid(id.certificate));
+  ASSERT_TRUE(trust.certificate_valid(id.certificate));
+  EXPECT_EQ(trust.cache_stats().cert_hits, hits_before + 2);
+  EXPECT_EQ(trust.cache_stats().cert_misses, misses_before + 1);
 }
 
 TEST(Pseudonym, RotationWrapsAroundPool) {
