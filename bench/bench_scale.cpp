@@ -52,6 +52,7 @@ struct HarnessRow {
   std::size_t threads;
   double wall_s;
   double attack_rate;
+  bool oversubscribed;
 };
 
 }  // namespace
@@ -109,8 +110,11 @@ int main() {
   // single-core host the auto value collapses to 1 and the old A/B printed
   // two identical serial rows. The ladder also shows where oversubscription
   // stops paying on small machines.
-  std::printf("\n[2] Harness scaling (inter-area A/B, %llu runs x %d s, threads in {1,2,4,8})\n",
-              static_cast<unsigned long long>(fidelity.runs), static_cast<int>(sweep_seconds));
+  const std::size_t cores = sim::ThreadPool::hardware_threads();
+  std::printf(
+      "\n[2] Harness scaling (inter-area A/B, %llu runs x %d s, threads in {1,2,4,8}, "
+      "%zu hardware core(s))\n",
+      static_cast<unsigned long long>(fidelity.runs), static_cast<int>(sweep_seconds), cores);
 
   scenario::HighwayConfig ab_cfg;
   ab_cfg.attack = scenario::AttackKind::kInterArea;
@@ -125,9 +129,11 @@ int main() {
     std::optional<scenario::AbResult> result;
     const double secs =
         wall_seconds([&] { result.emplace(scenario::run_inter_area_ab(ab_cfg, ft)); });
-    harness.push_back({threads, secs, result->attack_rate});
-    std::printf("  threads=%-3zu wall=%7.2f s  gamma=%8.5f%s\n", threads, secs,
-                result->attack_rate * 100.0, threads == 1 ? "  (reference)" : "");
+    const bool oversub = threads > cores;
+    harness.push_back({threads, secs, result->attack_rate, oversub});
+    std::printf("  threads=%-3zu wall=%7.2f s  gamma=%8.5f%s%s\n", threads, secs,
+                result->attack_rate * 100.0, threads == 1 ? "  (reference)" : "",
+                oversub ? "  [oversubscribed: threads > cores]" : "");
     if (threads != 1 && harness.front().attack_rate != result->attack_rate) {
       std::printf("  ERROR: parallel gamma differs from serial — determinism broken\n");
       return 1;
@@ -157,11 +163,14 @@ int main() {
                  r.grid_s, static_cast<unsigned long long>(r.rebuilds),
                  i + 1 < sweep.size() ? "," : "");
   }
-  std::fprintf(fjson, "  ],\n  \"harness\": [\n");
+  std::fprintf(fjson, "  ],\n  \"hardware_concurrency\": %zu,\n  \"harness\": [\n", cores);
   for (std::size_t i = 0; i < harness.size(); ++i) {
     const HarnessRow& r = harness[i];
-    std::fprintf(fjson, "    {\"threads\": %zu, \"wall_s\": %.3f, \"attack_rate\": %.17g}%s\n",
-                 r.threads, r.wall_s, r.attack_rate, i + 1 < harness.size() ? "," : "");
+    std::fprintf(fjson,
+                 "    {\"threads\": %zu, \"wall_s\": %.3f, \"attack_rate\": %.17g, "
+                 "\"oversubscribed\": %s}%s\n",
+                 r.threads, r.wall_s, r.attack_rate, r.oversubscribed ? "true" : "false",
+                 i + 1 < harness.size() ? "," : "");
   }
   std::fprintf(fjson, "  ]\n}\n");
   std::fclose(fjson);

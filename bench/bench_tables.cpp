@@ -59,7 +59,7 @@ void table_one() {
 double measured_reach(double range) {
   sim::EventQueue events;
   phy::Medium medium{events, phy::AccessTechnology::kDsrc};
-  security::SecuredMessage msg;  // empty beacon-sized payload
+  const auto msg = security::share(security::SecuredMessage{});  // empty beacon-sized payload
 
   double lo = 0.0, hi = range * 2.0;
   for (int iter = 0; iter < 40; ++iter) {
@@ -78,7 +78,7 @@ double measured_reach(double range) {
                                     [&](const phy::Frame&, phy::RadioId) { received = true; });
     phy::Frame f;
     f.src = net::MacAddress{1};
-    f.msg = msg;
+    f.msg = msg;  // shared envelope: per-probe frame shares one message
     medium.transmit(tx, f);
     events.run_until(events.now() + sim::Duration::seconds(1.0));
     medium.remove_node(tx);

@@ -43,7 +43,7 @@ int main() {
                                             ca.trust_store(), *n.mobility,
                                             gn::RouterConfig{}, range, rng.fork());
     n.router->set_delivery_handler([i](const gn::Router::Delivery& d) {
-      std::printf("  node %d <- %zu bytes at t=%.3f s\n", i, d.packet.payload.size(),
+      std::printf("  node %d <- %zu bytes at t=%.3f s\n", i, d.packet().payload.size(),
                   d.at.to_seconds());
     });
     n.router->start();

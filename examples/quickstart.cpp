@@ -47,7 +47,7 @@ int main() {
     const int index = i;
     st.router->set_delivery_handler([index](const gn::Router::Delivery& d) {
       std::printf("  station %d received %zu-byte payload at t=%.3f s (from %s)\n", index,
-                  d.packet.payload.size(), d.at.to_seconds(), to_string(d.from_mac).c_str());
+                  d.packet().payload.size(), d.at.to_seconds(), to_string(d.from_mac).c_str());
     });
     st.router->start();  // periodic beaconing: 3 s +/- 0.75 s jitter
     stations.push_back(std::move(st));

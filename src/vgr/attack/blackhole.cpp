@@ -43,7 +43,7 @@ void BlackholeAttacker::send_fake_beacon() {
 
   phy::Frame frame;
   frame.dst = net::MacAddress::broadcast();
-  frame.msg = std::move(msg);
+  frame.msg = security::share(std::move(msg));
   ++beacons_forged_;
   inject(std::move(frame));
   events_.schedule_in(config_.beacon_interval, [this] { send_fake_beacon(); });

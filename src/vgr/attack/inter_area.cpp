@@ -17,9 +17,9 @@ InterAreaInterceptor::InterAreaInterceptor(sim::EventQueue& events, phy::Medium&
     : Sniffer{events, medium, mobility, attack_range_m}, config_{config} {}
 
 void InterAreaInterceptor::on_capture(const phy::Frame& frame) {
-  if (!frame.msg.packet().is_beacon()) return;
+  if (!frame.msg->packet().is_beacon()) return;
 
-  const net::LongPositionVector& pv = frame.msg.packet().source_pv();
+  const net::LongPositionVector& pv = frame.msg->packet().source_pv();
   const std::uint64_t key =
       pv.address.bits() * 0x9e3779b97f4a7c15ULL ^ static_cast<std::uint64_t>(pv.timestamp.count());
   if (!replayed_.insert(key).second) return;

@@ -11,7 +11,7 @@ IntraAreaBlocker::IntraAreaBlocker(sim::EventQueue& events, phy::Medium& medium,
     : Sniffer{events, medium, position, attack_range_m}, config_{config} {}
 
 void IntraAreaBlocker::on_capture(const phy::Frame& frame) {
-  const net::Packet& p = frame.msg.packet();
+  const net::Packet& p = frame.msg->packet();
   const auto key_opt = p.duplicate_key();
   if (!key_opt || p.gbc() == nullptr) return;  // only GeoBroadcast floods
 
@@ -27,7 +27,7 @@ void IntraAreaBlocker::on_capture(const phy::Frame& frame) {
     // receivers cannot detect the rewrite (vulnerability #3). The rewrite
     // shares the captured envelope's signed-portion cache, just like an
     // honest forwarder's RHL decrement.
-    replay.msg = frame.msg.with_remaining_hop_limit(config_.rewritten_rhl);
+    replay.msg = security::share(frame.msg->with_remaining_hop_limit(config_.rewritten_rhl));
   } else {
     range_override = config_.targeted_range_m;
   }

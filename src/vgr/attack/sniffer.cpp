@@ -36,7 +36,7 @@ void Sniffer::capture(const phy::Frame& frame) {
   if (frame.src == own_mac_) return;  // never reprocess own injections
   ++frames_captured_;
   // Track every station's advertised position from the plaintext PVs.
-  const net::LongPositionVector& pv = frame.msg.packet().source_pv();
+  const net::LongPositionVector& pv = frame.msg->packet().source_pv();
   auto& obs = observations_[pv.address];
   if (obs.heard_at <= events_.now()) {
     obs.pv = pv;

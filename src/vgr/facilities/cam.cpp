@@ -110,10 +110,10 @@ void CamService::generate() {
 }
 
 bool CamService::on_delivery(const gn::Router::Delivery& delivery) {
-  if (delivery.packet.common.type != net::CommonHeader::HeaderType::kSingleHopBroadcast) {
+  if (delivery.packet().common.type != net::CommonHeader::HeaderType::kSingleHopBroadcast) {
     return false;
   }
-  const auto cam = CamData::decode(delivery.packet.payload, delivery.packet.source_pv());
+  const auto cam = CamData::decode(delivery.packet().payload, delivery.packet().source_pv());
   if (!cam) return false;
   ++cams_received_;
   if (handler_) handler_(*cam, delivery.at);

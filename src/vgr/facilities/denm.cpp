@@ -107,8 +107,8 @@ void DenmService::repeat(std::uint32_t event_id) {
 }
 
 void DenmService::on_delivery(const gn::Router::Delivery& delivery) {
-  if (delivery.packet.gbc() == nullptr) return;
-  const auto denm = DenmData::decode(delivery.packet.payload);
+  if (delivery.packet().gbc() == nullptr) return;
+  const auto denm = DenmData::decode(delivery.packet().payload);
   if (!denm) return;
   const auto key = std::make_pair(denm->originator.bits(), denm->event_id);
   if (denm->cancellation) {

@@ -12,9 +12,9 @@ sim::Duration cbf_timeout(double dist_m, sim::Duration to_min, sim::Duration to_
   return sim::Duration::nanos(static_cast<std::int64_t>(to_ns));
 }
 
-void CbfBuffer::insert(const CbfKey& key, security::SecuredMessage msg, std::uint8_t received_rhl,
-                       sim::Duration timeout, RebroadcastFn on_timeout, DeferFn defer,
-                       std::optional<sim::TimePoint> expiry) {
+void CbfBuffer::insert(const CbfKey& key, security::SecuredMessagePtr msg,
+                       std::uint8_t received_rhl, sim::Duration timeout, RebroadcastFn on_timeout,
+                       DeferFn defer, std::optional<sim::TimePoint> expiry) {
   if (entries_.contains(key)) return;
   entries_.emplace(key, Entry{std::move(msg), received_rhl, sim::EventId{},
                               std::move(on_timeout), std::move(defer), expiry});
@@ -23,7 +23,7 @@ void CbfBuffer::insert(const CbfKey& key, security::SecuredMessage msg, std::uin
 
 void CbfBuffer::arm_timer(const CbfKey& key, sim::Duration timeout) {
   auto& entry = entries_.at(key);
-  entry.timer = events_.schedule_in(timeout, [this, key] {
+  entry.timer = events_.schedule_in(timeout, cohort_, [this, key] {
     const auto it = entries_.find(key);
     if (it == entries_.end()) return;
     if (it->second.expiry && events_.now() >= *it->second.expiry) {
@@ -39,7 +39,7 @@ void CbfBuffer::arm_timer(const CbfKey& key, sim::Duration timeout) {
         return;
       }
     }
-    security::SecuredMessage msg = std::move(it->second.msg);
+    security::SecuredMessagePtr msg = std::move(it->second.msg);
     RebroadcastFn cb = std::move(it->second.on_timeout);
     entries_.erase(it);
     cb(msg);
@@ -64,8 +64,9 @@ CbfDuplicateOutcome CbfBuffer::on_duplicate(const CbfKey& key, std::uint8_t dupl
 }
 
 void CbfBuffer::clear() {
-  // vgr-lint: ordered-ok (cancelling timers commutes across orders)
-  for (auto& [key, entry] : entries_) events_.cancel(entry.timer);
+  // One generation bump retires every contention timer at once; the event
+  // queue collects the retired slots lazily as they surface.
+  events_.cancel_cohort(cohort_);
   entries_.clear();
 }
 

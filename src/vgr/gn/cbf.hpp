@@ -52,13 +52,14 @@ enum class CbfDuplicateOutcome {
 /// the configured threshold relative to the buffered copy.
 class CbfBuffer {
  public:
-  explicit CbfBuffer(sim::EventQueue& events) : events_{events} {}
+  explicit CbfBuffer(sim::EventQueue& events)
+      : events_{events}, cohort_{events.make_cohort()} {}
   ~CbfBuffer() { clear(); }
 
   CbfBuffer(const CbfBuffer&) = delete;
   CbfBuffer& operator=(const CbfBuffer&) = delete;
 
-  using RebroadcastFn = std::function<void(const security::SecuredMessage&)>;
+  using RebroadcastFn = std::function<void(const security::SecuredMessagePtr&)>;
   /// Polled when a contention timer fires: a returned duration defers the
   /// rebroadcast (carrier-sense busy channel); nullopt lets it proceed.
   using DeferFn = std::function<std::optional<sim::Duration>()>;
@@ -73,7 +74,7 @@ class CbfBuffer {
   /// by the packet's lifetime: a deferral loop on a persistently busy
   /// channel can otherwise re-arm past the point where rebroadcasting the
   /// packet is useful (recovery layer, `RouterConfig::cbf_lifetime_expiry`).
-  void insert(const CbfKey& key, security::SecuredMessage msg, std::uint8_t received_rhl,
+  void insert(const CbfKey& key, security::SecuredMessagePtr msg, std::uint8_t received_rhl,
               sim::Duration timeout, RebroadcastFn on_timeout, DeferFn defer = {},
               std::optional<sim::TimePoint> expiry = std::nullopt);
 
@@ -89,12 +90,14 @@ class CbfBuffer {
   /// Entries dropped because their packet lifetime ran out mid-contention.
   [[nodiscard]] std::uint64_t lifetime_expired() const { return lifetime_expired_; }
 
-  /// Cancels all pending timers (used at router shutdown).
+  /// Cancels all pending timers (used at router shutdown). The timers live
+  /// in this buffer's cancellation cohort, so the whole population retires
+  /// in O(1) regardless of how many contentions are in flight.
   void clear();
 
  private:
   struct Entry {
-    security::SecuredMessage msg;
+    security::SecuredMessagePtr msg;
     std::uint8_t received_rhl;
     sim::EventId timer;
     RebroadcastFn on_timeout;
@@ -105,6 +108,7 @@ class CbfBuffer {
   void arm_timer(const CbfKey& key, sim::Duration timeout);
 
   sim::EventQueue& events_;
+  sim::CohortId cohort_;  ///< every contention timer is scheduled into this
   std::unordered_map<CbfKey, Entry, CbfKeyHash> entries_;
   std::uint64_t lifetime_expired_{0};
 };

@@ -7,39 +7,50 @@ std::optional<GfSelection> select_next_hop(const LocationTable& table, net::GnAd
                                            sim::TimePoint now, const GfPolicy& policy,
                                            const std::unordered_set<net::GnAddress>* exclude) {
   const double own_distance = geo::distance(self_position, destination);
-  std::optional<GfSelection> best;
+  const LocationTable::Columns cols = table.columns();
+  std::size_t best = cols.size;  // sentinel: none
   double best_distance = own_distance;
 
-  table.for_each(now, [&](const LocTableEntry& entry) {
-    if (!entry.is_neighbor) return;           // GF only considers one-hop peers
-    if (entry.pv.address == self) return;     // never forward to ourselves
-    if (exclude != nullptr && exclude->contains(entry.pv.address)) return;
-    if (policy.monitor != nullptr && !policy.monitor->alive(entry.pv.address, now)) return;
-    const double d = geo::distance(entry.pv.position, destination);
-    if (d > best_distance) return;            // no (better) progress
+  // Streams the table's SoA columns directly: the candidate filter tests
+  // one dense byte (neighbour flag) per row, and only surviving rows pull
+  // in the packed PV row — no node pointers, no per-entry callback.
+  // Selection is a total order (distance, then freshest PV, then lowest
+  // address), so row order cannot pick the winner.
+  for (std::size_t i = 0; i < cols.size; ++i) {
+    if (cols.is_neighbor[i] == 0) continue;      // GF only considers one-hop peers
+    if (now >= cols.pv[i].expiry) continue;      // expired, awaiting purge
+    if (cols.addr[i] == self) continue;          // never forward to ourselves
+    if (exclude != nullptr && exclude->contains(cols.addr[i])) continue;
+    if (policy.monitor != nullptr && !policy.monitor->alive(cols.addr[i], now)) continue;
+    const double d = geo::distance(cols.pv[i].position, destination);
+    if (d > best_distance) continue;             // no (better) progress
     if (d == best_distance) {
-      // Exact-tie progress. for_each visits in hash order, which must not
-      // pick the winner. The freshest position vector wins — two aliases of
-      // one vehicle (pseudonym rotation) tie at the same position, and only
-      // the newest binding's MAC is still live — then the lowest GN address
-      // as a total order over distinct same-distance vehicles. A tie with
-      // our own distance is still "no progress" (best is empty then).
-      if (!best) return;
-      const bool fresher = entry.pv.timestamp > best->next_hop.timestamp ||
-                           (entry.pv.timestamp == best->next_hop.timestamp &&
-                            entry.pv.address.bits() < best->next_hop.address.bits());
-      if (!fresher) return;
+      // Exact-tie progress. The freshest position vector wins — two aliases
+      // of one vehicle (pseudonym rotation) tie at the same position, and
+      // only the newest binding's MAC is still live — then the lowest GN
+      // address as a total order over distinct same-distance vehicles. A
+      // tie with our own distance is still "no progress" (best empty then).
+      if (best == cols.size) continue;
+      const bool fresher = cols.pv[i].timestamp > cols.pv[best].timestamp ||
+                           (cols.pv[i].timestamp == cols.pv[best].timestamp &&
+                            cols.addr[i].bits() < cols.addr[best].bits());
+      if (!fresher) continue;
     }
     if (policy.plausibility_check) {
-      const geo::Position at_now =
-          policy.extrapolate ? entry.pv.position_at(now) : entry.pv.position;
-      if (geo::distance(self_position, at_now) > policy.threshold_m) return;
+      geo::Position at_now = cols.pv[i].position;
+      if (policy.extrapolate) {
+        const double dt = (now - cols.pv[i].timestamp).to_seconds();
+        at_now = at_now +
+                 geo::heading_vector(cols.pv[i].heading_rad) * (cols.pv[i].speed_mps * dt);
+      }
+      if (geo::distance(self_position, at_now) > policy.threshold_m) continue;
     }
     best_distance = d;
-    best = GfSelection{entry.pv, d};
-  });
+    best = i;
+  }
 
-  return best;
+  if (best == cols.size) return std::nullopt;
+  return GfSelection{table.entry_at(best).pv, best_distance};
 }
 
 }  // namespace vgr::gn

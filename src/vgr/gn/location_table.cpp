@@ -1,100 +1,239 @@
 #include "vgr/gn/location_table.hpp"
 
-#include <algorithm>
+#include <cassert>
 
 namespace vgr::gn {
 
-bool LocationTable::update(const net::LongPositionVector& pv, sim::TimePoint now, bool direct) {
-  auto [it, inserted] = entries_.try_emplace(pv.address);
-  LocTableEntry& entry = it->second;
-  if (inserted) {
-    mac_index_[pv.address.mac().bits()].push_back(pv.address);
+// --- FlatIndex ----------------------------------------------------------
+
+std::uint64_t LocationTable::FlatIndex::mix(std::uint64_t key) {
+  // splitmix64 finalizer: GN addresses differ mostly in their low MAC bits,
+  // and linear probing wants those differences spread across the word.
+  key += 0x9E3779B97F4A7C15ULL;
+  key = (key ^ (key >> 30U)) * 0xBF58476D1CE4E5B9ULL;
+  key = (key ^ (key >> 27U)) * 0x94D049BB133111EBULL;
+  return key ^ (key >> 31U);
+}
+
+std::uint32_t LocationTable::FlatIndex::find(std::uint64_t key) const {
+  if (slots_.empty()) return kNpos;
+  const std::size_t mask = slots_.size() - 1;
+  for (std::size_t s = static_cast<std::size_t>(mix(key)) & mask;; s = (s + 1) & mask) {
+    const Slot& slot = slots_[s];
+    if (slot.ctrl == Ctrl::kEmpty) return kNpos;
+    if (slot.ctrl == Ctrl::kFull && slot.key == key) return slot.value;
   }
-  if (!inserted && !entry.expired(now)) {
-    if (pv.timestamp < entry.pv.timestamp) return false;  // stale update
-    const bool was_neighbor = entry.is_neighbor;
-    entry.pv = pv;
-    entry.expiry = now + ttl_;
-    entry.is_neighbor = was_neighbor || direct;
+}
+
+void LocationTable::FlatIndex::rehash(std::size_t capacity) {
+  std::vector<Slot> old = std::move(slots_);
+  slots_.assign(capacity, Slot{0, kNpos, Ctrl::kEmpty});
+  used_ = full_;  // tombstones die here
+  const std::size_t mask = capacity - 1;
+  for (const Slot& slot : old) {
+    if (slot.ctrl != Ctrl::kFull) continue;
+    std::size_t s = static_cast<std::size_t>(mix(slot.key)) & mask;
+    while (slots_[s].ctrl == Ctrl::kFull) s = (s + 1) & mask;
+    slots_[s] = slot;
+  }
+}
+
+void LocationTable::FlatIndex::reserve(std::size_t keys) {
+  // Smallest power of two keeping `keys` entries under 3/4 occupancy.
+  std::size_t capacity = 16;
+  while (keys * 4 > capacity * 3) capacity *= 2;
+  if (capacity > slots_.size()) rehash(capacity);
+}
+
+void LocationTable::FlatIndex::insert(std::uint64_t key, std::uint32_t value) {
+  // Keep the probe-relevant occupancy (full + tombstones) under 3/4.
+  if (slots_.empty() || (used_ + 1) * 4 > slots_.size() * 3) {
+    rehash(slots_.empty() ? 16 : slots_.size() * 2);
+  }
+  const std::size_t mask = slots_.size() - 1;
+  std::size_t s = static_cast<std::size_t>(mix(key)) & mask;
+  while (slots_[s].ctrl == Ctrl::kFull) {
+    assert(slots_[s].key != key && "insert of a present key");
+    s = (s + 1) & mask;
+  }
+  if (slots_[s].ctrl == Ctrl::kEmpty) ++used_;  // reusing a tombstone keeps `used_`
+  slots_[s] = Slot{key, value, Ctrl::kFull};
+  ++full_;
+}
+
+void LocationTable::FlatIndex::assign(std::uint64_t key, std::uint32_t value) {
+  assert(!slots_.empty());
+  const std::size_t mask = slots_.size() - 1;
+  for (std::size_t s = static_cast<std::size_t>(mix(key)) & mask;; s = (s + 1) & mask) {
+    assert(slots_[s].ctrl != Ctrl::kEmpty && "assign of an absent key");
+    if (slots_[s].ctrl == Ctrl::kFull && slots_[s].key == key) {
+      slots_[s].value = value;
+      return;
+    }
+  }
+}
+
+void LocationTable::FlatIndex::erase(std::uint64_t key) {
+  if (slots_.empty()) return;
+  const std::size_t mask = slots_.size() - 1;
+  for (std::size_t s = static_cast<std::size_t>(mix(key)) & mask;; s = (s + 1) & mask) {
+    if (slots_[s].ctrl == Ctrl::kEmpty) return;
+    if (slots_[s].ctrl == Ctrl::kFull && slots_[s].key == key) {
+      slots_[s].ctrl = Ctrl::kTombstone;
+      --full_;
+      return;
+    }
+  }
+}
+
+// --- LocationTable ------------------------------------------------------
+
+std::uint32_t LocationTable::append_row(const net::LongPositionVector& pv, sim::TimePoint now,
+                                        bool direct) {
+  const auto row = static_cast<std::uint32_t>(addr_.size());
+  addr_.push_back(pv.address);
+  pv_.push_back(PvRow{pv.position, pv.timestamp, pv.speed_mps, pv.heading_rad, now + ttl_});
+  neighbor_.push_back(direct ? 1 : 0);
+  // New rows become the head of their MAC chain.
+  const std::uint64_t mac = pv.address.mac().bits();
+  const std::uint32_t head = by_mac_.find(mac);
+  mac_next_.push_back(head);
+  if (head == kNpos) {
+    by_mac_.insert(mac, row);
+  } else {
+    by_mac_.assign(mac, row);
+  }
+  by_addr_.insert(pv.address.bits(), row);
+  return row;
+}
+
+void LocationTable::reserve(std::size_t rows) {
+  addr_.reserve(rows);
+  pv_.reserve(rows);
+  neighbor_.reserve(rows);
+  mac_next_.reserve(rows);
+  by_addr_.reserve(rows);
+  by_mac_.reserve(rows);
+}
+
+bool LocationTable::update(const net::LongPositionVector& pv, sim::TimePoint now, bool direct) {
+  const std::uint32_t row = by_addr_.find(pv.address.bits());
+  if (row == kNpos) {
+    append_row(pv, now, direct);
+    return direct;
+  }
+  if (now < pv_[row].expiry) {  // live entry: refresh
+    if (pv.timestamp < pv_[row].timestamp) return false;  // stale update
+    const bool was_neighbor = neighbor_[row] != 0;
+    pv_[row] = PvRow{pv.position, pv.timestamp, pv.speed_mps, pv.heading_rad, now + ttl_};
+    neighbor_[row] = (was_neighbor || direct) ? 1 : 0;
     return direct && !was_neighbor;
   }
-  entry = LocTableEntry{pv, now + ttl_, direct};
+  // Expired entry re-learned: overwrite in place (indexes are unchanged).
+  pv_[row] = PvRow{pv.position, pv.timestamp, pv.speed_mps, pv.heading_rad, now + ttl_};
+  neighbor_[row] = direct ? 1 : 0;
   return direct;
 }
 
-void LocationTable::unindex(net::GnAddress addr) {
-  const auto bucket = mac_index_.find(addr.mac().bits());
-  if (bucket == mac_index_.end()) return;
-  auto& addrs = bucket->second;
-  addrs.erase(std::remove(addrs.begin(), addrs.end(), addr), addrs.end());
-  if (addrs.empty()) mac_index_.erase(bucket);
+void LocationTable::mac_unlink(std::uint32_t i) {
+  const std::uint64_t mac = addr_[i].mac().bits();
+  const std::uint32_t head = by_mac_.find(mac);
+  assert(head != kNpos);
+  if (head == i) {
+    if (mac_next_[i] == kNpos) {
+      by_mac_.erase(mac);
+    } else {
+      by_mac_.assign(mac, mac_next_[i]);
+    }
+    return;
+  }
+  std::uint32_t j = head;
+  while (mac_next_[j] != i) j = mac_next_[j];
+  mac_next_[j] = mac_next_[i];
+}
+
+void LocationTable::mac_relink(std::uint32_t from, std::uint32_t to) {
+  const std::uint64_t mac = addr_[to].mac().bits();
+  const std::uint32_t head = by_mac_.find(mac);
+  assert(head != kNpos);
+  if (head == from) {
+    by_mac_.assign(mac, to);
+    return;
+  }
+  std::uint32_t j = head;
+  while (mac_next_[j] != from) j = mac_next_[j];
+  mac_next_[j] = to;
+}
+
+void LocationTable::remove_row(std::uint32_t i) {
+  mac_unlink(i);
+  by_addr_.erase(addr_[i].bits());
+  const auto last = static_cast<std::uint32_t>(addr_.size() - 1);
+  if (i != last) {
+    addr_[i] = addr_[last];
+    pv_[i] = pv_[last];
+    neighbor_[i] = neighbor_[last];
+    mac_next_[i] = mac_next_[last];
+    by_addr_.assign(addr_[i].bits(), i);
+    mac_relink(last, i);
+  }
+  addr_.pop_back();
+  pv_.pop_back();
+  neighbor_.pop_back();
+  mac_next_.pop_back();
 }
 
 bool LocationTable::erase(net::GnAddress addr) {
-  if (entries_.erase(addr) == 0) return false;
-  unindex(addr);
+  const std::uint32_t row = by_addr_.find(addr.bits());
+  if (row == kNpos) return false;
+  remove_row(row);
   return true;
 }
 
 std::optional<LocTableEntry> LocationTable::find(net::GnAddress addr, sim::TimePoint now) const {
-  const auto it = entries_.find(addr);
-  if (it == entries_.end() || it->second.expired(now)) return std::nullopt;
-  return it->second;
+  const std::uint32_t row = by_addr_.find(addr.bits());
+  if (row == kNpos || now >= pv_[row].expiry) return std::nullopt;
+  return entry_at(row);
 }
 
 std::optional<LocTableEntry> LocationTable::find_by_mac(net::MacAddress mac,
                                                         sim::TimePoint now) const {
-  // GN addresses embed the link-layer address; the MAC index narrows the
+  // GN addresses embed the link-layer address; the MAC chain narrows the
   // candidates to the (usually single) address bound to `mac`. Two live
   // entries share a MAC across a pseudonym rotation (old and new alias),
-  // and hash order must not pick between them: the newest binding wins —
+  // and chain order must not pick between them: the newest binding wins —
   // that is the alias the peer is actually using — with the lowest GN
   // address as a deterministic tie-break.
-  const auto bucket = mac_index_.find(mac.bits());
-  if (bucket == mac_index_.end()) return std::nullopt;
-  std::optional<LocTableEntry> best;
-  // vgr-lint: ordered-ok (order-insensitive selection: newest binding, then lowest address)
-  for (const net::GnAddress addr : bucket->second) {
-    const auto it = entries_.find(addr);
-    if (it == entries_.end() || it->second.expired(now)) continue;
-    const LocTableEntry& entry = it->second;
-    const bool newer = !best || entry.pv.timestamp > best->pv.timestamp ||
-                       (entry.pv.timestamp == best->pv.timestamp &&
-                        addr.bits() < best->pv.address.bits());
-    if (newer) best = entry;
+  std::uint32_t best = kNpos;
+  for (std::uint32_t row = by_mac_.find(mac.bits()); row != kNpos; row = mac_next_[row]) {
+    if (now >= pv_[row].expiry) continue;
+    const bool newer = best == kNpos || pv_[row].timestamp > pv_[best].timestamp ||
+                       (pv_[row].timestamp == pv_[best].timestamp &&
+                        addr_[row].bits() < addr_[best].bits());
+    if (newer) best = row;
   }
-  return best;
+  if (best == kNpos) return std::nullopt;
+  return entry_at(best);
 }
 
 void LocationTable::for_each(sim::TimePoint now,
                              const std::function<void(const LocTableEntry&)>& visit) const {
-  // Visitation is in hash order by contract: callers that derive a decision
-  // from the walk must be order-insensitive (counting, min/max with an
-  // explicit address tie-break — see select_next_hop) or sort what they
-  // collect before acting on it.
-  // vgr-lint: ordered-ok (contract documented above; consumers audited)
-  for (const auto& [addr, entry] : entries_) {
-    if (!entry.expired(now)) visit(entry);
+  for (std::size_t row = 0; row < addr_.size(); ++row) {
+    if (now < pv_[row].expiry) visit(entry_at(row));
   }
 }
 
 void LocationTable::purge(sim::TimePoint now) {
-  // vgr-lint: ordered-ok (erasing expired entries commutes across orders)
-  for (auto it = entries_.begin(); it != entries_.end();) {
-    if (it->second.expired(now)) {
-      unindex(it->first);
-      it = entries_.erase(it);
-    } else {
-      ++it;
-    }
+  // Backwards so a swap-remove only ever moves an already-visited row.
+  for (std::size_t row = addr_.size(); row-- > 0;) {
+    if (now >= pv_[row].expiry) remove_row(static_cast<std::uint32_t>(row));
   }
 }
 
 std::size_t LocationTable::size(sim::TimePoint now) const {
   std::size_t n = 0;
-  // vgr-lint: ordered-ok (pure count, order-insensitive)
-  for (const auto& [addr, entry] : entries_) {
-    if (!entry.expired(now)) ++n;
+  for (std::size_t row = 0; row < addr_.size(); ++row) {
+    if (now < pv_[row].expiry) ++n;
   }
   return n;
 }

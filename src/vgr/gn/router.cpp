@@ -45,6 +45,11 @@ Router::Router(sim::EventQueue& events, phy::Medium& medium, security::Signer si
       loc_table_{config.locte_ttl},
       cbf_{events} {
   assert(trust_ != nullptr);
+  timers_ = events_.make_cohort();
+  // Pre-size the location table for a dense neighbourhood so steady-state
+  // beacon ingest never reallocates its columns or indexes (the SoA memory
+  // plane's no-allocation invariant; ~10 KiB per router up front).
+  loc_table_.reserve(128);
   if (config_.scf_enabled) {
     scf_ = ScfBuffer{ScfConfig{config_.scf_max_packets, config_.scf_max_bytes}};
   }
@@ -76,7 +81,7 @@ void Router::start() {
   const auto delay =
       sim::Duration::nanos(static_cast<std::int64_t>(
           rng_.uniform() * static_cast<double>(config_.beacon_interval.count())));
-  beacon_event_ = events_.schedule_in(delay, [this] {
+  beacon_event_ = events_.schedule_in(delay, timers_, [this] {
     send_beacon_now();
     schedule_beacon();
   });
@@ -85,13 +90,12 @@ void Router::start() {
 void Router::shutdown() {
   if (!running_) return;
   running_ = false;
-  events_.cancel(beacon_event_);
-  events_.cancel(gf_retry_event_);
-  events_.cancel(monitor_event_);
-  // vgr-lint: ordered-ok (cancelling timers commutes across orders)
-  for (auto& [addr, pending] : ls_pending_) events_.cancel(pending.retry_timer);
-  // vgr-lint: ordered-ok (cancelling timers commutes across orders)
-  for (auto& [key, pending] : ack_pending_) events_.cancel(pending.timer);
+  // Every router-owned timer (beacon, GF retry, monitor sweep, LS retries,
+  // ACK/retransmission timers) lives in one cancellation cohort: a single
+  // generation bump retires them all, instead of walking the pending maps
+  // tombstoning timers one by one. cbf_.clear() does the same for the CBF
+  // contention timers via the buffer's own cohort.
+  events_.cancel_cohort(timers_);
   ls_pending_.clear();
   ack_pending_.clear();
   cbf_.clear();
@@ -121,7 +125,7 @@ void Router::schedule_beacon() {
   if (!running_) return;
   const auto jitter = sim::Duration::nanos(static_cast<std::int64_t>(
       rng_.uniform() * static_cast<double>(config_.beacon_jitter.count())));
-  beacon_event_ = events_.schedule_in(config_.beacon_interval + jitter, [this] {
+  beacon_event_ = events_.schedule_in(config_.beacon_interval + jitter, timers_, [this] {
     send_beacon_now();
     schedule_beacon();
   });
@@ -135,7 +139,8 @@ void Router::send_beacon_now() {
   p.common.type = net::CommonHeader::HeaderType::kBeacon;
   p.common.max_hop_limit = 1;
   p.extended = net::BeaconHeader{self_pv()};
-  transmit(security::SecuredMessage::sign(p, signer_), net::MacAddress::broadcast());
+  transmit(security::share(security::SecuredMessage::sign(p, signer_)),
+           net::MacAddress::broadcast());
   ++stats_.beacons_sent;
 }
 
@@ -157,7 +162,7 @@ net::SequenceNumber Router::send_geo_broadcast(const geo::GeoArea& area, net::By
   duplicates_.check_and_record(p);
   ++stats_.gbc_originated;
 
-  auto msg = security::SecuredMessage::sign(p, signer_);
+  auto msg = security::share(security::SecuredMessage::sign(p, signer_));
   if (area.contains(mobility_.position())) {
     // Source inside the destination area broadcasts immediately; receivers
     // contend via CBF (paper §II).
@@ -193,7 +198,8 @@ net::SequenceNumber Router::send_geo_unicast(net::GnAddress destination,
 
   duplicates_.check_and_record(p);
   ++stats_.guc_originated;
-  gf_route(security::SecuredMessage::sign(p, signer_), dest_pos, /*allow_buffer=*/true);
+  gf_route(security::share(security::SecuredMessage::sign(p, signer_)), dest_pos,
+           /*allow_buffer=*/true);
   return sn;
 }
 
@@ -214,13 +220,14 @@ net::SequenceNumber Router::send_geo_anycast(const geo::GeoArea& area, net::Byte
   ++stats_.gbc_originated;  // anycast shares the geo-addressed counter
   // A source already inside the area trivially satisfies "any one station".
   if (!area.contains(mobility_.position())) {
-    gf_route(security::SecuredMessage::sign(p, signer_), area.center(), /*allow_buffer=*/true);
+    gf_route(security::share(security::SecuredMessage::sign(p, signer_)), area.center(),
+             /*allow_buffer=*/true);
   }
   return sn;
 }
 
-void Router::handle_gac(const security::SecuredMessage& msg, const phy::Frame& frame) {
-  const net::Packet& p = msg.packet();
+void Router::handle_gac(const security::SecuredMessagePtr& msg, const phy::Frame& frame) {
+  const net::Packet& p = msg->packet();
   if (duplicates_.check_and_record(p, frame.src)) {
     ++stats_.duplicates;
     return;
@@ -228,7 +235,7 @@ void Router::handle_gac(const security::SecuredMessage& msg, const phy::Frame& f
   const net::GacHeader& gac = *p.gac();
   if (gac.area.contains(mobility_.position())) {
     // First station inside the area consumes the packet — no flooding.
-    deliver(p, frame.src);
+    deliver(msg, frame.src);
     return;
   }
   const std::uint8_t received_rhl = p.basic.remaining_hop_limit;
@@ -236,7 +243,7 @@ void Router::handle_gac(const security::SecuredMessage& msg, const phy::Frame& f
     ++stats_.rhl_exhausted;
     return;
   }
-  gf_route(msg.with_remaining_hop_limit(received_rhl - 1), gac.area.center(),
+  gf_route(security::share(msg->with_remaining_hop_limit(received_rhl - 1)), gac.area.center(),
            /*allow_buffer=*/true);
 }
 
@@ -257,7 +264,7 @@ void Router::send_geo_unicast_resolving(net::GnAddress destination, net::Bytes p
   if (inserted) {
     send_ls_request(destination);
     it->second.retry_timer = events_.schedule_in(
-        config_.ls_retry_interval, [this, destination] { ls_retry(destination); });
+        config_.ls_retry_interval, timers_, [this, destination] { ls_retry(destination); });
   }
 }
 
@@ -269,7 +276,8 @@ void Router::send_ls_request(net::GnAddress target) {
   p.extended = net::LsRequestHeader{next_sequence_++, self_pv(), target};
   duplicates_.check_and_record(p);
   ++stats_.ls_requests_sent;
-  transmit(security::SecuredMessage::sign(p, signer_), net::MacAddress::broadcast());
+  transmit(security::share(security::SecuredMessage::sign(p, signer_)),
+           net::MacAddress::broadcast());
 }
 
 void Router::ls_retry(net::GnAddress target) {
@@ -282,8 +290,8 @@ void Router::ls_retry(net::GnAddress target) {
     return;
   }
   send_ls_request(target);
-  it->second.retry_timer =
-      events_.schedule_in(config_.ls_retry_interval, [this, target] { ls_retry(target); });
+  it->second.retry_timer = events_.schedule_in(config_.ls_retry_interval, timers_,
+                                               [this, target] { ls_retry(target); });
 }
 
 void Router::send_single_hop_broadcast(net::Bytes payload) {
@@ -295,7 +303,8 @@ void Router::send_single_hop_broadcast(net::Bytes payload) {
   p.extended = net::ShbHeader{self_pv()};
   p.payload = std::move(payload);
   ++stats_.shb_sent;
-  transmit(security::SecuredMessage::sign(p, signer_), net::MacAddress::broadcast());
+  transmit(security::share(security::SecuredMessage::sign(p, signer_)),
+           net::MacAddress::broadcast());
 }
 
 net::SequenceNumber Router::send_topo_broadcast(net::Bytes payload,
@@ -311,7 +320,8 @@ net::SequenceNumber Router::send_topo_broadcast(net::Bytes payload,
   const net::SequenceNumber sn = next_sequence_++;
   duplicates_.check_and_record(p);
   ++stats_.tsb_originated;
-  transmit(security::SecuredMessage::sign(p, signer_), net::MacAddress::broadcast());
+  transmit(security::share(security::SecuredMessage::sign(p, signer_)),
+           net::MacAddress::broadcast());
   return sn;
 }
 
@@ -326,7 +336,7 @@ void Router::on_frame(const phy::Frame& frame) {
   //    outside the signature scope, as EN 302 636-4-1 allows) slips past
   //    verification and must be caught by the semantic checks instead.
   //
-  //    The clean fast path hands `frame.msg` onward *by reference*: one
+  //    The clean fast path hands `frame.msg` onward by shared pointer: one
   //    transmission's frame is shared by every receiver, and nothing past
   //    this point mutates the message in place.
   if (!frame.raw.empty()) {
@@ -335,26 +345,27 @@ void Router::on_frame(const phy::Frame& frame) {
       ++stats_.ingest_decode_failures;
       return;
     }
-    const security::SecuredMessage reassembled = security::SecuredMessage::from_parts(
-        std::move(*decoded), frame.msg.signer(), frame.msg.signature());
+    const security::SecuredMessagePtr reassembled =
+        security::share(security::SecuredMessage::from_parts(
+            std::move(*decoded), frame.msg->signer(), frame.msg->signature()));
     process_frame(reassembled, frame);
     return;
   }
   process_frame(frame.msg, frame);
 }
 
-void Router::process_frame(const security::SecuredMessage& msg, const phy::Frame& frame) {
+void Router::process_frame(const security::SecuredMessagePtr& msg, const phy::Frame& frame) {
   // 1. Semantic validation, before any router state is touched: a malformed
   //    packet must never reach the location table, the duplicate detector or
   //    the greedy-forwarding geometry.
-  if (!validate_ingest(msg.packet())) return;
+  if (!validate_ingest(msg->packet())) return;
 
   // 2. Security: every GeoNetworking message must verify against the trust
   //    store. Forged messages (e.g. a blackhole attacker's fake beacons) die
   //    here; *replayed* ones sail through — the paper's key observation.
   //    The first receiver of a transmission pays the full check; its
   //    co-receivers (and later hops) hit the trust store's memo.
-  const security::VerifyResult verdict = msg.verify_detailed(*trust_);
+  const security::VerifyResult verdict = msg->verify_detailed(*trust_);
   if (verdict.from_memo) {
     ++stats_.verify_memo_hits;
   } else {
@@ -364,7 +375,7 @@ void Router::process_frame(const security::SecuredMessage& msg, const phy::Frame
     ++stats_.auth_failures;
     return;
   }
-  const net::Packet& p = msg.packet();
+  const net::Packet& p = msg->packet();
   const net::LongPositionVector& so = p.source_pv();
   if (so.address == address_) {
     // Our own GN address arriving from the air: either a genuine address
@@ -427,7 +438,7 @@ void Router::process_frame(const security::SecuredMessage& msg, const phy::Frame
       handle_tsb(msg, frame);
       break;
     case net::CommonHeader::HeaderType::kSingleHopBroadcast:
-      deliver(p, frame.src);
+      deliver(msg, frame.src);
       break;
     case net::CommonHeader::HeaderType::kLsRequest:
       handle_ls_request(msg, frame);
@@ -487,24 +498,25 @@ bool Router::validate_ingest(const net::Packet& p) {
   return true;
 }
 
-void Router::handle_tsb(const security::SecuredMessage& msg, const phy::Frame& frame) {
-  const net::Packet& p = msg.packet();
+void Router::handle_tsb(const security::SecuredMessagePtr& msg, const phy::Frame& frame) {
+  const net::Packet& p = msg->packet();
   if (duplicates_.check_and_record(p, frame.src)) {
     ++stats_.duplicates;
     return;
   }
-  deliver(p, frame.src);
+  deliver(msg, frame.src);
   const std::uint8_t received_rhl = p.basic.remaining_hop_limit;
   if (received_rhl <= 1) {
     ++stats_.rhl_exhausted;
     return;
   }
   ++stats_.tsb_forwards;
-  transmit(msg.with_remaining_hop_limit(received_rhl - 1), net::MacAddress::broadcast());
+  transmit(security::share(msg->with_remaining_hop_limit(received_rhl - 1)),
+           net::MacAddress::broadcast());
 }
 
-void Router::handle_ls_request(const security::SecuredMessage& msg, const phy::Frame& frame) {
-  const net::Packet& p = msg.packet();
+void Router::handle_ls_request(const security::SecuredMessagePtr& msg, const phy::Frame& frame) {
+  const net::Packet& p = msg->packet();
   if (duplicates_.check_and_record(p, frame.src)) {
     ++stats_.duplicates;
     return;
@@ -524,7 +536,7 @@ void Router::handle_ls_request(const security::SecuredMessage& msg, const phy::F
     reply.extended = net::LsReplyHeader{next_sequence_++, self_pv(), dest};
     duplicates_.check_and_record(reply);
     ++stats_.ls_replies_sent;
-    gf_route(security::SecuredMessage::sign(reply, signer_), dest.position,
+    gf_route(security::share(security::SecuredMessage::sign(reply, signer_)), dest.position,
              /*allow_buffer=*/true);
     return;
   }
@@ -534,11 +546,12 @@ void Router::handle_ls_request(const security::SecuredMessage& msg, const phy::F
     ++stats_.rhl_exhausted;
     return;
   }
-  transmit(msg.with_remaining_hop_limit(received_rhl - 1), net::MacAddress::broadcast());
+  transmit(security::share(msg->with_remaining_hop_limit(received_rhl - 1)),
+           net::MacAddress::broadcast());
 }
 
-void Router::handle_ls_reply(const security::SecuredMessage& msg, const phy::Frame& frame) {
-  const net::Packet& p = msg.packet();
+void Router::handle_ls_reply(const security::SecuredMessagePtr& msg, const phy::Frame& frame) {
+  const net::Packet& p = msg->packet();
   if (duplicates_.check_and_record(p, frame.src)) {
     ++stats_.duplicates;
     return;
@@ -554,7 +567,8 @@ void Router::handle_ls_reply(const security::SecuredMessage& msg, const phy::Fra
     if (const auto entry = loc_table_.find(reply.destination.address, events_.now())) {
       dest_pos = entry->pv.position;
     }
-    gf_route(msg.with_remaining_hop_limit(received_rhl - 1), dest_pos, /*allow_buffer=*/true);
+    gf_route(security::share(msg->with_remaining_hop_limit(received_rhl - 1)), dest_pos,
+             /*allow_buffer=*/true);
     return;
   }
   // Resolution arrived: the reply's source PV *is* the target's position
@@ -581,11 +595,11 @@ void Router::send_ack_for(const net::Packet& packet, net::MacAddress to) {
   ack.common.max_hop_limit = 1;
   ack.extended = net::AckHeader{self_pv(), key->first, key->second};
   ++stats_.acks_sent;
-  transmit(security::SecuredMessage::sign(ack, signer_), to);
+  transmit(security::share(security::SecuredMessage::sign(ack, signer_)), to);
 }
 
-void Router::handle_ack(const security::SecuredMessage& msg) {
-  const net::AckHeader& ack = *msg.packet().ack();
+void Router::handle_ack(const security::SecuredMessagePtr& msg) {
+  const net::AckHeader& ack = *msg->packet().ack();
   const CbfKey key{ack.acked_source, ack.acked_sequence};
   const auto it = ack_pending_.find(key);
   if (it == ack_pending_.end()) return;  // late or duplicate ACK
@@ -606,12 +620,12 @@ void Router::arm_ack_timer(const CbfKey& key) {
     for (int i = 0; i < pending.attempts_this_hop; ++i) timeout += timeout;
     timeout += config_.retx_backoff_jitter * rng_.uniform();
   }
-  pending.timer = events_.schedule_in(timeout, [this, key] { ack_timeout(key); });
+  pending.timer = events_.schedule_in(timeout, timers_, [this, key] { ack_timeout(key); });
 }
 
-void Router::arm_hop_confirm(security::SecuredMessage msg, geo::Position destination,
+void Router::arm_hop_confirm(security::SecuredMessagePtr msg, geo::Position destination,
                              net::GnAddress hop) {
-  const auto key_opt = msg.packet().duplicate_key();
+  const auto key_opt = msg->packet().duplicate_key();
   if (!key_opt) return;
   const CbfKey key{key_opt->first, key_opt->second};
   auto& pending = ack_pending_[key];
@@ -633,7 +647,7 @@ void Router::hop_confirm_give_up(const CbfKey& key) {
     // Out of hops and attempts, but not out of lifetime: park the packet in
     // the SCF buffer — a new neighbour or the retry tick gives it another
     // chance.
-    const sim::TimePoint expiry = scf_expiry(pending.msg.packet());
+    const sim::TimePoint expiry = scf_expiry(pending.msg->packet());
     scf_.push(std::move(pending.msg), pending.destination, expiry);
     ++stats_.gf_buffered;
     schedule_gf_retry();
@@ -678,10 +692,10 @@ void Router::ack_timeout(const CbfKey& key) {
   arm_ack_timer(key);
 }
 
-void Router::handle_beacon(const security::SecuredMessage&) { ++stats_.beacons_received; }
+void Router::handle_beacon(const security::SecuredMessagePtr&) { ++stats_.beacons_received; }
 
-void Router::handle_gbc(const security::SecuredMessage& msg, const phy::Frame& frame) {
-  const net::Packet& p = msg.packet();
+void Router::handle_gbc(const security::SecuredMessagePtr& msg, const phy::Frame& frame) {
+  const net::Packet& p = msg->packet();
   const auto key_opt = p.duplicate_key();
   assert(key_opt.has_value());
   const CbfKey key{key_opt->first, key_opt->second};
@@ -701,7 +715,7 @@ void Router::handle_gbc(const security::SecuredMessage& msg, const phy::Frame& f
   duplicates_.check_and_record(p, frame.src);
 
   const bool inside = p.gbc()->area.contains(mobility_.position());
-  if (inside) deliver(p, frame.src);
+  if (inside) deliver(msg, frame.src);
 
   if (received_rhl <= 1) {
     // Hop budget exhausted: the packet is consumed, never forwarded. A
@@ -713,8 +727,10 @@ void Router::handle_gbc(const security::SecuredMessage& msg, const phy::Frame& f
   // Copy-on-mutate: the RHL decrement is the protocol's only per-hop
   // rewrite, and it lives outside the signature scope — the copy shares the
   // original's signed-portion encoding, so the next hop's verify is a memo
-  // hit too.
-  security::SecuredMessage forward = msg.with_remaining_hop_limit(received_rhl - 1);
+  // hit too. From here the rewrite travels as one shared envelope through
+  // CBF/GF, the phy frame and any ACK or SCF buffering.
+  security::SecuredMessagePtr forward =
+      security::share(msg->with_remaining_hop_limit(received_rhl - 1));
   if (inside) {
     cbf_contend(std::move(forward), received_rhl, frame);
   } else {
@@ -722,15 +738,15 @@ void Router::handle_gbc(const security::SecuredMessage& msg, const phy::Frame& f
   }
 }
 
-void Router::handle_guc(const security::SecuredMessage& msg, const phy::Frame& frame) {
-  const net::Packet& p = msg.packet();
+void Router::handle_guc(const security::SecuredMessagePtr& msg, const phy::Frame& frame) {
+  const net::Packet& p = msg->packet();
   if (duplicates_.check_and_record(p, frame.src)) {
     ++stats_.duplicates;
     return;
   }
   const net::GucHeader& guc = *p.guc();
   if (guc.destination.address == address_) {
-    deliver(p, frame.src);
+    deliver(msg, frame.src);
     return;
   }
   const std::uint8_t received_rhl = p.basic.remaining_hop_limit;
@@ -742,12 +758,13 @@ void Router::handle_guc(const security::SecuredMessage& msg, const phy::Frame& f
   if (const auto entry = loc_table_.find(guc.destination.address, events_.now())) {
     dest_pos = entry->pv.position;
   }
-  gf_route(msg.with_remaining_hop_limit(received_rhl - 1), dest_pos, /*allow_buffer=*/true);
+  gf_route(security::share(msg->with_remaining_hop_limit(received_rhl - 1)), dest_pos,
+           /*allow_buffer=*/true);
 }
 
-void Router::cbf_contend(security::SecuredMessage msg, std::uint8_t received_rhl,
+void Router::cbf_contend(security::SecuredMessagePtr msg, std::uint8_t received_rhl,
                          const phy::Frame& frame) {
-  const auto key_opt = msg.packet().duplicate_key();
+  const auto key_opt = msg->packet().duplicate_key();
   const CbfKey key{key_opt->first, key_opt->second};
 
   // TO is inversely proportional to the distance from the previous sender,
@@ -764,11 +781,11 @@ void Router::cbf_contend(security::SecuredMessage msg, std::uint8_t received_rhl
   // carrier-sense deferral loop) by the packet's lifetime.
   const std::optional<sim::TimePoint> expiry =
       config_.cbf_lifetime_expiry
-          ? std::optional<sim::TimePoint>{events_.now() + msg.packet().basic.lifetime}
+          ? std::optional<sim::TimePoint>{events_.now() + msg->packet().basic.lifetime}
           : std::nullopt;
   cbf_.insert(
       key, std::move(msg), received_rhl, timeout,
-      [this](const security::SecuredMessage& buffered) {
+      [this](const security::SecuredMessagePtr& buffered) {
         if (!running_) return;
         transmit(buffered, net::MacAddress::broadcast());
         ++stats_.cbf_rebroadcasts;
@@ -785,8 +802,8 @@ void Router::cbf_contend(security::SecuredMessage msg, std::uint8_t received_rhl
       expiry);
 }
 
-void Router::gf_route(security::SecuredMessage msg, geo::Position destination, bool allow_buffer,
-                      const std::unordered_set<net::GnAddress>* exclude) {
+void Router::gf_route(security::SecuredMessagePtr msg, geo::Position destination,
+                      bool allow_buffer, const std::unordered_set<net::GnAddress>* exclude) {
   const auto selection = select_next_hop(loc_table_, address_, mobility_.position(), destination,
                                          events_.now(), gf_policy(), exclude);
   if (selection) {
@@ -813,7 +830,7 @@ void Router::gf_route(security::SecuredMessage msg, geo::Position destination, b
       return;
     case GfFallback::kBuffer:
       if (allow_buffer) {
-        const sim::TimePoint expiry = scf_expiry(msg.packet());
+        const sim::TimePoint expiry = scf_expiry(msg->packet());
         scf_.push(std::move(msg), destination, expiry);
         ++stats_.gf_buffered;
         schedule_gf_retry();
@@ -837,7 +854,7 @@ sim::TimePoint Router::scf_expiry(const net::Packet& p) const {
 
 void Router::schedule_gf_retry() {
   if (scf_.empty() || events_.pending(gf_retry_event_)) return;
-  gf_retry_event_ = events_.schedule_in(config_.gf_retry_interval, [this] {
+  gf_retry_event_ = events_.schedule_in(config_.gf_retry_interval, timers_, [this] {
     if (!running_) return;
     run_gf_retries();
     schedule_gf_retry();
@@ -866,7 +883,7 @@ void Router::run_gf_retries() {
 }
 
 void Router::schedule_monitor_sweep() {
-  monitor_event_ = events_.schedule_in(monitor_.config().miss_period, [this] {
+  monitor_event_ = events_.schedule_in(monitor_.config().miss_period, timers_, [this] {
     if (!running_) return;
     run_monitor_sweep();
     schedule_monitor_sweep();
@@ -882,18 +899,18 @@ void Router::run_monitor_sweep() {
   }
 }
 
-void Router::deliver(const net::Packet& packet, net::MacAddress from) {
+void Router::deliver(const security::SecuredMessagePtr& msg, net::MacAddress from) {
   ++stats_.delivered;
-  const Delivery delivery{packet, events_.now(), from};
+  const Delivery delivery{msg, events_.now(), from};
   if (delivery_) delivery_(delivery);
   for (const auto& listener : listeners_) listener(delivery);
 }
 
-void Router::transmit(const security::SecuredMessage& msg, net::MacAddress dst) {
+void Router::transmit(const security::SecuredMessagePtr& msg, net::MacAddress dst) {
   // Any outgoing GN packet proves our liveness/position to neighbours, so
   // the beacon timer restarts (ETSI beacon service). Beacons themselves are
   // rescheduled by their own send path.
-  if (config_.beacon_suppression_on_activity && !msg.packet().is_beacon() &&
+  if (config_.beacon_suppression_on_activity && !msg->packet().is_beacon() &&
       events_.pending(beacon_event_)) {
     events_.cancel(beacon_event_);
     schedule_beacon();
@@ -901,11 +918,11 @@ void Router::transmit(const security::SecuredMessage& msg, net::MacAddress dst) 
   phy::Frame frame;
   frame.src = address_.mac();
   frame.dst = dst;
-  frame.msg = msg;
+  frame.msg = msg;  // shares the envelope — no packet copy per transmission
   if (Log::enabled(LogLevel::kTrace)) {
     Log::write(LogLevel::kTrace, events_.now(), "router",
                to_string(address_) + " @" + geo::to_string(mobility_.position()) + " tx " +
-                   to_string(msg.packet()) + (dst.is_broadcast() ? "" : " -> " + to_string(dst)));
+                   to_string(msg->packet()) + (dst.is_broadcast() ? "" : " -> " + to_string(dst)));
   }
   medium_.transmit(radio_, std::move(frame));
 }

@@ -94,10 +94,15 @@ struct RouterStats {
 class Router {
  public:
   /// Application-layer delivery of a packet whose destination includes us.
+  /// Holds the shared envelope rather than a Packet copy: handlers that
+  /// store the Delivery keep the message alive through `msg`, and handing
+  /// one to a handler costs a refcount, not a payload duplication.
   struct Delivery {
-    net::Packet packet;
+    security::SecuredMessagePtr msg;
     sim::TimePoint at;
     net::MacAddress from_mac;
+
+    [[nodiscard]] const net::Packet& packet() const { return msg->packet(); }
   };
   using DeliveryHandler = std::function<void(const Delivery&)>;
 
@@ -226,8 +231,9 @@ class Router {
   /// been decoded. `msg` is the *shared* immutable message — for a clean
   /// delivery it aliases `frame.msg`, which every co-receiver of the same
   /// transmission also sees, so nothing in here may mutate it; forwarding
-  /// rewrites copy-on-mutate via `SecuredMessage::with_remaining_hop_limit`.
-  void process_frame(const security::SecuredMessage& msg, const phy::Frame& frame);
+  /// rewrites copy-on-mutate via `SecuredMessage::with_remaining_hop_limit`
+  /// into a fresh shared envelope.
+  void process_frame(const security::SecuredMessagePtr& msg, const phy::Frame& frame);
 
   /// Semantic ingest validation: rejects packets whose decoded fields could
   /// crash or poison the router (non-finite PV coordinates, impossible hop
@@ -235,18 +241,19 @@ class Router {
   /// matching per-cause drop counter. Runs before any state mutation.
   [[nodiscard]] bool validate_ingest(const net::Packet& p);
 
-  // Handlers take the shared message by const reference: the per-receiver
-  // deep copy the old by-value signatures forced is exactly what the
-  // encode-once/verify-once hot path removes. A handler that forwards makes
-  // its own copy at the RHL rewrite point and owns it from there.
-  void handle_beacon(const security::SecuredMessage& msg);
-  void handle_gbc(const security::SecuredMessage& msg, const phy::Frame& frame);
-  void handle_guc(const security::SecuredMessage& msg, const phy::Frame& frame);
-  void handle_gac(const security::SecuredMessage& msg, const phy::Frame& frame);
-  void handle_tsb(const security::SecuredMessage& msg, const phy::Frame& frame);
-  void handle_ls_request(const security::SecuredMessage& msg, const phy::Frame& frame);
-  void handle_ls_reply(const security::SecuredMessage& msg, const phy::Frame& frame);
-  void handle_ack(const security::SecuredMessage& msg);
+  // Handlers take the shared envelope by const reference to the pointer:
+  // the per-receiver deep copy the old by-value signatures forced is
+  // exactly what the encode-once/verify-once hot path removes. A handler
+  // that forwards wraps its RHL rewrite in a fresh shared envelope and the
+  // pointer is copied (never the message) from there on.
+  void handle_beacon(const security::SecuredMessagePtr& msg);
+  void handle_gbc(const security::SecuredMessagePtr& msg, const phy::Frame& frame);
+  void handle_guc(const security::SecuredMessagePtr& msg, const phy::Frame& frame);
+  void handle_gac(const security::SecuredMessagePtr& msg, const phy::Frame& frame);
+  void handle_tsb(const security::SecuredMessagePtr& msg, const phy::Frame& frame);
+  void handle_ls_request(const security::SecuredMessagePtr& msg, const phy::Frame& frame);
+  void handle_ls_reply(const security::SecuredMessagePtr& msg, const phy::Frame& frame);
+  void handle_ack(const security::SecuredMessagePtr& msg);
   void send_ls_request(net::GnAddress target);
   void ls_retry(net::GnAddress target);
   void send_ack_for(const net::Packet& packet, net::MacAddress to);
@@ -259,7 +266,7 @@ class Router {
   [[nodiscard]] bool hop_confirm_enabled() const {
     return config_.gf_ack || config_.retx_enabled;
   }
-  void arm_hop_confirm(security::SecuredMessage msg, geo::Position destination,
+  void arm_hop_confirm(security::SecuredMessagePtr msg, geo::Position destination,
                        net::GnAddress hop);
   /// Out of hops and attempts: park the packet in the SCF buffer when the
   /// recovery layer allows, otherwise count the failure.
@@ -276,14 +283,14 @@ class Router {
   /// Routes `msg` (a GBC/GUC whose RHL is already decremented) toward
   /// `destination` with Greedy Forwarding, applying the configured fallback.
   /// `exclude` removes unresponsive hops during ACK retries.
-  void gf_route(security::SecuredMessage msg, geo::Position destination, bool allow_buffer,
+  void gf_route(security::SecuredMessagePtr msg, geo::Position destination, bool allow_buffer,
                 const std::unordered_set<net::GnAddress>* exclude = nullptr);
 
-  void cbf_contend(security::SecuredMessage msg, std::uint8_t received_rhl,
+  void cbf_contend(security::SecuredMessagePtr msg, std::uint8_t received_rhl,
                    const phy::Frame& frame);
 
-  void deliver(const net::Packet& packet, net::MacAddress from);
-  void transmit(const security::SecuredMessage& msg, net::MacAddress dst);
+  void deliver(const security::SecuredMessagePtr& msg, net::MacAddress from);
+  void transmit(const security::SecuredMessagePtr& msg, net::MacAddress dst);
   void schedule_beacon();
   void schedule_gf_retry();
   void run_gf_retries();
@@ -318,6 +325,11 @@ class Router {
   /// unbounded and reproduces the legacy GF retry buffer bit-for-bit.
   ScfBuffer scf_;
   NeighborMonitor monitor_;
+  /// Cancellation cohort holding every router-owned timer (beacon, GF
+  /// retry, monitor sweep, LS retries, ACK timers); shutdown retires the
+  /// whole population with one generation bump instead of walking the
+  /// pending maps. CBF contention timers live in the CbfBuffer's own cohort.
+  sim::CohortId timers_{};
   sim::EventId gf_retry_event_{};
   sim::EventId monitor_event_{};
   sim::EventId beacon_event_{};
@@ -343,7 +355,7 @@ class Router {
   /// `retx_max_attempts` same-hop retransmissions with exponential backoff
   /// before being rerouted past.
   struct AckPending {
-    security::SecuredMessage msg;
+    security::SecuredMessagePtr msg;
     geo::Position destination;
     std::unordered_set<net::GnAddress> tried;
     sim::EventId timer{};

@@ -11,10 +11,10 @@ constexpr std::size_t kEntryOverheadBytes = 64;
 
 }  // namespace
 
-void ScfBuffer::push(security::SecuredMessage msg, geo::Position destination,
+void ScfBuffer::push(security::SecuredMessagePtr msg, geo::Position destination,
                      sim::TimePoint expiry) {
   Entry entry{std::move(msg), destination, expiry, 0};
-  entry.bytes = entry.msg.packet().payload.size() + kEntryOverheadBytes;
+  entry.bytes = entry.msg->packet().payload.size() + kEntryOverheadBytes;
   bytes_ += entry.bytes;
   entries_.push_back(std::move(entry));
   ++stats_.inserted;

@@ -40,7 +40,7 @@ struct ScfStats {
 class ScfBuffer {
  public:
   struct Entry {
-    security::SecuredMessage msg;
+    security::SecuredMessagePtr msg;
     geo::Position destination;
     sim::TimePoint expiry;
     std::size_t bytes{0};
@@ -52,9 +52,10 @@ class ScfBuffer {
 
   explicit ScfBuffer(ScfConfig config = {}) : config_{config} {}
 
-  /// Queues one packet, head-dropping older entries while a capacity bound
-  /// is exceeded. The packet just queued is never the one evicted.
-  void push(security::SecuredMessage msg, geo::Position destination, sim::TimePoint expiry);
+  /// Queues one packet (a shared envelope — buffering copies nothing),
+  /// head-dropping older entries while a capacity bound is exceeded. The
+  /// packet just queued is never the one evicted.
+  void push(security::SecuredMessagePtr msg, geo::Position destination, sim::TimePoint expiry);
 
   /// Visits entries oldest-first: expired ones are removed and counted,
   /// live ones are offered to `try_send` and removed when it succeeds.

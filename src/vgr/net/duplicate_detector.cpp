@@ -1,17 +1,24 @@
 #include "vgr/net/duplicate_detector.hpp"
 
+#include <algorithm>
+
 namespace vgr::net {
 
 bool DuplicateDetector::check_and_record(const Packet& p, MacAddress from) {
   const auto key = p.duplicate_key();
-  if (!key) return false;
+  if (!key || window_ == 0) return false;
   auto& state = per_source_[key->first];
-  if (state.seen.contains(key->second)) return true;
-  state.seen.emplace(key->second, from);
-  state.order.push_back(key->second);
-  if (state.order.size() > window_) {
-    state.seen.erase(state.order.front());
-    state.order.pop_front();
+  if (state.find(key->second) != nullptr) return true;
+  if (state.ring.size() < window_) {
+    if (state.ring.capacity() == 0) {
+      // One right-sized block per source; small floods never regrow it.
+      state.ring.reserve(std::min<std::size_t>(window_, 32));
+    }
+    state.ring.push_back(Seen{key->second, from});
+  } else {
+    // FIFO eviction: overwrite the oldest remembered key in place.
+    state.ring[state.next] = Seen{key->second, from};
+    state.next = (state.next + 1) % window_;
   }
   return false;
 }
@@ -21,7 +28,7 @@ bool DuplicateDetector::is_duplicate(const Packet& p) const {
   if (!key) return false;
   const auto it = per_source_.find(key->first);
   if (it == per_source_.end()) return false;
-  return it->second.seen.contains(key->second);
+  return it->second.find(key->second) != nullptr;
 }
 
 bool DuplicateDetector::is_same_hop_retransmit(const Packet& p, MacAddress from) const {
@@ -29,9 +36,9 @@ bool DuplicateDetector::is_same_hop_retransmit(const Packet& p, MacAddress from)
   if (!key) return false;
   const auto it = per_source_.find(key->first);
   if (it == per_source_.end()) return false;
-  const auto seen = it->second.seen.find(key->second);
-  if (seen == it->second.seen.end()) return false;
-  return seen->second == from && from != MacAddress{};
+  const Seen* seen = it->second.find(key->second);
+  if (seen == nullptr) return false;
+  return seen->first_hop == from && from != MacAddress{};
 }
 
 }  // namespace vgr::net

@@ -1,8 +1,8 @@
 #pragma once
 
 #include <cstddef>
-#include <deque>
 #include <unordered_map>
+#include <vector>
 
 #include "vgr/net/address.hpp"
 #include "vgr/net/packet.hpp"
@@ -48,11 +48,27 @@ class DuplicateDetector {
   [[nodiscard]] std::size_t source_count() const { return per_source_.size(); }
 
  private:
+  /// One remembered key: the sequence number plus the link-layer sender of
+  /// the first copy (default-constructed when the hop was not recorded).
+  struct Seen {
+    SequenceNumber seq;
+    MacAddress first_hop;
+  };
+  /// Flat FIFO ring per source (arena/SoA memory plane): the steady state
+  /// is one contiguous vector per source instead of a hash node plus a
+  /// deque block per recorded key. Occupancy is tiny in practice (a source
+  /// window fills only under a sustained per-source flood), so the linear
+  /// scan is a handful of cache lines.
   struct SourceState {
-    /// sequence number -> link-layer sender of the first copy (a
-    /// default-constructed MacAddress when the hop was not recorded).
-    std::unordered_map<SequenceNumber, MacAddress> seen;
-    std::deque<SequenceNumber> order;
+    std::vector<Seen> ring;
+    std::size_t next{0};  ///< overwrite cursor once the ring is full
+
+    [[nodiscard]] const Seen* find(SequenceNumber seq) const {
+      for (const Seen& s : ring) {
+        if (s.seq == seq) return &s;
+      }
+      return nullptr;
+    }
   };
 
   std::size_t window_;

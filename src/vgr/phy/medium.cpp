@@ -13,58 +13,54 @@ RadioId Medium::add_node(NodeConfig config, RxCallback rx) {
   assert(config.position && "node needs a position source");
   assert(rx && "node needs a receive callback");
   const RadioId id{next_id_++};
-  nodes_.emplace(id.value, Node{std::move(config), std::move(rx), true, {}, {}});
+  nodes_.push_back(Node{std::move(config), std::move(rx), true, {}, {}});
+  ++live_nodes_;
   index_dirty_ = true;
   return id;
 }
 
 void Medium::remove_node(RadioId id) {
-  // Mark dead rather than erase so in-flight deliveries resolve safely; the
-  // next index rebuild purges the entry for good.
-  const auto it = nodes_.find(id.value);
-  if (it != nodes_.end()) {
-    it->second.alive = false;
-    index_dirty_ = true;
-  }
+  // Mark dead rather than erase — ids are slot indexes, so the slot stays
+  // and in-flight deliveries resolve safely via the alive check. The
+  // callbacks are released now; the empty slot itself is a few dozen bytes.
+  if (id.value == 0 || id.value > nodes_.size()) return;
+  Node& node = node_at(id);
+  if (!node.alive) return;
+  node.alive = false;
+  node.rx = nullptr;
+  node.config.position = nullptr;
+  node.inflight.clear();
+  --live_nodes_;
+  index_dirty_ = true;
 }
 
 void Medium::set_tx_range(RadioId id, double range_m) {
-  const auto it = nodes_.find(id.value);
-  assert(it != nodes_.end());
-  it->second.config.tx_range_m = range_m;
+  node_at(id).config.tx_range_m = range_m;
   index_dirty_ = true;  // ranges feed the index cell size
 }
 
 void Medium::set_rx_range(RadioId id, double range_m) {
-  const auto it = nodes_.find(id.value);
-  assert(it != nodes_.end());
-  it->second.config.rx_range_m = range_m;
+  node_at(id).config.rx_range_m = range_m;
   index_dirty_ = true;  // rx overrides widen the query radius
 }
 
 void Medium::set_mac(RadioId id, net::MacAddress mac) {
-  const auto it = nodes_.find(id.value);
-  assert(it != nodes_.end());
-  it->second.config.mac = mac;
+  node_at(id).config.mac = mac;
 }
 
 double Medium::tx_range(RadioId id) const {
-  const auto it = nodes_.find(id.value);
-  assert(it != nodes_.end());
-  return it->second.config.tx_range_m;
+  return node_at(id).config.tx_range_m;
 }
 
 sim::TimePoint Medium::busy_until(RadioId id) const {
-  const auto it = nodes_.find(id.value);
-  assert(it != nodes_.end());
-  return it->second.busy_until;
+  return node_at(id).busy_until;
 }
 
-bool Medium::receivable(const Node& to, geo::Position from_pos, double range_m,
-                        double distance_m) {
+bool Medium::receivable(const Node& to, geo::Position from_pos, geo::Position to_pos,
+                        double range_m, double distance_m) {
   const double reach = to.config.rx_range_m > 0.0 ? to.config.rx_range_m : range_m;
   if (distance_m > reach) return false;
-  if (obstruction_ && obstruction_(from_pos, to.config.position())) return false;
+  if (obstruction_ && obstruction_(from_pos, to_pos)) return false;
   if (reception_model_ == ReceptionModel::kLogDistanceFading) {
     const double onset = fading_onset_ * range_m;
     if (distance_m > onset) {
@@ -80,6 +76,7 @@ void Medium::transmit(RadioId sender, Frame frame, double range_override_m) {
   // delay) are drawn once per transmission, before the fan-out, in the
   // single-threaded event loop — so fault-injected runs replay exactly from
   // (seed, config) regardless of the harness's thread count.
+  assert(frame.msg != nullptr && "a frame on the air carries an envelope");
   FaultInjector::FrameDecision faults;
   if (injector_ && injector_->enabled()) faults = injector_->on_frame();
   transmit_impl(sender, std::make_shared<const Frame>(std::move(frame)), range_override_m,
@@ -88,21 +85,21 @@ void Medium::transmit(RadioId sender, Frame frame, double range_override_m) {
 
 void Medium::transmit_impl(RadioId sender, std::shared_ptr<const Frame> frame,
                            double range_override_m, const FaultInjector::FrameDecision& faults) {
-  const auto sit = nodes_.find(sender.value);
-  assert(sit != nodes_.end() && sit->second.alive && "unknown sender");
-  const geo::Position from = sit->second.config.position();
-  const double range = range_override_m > 0.0 ? range_override_m : sit->second.config.tx_range_m;
+  Node& sender_node = node_at(sender);
+  assert(sender_node.alive && "unknown sender");
+  const geo::Position from = sender_node.config.position();
+  const double range = range_override_m > 0.0 ? range_override_m : sender_node.config.tx_range_m;
 
   ++frames_sent_;
   // Arithmetic size — no serialization on the airtime path.
-  const sim::Duration tx_time = airtime(tech_, frame->msg.wire_size());
+  const sim::Duration tx_time = airtime(tech_, frame->msg->wire_size());
 
   // The transmitter occupies its own channel for the frame's airtime; a
   // half-duplex radio is deaf while transmitting, so under the
   // interference model its own airtime corrupts any overlapping reception.
-  sit->second.busy_until = std::max(sit->second.busy_until, events_.now() + tx_time);
+  sender_node.busy_until = std::max(sender_node.busy_until, events_.now() + tx_time);
   if (interference_) {
-    auto& inflight = sit->second.inflight;
+    auto& inflight = sender_node.inflight;
     const sim::TimePoint tx_end = events_.now() + tx_time;
     for (auto it = inflight.begin(); it != inflight.end();) {
       if (it->end <= events_.now()) {
@@ -132,8 +129,7 @@ void Medium::transmit_impl(RadioId sender, std::shared_ptr<const Frame> frame,
   // The retransmission shares the immutable frame object; nothing is copied.
   if (faults.duplicate) {
     events_.schedule_in(tx_time, [this, sender, frame, range_override_m] {
-      const auto it = nodes_.find(sender.value);
-      if (it == nodes_.end() || !it->second.alive) return;
+      if (!node_at(sender).alive) return;
       transmit_impl(sender, frame, range_override_m, {});
     });
   }
@@ -150,18 +146,20 @@ void Medium::transmit_impl(RadioId sender, std::shared_ptr<const Frame> frame,
     grid_.query_into(from, std::max(range, max_rx_range_m_), candidates_);
   } else {
     candidates_.clear();
-    // vgr-lint: ordered-ok (collected ids are sorted on the next line)
-    for (const auto& [id, node] : nodes_) candidates_.push_back(id);
-    std::sort(candidates_.begin(), candidates_.end());
+    for (std::uint32_t i = 0; i < nodes_.size(); ++i) {
+      if (nodes_[i].alive) candidates_.push_back(i + 1);  // slot i is id i+1
+    }
   }
 
   for (const std::uint32_t id : candidates_) {
     if (id == sender.value) continue;
-    const auto nit = nodes_.find(id);
-    if (nit == nodes_.end() || !nit->second.alive) continue;
-    Node& node = nit->second;
-    const double dist = geo::distance(from, node.config.position());
-    if (!receivable(node, from, range, dist)) continue;
+    Node& node = nodes_[id - 1];
+    if (!node.alive) continue;
+    // Grid candidates read the rebuild-time snapshot (exact, see
+    // pos_snapshot_); the reference scan path has no snapshot and asks live.
+    const geo::Position to_pos = use_index_ ? pos_snapshot_[id - 1] : node.config.position();
+    const double dist = geo::distance(from, to_pos);
+    if (!receivable(node, from, to_pos, range, dist)) continue;
     // Carrier sense: every node in radio range perceives the channel busy
     // for the frame's airtime, regardless of link-layer addressing.
     const sim::TimePoint heard_until = events_.now() + tx_time + propagation_delay(dist);
@@ -169,9 +167,13 @@ void Medium::transmit_impl(RadioId sender, std::shared_ptr<const Frame> frame,
 
     // Interference bookkeeping: any airtime overlap at this receiver
     // corrupts both frames (no capture effect). Frames addressed elsewhere
-    // still radiate energy, so they participate too.
-    auto corrupted = std::make_shared<bool>(false);
+    // still radiate energy, so they participate too. The shared corruption
+    // flag exists only under the interference model — with it off, nothing
+    // can retroactively damage a delivery, so no per-receiver flag is
+    // allocated on the common path.
+    std::shared_ptr<bool> corrupted;
     if (interference_) {
+      corrupted = std::make_shared<bool>(false);
       const sim::TimePoint start = events_.now();
       auto& inflight = node.inflight;
       for (auto it = inflight.begin(); it != inflight.end();) {
@@ -208,7 +210,7 @@ void Medium::transmit_impl(RadioId sender, std::shared_ptr<const Frame> frame,
       if (injector_->drop_delivery()) continue;
       if (injector_->corrupt_delivery()) {
         auto damaged = std::make_shared<Frame>(*frame);
-        damaged->raw = frame->msg.wire();
+        damaged->raw = frame->msg->wire();
         injector_->corrupt_bytes(damaged->raw);
         deliver_ptr = std::move(damaged);
       }
@@ -219,12 +221,12 @@ void Medium::transmit_impl(RadioId sender, std::shared_ptr<const Frame> frame,
     // callback runs after the frame's airtime, like a real channel.
     const RadioId rx_id{id};
     events_.schedule_in(delay, [this, rx_id, frame_ptr = std::move(deliver_ptr), sender,
-                                corrupted] {
-      if (*corrupted) return;
-      const auto it = nodes_.find(rx_id.value);
-      if (it == nodes_.end() || !it->second.alive) return;
+                                corrupted = std::move(corrupted)] {
+      if (corrupted && *corrupted) return;
+      const Node& receiver = node_at(rx_id);
+      if (!receiver.alive) return;
       ++frames_delivered_;
-      it->second.rx(*frame_ptr, sender);
+      receiver.rx(*frame_ptr, sender);
     });
   }
 }
@@ -238,24 +240,23 @@ void Medium::ensure_index() {
                           index_built_fired_ != events_.fired_count();
   if (!index_dirty_ && !(index_mode_ == IndexMode::kPerEvent && progressed)) return;
 
-  // Purge nodes that died since the last rebuild; in-flight deliveries to
-  // them resolve safely via the nodes_.find in the delivery callback.
-  // vgr-lint: ordered-ok (erasing dead nodes commutes across orders)
-  for (auto it = nodes_.begin(); it != nodes_.end();) {
-    it = it->second.alive ? std::next(it) : nodes_.erase(it);
-  }
-
-  std::vector<SpatialGrid::Entry> entries;
-  entries.reserve(nodes_.size());
+  // Dead nodes keep their slot (ids are slot indexes) but are simply not
+  // indexed; in-flight deliveries to them resolve via the alive check.
+  index_entries_.clear();
+  index_entries_.reserve(live_nodes_);
+  pos_snapshot_.resize(nodes_.size());
   double max_reach = 0.0;
   max_rx_range_m_ = 0.0;
-  // vgr-lint: ordered-ok (grid bucket order is irrelevant: query_into sorts its output)
-  for (const auto& [id, node] : nodes_) {
-    entries.push_back({id, node.config.position()});
+  for (std::uint32_t i = 0; i < nodes_.size(); ++i) {
+    const Node& node = nodes_[i];
+    if (!node.alive) continue;
+    const geo::Position p = node.config.position();
+    index_entries_.push_back({i + 1, p});  // slot i is id i+1
+    pos_snapshot_[i] = p;
     max_reach = std::max({max_reach, node.config.tx_range_m, node.config.rx_range_m});
     max_rx_range_m_ = std::max(max_rx_range_m_, node.config.rx_range_m);
   }
-  grid_.rebuild(entries, max_reach);
+  grid_.rebuild(index_entries_, max_reach);
   index_dirty_ = false;
   index_built_at_ = events_.now();
   index_built_fired_ = events_.fired_count();

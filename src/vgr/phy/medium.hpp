@@ -1,9 +1,9 @@
 #pragma once
 
+#include <cassert>
 #include <cstdint>
 #include <functional>
 #include <memory>
-#include <unordered_map>
 #include <vector>
 
 #include "vgr/geo/vec2.hpp"
@@ -20,10 +20,17 @@ namespace vgr::phy {
 /// One over-the-air transmission unit: link-layer header plus the secured
 /// GeoNetworking envelope. The MAC source/destination are plaintext and
 /// unauthenticated.
+///
+/// The envelope rides as a shared immutable pointer: the sender wraps its
+/// message once and every co-receiver of the transmission, every buffered
+/// copy (CBF contention, SCF carry, pending retransmission) and every
+/// later hop whose rewrite only touches the basic header aliases the same
+/// object — and with it the message's signed-portion and wire caches. A
+/// frame on the air always carries a non-null `msg`.
 struct Frame {
   net::MacAddress src{};
   net::MacAddress dst{net::MacAddress::broadcast()};
-  security::SecuredMessage msg{};
+  security::SecuredMessagePtr msg{};
   /// When non-empty, this receiver's copy arrived byte-corrupted: `raw` is
   /// the damaged wire image of `msg.packet` and MUST be decoded instead of
   /// trusting the structured packet (the router's ingest path does this,
@@ -164,7 +171,7 @@ class Medium {
   [[nodiscard]] std::uint64_t index_rebuilds() const { return index_rebuilds_; }
 
   [[nodiscard]] AccessTechnology technology() const { return tech_; }
-  [[nodiscard]] std::size_t node_count() const { return nodes_.size(); }
+  [[nodiscard]] std::size_t node_count() const { return live_nodes_; }
   [[nodiscard]] std::uint64_t frames_sent() const { return frames_sent_; }
   [[nodiscard]] std::uint64_t frames_delivered() const { return frames_delivered_; }
 
@@ -183,8 +190,8 @@ class Medium {
     std::vector<Reception> inflight;
   };
 
-  [[nodiscard]] bool receivable(const Node& to, geo::Position from_pos, double range_m,
-                                double distance_m);
+  [[nodiscard]] bool receivable(const Node& to, geo::Position from_pos, geo::Position to_pos,
+                                double range_m, double distance_m);
 
   /// Transmit body shared by the public entry point and fault-injected
   /// duplicates; `faults` carries the frame-level decisions already drawn.
@@ -195,8 +202,8 @@ class Medium {
   void transmit_impl(RadioId sender, std::shared_ptr<const Frame> frame,
                      double range_override_m, const FaultInjector::FrameDecision& faults);
 
-  /// Rebuilds the spatial index if it may be stale; erases dead nodes so
-  /// they stop occupying the node table. No-op while the index is current.
+  /// Rebuilds the spatial index if it may be stale (dead nodes are left
+  /// out of the index). No-op while the index is current.
   void ensure_index();
 
   sim::EventQueue& events_;
@@ -206,8 +213,23 @@ class Medium {
   double fading_onset_{0.8};
   ObstructionFn obstruction_{};
   std::unique_ptr<FaultInjector> injector_{};
+  /// Node slot for RadioId `v` is nodes_[v - 1]: ids are issued
+  /// sequentially from 1 and never reused, so the table is a flat vector —
+  /// every per-candidate lookup on the delivery fan-out is one indexed
+  /// load, not a hash probe. Removed nodes keep their (emptied) slot with
+  /// alive=false; in-flight deliveries to them resolve via the alive check.
+  [[nodiscard]] Node& node_at(RadioId id) {
+    assert(id.value >= 1 && id.value <= nodes_.size());
+    return nodes_[id.value - 1];
+  }
+  [[nodiscard]] const Node& node_at(RadioId id) const {
+    assert(id.value >= 1 && id.value <= nodes_.size());
+    return nodes_[id.value - 1];
+  }
+
   std::uint32_t next_id_{1};
-  std::unordered_map<std::uint32_t, Node> nodes_;
+  std::vector<Node> nodes_;
+  std::size_t live_nodes_{0};
   bool interference_{false};
   std::uint64_t frames_sent_{0};
   std::uint64_t frames_delivered_{0};
@@ -226,6 +248,16 @@ class Medium {
   double max_rx_range_m_{0.0};
   std::uint64_t index_rebuilds_{0};
   std::vector<std::uint32_t> candidates_;  ///< query scratch (hot path)
+  std::vector<SpatialGrid::Entry> index_entries_;  ///< rebuild scratch (hot path)
+  /// Node positions captured at the last index rebuild, slot-indexed like
+  /// nodes_. With the index on, the delivery fan-out reads these instead of
+  /// invoking every candidate's position callback: the rebuild cadence
+  /// already guarantees the snapshot is exact (kPerEvent rebuilds on any
+  /// event progress; kExplicit callers invalidate after every movement
+  /// batch), so the values are identical — this only removes ~2 indirect
+  /// std::function calls per candidate. Dead slots hold stale values and
+  /// are never queried (the grid excludes dead nodes).
+  std::vector<geo::Position> pos_snapshot_;
 };
 
 }  // namespace vgr::phy

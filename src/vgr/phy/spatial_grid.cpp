@@ -22,12 +22,34 @@ SpatialGrid::CellKey SpatialGrid::key_for(geo::Position p) const {
 
 void SpatialGrid::rebuild(const std::vector<Entry>& entries, double cell_size_m) {
   cell_size_m_ = std::max(cell_size_m, kMinCellSize);
-  entries_ = entries;
-  cells_.clear();
-  cells_.reserve(entries_.size());
+  entries_ = entries;  // copy-assign reuses the previous capacity
+
+  // Group entries by cell via one sort of a reused (key, index) scratch
+  // array, then lay the groups out in CSR form. Steady-state rebuilds are
+  // allocation-free; the sort keys include the entry index, so the layout
+  // is fully determined by the input order.
+  scratch_.clear();
+  scratch_.reserve(entries_.size());
   for (std::uint32_t i = 0; i < entries_.size(); ++i) {
-    cells_[key_for(entries_[i].pos)].push_back(i);
+    scratch_.push_back(KeyedIdx{key_for(entries_[i].pos), i});
   }
+  std::sort(scratch_.begin(), scratch_.end(), [](const KeyedIdx& a, const KeyedIdx& b) {
+    if (a.key != b.key) return a.key < b.key;
+    return a.idx < b.idx;
+  });
+
+  cell_keys_.clear();
+  cell_start_.clear();
+  cell_idx_.clear();
+  cell_idx_.reserve(scratch_.size());
+  for (const KeyedIdx& ki : scratch_) {
+    if (cell_keys_.empty() || cell_keys_.back() != ki.key) {
+      cell_keys_.push_back(ki.key);
+      cell_start_.push_back(static_cast<std::uint32_t>(cell_idx_.size()));
+    }
+    cell_idx_.push_back(ki.idx);
+  }
+  cell_start_.push_back(static_cast<std::uint32_t>(cell_idx_.size()));
 }
 
 std::vector<std::uint32_t> SpatialGrid::query(geo::Position center, double radius_m) const {
@@ -48,10 +70,11 @@ void SpatialGrid::query_into(geo::Position center, double radius_m,
     for (std::int32_t cy = y_lo; cy <= y_hi; ++cy) {
       const CellKey key = (static_cast<std::uint64_t>(static_cast<std::uint32_t>(cx)) << 32) |
                           static_cast<std::uint64_t>(static_cast<std::uint32_t>(cy));
-      const auto it = cells_.find(key);
-      if (it == cells_.end()) continue;
-      for (const std::uint32_t idx : it->second) {
-        const Entry& e = entries_[idx];
+      const auto it = std::lower_bound(cell_keys_.begin(), cell_keys_.end(), key);
+      if (it == cell_keys_.end() || *it != key) continue;
+      const auto cell = static_cast<std::size_t>(it - cell_keys_.begin());
+      for (std::uint32_t r = cell_start_[cell]; r < cell_start_[cell + 1]; ++r) {
+        const Entry& e = entries_[cell_idx_[r]];
         if (geo::distance(center, e.pos) <= radius_m) out.push_back(e.id);
       }
     }

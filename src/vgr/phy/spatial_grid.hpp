@@ -1,7 +1,6 @@
 #pragma once
 
 #include <cstdint>
-#include <unordered_map>
 #include <vector>
 
 #include "vgr/geo/vec2.hpp"
@@ -47,7 +46,7 @@ class SpatialGrid {
 
   [[nodiscard]] std::size_t size() const { return entries_.size(); }
   [[nodiscard]] double cell_size() const { return cell_size_m_; }
-  [[nodiscard]] std::size_t cell_count() const { return cells_.size(); }
+  [[nodiscard]] std::size_t cell_count() const { return cell_keys_.size(); }
 
  private:
   using CellKey = std::uint64_t;
@@ -55,8 +54,22 @@ class SpatialGrid {
 
   double cell_size_m_{1.0};
   std::vector<Entry> entries_;
-  /// Cell key -> indices into `entries_`.
-  std::unordered_map<CellKey, std::vector<std::uint32_t>> cells_;
+
+  // Occupied-cell directory in CSR form (arena/SoA memory plane): a sorted
+  // key array plus offsets into one shared index array, rebuilt by sorting
+  // a reused scratch buffer. Unlike the previous key -> vector hash map,
+  // rebuilding in the steady state touches no allocator at all — the medium
+  // rebuilds per event under its kPerEvent index mode, so this is a hot
+  // path, not setup.
+  std::vector<CellKey> cell_keys_;         ///< sorted, unique occupied cells
+  std::vector<std::uint32_t> cell_start_;  ///< size cell_keys_.size() + 1
+  std::vector<std::uint32_t> cell_idx_;    ///< entry indices grouped by cell
+
+  struct KeyedIdx {
+    CellKey key;
+    std::uint32_t idx;
+  };
+  std::vector<KeyedIdx> scratch_;  ///< rebuild workspace, reused across calls
 };
 
 }  // namespace vgr::phy

@@ -231,10 +231,13 @@ void HighwayScenario::install_vehicle_router(traffic::VehicleId vid, Station& st
 
   if (intra_mode_) {
     st.router->set_delivery_handler([this, vid](const gn::Router::Delivery& d) {
-      const std::uint64_t id = decode_packet_id(d.packet.payload);
+      const std::uint64_t id = decode_packet_id(d.packet().payload);
       const auto it = floods_pending_.find(id);
       if (it == floods_pending_.end()) return;
-      if (it->second.remaining.erase(vid) > 0) {
+      auto& remaining = it->second.remaining;
+      const auto pos = std::lower_bound(remaining.begin(), remaining.end(), vid);
+      if (pos != remaining.end() && *pos == vid) {
+        remaining.erase(pos);
         auto& record = flood_records_[it->second.record_index];
         ++record.reached;
         record.last_reach_at = d.at;
@@ -379,7 +382,7 @@ InterAreaResult HighwayScenario::run_inter_area() {
                                              master_rng_.fork());
     st.router->start();
     st.router->set_delivery_handler([this, dir](const gn::Router::Delivery& d) {
-      const std::uint64_t id = decode_packet_id(d.packet.payload);
+      const std::uint64_t id = decode_packet_id(d.packet().payload);
       const auto it = inter_pending_.find(id);
       if (it == inter_pending_.end()) return;
       if (inter_records_[it->second].target == dir) {
@@ -458,8 +461,9 @@ void HighwayScenario::generate_intra_area_flood() {
 
   FloodState state;
   state.record_index = flood_records_.size();
-  for (const traffic::VehicleId vid : ids) {
-    if (vid != source) state.remaining.insert(vid);
+  state.remaining.reserve(ids.size());
+  for (const traffic::VehicleId vid : ids) {  // `ids` is sorted, so is `remaining`
+    if (vid != source) state.remaining.push_back(vid);
   }
   flood_records_.push_back(record);
   floods_pending_.emplace(id, std::move(state));

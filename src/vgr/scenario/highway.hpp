@@ -3,7 +3,6 @@
 #include <cstdint>
 #include <memory>
 #include <unordered_map>
-#include <unordered_set>
 #include <vector>
 
 #include "vgr/attack/inter_area.hpp"
@@ -271,7 +270,10 @@ class HighwayScenario {
   std::unordered_map<std::uint64_t, std::size_t> inter_pending_;  // id -> record index
   struct FloodState {
     std::size_t record_index;
-    std::unordered_set<traffic::VehicleId> remaining;
+    /// Vehicles that have not received this flood yet, kept sorted so the
+    /// delivery handler can binary-search — one vector per flood instead of
+    /// a hash node per (flood, vehicle).
+    std::vector<traffic::VehicleId> remaining;
   };
   std::vector<IntraAreaFloodRecord> flood_records_;
   std::unordered_map<std::uint64_t, FloodState> floods_pending_;  // id -> state

@@ -140,4 +140,16 @@ class SecuredMessage {
   mutable std::shared_ptr<const net::Bytes> wire_cache_;
 };
 
+/// Shared immutable envelope handle — the form the phy frame, the CBF/SCF
+/// packet buffers and the retransmission state pass around. One signed
+/// message is wrapped exactly once (at origination or at a forwarding
+/// rewrite) and from there every receiver, buffer and pending-ACK entry
+/// aliases the same object, so nothing on the hot path copies a packet.
+using SecuredMessagePtr = std::shared_ptr<const SecuredMessage>;
+
+/// Moves `msg` into a shared immutable envelope.
+[[nodiscard]] inline SecuredMessagePtr share(SecuredMessage msg) {
+  return std::make_shared<const SecuredMessage>(std::move(msg));
+}
+
 }  // namespace vgr::security

@@ -1,48 +1,215 @@
 #include "vgr/sim/event_queue.hpp"
 
+#include <algorithm>
 #include <cassert>
-#include <utility>
 
 namespace vgr::sim {
 
-EventId EventQueue::schedule_at(TimePoint when, Callback cb) {
-  assert(when >= now_ && "cannot schedule into the past");
-  if (when < now_) when = now_;
-  const EventId id{next_id_++};
-  live_.set(id.value);
-  heap_.push(Entry{when, next_seq_++, id, std::move(cb)});
-  return id;
+EventQueue::~EventQueue() {
+  // A non-empty queue at teardown still owns callables (live or retired-
+  // but-uncollected); destroy them so captured resources are released.
+  for (std::uint32_t i = 0; i < slot_high_water_; ++i) {
+    Slot& s = slot_at(i);
+    if (s.owner != 0) s.destroy(s.storage);
+  }
 }
 
-EventId EventQueue::schedule_in(Duration delay, Callback cb) {
-  assert(delay >= Duration::zero());
-  return schedule_at(now_ + delay, std::move(cb));
+std::uint32_t EventQueue::acquire_slot() {
+  if (!free_slots_.empty()) {
+    const std::uint32_t idx = free_slots_.back();
+    free_slots_.pop_back();
+    return idx;
+  }
+  if ((slot_high_water_ & (kChunkSlots - 1U)) == 0) {
+    chunks_.push_back(std::make_unique<Slot[]>(kChunkSlots));
+  }
+  return slot_high_water_++;
+}
+
+CohortId EventQueue::make_cohort() {
+  const auto idx = static_cast<std::uint32_t>(cohorts_.size());
+  cohorts_.push_back(Cohort{});
+  return CohortId{idx};
+}
+
+std::size_t EventQueue::cancel_cohort(CohortId cohort) {
+  assert(cohort.value != 0 && "the default cohort cannot be retired");
+  if (cohort.value == 0 || cohort.value >= cohorts_.size()) return 0;
+  Cohort& c = cohorts_[cohort.value];
+  const std::size_t retired = c.pending;
+  live_count_ -= retired;
+  c.pending = 0;
+  ++c.gen;
+  if (cache_valid_) {
+    const Slot& s = slot_at(cache_.slot);
+    if (s.owner == cache_.id && s.cohort == cohort.value) cache_valid_ = false;
+  }
+  return retired;
 }
 
 bool EventQueue::cancel(EventId id) {
-  if (id.value == 0 || id.value >= next_id_) return false;
-  if (!live_.test(id.value)) return false;       // already fired
-  if (cancelled_.test(id.value)) return false;   // already cancelled
-  // Lazy deletion: mark the id; the heap entry is dropped when popped.
-  cancelled_.set(id.value);
-  ++cancelled_pending_;
-  return true;
+  if (id.value == 0 || id.slot >= slot_high_water_) return false;
+  Slot& s = slot_at(id.slot);
+  if (s.owner != id.value) return false;  // already fired or cancelled
+  const bool was_live = s.gen == cohorts_[s.cohort].gen;
+  if (was_live) {
+    --live_count_;
+    --cohorts_[s.cohort].pending;
+  }
+  // Either way the slot's callable is done for; collect it eagerly (the
+  // calendar record is dropped lazily when it surfaces).
+  s.destroy(s.storage);
+  s.owner = 0;
+  free_slots_.push_back(id.slot);
+  if (cache_valid_ && cache_.id == id.value) cache_valid_ = false;
+  return was_live;
 }
 
 bool EventQueue::pending(EventId id) const {
-  if (id.value == 0) return false;
-  if (cancelled_.test(id.value)) return false;
-  return live_.test(id.value);
+  if (id.value == 0 || id.slot >= slot_high_water_) return false;
+  const Slot& s = slot_at(id.slot);
+  return s.owner == id.value && s.gen == cohorts_[s.cohort].gen;
+}
+
+bool EventQueue::rec_dead(const Rec& r) const {
+  const Slot& s = slot_at(r.slot);
+  if (s.owner != r.id) return true;  // fired, cancelled, or slot reused
+  return s.gen != cohorts_[s.cohort].gen;
+}
+
+void EventQueue::collect_dead(const Rec& r) {
+  Slot& s = slot_at(r.slot);
+  if (s.owner == r.id) {  // cohort-retired: the callable is still in place
+    s.destroy(s.storage);
+    s.owner = 0;
+    free_slots_.push_back(r.slot);
+  }
+}
+
+void EventQueue::cleanup_top(std::vector<Rec>& bucket) {
+  while (!bucket.empty() && rec_dead(bucket.front())) {
+    collect_dead(bucket.front());
+    std::pop_heap(bucket.begin(), bucket.end(), RecAfter{});
+    bucket.pop_back();
+    --recs_;
+  }
+}
+
+void EventQueue::insert_rec(TimePoint when, std::uint64_t id, std::uint32_t slot) {
+  if (recs_ + 1 > 2 * buckets_.size() && buckets_.size() < kMaxBuckets) {
+    rebuild_buckets(buckets_.size() * 2);
+  }
+  auto& bucket = buckets_[static_cast<std::size_t>(tick_of(when)) & bucket_mask_];
+  bucket.push_back(Rec{when, id, slot});
+  std::push_heap(bucket.begin(), bucket.end(), RecAfter{});
+  ++recs_;
+  // A strictly earlier event displaces the cached minimum (ties cannot:
+  // the fresh id is the largest issued, so FIFO keeps the cache in front).
+  if (cache_valid_ && when < cache_.when) {
+    cache_ = Rec{when, id, slot};
+    cache_bucket_ = static_cast<std::size_t>(tick_of(when)) & bucket_mask_;
+  }
+}
+
+void EventQueue::rebuild_buckets(std::size_t new_count) {
+  std::vector<std::vector<Rec>> fresh(new_count);
+  const std::size_t mask = new_count - 1;
+  for (auto& bucket : buckets_) {
+    for (const Rec& r : bucket) {
+      if (rec_dead(r)) {  // resize doubles as a purge of retired entries
+        collect_dead(r);
+        --recs_;
+        continue;
+      }
+      fresh[static_cast<std::size_t>(tick_of(r.when)) & mask].push_back(r);
+    }
+  }
+  for (auto& bucket : fresh) std::make_heap(bucket.begin(), bucket.end(), RecAfter{});
+  buckets_ = std::move(fresh);
+  bucket_mask_ = mask;
+  cache_valid_ = false;
+}
+
+const EventQueue::Rec* EventQueue::peek() {
+  if (cache_valid_) return &cache_;
+  if (recs_ == 0) return nullptr;
+  // Scan one year of buckets starting at the current instant's tick. Every
+  // record satisfies when >= now_, so nothing can hide behind the start.
+  const std::uint64_t start = tick_of(now_);
+  const std::size_t nb = buckets_.size();
+  for (std::size_t i = 0; i < nb; ++i) {
+    const std::uint64_t t = start + i;
+    auto& bucket = buckets_[static_cast<std::size_t>(t) & bucket_mask_];
+    cleanup_top(bucket);
+    if (recs_ == 0) return nullptr;
+    if (!bucket.empty() && tick_of(bucket.front().when) == t) {
+      cache_ = bucket.front();
+      cache_bucket_ = static_cast<std::size_t>(t) & bucket_mask_;
+      cache_valid_ = true;
+      return &cache_;
+    }
+  }
+  // Nothing within a year of now: fall back to the global minimum (rare —
+  // an idle queue holding only far-horizon soft-state timers).
+  const Rec* best = nullptr;
+  std::size_t best_bucket = 0;
+  for (std::size_t b = 0; b < nb; ++b) {
+    cleanup_top(buckets_[b]);
+    if (buckets_[b].empty()) continue;
+    const Rec& top = buckets_[b].front();
+    if (best == nullptr || RecAfter{}(*best, top)) {
+      best = &top;
+      best_bucket = b;
+    }
+  }
+  if (best == nullptr) return nullptr;
+  cache_ = *best;
+  cache_bucket_ = best_bucket;
+  cache_valid_ = true;
+  return &cache_;
+}
+
+void EventQueue::pop_front() {
+  assert(cache_valid_);
+  auto& bucket = buckets_[cache_bucket_];
+  std::pop_heap(bucket.begin(), bucket.end(), RecAfter{});
+  bucket.pop_back();
+  --recs_;
+  cache_valid_ = false;
+  if (recs_ < buckets_.size() / 8 && buckets_.size() > kMinBuckets) {
+    rebuild_buckets(buckets_.size() / 2);
+  }
+}
+
+bool EventQueue::step() {
+  const Rec* top = peek();
+  if (top == nullptr) return false;
+  const Rec r = *top;
+  pop_front();
+  Slot& s = slot_at(r.slot);
+  assert(r.when >= now_);
+  now_ = r.when;
+  // Mark fired before invoking: a callback cancelling or re-querying its
+  // own id must see "already fired", and the slot is only recycled after
+  // the callable has been destroyed, so reentrant schedules cannot clobber
+  // the running closure even though they may acquire fresh slots.
+  s.owner = 0;
+  --live_count_;
+  --cohorts_[s.cohort].pending;
+  ++fired_;
+  s.invoke(s.storage);
+  s.destroy(s.storage);
+  free_slots_.push_back(r.slot);
+  return true;
 }
 
 void EventQueue::run_until(TimePoint until) {
   const bool budgeted = budget_events_end_ != 0 || has_wall_deadline_;
   for (;;) {
-    // Discard cancelled entries *before* inspecting the top's timestamp —
-    // otherwise a cancelled event at the boundary would admit the next
-    // live event even when it lies beyond `until`.
-    purge_cancelled_top();
-    if (heap_.empty() || heap_.top().when > until) break;
+    // peek() surfaces only live events, so a cancelled event sitting at
+    // the boundary cannot admit a later one past `until`.
+    const Rec* top = peek();
+    if (top == nullptr || top->when > until) break;
     if (budgeted && budget_tripped()) {
       budget_exceeded_ = true;
       break;
@@ -70,37 +237,6 @@ bool EventQueue::budget_tripped() {
   // milliseconds is ample for budgets measured in seconds.
   if (has_wall_deadline_ && (fired_ & 0xFFFU) == 0 &&
       std::chrono::steady_clock::now() >= wall_deadline_) {
-    return true;
-  }
-  return false;
-}
-
-void EventQueue::purge_cancelled_top() {
-  while (!heap_.empty()) {
-    const std::uint64_t id = heap_.top().id.value;
-    if (!cancelled_.test(id)) return;
-    cancelled_.clear(id);
-    live_.clear(id);
-    --cancelled_pending_;
-    heap_.pop();
-  }
-}
-
-bool EventQueue::step() {
-  while (!heap_.empty()) {
-    Entry top = std::move(const_cast<Entry&>(heap_.top()));
-    heap_.pop();
-    if (cancelled_.test(top.id.value)) {
-      cancelled_.clear(top.id.value);
-      live_.clear(top.id.value);
-      --cancelled_pending_;
-      continue;
-    }
-    assert(top.when >= now_);
-    now_ = top.when;
-    live_.clear(top.id.value);
-    ++fired_;
-    top.cb();
     return true;
   }
   return false;

@@ -1,9 +1,14 @@
 #pragma once
 
+#include <cassert>
 #include <chrono>
+#include <cstddef>
 #include <cstdint>
 #include <functional>
-#include <queue>
+#include <memory>
+#include <new>
+#include <type_traits>
+#include <utility>
 #include <vector>
 
 #include "vgr/sim/time.hpp"
@@ -12,9 +17,20 @@ namespace vgr::sim {
 
 /// Handle for a scheduled event; used to cancel timers (e.g. a CBF
 /// contention timer that is stopped when a duplicate packet arrives).
+/// `value` is the dense event number (also the FIFO tiebreaker among equal
+/// timestamps); `slot` locates the callback slab slot so cancel/pending are
+/// O(1) array lookups instead of bitset probes.
 struct EventId {
   std::uint64_t value{0};
+  std::uint32_t slot{0};
   friend bool operator==(EventId, EventId) = default;
+};
+
+/// Handle for a cancellation cohort (see EventQueue::make_cohort). Value 0
+/// is the implicit default cohort that is never retired.
+struct CohortId {
+  std::uint32_t value{0};
+  friend bool operator==(CohortId, CohortId) = default;
 };
 
 /// Discrete-event scheduler.
@@ -22,18 +38,100 @@ struct EventId {
 /// Events at equal timestamps fire in scheduling order (FIFO), which keeps
 /// runs deterministic. Callbacks may schedule or cancel further events,
 /// including at the current instant.
+///
+/// Memory plane (ROADMAP item 4): callbacks live in fixed-size slots of a
+/// slab allocator (no per-schedule heap allocation as long as the callable
+/// fits `kInlineCallbackBytes`), and the pending set is a bucketed calendar
+/// queue — per-bucket min-heaps of 24-byte records over a power-of-two ring
+/// of ~0.5 ms buckets — instead of one large binary heap of std::functions.
+/// Events can be scheduled into a *cohort*; `cancel_cohort` retires every
+/// pending member in O(1) by bumping the cohort's generation counter, which
+/// is how CBF contention cancellation and router teardown avoid tombstoning
+/// thousands of timers one by one. Determinism is unaffected: a retired
+/// event is skipped exactly where it would have fired, so the relative
+/// order of surviving events never changes.
 class EventQueue {
  public:
+  /// Callables up to this size (and max_align_t alignment) are stored
+  /// inline in their slab slot; larger ones fall back to one boxed heap
+  /// allocation. Sized for the fattest steady-state capture (the medium's
+  /// per-receiver delivery closure) with headroom.
+  static constexpr std::size_t kInlineCallbackBytes = 96;
+
+  /// Source-compat alias: std::function still schedules fine (it is simply
+  /// stored inline like any other callable).
   using Callback = std::function<void()>;
+
+  EventQueue() = default;
+  ~EventQueue();
+  EventQueue(const EventQueue&) = delete;
+  EventQueue& operator=(const EventQueue&) = delete;
 
   /// Current simulation time. Starts at the origin.
   [[nodiscard]] TimePoint now() const { return now_; }
 
-  /// Schedules `cb` at absolute time `when` (must be >= now()).
-  EventId schedule_at(TimePoint when, Callback cb);
+  /// Schedules `f` at absolute time `when` (must be >= now()).
+  template <typename F>
+  EventId schedule_at(TimePoint when, F&& f) {
+    return schedule_at(when, CohortId{}, std::forward<F>(f));
+  }
 
-  /// Schedules `cb` after `delay` (must be >= 0).
-  EventId schedule_in(Duration delay, Callback cb);
+  /// Schedules `f` after `delay` (must be >= 0).
+  template <typename F>
+  EventId schedule_in(Duration delay, F&& f) {
+    assert(delay >= Duration::zero());
+    return schedule_at(now_ + delay, CohortId{}, std::forward<F>(f));
+  }
+
+  /// Schedules `f` at `when` as a member of `cohort` (from make_cohort).
+  template <typename F>
+  EventId schedule_at(TimePoint when, CohortId cohort, F&& f) {
+    using Fn = std::decay_t<F>;
+    assert(when >= now_ && "cannot schedule into the past");
+    if (when < now_) when = now_;
+    assert(cohort.value < cohorts_.size());
+    const std::uint32_t slot_idx = acquire_slot();
+    Slot& s = slot_at(slot_idx);
+    if constexpr (sizeof(Fn) <= kInlineCallbackBytes &&
+                  alignof(Fn) <= alignof(std::max_align_t)) {
+      ::new (static_cast<void*>(s.storage)) Fn(std::forward<F>(f));
+      s.invoke = [](void* p) { (*static_cast<Fn*>(p))(); };
+      s.destroy = [](void* p) { static_cast<Fn*>(p)->~Fn(); };
+    } else {
+      // Boxed fallback: one heap allocation, still a uniform slot layout.
+      ::new (static_cast<void*>(s.storage)) Fn*(new Fn(std::forward<F>(f)));
+      s.invoke = [](void* p) { (**static_cast<Fn**>(p))(); };
+      s.destroy = [](void* p) { delete *static_cast<Fn**>(p); };
+    }
+    const EventId id{next_id_++, slot_idx};
+    s.owner = id.value;
+    s.cohort = cohort.value;
+    s.gen = cohorts_[cohort.value].gen;
+    ++cohorts_[cohort.value].pending;
+    ++live_count_;
+    insert_rec(when, id.value, slot_idx);
+    return id;
+  }
+
+  /// Schedules `f` after `delay` as a member of `cohort`.
+  template <typename F>
+  EventId schedule_in(Duration delay, CohortId cohort, F&& f) {
+    assert(delay >= Duration::zero());
+    return schedule_at(now_ + delay, cohort, std::forward<F>(f));
+  }
+
+  /// Creates a new cancellation cohort. Cohorts are a few bytes each and
+  /// live as long as the queue (routers churn in the thousands per run, so
+  /// recycling them buys nothing).
+  CohortId make_cohort();
+
+  /// Retires every pending event of `cohort` in O(1) (generation bump; the
+  /// calendar entries are skipped lazily where they would have fired).
+  /// Returns how many events were retired. The cohort stays usable for new
+  /// schedules. Note: individual EventIds of retired events flip to
+  /// not-pending, but cancel() on them returns false — the cohort already
+  /// cancelled them.
+  std::size_t cancel_cohort(CohortId cohort);
 
   /// Cancels a pending event. Cancelling an already-fired or already-
   /// cancelled event is a harmless no-op; returns whether it was pending.
@@ -51,9 +149,7 @@ class EventQueue {
   bool step();
 
   /// Number of events that are scheduled and not cancelled.
-  [[nodiscard]] std::size_t pending_count() const {
-    return heap_.size() - static_cast<std::size_t>(cancelled_pending_);
-  }
+  [[nodiscard]] std::size_t pending_count() const { return live_count_; }
 
   /// Total number of callbacks executed so far (for stats/tests).
   [[nodiscard]] std::uint64_t fired_count() const { return fired_; }
@@ -72,49 +168,77 @@ class EventQueue {
   [[nodiscard]] bool budget_exceeded() const { return budget_exceeded_; }
 
  private:
-  struct Entry {
-    TimePoint when;
-    std::uint64_t seq;  // tiebreaker: FIFO among equal timestamps
-    EventId id;
-    Callback cb;
+  // --- Callback slab ----------------------------------------------------
+  // Fixed-size slots in stable chunks; a free list recycles them, so the
+  // steady state of a run performs no heap allocation per schedule. A
+  // slot's `owner` is the holder's EventId value while the slot contains a
+  // live callable and 0 otherwise — that one field resolves "already
+  // fired", "already cancelled" and "slot reused by a newer event" at once.
+  struct Slot {
+    std::uint64_t owner{0};
+    void (*invoke)(void*){nullptr};
+    void (*destroy)(void*){nullptr};
+    std::uint32_t cohort{0};
+    std::uint32_t gen{0};
+    alignas(alignof(std::max_align_t)) unsigned char storage[kInlineCallbackBytes];
   };
-  struct Later {
-    bool operator()(const Entry& a, const Entry& b) const {
+  static constexpr std::uint32_t kChunkSlotsLog2 = 10;  // 1024 slots / chunk
+  static constexpr std::uint32_t kChunkSlots = 1U << kChunkSlotsLog2;
+
+  [[nodiscard]] Slot& slot_at(std::uint32_t idx) {
+    return chunks_[idx >> kChunkSlotsLog2][idx & (kChunkSlots - 1U)];
+  }
+  [[nodiscard]] const Slot& slot_at(std::uint32_t idx) const {
+    return chunks_[idx >> kChunkSlotsLog2][idx & (kChunkSlots - 1U)];
+  }
+  [[nodiscard]] std::uint32_t acquire_slot();
+
+  // --- Calendar queue ---------------------------------------------------
+  // Power-of-two ring of buckets, each a min-heap (std::push_heap/pop_heap
+  // over a contiguous vector) ordered by (when, id). Bucket width is fixed
+  // at 2^19 ns ≈ 0.52 ms — the scale of airtime/contention timers — and
+  // the bucket count adapts to the pending population, which also widens
+  // the "year" (bucket_count × width) that one peek scan covers.
+  struct Rec {
+    TimePoint when;
+    std::uint64_t id;
+    std::uint32_t slot;
+  };
+  static constexpr std::uint32_t kBucketWidthLog2 = 19;
+  static constexpr std::size_t kMinBuckets = 256;
+  static constexpr std::size_t kMaxBuckets = std::size_t{1} << 16U;
+
+  // Heap comparator: treating "fires later" as less puts the earliest
+  // record at the front of each bucket's heap.
+  struct RecAfter {
+    bool operator()(const Rec& a, const Rec& b) const {
       if (a.when != b.when) return a.when > b.when;
-      return a.seq > b.seq;
+      return a.id > b.id;  // FIFO among equal timestamps
     }
   };
+  [[nodiscard]] static std::uint64_t tick_of(TimePoint t) {
+    return static_cast<std::uint64_t>(t.count()) >> kBucketWidthLog2;
+  }
 
-  /// Drops cancelled entries sitting on top of the heap.
-  void purge_cancelled_top();
+  void insert_rec(TimePoint when, std::uint64_t id, std::uint32_t slot);
+  /// Earliest live record, skipping (and collecting) retired ones; null
+  /// when drained. The result is cached until the queue changes shape.
+  [[nodiscard]] const Rec* peek();
+  /// Removes the record returned by the last peek().
+  void pop_front();
+  /// Pops retired records off the top of one bucket heap.
+  void cleanup_top(std::vector<Rec>& bucket);
+  [[nodiscard]] bool rec_dead(const Rec& r) const;
+  /// Releases the slot of a retired record (destroying the callable) if the
+  /// cohort retirement left it uncollected.
+  void collect_dead(const Rec& r);
+  void rebuild_buckets(std::size_t new_count);
 
   [[nodiscard]] bool budget_tripped();
 
-  /// Membership bitset over event ids. Ids are handed out densely from 1,
-  /// so a flat bit vector replaces the hash sets the queue used to keep:
-  /// schedule/fire/cancel become branch-free bit ops with no per-event node
-  /// allocation — at ~4-5M events per dense-flood run the two hash sets
-  /// were a measurable slice of the whole simulation. Memory is 1 bit per
-  /// id ever issued (an 8 s, 1070-vehicle flood issues ~4.6M ids → ~0.6 MB
-  /// per set), released with the queue at the end of the run.
-  class IdBitset {
-   public:
-    void set(std::uint64_t id) {
-      const std::size_t w = static_cast<std::size_t>(id >> 6U);
-      if (w >= words_.size()) words_.resize(words_.size() + (words_.size() >> 1U) + w + 1);
-      words_[w] |= 1ULL << (id & 63U);
-    }
-    void clear(std::uint64_t id) {
-      const std::size_t w = static_cast<std::size_t>(id >> 6U);
-      if (w < words_.size()) words_[w] &= ~(1ULL << (id & 63U));
-    }
-    [[nodiscard]] bool test(std::uint64_t id) const {
-      const std::size_t w = static_cast<std::size_t>(id >> 6U);
-      return w < words_.size() && ((words_[w] >> (id & 63U)) & 1ULL) != 0;
-    }
-
-   private:
-    std::vector<std::uint64_t> words_;
+  struct Cohort {
+    std::uint32_t gen{0};
+    std::uint32_t pending{0};
   };
 
   TimePoint now_{};
@@ -122,13 +246,27 @@ class EventQueue {
   bool has_wall_deadline_{false};
   bool budget_exceeded_{false};
   std::chrono::steady_clock::time_point wall_deadline_{};
-  std::uint64_t next_seq_{0};
   std::uint64_t next_id_{1};
   std::uint64_t fired_{0};
-  std::priority_queue<Entry, std::vector<Entry>, Later> heap_;
-  IdBitset cancelled_;
-  IdBitset live_;
-  std::uint64_t cancelled_pending_{0};  ///< cancelled entries still in the heap
+  std::size_t live_count_{0};
+
+  std::vector<std::unique_ptr<Slot[]>> chunks_;
+  std::vector<std::uint32_t> free_slots_;
+  std::uint32_t slot_high_water_{0};
+
+  std::vector<Cohort> cohorts_{Cohort{}};  // [0] = default, never retired
+
+  std::vector<std::vector<Rec>> buckets_ = make_initial_buckets();
+  std::size_t bucket_mask_{kMinBuckets - 1};
+  std::size_t recs_{0};  ///< total calendar entries, live + retired
+
+  bool cache_valid_{false};
+  Rec cache_{};
+  std::size_t cache_bucket_{0};
+
+  static std::vector<std::vector<Rec>> make_initial_buckets() {
+    return std::vector<std::vector<Rec>>(kMinBuckets);
+  }
 };
 
 }  // namespace vgr::sim

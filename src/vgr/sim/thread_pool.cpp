@@ -12,6 +12,10 @@ std::size_t ThreadPool::default_thread_count() {
   if (const auto v = env_int("VGR_THREADS"); v.has_value() && *v > 0) {
     return static_cast<std::size_t>(*v);
   }
+  return hardware_threads();
+}
+
+std::size_t ThreadPool::hardware_threads() {
   const unsigned hw = std::thread::hardware_concurrency();
   return hw > 0 ? hw : 1;
 }

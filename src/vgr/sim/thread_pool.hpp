@@ -47,6 +47,11 @@ class ThreadPool {
   /// concurrency, else 1.
   static std::size_t default_thread_count();
 
+  /// Physical hardware concurrency, ignoring VGR_THREADS; never 0 (an
+  /// unknown count reports as 1). Benches use this to flag ladder rows
+  /// that oversubscribe the host.
+  static std::size_t hardware_threads();
+
  private:
   struct Queue {
     std::mutex mutex;

@@ -66,7 +66,8 @@ void TrafficSimulation::step_direction(Direction dir, double dt) {
   // Per lane: order by progress (closest to exit first) and apply IDM with
   // the vehicle ahead (or the hazard) as leader.
   for (int lane = 0; lane < road_.lanes_per_direction(); ++lane) {
-    std::vector<Vehicle*> column;
+    std::vector<Vehicle*>& column = column_scratch_;
+    column.clear();
     for (auto& [id, v] : by_id_) {
       if (v->direction() == dir && v->lane() == lane) column.push_back(v.get());
     }

@@ -137,6 +137,7 @@ class TrafficSimulation {
   std::uint64_t ticks_{0};
   std::uint64_t collisions_{0};
   std::uint64_t lane_changes_{0};
+  std::vector<Vehicle*> column_scratch_;  ///< step_direction workspace, reused per tick
 };
 
 }  // namespace vgr::traffic

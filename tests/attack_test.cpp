@@ -251,8 +251,8 @@ TEST_F(AttackTest, TargetedVariantKeepsRhlIntact) {
   watcher_cfg.tx_range_m = 1.0;
   watcher_cfg.promiscuous = true;
   medium_.add_node(std::move(watcher_cfg), [&](const phy::Frame& f, phy::RadioId) {
-    if (f.msg.packet().gbc() != nullptr && f.src == net::MacAddress{0x0200'4A77'ACCEULL}) {
-      saw_full_rhl = f.msg.packet().basic.remaining_hop_limit == 10;
+    if (f.msg->packet().gbc() != nullptr && f.src == net::MacAddress{0x0200'4A77'ACCEULL}) {
+      saw_full_rhl = f.msg->packet().basic.remaining_hop_limit == 10;
     }
   });
   v1.router->send_geo_broadcast(geo::GeoArea::rectangle({100.0, 0.0}, 300.0, 50.0), {1});

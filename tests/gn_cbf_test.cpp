@@ -58,12 +58,12 @@ class CbfBufferTest : public ::testing::Test {
  protected:
   CbfBufferTest() : buffer_{events_} {}
 
-  security::SecuredMessage make_msg(std::uint8_t rhl) {
+  security::SecuredMessagePtr make_msg(std::uint8_t rhl) {
     net::Packet p;
     p.basic.remaining_hop_limit = rhl;
     p.common.type = net::CommonHeader::HeaderType::kGeoBroadcast;
     p.extended = net::GbcHeader{1, {}, geo::GeoArea::circle({0, 0}, 10.0)};
-    return security::SecuredMessage::from_parts(std::move(p), {}, 0);
+    return security::share(security::SecuredMessage::from_parts(std::move(p), {}, 0));
   }
 
   CbfKey key(std::uint64_t src = 1, net::SequenceNumber sn = 1) {
@@ -77,9 +77,9 @@ class CbfBufferTest : public ::testing::Test {
 
 TEST_F(CbfBufferTest, TimerFiresAndHandsBackMessage) {
   std::uint8_t fired_rhl = 0;
-  buffer_.insert(key(), make_msg(9), 10, 10_ms, [&](const security::SecuredMessage& m) {
+  buffer_.insert(key(), make_msg(9), 10, 10_ms, [&](const security::SecuredMessagePtr& m) {
     ++rebroadcasts_;
-    fired_rhl = m.packet().basic.remaining_hop_limit;
+    fired_rhl = m->packet().basic.remaining_hop_limit;
   });
   EXPECT_TRUE(buffer_.contains(key()));
   events_.run_until(sim::TimePoint::at(20_ms));
@@ -90,14 +90,14 @@ TEST_F(CbfBufferTest, TimerFiresAndHandsBackMessage) {
 
 TEST_F(CbfBufferTest, TimerDoesNotFireEarly) {
   buffer_.insert(key(), make_msg(9), 10, 50_ms,
-                 [&](const security::SecuredMessage&) { ++rebroadcasts_; });
+                 [&](const security::SecuredMessagePtr&) { ++rebroadcasts_; });
   events_.run_until(sim::TimePoint::at(49_ms));
   EXPECT_EQ(rebroadcasts_, 0);
 }
 
 TEST_F(CbfBufferTest, DuplicateCancelsContention) {
   buffer_.insert(key(), make_msg(9), 10, 50_ms,
-                 [&](const security::SecuredMessage&) { ++rebroadcasts_; });
+                 [&](const security::SecuredMessagePtr&) { ++rebroadcasts_; });
   const auto outcome = buffer_.on_duplicate(key(), 9, /*rhl_check=*/false, 3);
   EXPECT_EQ(outcome, CbfDuplicateOutcome::kDiscarded);
   events_.run_until(sim::TimePoint::at(100_ms));
@@ -111,9 +111,9 @@ TEST_F(CbfBufferTest, DuplicateWithoutEntryIsNoEntry) {
 
 TEST_F(CbfBufferTest, ReinsertionOfSameKeyIsIgnored) {
   buffer_.insert(key(), make_msg(9), 10, 10_ms,
-                 [&](const security::SecuredMessage&) { ++rebroadcasts_; });
+                 [&](const security::SecuredMessagePtr&) { ++rebroadcasts_; });
   buffer_.insert(key(), make_msg(8), 9, 10_ms,
-                 [&](const security::SecuredMessage&) { ++rebroadcasts_; });
+                 [&](const security::SecuredMessagePtr&) { ++rebroadcasts_; });
   EXPECT_EQ(buffer_.size(), 1u);
   events_.run_until(sim::TimePoint::at(50_ms));
   EXPECT_EQ(rebroadcasts_, 1);
@@ -121,9 +121,9 @@ TEST_F(CbfBufferTest, ReinsertionOfSameKeyIsIgnored) {
 
 TEST_F(CbfBufferTest, DistinctKeysContendIndependently) {
   buffer_.insert(key(1, 1), make_msg(9), 10, 10_ms,
-                 [&](const security::SecuredMessage&) { ++rebroadcasts_; });
+                 [&](const security::SecuredMessagePtr&) { ++rebroadcasts_; });
   buffer_.insert(key(1, 2), make_msg(9), 10, 20_ms,
-                 [&](const security::SecuredMessage&) { ++rebroadcasts_; });
+                 [&](const security::SecuredMessagePtr&) { ++rebroadcasts_; });
   buffer_.on_duplicate(key(1, 1), 9, false, 3);
   events_.run_until(sim::TimePoint::at(100_ms));
   EXPECT_EQ(rebroadcasts_, 1);  // only (1,2) survived to its timeout
@@ -131,9 +131,9 @@ TEST_F(CbfBufferTest, DistinctKeysContendIndependently) {
 
 TEST_F(CbfBufferTest, ClearCancelsAllTimers) {
   buffer_.insert(key(1, 1), make_msg(9), 10, 10_ms,
-                 [&](const security::SecuredMessage&) { ++rebroadcasts_; });
+                 [&](const security::SecuredMessagePtr&) { ++rebroadcasts_; });
   buffer_.insert(key(1, 2), make_msg(9), 10, 10_ms,
-                 [&](const security::SecuredMessage&) { ++rebroadcasts_; });
+                 [&](const security::SecuredMessagePtr&) { ++rebroadcasts_; });
   buffer_.clear();
   EXPECT_EQ(buffer_.size(), 0u);
   events_.run_until(sim::TimePoint::at(100_ms));
@@ -146,7 +146,7 @@ TEST_F(CbfBufferTest, MitigationKeepsContentionOnSteepRhlDrop) {
   // Buffered with RHL 10; the attacker's replay carries RHL 1: drop of 9
   // exceeds the threshold of 3 -> duplicate rejected, timer keeps running.
   buffer_.insert(key(), make_msg(9), 10, 10_ms,
-                 [&](const security::SecuredMessage&) { ++rebroadcasts_; });
+                 [&](const security::SecuredMessagePtr&) { ++rebroadcasts_; });
   const auto outcome = buffer_.on_duplicate(key(), 1, /*rhl_check=*/true, 3);
   EXPECT_EQ(outcome, CbfDuplicateOutcome::kKeptByMitigation);
   EXPECT_TRUE(buffer_.contains(key()));
@@ -158,7 +158,7 @@ TEST_F(CbfBufferTest, MitigationAcceptsLegitimatePeerRebroadcast) {
   // A peer that received the same RHL-10 copy rebroadcasts with RHL 9:
   // drop of 1 is within the threshold -> normal suppression.
   buffer_.insert(key(), make_msg(9), 10, 10_ms,
-                 [&](const security::SecuredMessage&) { ++rebroadcasts_; });
+                 [&](const security::SecuredMessagePtr&) { ++rebroadcasts_; });
   const auto outcome = buffer_.on_duplicate(key(), 9, true, 3);
   EXPECT_EQ(outcome, CbfDuplicateOutcome::kDiscarded);
   events_.run_until(sim::TimePoint::at(50_ms));
@@ -167,13 +167,13 @@ TEST_F(CbfBufferTest, MitigationAcceptsLegitimatePeerRebroadcast) {
 
 TEST_F(CbfBufferTest, MitigationBoundaryDropExactlyThresholdAccepted) {
   buffer_.insert(key(), make_msg(9), 10, 10_ms,
-                 [&](const security::SecuredMessage&) { ++rebroadcasts_; });
+                 [&](const security::SecuredMessagePtr&) { ++rebroadcasts_; });
   EXPECT_EQ(buffer_.on_duplicate(key(), 7, true, 3), CbfDuplicateOutcome::kDiscarded);
 }
 
 TEST_F(CbfBufferTest, MitigationBoundaryDropJustOverThresholdRejected) {
   buffer_.insert(key(), make_msg(9), 10, 10_ms,
-                 [&](const security::SecuredMessage&) { ++rebroadcasts_; });
+                 [&](const security::SecuredMessagePtr&) { ++rebroadcasts_; });
   EXPECT_EQ(buffer_.on_duplicate(key(), 6, true, 3), CbfDuplicateOutcome::kKeptByMitigation);
 }
 
@@ -181,7 +181,7 @@ TEST_F(CbfBufferTest, MitigationHandlesRhlIncreaseGracefully) {
   // A duplicate with *higher* RHL than we received (negative drop) is not
   // suspicious under the drop rule.
   buffer_.insert(key(), make_msg(4), 5, 10_ms,
-                 [&](const security::SecuredMessage&) { ++rebroadcasts_; });
+                 [&](const security::SecuredMessagePtr&) { ++rebroadcasts_; });
   EXPECT_EQ(buffer_.on_duplicate(key(), 10, true, 3), CbfDuplicateOutcome::kDiscarded);
 }
 

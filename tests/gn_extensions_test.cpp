@@ -205,7 +205,7 @@ TEST_F(ExtensionsTest, LocationServiceResolvesUnknownDestination) {
   EXPECT_EQ(c.router->stats().ls_replies_sent, 1u);
   EXPECT_EQ(a.router->stats().ls_resolved, 1u);
   ASSERT_EQ(c.deliveries.size(), 1u);
-  EXPECT_EQ(c.deliveries[0].packet.payload, (net::Bytes{'l', 's'}));
+  EXPECT_EQ(c.deliveries[0].packet().payload, (net::Bytes{'l', 's'}));
   (void)b;
 }
 
@@ -420,6 +420,8 @@ TEST(Interference, OverlappingFramesDestroyEachOther) {
   phy::Frame f1, f2;
   f1.src = net::MacAddress{1};
   f2.src = net::MacAddress{2};
+  f1.msg = security::share(security::SecuredMessage{});
+  f2.msg = security::share(security::SecuredMessage{});
   medium.transmit(tx1, f1);
   medium.transmit(tx2, f2);  // same instant: guaranteed overlap
   events.run_until(events.now() + sim::Duration::seconds(1.0));
@@ -450,6 +452,8 @@ TEST(Interference, SequentialFramesBothArrive) {
   phy::Frame f1, f2;
   f1.src = net::MacAddress{1};
   f2.src = net::MacAddress{2};
+  f1.msg = security::share(security::SecuredMessage{});
+  f2.msg = security::share(security::SecuredMessage{});
   medium.transmit(tx1, f1);
   events.run_until(events.now() + sim::Duration::millis(5));  // frame airtime passed
   medium.transmit(tx2, f2);
@@ -477,6 +481,8 @@ TEST(Interference, OffByDefault) {
   phy::Frame f1, f2;
   f1.src = net::MacAddress{1};
   f2.src = net::MacAddress{2};
+  f1.msg = security::share(security::SecuredMessage{});
+  f2.msg = security::share(security::SecuredMessage{});
   medium.transmit(tx1, f1);
   medium.transmit(tx2, f2);
   events.run_until(events.now() + sim::Duration::seconds(1.0));

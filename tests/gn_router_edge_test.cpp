@@ -134,7 +134,8 @@ TEST_F(RouterEdgeTest, PvMaxAgeIsConfigurable) {
   const auto injector = medium_.add_node(std::move(inj), [](const phy::Frame&, phy::RadioId) {});
   phy::Frame frame;
   frame.src = b.router->mac();
-  frame.msg = security::SecuredMessage::sign(p, security::Signer{ca_.enroll(pv.address)});
+  frame.msg =
+      security::share(security::SecuredMessage::sign(p, security::Signer{ca_.enroll(pv.address)}));
   medium_.transmit(injector, frame);
   run_for(100_ms);
 
@@ -174,7 +175,7 @@ TEST_F(RouterEdgeTest, LifetimeFieldRoundTripsThroughForwarding) {
                                std::nullopt, sim::Duration::seconds(42.0));
   run_for(1_s);
   ASSERT_EQ(b.deliveries.size(), 1u);
-  EXPECT_EQ(b.deliveries[0].packet.basic.lifetime, sim::Duration::seconds(42.0));
+  EXPECT_EQ(b.deliveries[0].packet().basic.lifetime, sim::Duration::seconds(42.0));
 }
 
 TEST_F(RouterEdgeTest, StatsStartAtZero) {

@@ -54,7 +54,7 @@ class RouterIngestTest : public ::testing::Test {
   phy::Frame frame_for(const net::Packet& p) const {
     phy::Frame f;
     f.src = peer_.mac();
-    f.msg = security::SecuredMessage::sign(p, *peer_signer_);
+    f.msg = security::share(security::SecuredMessage::sign(p, *peer_signer_));
     return f;
   }
 

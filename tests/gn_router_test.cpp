@@ -240,7 +240,7 @@ TEST_F(RouterTest, ForgedFrameFailsAuthentication) {
 
   phy::Frame frame;
   frame.src = net::MacAddress{0x666};
-  frame.msg = security::SecuredMessage::from_parts(p, {}, 0xFFFF);  // garbage tag, no cert
+  frame.msg = security::share(security::SecuredMessage::from_parts(p, {}, 0xFFFF));  // garbage tag, no cert
   medium_.transmit(injector, frame);
   run_for(100_ms);
 
@@ -265,7 +265,7 @@ TEST_F(RouterTest, StaleBeaconIsRejected) {
   frame.src = b.router->mac();
   const auto identity_signed =
       security::SecuredMessage::sign(p, security::Signer{ca_.enroll(pv.address)});
-  frame.msg = identity_signed;
+  frame.msg = security::share(identity_signed);
   medium_.transmit(injector, frame);
   run_for(100_ms);
 
@@ -326,9 +326,9 @@ TEST_F(RouterTest, ForwardingDoesNotMutateSharedFrame) {
   wcfg.tx_range_m = 1.0;
   wcfg.promiscuous = true;
   medium_.add_node(std::move(wcfg), [&](const phy::Frame& f, phy::RadioId) {
-    if (f.msg.packet().gbc() != nullptr) {
-      seen.push_back({f.src, f.msg.packet().basic.remaining_hop_limit, f.msg.signature(),
-                      f.msg.verify(*ca_.trust_store())});
+    if (f.msg->packet().gbc() != nullptr) {
+      seen.push_back({f.src, f.msg->packet().basic.remaining_hop_limit, f.msg->signature(),
+                      f.msg->verify(*ca_.trust_store())});
     }
   });
 

@@ -21,11 +21,11 @@ using namespace vgr::sim::literals;
 
 // --- ScfBuffer unit -------------------------------------------------------
 
-security::SecuredMessage msg_with_payload(std::size_t payload_bytes) {
+security::SecuredMessagePtr msg_with_payload(std::size_t payload_bytes) {
   net::Packet p;
   p.common.type = net::CommonHeader::HeaderType::kGeoUnicast;
   p.payload.assign(payload_bytes, 0x5A);
-  return security::SecuredMessage::from_parts(std::move(p), {}, 0);
+  return security::share(security::SecuredMessage::from_parts(std::move(p), {}, 0));
 }
 
 TEST(ScfBuffer, SweepOffersEntriesOldestFirst) {
@@ -35,7 +35,7 @@ TEST(ScfBuffer, SweepOffersEntriesOldestFirst) {
   }
   std::vector<std::size_t> order;
   buf.sweep(sim::TimePoint::origin(), [&](const ScfBuffer::Entry& e) {
-    order.push_back(e.msg.packet().payload.size());
+    order.push_back(e.msg->packet().payload.size());
     return true;
   });
   ASSERT_EQ(order.size(), 3u);
@@ -56,7 +56,7 @@ TEST(ScfBuffer, PacketCapHeadDropsOldest) {
   EXPECT_EQ(buf.stats().head_drops, 1u);
   std::vector<std::size_t> kept;
   buf.sweep(sim::TimePoint::origin(), [&](const ScfBuffer::Entry& e) {
-    kept.push_back(e.msg.packet().payload.size());
+    kept.push_back(e.msg->packet().payload.size());
     return true;
   });
   // The oldest entry (payload 1) was the one evicted.
@@ -244,7 +244,7 @@ TEST_F(ScfRouterTest, NewNeighborBeaconFlushesBufferedUnicast) {
   EXPECT_EQ(a.router->stats().scf_flush_triggers, 1u);
   EXPECT_EQ(a.router->scf().stats().flushed, 1u);
   ASSERT_EQ(c.deliveries.size(), 1u);
-  EXPECT_EQ(c.deliveries[0].packet.payload, net::Bytes{0xAB});
+  EXPECT_EQ(c.deliveries[0].packet().payload, net::Bytes{0xAB});
 }
 
 TEST_F(ScfRouterTest, BufferedPacketExpiresWithItsLifetime) {
@@ -319,7 +319,7 @@ TEST_F(ScfRouterTest, SameHopRetransmissionIsReAckedNotBlackholed) {
   phy::Frame frame;
   frame.src = peer.mac();
   frame.dst = r.router->address().mac();
-  frame.msg = security::SecuredMessage::sign(p, peer_signer);
+  frame.msg = security::share(security::SecuredMessage::sign(p, peer_signer));
 
   r.router->ingest(frame);
   r.router->ingest(frame);  // the lost-ACK retransmission

@@ -160,7 +160,9 @@ class FaultMediumTest : public ::testing::Test {
 
   void send(int frames) {
     for (int i = 0; i < frames; ++i) {
-      medium_.transmit(tx_, Frame{});
+      Frame f;
+      f.msg = security::share(security::SecuredMessage{});
+      medium_.transmit(tx_, std::move(f));
       events_.run_until(events_.now() + sim::Duration::seconds(0.1));
     }
   }
@@ -200,7 +202,7 @@ TEST_F(FaultMediumTest, CorruptedDeliveryCarriesDamagedWireImage) {
   for (const Frame& f : received_) {
     ASSERT_FALSE(f.raw.empty());
     // Damaged, not identical: at least one bit differs from the clean wire.
-    EXPECT_NE(f.raw, net::Codec::encode(f.msg.packet()));
+    EXPECT_NE(f.raw, net::Codec::encode(f.msg->packet()));
   }
 }
 

@@ -39,6 +39,7 @@ class MediumTest : public ::testing::Test {
     Frame f;
     f.src = net::MacAddress{src};
     f.dst = net::MacAddress::broadcast();
+    f.msg = security::share(security::SecuredMessage{});
     return f;
   }
 

@@ -101,6 +101,7 @@ TEST(MediumIndex, DeliverySetMatchesScanPath) {
     }
     Frame f;
     f.src = net::MacAddress{1};
+    f.msg = security::share(security::SecuredMessage{});
     for (const RadioId sender : ids) {
       medium.transmit(sender, f);
       events.run_until(events.now() + sim::Duration::seconds(1.0));

@@ -217,7 +217,7 @@ int main(int argc, char** argv) {
   security::Signer peer_signer{ca.enroll(peer)};
   phy::Frame frame;
   frame.src = peer.mac();
-  frame.msg = security::SecuredMessage::sign(corpus[1], peer_signer);
+  frame.msg = security::share(security::SecuredMessage::sign(corpus[1], peer_signer));
 
   // Enrolled neighbours for the live-replay strategy: their fresh beacons
   // turn into location-table entries and flush the SCF buffer.
@@ -264,7 +264,7 @@ int main(int argc, char** argv) {
           p.common.type = net::CommonHeader::HeaderType::kGeoUnicast;
           p.extended = net::GucHeader{replay_sn++, so, de};
           p.payload = {0x42, 0x43};
-          live.msg = security::SecuredMessage::sign(p, peer_signer);
+          live.msg = security::share(security::SecuredMessage::sign(p, peer_signer));
           break;
         }
         case 1: {  // GBC whose area lies beyond every neighbour -> SCF buffer
@@ -272,7 +272,7 @@ int main(int argc, char** argv) {
           p.extended = net::GbcHeader{replay_sn++, so,
                                       geo::GeoArea::circle({2500.0, 0.0}, 150.0)};
           p.payload = {0x51};
-          live.msg = security::SecuredMessage::sign(p, peer_signer);
+          live.msg = security::share(security::SecuredMessage::sign(p, peer_signer));
           break;
         }
         default: {  // fresh beacon from an enrolled neighbour -> SCF flush
@@ -285,7 +285,7 @@ int main(int argc, char** argv) {
           p.common.max_hop_limit = 1;
           p.extended = net::BeaconHeader{so};
           live.src = nbr.mac();
-          live.msg = security::SecuredMessage::sign(p, signer);
+          live.msg = security::share(security::SecuredMessage::sign(p, signer));
           break;
         }
       }
