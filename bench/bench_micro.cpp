@@ -10,6 +10,7 @@
 
 #include <benchmark/benchmark.h>
 
+#include <array>
 #include <cstdio>
 #include <cstdlib>
 #include <string>
@@ -21,6 +22,8 @@
 #include "vgr/gn/scf_buffer.hpp"
 #include "vgr/net/codec.hpp"
 #include "vgr/net/duplicate_detector.hpp"
+#include "vgr/phy/dcc.hpp"
+#include "vgr/phy/mac.hpp"
 #include "vgr/phy/medium.hpp"
 #include "vgr/security/authority.hpp"
 #include "vgr/sim/event_queue.hpp"
@@ -359,6 +362,65 @@ void BM_SpatialGridRebuild(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_SpatialGridRebuild)->Arg(200)->Arg(800);
+
+// One full CSMA/CA service cycle under contention: two MAC-fronted nodes
+// share the channel with a jammer transmitting every other airtime slot, so
+// roughly half the sense events land busy and draw a backoff. Items/s is
+// frames *through* the MAC (enqueue -> contention -> on the air), i.e. the
+// per-frame overhead the contention layer adds to Medium::transmit.
+void BM_MacContention(benchmark::State& state) {
+  sim::EventQueue events;
+  phy::Medium medium{events, phy::AccessTechnology::kDsrc};
+  std::array<phy::RadioId, 3> radios{};
+  for (std::size_t i = 0; i < radios.size(); ++i) {
+    phy::Medium::NodeConfig cfg;
+    cfg.mac = net::MacAddress{i + 1};
+    const geo::Position pos{static_cast<double>(i) * 30.0, 2.5};
+    cfg.position = [pos] { return pos; };
+    cfg.tx_range_m = 486.0;
+    radios[i] = medium.add_node(std::move(cfg), [](const phy::Frame&, phy::RadioId) {});
+  }
+  phy::MacConfig mc;
+  mc.enabled = true;
+  phy::Mac mac{events, medium, radios[0], events.make_cohort(), mc, phy::DccConfig{},
+               sim::Rng{11}};
+  phy::Frame frame;
+  frame.src = net::MacAddress{1};
+  security::SecuredMessage msg;
+  msg.set_packet(sample_gbc());
+  frame.msg = security::share(std::move(msg));
+  // Measured airtime of one frame, to phase the jammer at half duty.
+  medium.transmit(radios[2], frame);
+  events.run_until(events.now() + sim::Duration::seconds(1.0));
+  const sim::Duration airtime = medium.busy_time(radios[0]);
+  for (auto _ : state) {
+    medium.transmit(radios[2], frame);  // the contention the head senses
+    mac.enqueue(frame, phy::MacAccessClass::kData);
+    events.run_until(events.now() + airtime * 8.0);
+    events.run_until(events.now() + sim::Duration::millis(20));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(mac.stats().transmitted));
+}
+BENCHMARK(BM_MacContention);
+
+// The reactive DCC ladder's steady-state cost: one CBR sample through the
+// sliding-window average and band lookup. This sits on the 100 ms sampling
+// path of every MAC-enabled node, so it has to stay trivially cheap.
+void BM_CbrWindow(benchmark::State& state) {
+  phy::DccConfig cfg;
+  cfg.enabled = true;
+  cfg.window_samples = static_cast<std::size_t>(state.range(0));
+  phy::Dcc dcc{cfg};
+  double cbr = 0.0;
+  for (auto _ : state) {
+    cbr += 0.093;
+    if (cbr > 1.0) cbr -= 1.0;  // sweep the whole ladder deterministically
+    dcc.on_sample(cbr);
+    benchmark::DoNotOptimize(dcc.toff());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_CbrWindow)->Arg(10)->Arg(64);
 
 /// Console output plus a flat JSON file: one record per benchmark run with
 /// the per-iteration wall time (ns) and the items/s rate when the

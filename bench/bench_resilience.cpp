@@ -14,12 +14,20 @@
 //  2. Churn sweep: fleet-wide crash/reboot rate from none to one crash
 //     every two seconds.
 //
+//  3. Congestion sweep: the replay flooder (attack #3, a certificate-less
+//     outsider replaying captured frames purely for airtime) at an
+//     escalating rate against a CSMA/CA fleet, once with DCC off and once
+//     with reactive DCC on. The contrast is the point: plain CSMA collapses
+//     under load (CW escalation overshoots the flood gaps, retries exhaust)
+//     while the DCC arm sheds beacons and paces data but keeps delivering.
+//
 // The question each curve answers: does the attack's advantage (and the
 // mitigation's recovery) survive on a lossy, churning network, or was it an
 // artifact of the clean simulation? Writes BENCH_resilience.json (override
 // with VGR_BENCH_JSON). Defaults finish in a few minutes; raise VGR_RUNS /
 // VGR_SIM_SECONDS for full fidelity.
 
+#include <cstdint>
 #include <cstdio>
 #include <cstdlib>
 #include <string>
@@ -77,6 +85,68 @@ Row run_point(const scenario::HighwayConfig& cfg, const scenario::Fidelity& fide
   return row;
 }
 
+/// One point of the congestion sweep: the same flooder rate against a
+/// MAC-enabled fleet with DCC off vs on. `recv_*` are honest (attacked-arm)
+/// delivery rates; the counters are summed over every attacked run.
+struct CongestionRow {
+  double flood_hz;
+  double recv_off;  // honest delivery, CSMA only
+  double recv_on;   // honest delivery, CSMA + reactive DCC
+  std::uint64_t retry_off, overflow_off;
+  std::uint64_t retry_on, overflow_on, gated_on;
+  double cbr_off, cbr_on;  // peak channel-busy ratio seen by any station
+  std::uint64_t frames_flooded;
+};
+
+CongestionRow run_congestion_point(const scenario::HighwayConfig& base,
+                                   const scenario::Fidelity& fidelity, double flood_hz) {
+  CongestionRow row{};
+  row.flood_hz = flood_hz;
+
+  scenario::HighwayConfig cfg = base;
+  cfg.attack = scenario::AttackKind::kCongestionFlood;
+  cfg.flood_rate_hz = flood_hz;
+  cfg.mac.enabled = true;
+  // CAM-rate awareness beaconing (ETSI EN 302 637-2 upper rate) and 10 Hz
+  // application traffic. The GN default of one beacon per 3 s leaves the
+  // channel so idle that neither CSMA contention nor DCC pacing ever
+  // engages; a realistic V2X channel carries 10 Hz awareness traffic, which
+  // is the load DCC is specified against — and what the flooder's airtime
+  // has to squeeze out. The short queue matches 802.11p-class hardware,
+  // where latency-critical safety frames are never buffered deeply.
+  cfg.beacon_interval = sim::Duration::seconds(0.1);
+  cfg.packet_interval = sim::Duration::seconds(0.1);
+  cfg.mac.queue_limit = 2;
+
+  cfg.dcc.enabled = false;
+  const scenario::AbResult off = scenario::run_inter_area_ab(cfg, fidelity);
+  row.recv_off = off.attacked_reception;
+  row.retry_off = off.attacked_totals.mac_retry_exhausted;
+  row.overflow_off = off.attacked_totals.mac_queue_overflow;
+  row.cbr_off = off.attacked_totals.peak_cbr;
+
+  cfg.dcc.enabled = true;
+  const scenario::AbResult on = scenario::run_inter_area_ab(cfg, fidelity);
+  row.recv_on = on.attacked_reception;
+  row.retry_on = on.attacked_totals.mac_retry_exhausted;
+  row.overflow_on = on.attacked_totals.mac_queue_overflow;
+  row.gated_on = on.attacked_totals.mac_dcc_gated;
+  row.cbr_on = on.attacked_totals.peak_cbr;
+  row.frames_flooded = on.attacked_totals.frames_flooded;
+  return row;
+}
+
+void print_congestion_row(const CongestionRow& r) {
+  std::printf("  flood %7.0f Hz  dcc-off: recv=%6.3f cbr=%.2f retry=%llu ovfl=%llu   "
+              "dcc-on: recv=%6.3f cbr=%.2f retry=%llu ovfl=%llu gated=%llu\n",
+              r.flood_hz, r.recv_off, r.cbr_off,
+              static_cast<unsigned long long>(r.retry_off),
+              static_cast<unsigned long long>(r.overflow_off), r.recv_on, r.cbr_on,
+              static_cast<unsigned long long>(r.retry_on),
+              static_cast<unsigned long long>(r.overflow_on),
+              static_cast<unsigned long long>(r.gated_on));
+}
+
 void print_row(const Row& r) {
   std::printf("  %-7s %-8.3f recv_af=%6.3f recv_atk=%6.3f gamma=%6.1f%%  "
               "recv_mit=%6.3f gamma_mit=%6.1f%%  recv_rec=%6.3f gamma_rec=%6.1f%%\n",
@@ -126,6 +196,15 @@ int main() {
     print_row(rows.back());
   }
 
+  // --- Sweep 3: channel congestion ---------------------------------------
+  std::printf("\n[3] Congestion sweep (replay flooder vs CSMA/CA, DCC off/on)\n");
+  std::vector<CongestionRow> congestion;
+  for (const double hz : {0.0, 1000.0, 2500.0, 5000.0, 5500.0}) {
+    scenario::HighwayConfig cfg;
+    congestion.push_back(run_congestion_point(cfg, f, hz));
+    print_congestion_row(congestion.back());
+  }
+
   // --- JSON artifact ------------------------------------------------------
   const char* out = std::getenv("VGR_BENCH_JSON");
   const std::string path = out != nullptr ? out : "BENCH_resilience.json";
@@ -146,6 +225,24 @@ int main() {
                  r.axis.c_str(), r.level, r.recv_baseline, r.recv_attacked, r.gamma,
                  r.recv_mitigated, r.gamma_mitigated, r.recv_recovered, r.gamma_recovered,
                  i + 1 < rows.size() ? "," : "");
+  }
+  std::fprintf(fjson, "  ],\n  \"congestion\": [\n");
+  for (std::size_t i = 0; i < congestion.size(); ++i) {
+    const CongestionRow& r = congestion[i];
+    std::fprintf(fjson,
+                 "    {\"flood_hz\": %.0f, \"recv_dcc_off\": %.17g, \"recv_dcc_on\": %.17g, "
+                 "\"peak_cbr_off\": %.17g, \"peak_cbr_on\": %.17g, "
+                 "\"retry_exhausted_off\": %llu, \"queue_overflow_off\": %llu, "
+                 "\"retry_exhausted_on\": %llu, \"queue_overflow_on\": %llu, "
+                 "\"dcc_gated_on\": %llu, \"frames_flooded\": %llu}%s\n",
+                 r.flood_hz, r.recv_off, r.recv_on, r.cbr_off, r.cbr_on,
+                 static_cast<unsigned long long>(r.retry_off),
+                 static_cast<unsigned long long>(r.overflow_off),
+                 static_cast<unsigned long long>(r.retry_on),
+                 static_cast<unsigned long long>(r.overflow_on),
+                 static_cast<unsigned long long>(r.gated_on),
+                 static_cast<unsigned long long>(r.frames_flooded),
+                 i + 1 < congestion.size() ? "," : "");
   }
   std::fprintf(fjson, "  ]\n}\n");
   std::fclose(fjson);

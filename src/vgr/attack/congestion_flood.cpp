@@ -1,0 +1,50 @@
+#include "vgr/attack/congestion_flood.hpp"
+
+#include <algorithm>
+
+namespace vgr::attack {
+
+CongestionFlooder::CongestionFlooder(sim::EventQueue& events, phy::Medium& medium,
+                                     geo::Position position, double attack_range_m,
+                                     Config config)
+    : Sniffer{events, medium, position, attack_range_m}, config_{config} {
+  config_.corpus_size = std::max<std::size_t>(config_.corpus_size, 1);
+  if (config_.rate_hz > 0.0) schedule_flood_tick();
+}
+
+void CongestionFlooder::on_capture(const phy::Frame& frame) {
+  const bool is_beacon = frame.msg->packet().is_beacon();
+  auto& corpus = (is_beacon || !config_.prefer_data) ? beacon_corpus_ : data_corpus_;
+  auto& write = (is_beacon || !config_.prefer_data) ? beacon_write_ : data_write_;
+  if (corpus.size() < config_.corpus_size) {
+    corpus.push_back(frame);  // frame copy is refcounted: `msg` is shared
+  } else {
+    corpus[write] = frame;
+    write = (write + 1) % config_.corpus_size;
+  }
+}
+
+void CongestionFlooder::schedule_flood_tick() {
+  // Strictly periodic: the deterministic replay cadence leaves bounded idle
+  // gaps between transmissions, which is exactly what the CSMA backoff of
+  // honest stations has to hit (see docs/robustness.md).
+  events_.schedule_in(sim::Duration::seconds(1.0 / config_.rate_hz), [this] {
+    flood_tick();
+    schedule_flood_tick();
+  });
+}
+
+void CongestionFlooder::flood_tick() {
+  // Replay from the preferred corpus, round-robin; fall back to beacons
+  // until the first data frame has been overheard. With nothing captured
+  // yet the attacker stays silent — it has no signing capability, so there
+  // is literally nothing it could put on the air.
+  const std::vector<phy::Frame>& corpus =
+      !data_corpus_.empty() ? data_corpus_ : beacon_corpus_;
+  if (corpus.empty()) return;
+  replay_cursor_ = (replay_cursor_ + 1) % corpus.size();
+  ++frames_flooded_;
+  inject(corpus[replay_cursor_]);
+}
+
+}  // namespace vgr::attack

@@ -1,0 +1,72 @@
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "vgr/attack/sniffer.hpp"
+
+namespace vgr::attack {
+
+/// Attack #3 — congestion flood (the MAC/DCC layer's attack surface,
+/// docs/robustness.md; not in the source paper).
+///
+/// The attacker stays inside the paper's outsider threat model: it holds no
+/// certificate and can only replay bytes it previously captured. Instead of
+/// targeting routing state, it replays captured frames at a fixed high rate
+/// purely to occupy airtime. Every honest station in range perceives the
+/// channel busy for each replay's duration, so:
+///
+///  * CSMA stations burn through their backoff/retry budgets trying to find
+///    an idle gap (retry-exhaustion drops, queue overflow), and
+///  * DCC stations measure a high channel-busy ratio and throttle
+///    *themselves* — the attacker makes the victims' own congestion control
+///    silence them. With DCC parametrised for graceful degradation (Toff
+///    pacing instead of CW escalation, scaled retry budget) the same
+///    mechanism is what lets honest goodput survive; the congestion arm of
+///    bench_resilience measures exactly that DCC-off vs DCC-on contrast.
+///
+/// Replay preference: unicast data frames. For every station but the one
+/// the copied link-layer address names, such a replay is pure airtime — the
+/// radio's address filter discards it right after carrier-sense bookkeeping
+/// — and the one addressed station drops it as a duplicate. Replaying
+/// beacons would additionally poison location tables (that is the paper's
+/// *other* attack); keeping the corpus data-first isolates the congestion
+/// mechanism. Beacons are used only until the first data frame is heard.
+///
+/// The attacker does not run a MAC: flooding regardless of polite channel
+/// access is the point (its `inject` hands frames straight to the medium).
+class CongestionFlooder final : public Sniffer {
+ public:
+  struct Config {
+    /// Replay transmissions per second (0 disables the active part —
+    /// the flooder is then a passive sniffer and schedules nothing).
+    double rate_hz{0.0};
+    /// Captured frames retained for replay (freshest-first ring).
+    std::size_t corpus_size{16};
+    /// Prefer captured non-beacon frames (see class comment).
+    bool prefer_data{true};
+  };
+
+  CongestionFlooder(sim::EventQueue& events, phy::Medium& medium, geo::Position position,
+                    double attack_range_m, Config config);
+
+  [[nodiscard]] std::uint64_t frames_flooded() const { return frames_flooded_; }
+  [[nodiscard]] const Config& config() const { return config_; }
+
+ private:
+  void on_capture(const phy::Frame& frame) override;
+  void schedule_flood_tick();
+  void flood_tick();
+
+  Config config_;
+  /// Freshest captured frames, replayed round-robin. Two rings: data
+  /// (preferred) and beacons (bootstrap fallback until data is heard).
+  std::vector<phy::Frame> data_corpus_;
+  std::vector<phy::Frame> beacon_corpus_;
+  std::size_t data_write_{0};
+  std::size_t beacon_write_{0};
+  std::size_t replay_cursor_{0};
+  std::uint64_t frames_flooded_{0};
+};
+
+}  // namespace vgr::attack

@@ -3,6 +3,8 @@
 #include <cstddef>
 #include <cstdint>
 
+#include "vgr/phy/dcc.hpp"
+#include "vgr/phy/mac.hpp"
 #include "vgr/phy/technology.hpp"
 #include "vgr/sim/time.hpp"
 
@@ -108,6 +110,14 @@ struct RouterConfig {
   /// entry on a persistently busy channel can otherwise outlive the packet
   /// it carries. Enabled alongside SCF by the scenario harness.
   bool cbf_lifetime_expiry{false};
+
+  // --- MAC contention layer (docs/robustness.md): CSMA/CA channel access
+  //     with a bounded transmit queue, plus reactive DCC gating beacon and
+  //     forward rates from the measured channel busy ratio. Both default
+  //     off; off is free (no queueing, no events, no RNG draws), so
+  //     pre-MAC outputs stay bit-identical.
+  phy::MacConfig mac{};
+  phy::DccConfig dcc{};
 
   // --- Mitigation #1 (paper §V-A): plausibility check at forwarding time.
   bool plausibility_check{false};

@@ -69,6 +69,14 @@ Router::Router(sim::EventQueue& events, phy::Medium& medium, security::Signer si
   radio_ = medium_.add_node(std::move(node), [this](const phy::Frame& f, phy::RadioId) {
     if (running_) on_frame(f);
   });
+  if (config_.mac.enabled) {
+    // The MAC's backoff stream is forked from the router's only when the
+    // layer is on: a disabled MAC consumes nothing from any stream, which
+    // keeps MAC-off runs bit-identical to pre-MAC builds. Its events join
+    // the `timers_` cohort so shutdown retires them with everything else.
+    mac_layer_ = std::make_unique<phy::Mac>(events_, medium_, radio_, timers_, config_.mac,
+                                            config_.dcc, rng_.fork());
+  }
   running_ = true;
 }
 
@@ -924,7 +932,16 @@ void Router::transmit(const security::SecuredMessagePtr& msg, net::MacAddress ds
                to_string(address_) + " @" + geo::to_string(mobility_.position()) + " tx " +
                    to_string(msg->packet()) + (dst.is_broadcast() ? "" : " -> " + to_string(dst)));
   }
-  medium_.transmit(radio_, std::move(frame));
+  if (mac_layer_ != nullptr) {
+    // Channel access via CSMA/CA (+ DCC pacing): the frame queues and
+    // contends; the medium sees it at dequeue time. Beacons are classified
+    // for DCC admission — everything else is paced data.
+    mac_layer_->enqueue(std::move(frame), msg->packet().is_beacon()
+                                              ? phy::MacAccessClass::kBeacon
+                                              : phy::MacAccessClass::kData);
+  } else {
+    medium_.transmit(radio_, std::move(frame));
+  }
 }
 
 }  // namespace vgr::gn

@@ -56,6 +56,19 @@ sim::TimePoint Medium::busy_until(RadioId id) const {
   return node_at(id).busy_until;
 }
 
+sim::Duration Medium::busy_time(RadioId id) const {
+  return node_at(id).busy_accum;
+}
+
+void Medium::extend_busy(Node& node, sim::TimePoint until) {
+  // Every busy interval starts at the current event time, so time is only
+  // ever appended monotonically: the union of all intervals grows by the
+  // part of [now, until] not already covered by the previous horizon.
+  if (until <= node.busy_until) return;
+  node.busy_accum += until - std::max(node.busy_until, events_.now());
+  node.busy_until = until;
+}
+
 bool Medium::receivable(const Node& to, geo::Position from_pos, geo::Position to_pos,
                         double range_m, double distance_m) {
   const double reach = to.config.rx_range_m > 0.0 ? to.config.rx_range_m : range_m;
@@ -97,7 +110,7 @@ void Medium::transmit_impl(RadioId sender, std::shared_ptr<const Frame> frame,
   // The transmitter occupies its own channel for the frame's airtime; a
   // half-duplex radio is deaf while transmitting, so under the
   // interference model its own airtime corrupts any overlapping reception.
-  sender_node.busy_until = std::max(sender_node.busy_until, events_.now() + tx_time);
+  extend_busy(sender_node, events_.now() + tx_time);
   if (interference_) {
     auto& inflight = sender_node.inflight;
     const sim::TimePoint tx_end = events_.now() + tx_time;
@@ -163,7 +176,7 @@ void Medium::transmit_impl(RadioId sender, std::shared_ptr<const Frame> frame,
     // Carrier sense: every node in radio range perceives the channel busy
     // for the frame's airtime, regardless of link-layer addressing.
     const sim::TimePoint heard_until = events_.now() + tx_time + propagation_delay(dist);
-    node.busy_until = std::max(node.busy_until, heard_until);
+    extend_busy(node, heard_until);
 
     // Interference bookkeeping: any airtime overlap at this receiver
     // corrupts both frames (no capture effect). Frames addressed elsewhere

@@ -149,6 +149,13 @@ class Medium {
   /// elsewhere). Routers defer CBF rebroadcasts while busy, like CSMA/CA.
   [[nodiscard]] sim::TimePoint busy_until(RadioId id) const;
 
+  /// Cumulative channel-busy time perceived by `id` (exact union of every
+  /// overheard airtime interval — intervals always begin at the current
+  /// event time, so the union needs no interval set, just the clamp against
+  /// the previous `busy_until`). The MAC layer differentiates this between
+  /// samples to measure the channel busy ratio feeding DCC.
+  [[nodiscard]] sim::Duration busy_time(RadioId id) const;
+
   // --- Spatial index ----------------------------------------------------
 
   /// Disables/enables the spatial index; off falls back to the O(N) scan
@@ -181,6 +188,8 @@ class Medium {
     RxCallback rx;
     bool alive{true};
     sim::TimePoint busy_until{};
+    /// Cumulative perceived busy time (see Medium::busy_time).
+    sim::Duration busy_accum{};
     /// In-flight receptions at this node (interference bookkeeping).
     struct Reception {
       sim::TimePoint start;
@@ -192,6 +201,10 @@ class Medium {
 
   [[nodiscard]] bool receivable(const Node& to, geo::Position from_pos, geo::Position to_pos,
                                 double range_m, double distance_m);
+
+  /// Extends `node`'s carrier-sense horizon to `until`, crediting the newly
+  /// covered time to its busy-time accumulator.
+  void extend_busy(Node& node, sim::TimePoint until);
 
   /// Transmit body shared by the public entry point and fault-injected
   /// duplicates; `faults` carries the frame-level decisions already drawn.

@@ -1,5 +1,6 @@
 #include "vgr/scenario/ab_runner.hpp"
 
+#include <algorithm>
 #include <optional>
 #include <utility>
 #include <vector>
@@ -24,8 +25,30 @@ void apply_fidelity(HighwayConfig& config, const Fidelity& fidelity) {
   config.faults = config.faults.with_env_overrides();
   config.churn = config.churn.with_env_overrides();
   config.recovery = config.recovery.with_env_overrides();
+  config.mac = config.mac.with_env_overrides();
+  config.dcc = config.dcc.with_env_overrides();
   config.run_wall_budget_s = fidelity.run_wall_budget_s;
   config.run_max_events = fidelity.run_max_events;
+}
+
+/// The attacker deployed in the B-arm: the configured attack when one is
+/// set, else the experiment family's classic attacker (`fallback`). Keeps
+/// historical call sites (config.attack == kNone) bit-identical while
+/// letting the congestion sweeps pair "no attacker" against a flooder.
+AttackKind b_arm_attack(const HighwayConfig& config, AttackKind fallback) {
+  return config.attack == AttackKind::kNone ? fallback : config.attack;
+}
+
+template <typename Result>
+void accumulate_totals(AbResult::ArmTotals& totals, const Result& r) {
+  totals.mac_queue_overflow += r.mac.queue_overflow_drops;
+  totals.mac_retry_exhausted += r.mac.retry_exhausted_drops;
+  totals.mac_dcc_gated += r.mac.dcc_gated_drops;
+  totals.mac_backoff_retries += r.mac.backoff_retries;
+  totals.mac_transmitted += r.mac.transmitted;
+  totals.ingest_drops += r.ingest_drops;
+  totals.frames_flooded += r.frames_flooded;
+  totals.peak_cbr = std::max(totals.peak_cbr, r.peak_cbr);
 }
 
 /// Dispatches `fidelity.runs` independent runs across a thread pool and
@@ -85,13 +108,15 @@ AbResult run_inter_area_ab(HighwayConfig config, const Fidelity& fidelity) {
         a.attack = AttackKind::kNone;
         HighwayConfig b = config;
         b.seed = run + 1;
-        b.attack = AttackKind::kInterArea;
+        b.attack = b_arm_attack(config, AttackKind::kInterArea);
         return RunResult{HighwayScenario{a}.run_inter_area(),
                          HighwayScenario{b}.run_inter_area()};
       },
       [&](const RunResult& r) {
         out.baseline.merge(r.baseline.binned(kBin));
         out.attacked.merge(r.attacked.binned(kBin));
+        accumulate_totals(out.baseline_totals, r.baseline);
+        accumulate_totals(out.attacked_totals, r.attacked);
         if (r.baseline.timed_out || r.attacked.timed_out) ++out.timed_out_runs;
         // vgr-lint: begin float-accum-ok (merge runs in strict seed order, so
         // the summation order below is fixed for any VGR_THREADS)
@@ -128,13 +153,15 @@ AbResult run_intra_area_ab(HighwayConfig config, const Fidelity& fidelity) {
         a.attack = AttackKind::kNone;
         HighwayConfig b = config;
         b.seed = run + 1;
-        b.attack = AttackKind::kIntraArea;
+        b.attack = b_arm_attack(config, AttackKind::kIntraArea);
         return RunResult{HighwayScenario{a}.run_intra_area(),
                          HighwayScenario{b}.run_intra_area()};
       },
       [&](const RunResult& r) {
         out.baseline.merge(r.baseline.binned(kBin));
         out.attacked.merge(r.attacked.binned(kBin));
+        accumulate_totals(out.baseline_totals, r.baseline);
+        accumulate_totals(out.attacked_totals, r.attacked);
         if (r.baseline.timed_out || r.attacked.timed_out) ++out.timed_out_runs;
       });
 

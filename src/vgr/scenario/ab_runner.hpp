@@ -13,11 +13,27 @@ namespace vgr::scenario {
 /// interception, lambda for intra-area blockage — the average relative
 /// reception drop over 5 s bins).
 struct AbResult {
+  /// Per-arm drop/congestion totals, summed over every run of the arm
+  /// (docs/robustness.md). The MAC counters are zero unless the MAC layer
+  /// is enabled; ingest drops are zero on an un-faulted channel.
+  struct ArmTotals {
+    std::uint64_t mac_queue_overflow{0};
+    std::uint64_t mac_retry_exhausted{0};
+    std::uint64_t mac_dcc_gated{0};
+    std::uint64_t mac_backoff_retries{0};
+    std::uint64_t mac_transmitted{0};
+    std::uint64_t ingest_drops{0};
+    std::uint64_t frames_flooded{0};
+    double peak_cbr{0.0};  ///< max over runs of the per-run peak CBR
+  };
+
   sim::BinnedRate baseline;
   sim::BinnedRate attacked;
   double attack_rate{0.0};          ///< gamma / lambda
   double baseline_reception{0.0};   ///< overall rate, attacker-free
   double attacked_reception{0.0};   ///< overall rate, attacked
+  ArmTotals baseline_totals{};
+  ArmTotals attacked_totals{};
   std::uint64_t runs{0};
   /// Runs (seed-paired A/B executions) where at least one arm tripped the
   /// per-run watchdog (`Fidelity::run_wall_budget_s` / `run_max_events`) and
@@ -35,9 +51,10 @@ struct AbResult {
 ///   VGR_RUN_TIMEOUT_S   — per-run wall-clock watchdog, seconds (0 = off)
 ///   VGR_RUN_MAX_EVENTS  — per-run event-count circuit breaker (0 = off)
 /// The resilience knobs (`VGR_FAULT_*`, `VGR_CHURN_*`, `VGR_SCF*`,
-/// `VGR_RETX*`, `VGR_NBR_MONITOR`; see docs/robustness.md) are likewise
-/// applied to every run's config, so any experiment can be replayed under
-/// channel faults, node churn, or with the recovery layer enabled.
+/// `VGR_RETX*`, `VGR_NBR_MONITOR`, `VGR_MAC_*`, `VGR_DCC_*`; see
+/// docs/robustness.md) are likewise applied to every run's config, so any
+/// experiment can be replayed under channel faults, node churn, with the
+/// recovery layer enabled, or on a contended CSMA/CA + DCC channel.
 /// Malformed values are rejected whole-token with a stderr warning rather
 /// than silently parsed as a prefix or as 0.
 struct Fidelity {
@@ -56,7 +73,8 @@ struct Fidelity {
 
 /// Runs `runs` paired (attacker-free, attacked) inter-area experiments with
 /// seeds 1..runs and merges the binned reception timelines. `config.attack`
-/// selects the attacker for the B-arm; the A-arm clears it.
+/// selects the attacker for the B-arm (kNone keeps the classic kInterArea
+/// interceptor); the A-arm always clears it.
 AbResult run_inter_area_ab(HighwayConfig config, const Fidelity& fidelity);
 
 /// Same pairing for the intra-area (CBF flood) experiment.

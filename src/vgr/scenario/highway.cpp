@@ -172,6 +172,10 @@ gn::RouterConfig HighwayScenario::make_router_config() const {
   gn::RouterConfig rc = gn::RouterConfig::for_technology(config_.tech);
   rc.locte_ttl = config_.locte_ttl;
   rc.beacon_interval = config_.beacon_interval;
+  // Jitter scales with the interval so CAM-rate sweeps (0.1 s beacons in the
+  // congestion arm) keep the same relative spread; at the 3 s default this
+  // reproduces the RouterConfig default of 0.75 s exactly.
+  rc.beacon_jitter = config_.beacon_interval * 0.25;
   rc.cbf_dist_max_m = vehicle_range_m_;
   rc.default_hop_limit = config_.hop_limit;
   rc.gf_ack = config_.gf_ack;
@@ -183,6 +187,8 @@ gn::RouterConfig HighwayScenario::make_router_config() const {
   rc.retx_backoff_base = sim::Duration::seconds(config_.recovery.retx_backoff_ms / 1000.0);
   rc.retx_backoff_jitter = rc.retx_backoff_base * 0.2;
   rc.nbr_monitor = config_.recovery.nbr_monitor;
+  rc.mac = config_.mac;
+  rc.dcc = config_.dcc;
   // SCF implies the CBF lifetime bound: both exist to stop per-packet state
   // outliving the packet.
   rc.cbf_lifetime_expiry = config_.recovery.scf;
@@ -256,10 +262,23 @@ void HighwayScenario::spawn_station(traffic::Vehicle& v) {
   if (config_.pseudonym_period_s > 0.0) schedule_pseudonym_rotation(v.id());
 }
 
+void HighwayScenario::harvest_station_stats(const gn::Router& router) {
+  const gn::RouterStats& s = router.stats();
+  ingest_drop_totals_ += s.ingest_decode_failures + s.ingest_invalid_pv + s.ingest_invalid_rhl +
+                         s.ingest_invalid_lifetime + s.ingest_oversized_payload;
+  if (const phy::Mac* mac = router.mac_layer()) {
+    mac_totals_.add(mac->stats());
+    peak_cbr_ = std::max(peak_cbr_, mac->dcc().peak_cbr());
+  }
+}
+
 void HighwayScenario::destroy_station(traffic::Vehicle& v) {
   const auto it = stations_.find(v.id());
   if (it == stations_.end()) return;
-  if (it->second.router) it->second.router->shutdown();
+  if (it->second.router) {
+    harvest_station_stats(*it->second.router);
+    it->second.router->shutdown();
+  }
   stations_.erase(it);
 }
 
@@ -289,6 +308,7 @@ void HighwayScenario::crash_random_station() {
   // and every bit of soft state — location table, CBF/GF buffers, duplicate
   // detector, pending timers — is gone. The vehicle keeps driving.
   auto& st = stations_.at(victim);
+  harvest_station_stats(*st.router);
   st.router->shutdown();
   st.router.reset();
   ++churn_crashes_;
@@ -400,6 +420,11 @@ InterAreaResult HighwayScenario::run_inter_area() {
     interceptor_ = std::make_unique<attack::InterAreaInterceptor>(
         events_, *medium_, geo::Position{config_.resolved_attacker_x(), config_.attacker_y_m},
         config_.attack_range_m);
+  } else if (config_.attack == AttackKind::kCongestionFlood) {
+    flooder_ = std::make_unique<attack::CongestionFlooder>(
+        events_, *medium_, geo::Position{config_.resolved_attacker_x(), config_.attacker_y_m},
+        config_.attack_range_m,
+        attack::CongestionFlooder::Config{config_.flood_rate_hz, 16, true});
   }
 
   traffic_->prefill();
@@ -409,12 +434,27 @@ InterAreaResult HighwayScenario::run_inter_area() {
   events_.set_run_budget(config_.run_max_events, config_.run_wall_budget_s);
   events_.run_until(sim::TimePoint::at(config_.sim_duration));
 
+  // Sweep the survivors into the MAC/ingest totals (exited and crashed
+  // stations were harvested at teardown). Sums and maxima are
+  // order-independent, so the map walk cannot leak iteration order.
+  // vgr-lint: begin ordered-ok (integer sums and max are order-independent)
+  for (const auto& [vid, st] : stations_) {
+    if (st.router) harvest_station_stats(*st.router);
+  }
+  // vgr-lint: end
+  if (east_destination_.router) harvest_station_stats(*east_destination_.router);
+  if (west_destination_.router) harvest_station_stats(*west_destination_.router);
+
   InterAreaResult result;
   result.packets = std::move(inter_records_);
   result.horizon = config_.sim_duration;
   if (interceptor_) result.beacons_replayed = interceptor_->beacons_replayed();
   result.churn_crashes = churn_crashes_;
   result.churn_reboots = churn_reboots_;
+  result.mac = mac_totals_;
+  result.peak_cbr = peak_cbr_;
+  result.ingest_drops = ingest_drop_totals_;
+  if (flooder_) result.frames_flooded = flooder_->frames_flooded();
   result.timed_out = events_.budget_exceeded();
   return result;
 }
@@ -479,6 +519,11 @@ IntraAreaResult HighwayScenario::run_intra_area() {
     blocker_ = std::make_unique<attack::IntraAreaBlocker>(
         events_, *medium_, geo::Position{config_.resolved_attacker_x(), config_.attacker_y_m},
         config_.attack_range_m, config_.blocker);
+  } else if (config_.attack == AttackKind::kCongestionFlood) {
+    flooder_ = std::make_unique<attack::CongestionFlooder>(
+        events_, *medium_, geo::Position{config_.resolved_attacker_x(), config_.attacker_y_m},
+        config_.attack_range_m,
+        attack::CongestionFlooder::Config{config_.flood_rate_hz, 16, true});
   }
 
   traffic_->prefill();
@@ -488,12 +533,22 @@ IntraAreaResult HighwayScenario::run_intra_area() {
   events_.set_run_budget(config_.run_max_events, config_.run_wall_budget_s);
   events_.run_until(sim::TimePoint::at(config_.sim_duration));
 
+  // vgr-lint: begin ordered-ok (integer sums and max are order-independent)
+  for (const auto& [vid, st] : stations_) {
+    if (st.router) harvest_station_stats(*st.router);
+  }
+  // vgr-lint: end
+
   IntraAreaResult result;
   result.floods = std::move(flood_records_);
   result.horizon = config_.sim_duration;
   if (blocker_) result.packets_replayed = blocker_->packets_replayed();
   result.churn_crashes = churn_crashes_;
   result.churn_reboots = churn_reboots_;
+  result.mac = mac_totals_;
+  result.peak_cbr = peak_cbr_;
+  result.ingest_drops = ingest_drop_totals_;
+  if (flooder_) result.frames_flooded = flooder_->frames_flooded();
   result.timed_out = events_.budget_exceeded();
   return result;
 }

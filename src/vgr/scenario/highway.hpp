@@ -5,6 +5,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "vgr/attack/congestion_flood.hpp"
 #include "vgr/attack/inter_area.hpp"
 #include "vgr/attack/intra_area.hpp"
 #include "vgr/mitigation/profiles.hpp"
@@ -24,7 +25,7 @@ namespace vgr::scenario {
 /// runs, because the vulnerable-packet workload of the paper is defined
 /// relative to the hypothetical attacker (Fig 6) and the A/B pairing needs
 /// identical workloads.
-enum class AttackKind { kNone, kInterArea, kIntraArea };
+enum class AttackKind { kNone, kInterArea, kIntraArea, kCongestionFlood };
 
 /// Node churn: stations crash at random (their radio goes silent
 /// mid-protocol, losing location table, CBF/GF buffers and duplicate-
@@ -96,6 +97,8 @@ struct HighwayConfig {
   double attacker_x_m{-1.0};     ///< < 0: road centre
   double attacker_y_m{12.5};     ///< roadside, just past the outermost lane
   attack::IntraAreaBlocker::Config blocker{};
+  /// Replay rate of the congestion flooder (kCongestionFlood only).
+  double flood_rate_hz{1000.0};
 
   // Mitigations.
   mitigation::Profile mitigation{mitigation::Profile::kNone};
@@ -120,6 +123,10 @@ struct HighwayConfig {
   phy::FaultConfig faults{};
   ChurnConfig churn{};
   RecoveryConfig recovery{};
+  /// MAC contention layer + reactive DCC applied to every router
+  /// (docs/robustness.md). Both default off; off is free.
+  phy::MacConfig mac{};
+  phy::DccConfig dcc{};
 
   // Per-run watchdog (0 = off): a run whose event queue exceeds either
   // budget stops early and is reported as `timed_out` instead of hanging
@@ -149,6 +156,16 @@ struct InterAreaResult {
   std::uint64_t auth_failures{0};
   std::uint64_t churn_crashes{0};
   std::uint64_t churn_reboots{0};
+  /// MAC-plane counters aggregated over every honest station of the run
+  /// (vehicles incl. crashed ones, destinations). All zero with the MAC
+  /// layer off.
+  phy::MacStats mac{};
+  /// Highest raw CBR sample any honest station measured (MAC layer only).
+  double peak_cbr{0.0};
+  /// Hardened-ingest drops summed over all stations and causes.
+  std::uint64_t ingest_drops{0};
+  /// Congestion-flood replays (kCongestionFlood runs only).
+  std::uint64_t frames_flooded{0};
   /// The run tripped the per-run watchdog and stopped before its horizon.
   bool timed_out{false};
 
@@ -175,6 +192,12 @@ struct IntraAreaResult {
   std::uint64_t packets_replayed{0};
   std::uint64_t churn_crashes{0};
   std::uint64_t churn_reboots{0};
+  /// MAC-plane counters aggregated over every honest station (see
+  /// InterAreaResult::mac).
+  phy::MacStats mac{};
+  double peak_cbr{0.0};
+  std::uint64_t ingest_drops{0};
+  std::uint64_t frames_flooded{0};
   /// The run tripped the per-run watchdog and stopped before its horizon.
   bool timed_out{false};
 
@@ -220,6 +243,10 @@ class HighwayScenario {
  private:
   void spawn_station(traffic::Vehicle& v);
   void destroy_station(traffic::Vehicle& v);
+  /// Folds a router's MAC/ingest counters into the run totals. Stations
+  /// come and go mid-run (exit, crash), so totals accumulate at teardown
+  /// and the run end sweeps whoever is left.
+  void harvest_station_stats(const gn::Router& router);
   /// Creates (or re-creates, on reboot) the router half of a vehicle
   /// station; `st.mobility` must already be set. Reboots draw their RNG and
   /// their randomized initial sequence number from the churn stream.
@@ -263,6 +290,12 @@ class HighwayScenario {
 
   std::unique_ptr<attack::InterAreaInterceptor> interceptor_;
   std::unique_ptr<attack::IntraAreaBlocker> blocker_;
+  std::unique_ptr<attack::CongestionFlooder> flooder_;
+
+  /// Run-wide MAC/ingest totals (see harvest_station_stats).
+  phy::MacStats mac_totals_{};
+  double peak_cbr_{0.0};
+  std::uint64_t ingest_drop_totals_{0};
 
   // Workload bookkeeping.
   std::uint64_t next_packet_id_{1};

@@ -1,0 +1,135 @@
+// Congestion-flood attack (attack #3, docs/robustness.md): a replay-only
+// outsider occupying airtime, the CSMA collapse it causes, and the DCC
+// graceful-degradation contrast measured by bench_resilience's sweep 3.
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <vector>
+
+#include "vgr/attack/congestion_flood.hpp"
+#include "vgr/scenario/highway.hpp"
+#include "vgr/security/authority.hpp"
+
+namespace vgr {
+namespace {
+
+using namespace vgr::sim::literals;
+
+// --- Unit level: the flooder itself ---------------------------------------
+
+struct FloodRig {
+  sim::EventQueue events;
+  phy::Medium medium{events, phy::AccessTechnology::kDsrc};
+  std::vector<phy::Frame> heard;
+  phy::RadioId honest{};
+  phy::RadioId listener{};
+
+  FloodRig() {
+    phy::Medium::NodeConfig a;
+    a.mac = net::MacAddress{1};
+    a.position = [] { return geo::Position{0, 0}; };
+    a.tx_range_m = 500.0;
+    honest = medium.add_node(std::move(a), [](const phy::Frame&, phy::RadioId) {});
+    phy::Medium::NodeConfig b;
+    b.mac = net::MacAddress{2};
+    b.position = [] { return geo::Position{100, 0}; };
+    b.tx_range_m = 500.0;
+    listener = medium.add_node(std::move(b), [this](const phy::Frame& f, phy::RadioId) {
+      heard.push_back(f);
+    });
+  }
+
+  phy::Frame data_frame() {
+    phy::Frame f;
+    f.src = net::MacAddress{1};
+    f.dst = net::MacAddress::broadcast();
+    f.msg = security::share(security::SecuredMessage{});
+    return f;
+  }
+};
+
+TEST(CongestionFlooder, SilentUntilSomethingIsCaptured) {
+  // No signing capability, nothing overheard: there is literally nothing
+  // the attacker could put on the air.
+  FloodRig rig;
+  attack::CongestionFlooder flooder{rig.events, rig.medium, geo::Position{50, 0}, 500.0,
+                                    attack::CongestionFlooder::Config{1000.0, 16, true}};
+  rig.events.run_until(rig.events.now() + 1_s);
+  EXPECT_EQ(flooder.frames_flooded(), 0u);
+  EXPECT_TRUE(rig.heard.empty());
+}
+
+TEST(CongestionFlooder, ReplaysCapturedFramesAtTheConfiguredRate) {
+  FloodRig rig;
+  attack::CongestionFlooder flooder{rig.events, rig.medium, geo::Position{50, 0}, 500.0,
+                                    attack::CongestionFlooder::Config{1000.0, 16, true}};
+  rig.medium.transmit(rig.honest, rig.data_frame());
+  rig.events.run_until(rig.events.now() + 1_s);
+  // ~1000 replays over the second following the capture.
+  EXPECT_GT(flooder.frames_flooded(), 800u);
+  EXPECT_LE(flooder.frames_flooded(), 1001u);
+  // Replays carry the attacker's own link-layer source (the basic header is
+  // unauthenticated), not the victim's.
+  ASSERT_GT(rig.heard.size(), 800u);
+  EXPECT_NE(rig.heard.back().src, net::MacAddress{1});
+}
+
+TEST(CongestionFlooder, ZeroRateIsAPassiveSniffer) {
+  FloodRig rig;
+  attack::CongestionFlooder flooder{rig.events, rig.medium, geo::Position{50, 0}, 500.0,
+                                    attack::CongestionFlooder::Config{0.0, 16, true}};
+  rig.medium.transmit(rig.honest, rig.data_frame());
+  rig.events.run_until(rig.events.now() + 1_s);
+  EXPECT_EQ(flooder.frames_flooded(), 0u);
+  EXPECT_GT(flooder.frames_captured(), 0u);
+}
+
+// --- Scenario level: the DCC-off collapse vs DCC-on degradation -----------
+
+scenario::HighwayConfig congested_config(double flood_hz, bool dcc) {
+  scenario::HighwayConfig cfg;
+  cfg.attack = scenario::AttackKind::kCongestionFlood;
+  cfg.flood_rate_hz = flood_hz;
+  cfg.sim_duration = sim::Duration::seconds(10.0);
+  // The bench_resilience sweep-3 load model: CAM-rate beacons, 10 Hz data,
+  // hardware-short MAC queue.
+  cfg.beacon_interval = sim::Duration::seconds(0.1);
+  cfg.packet_interval = sim::Duration::seconds(0.1);
+  cfg.mac.enabled = true;
+  cfg.mac.queue_limit = 2;
+  cfg.dcc.enabled = dcc;
+  return cfg;
+}
+
+TEST(CongestionScenario, FloodCollapsesCsmaButDccDegradesGracefully) {
+  const scenario::InterAreaResult off =
+      scenario::HighwayScenario{congested_config(5500.0, false)}.run_inter_area();
+  const scenario::InterAreaResult on =
+      scenario::HighwayScenario{congested_config(5500.0, true)}.run_inter_area();
+
+  // The attacker flooded and the channel was genuinely loaded.
+  EXPECT_GT(off.frames_flooded, 10000u);
+  EXPECT_GT(off.peak_cbr, 0.5);
+  EXPECT_GT(on.peak_cbr, 0.5);
+
+  // DCC off: CW escalation overshoots the flood gaps until the retry
+  // budget dies. DCC on: beacons are shed at admission instead, and the
+  // scaled retry budget keeps data alive — strictly better delivery.
+  EXPECT_GT(off.mac.retry_exhausted_drops, 0u);
+  EXPECT_GT(on.mac.dcc_gated_drops, 0u);
+  EXPECT_GT(on.overall_reception(), off.overall_reception());
+}
+
+TEST(CongestionScenario, UnfloodedMacFleetStillDelivers) {
+  // Sanity for the sweep's zero point: MAC + DCC on an unloaded channel is
+  // not itself the bottleneck.
+  const scenario::InterAreaResult quiet =
+      scenario::HighwayScenario{congested_config(0.0, true)}.run_inter_area();
+  EXPECT_EQ(quiet.frames_flooded, 0u);
+  EXPECT_GT(quiet.overall_reception(), 0.5);
+  EXPECT_LT(quiet.peak_cbr, 0.3);
+}
+
+}  // namespace
+}  // namespace vgr

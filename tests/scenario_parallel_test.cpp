@@ -74,6 +74,44 @@ TEST(ParallelHarness, SingleArmHelpersAreBitIdentical) {
   EXPECT_EQ(serial.overall(), parallel.overall());
 }
 
+TEST(ParallelHarness, MacDccCongestionArmIsBitIdentical) {
+  // The contention layer runs entirely inside each run's event loop with a
+  // private RNG stream, so a MAC+DCC fleet under the congestion flooder is
+  // as thread-count-invariant as the classic experiments — including every
+  // MAC drop counter and the peak CBR in the merged arm totals.
+  HighwayConfig cfg = quick_config(AttackKind::kCongestionFlood);
+  cfg.sim_duration = sim::Duration::seconds(10.0);
+  cfg.flood_rate_hz = 2500.0;
+  cfg.beacon_interval = sim::Duration::seconds(0.1);
+  cfg.packet_interval = sim::Duration::seconds(0.1);
+  cfg.mac.enabled = true;
+  cfg.dcc.enabled = true;
+  Fidelity f1 = with_threads(1);
+  Fidelity f4 = with_threads(4);
+  f1.runs = f4.runs = 2;
+  const AbResult serial = run_inter_area_ab(cfg, f1);
+  const AbResult parallel = run_inter_area_ab(cfg, f4);
+  expect_bit_identical(serial, parallel);
+
+  EXPECT_EQ(serial.attacked_totals.mac_transmitted, parallel.attacked_totals.mac_transmitted);
+  EXPECT_EQ(serial.attacked_totals.mac_queue_overflow,
+            parallel.attacked_totals.mac_queue_overflow);
+  EXPECT_EQ(serial.attacked_totals.mac_retry_exhausted,
+            parallel.attacked_totals.mac_retry_exhausted);
+  EXPECT_EQ(serial.attacked_totals.mac_dcc_gated, parallel.attacked_totals.mac_dcc_gated);
+  EXPECT_EQ(serial.attacked_totals.mac_backoff_retries,
+            parallel.attacked_totals.mac_backoff_retries);
+  EXPECT_EQ(serial.attacked_totals.peak_cbr, parallel.attacked_totals.peak_cbr);
+  EXPECT_EQ(serial.attacked_totals.frames_flooded, parallel.attacked_totals.frames_flooded);
+
+  // The attack plumbing engaged: frames were flooded and beacons gated.
+  EXPECT_GT(serial.attacked_totals.frames_flooded, 0u);
+  EXPECT_GT(serial.attacked_totals.mac_dcc_gated, 0u);
+  EXPECT_GT(serial.attacked_totals.peak_cbr, 0.3);
+  // The A-arm is attacker-free: nothing flooded there.
+  EXPECT_EQ(serial.baseline_totals.frames_flooded, 0u);
+}
+
 TEST(ParallelHarness, SpatialIndexDoesNotChangeResults) {
   // The medium's spatial index must be a pure accelerator: a full A/B
   // experiment with the index disabled reproduces the indexed results.
