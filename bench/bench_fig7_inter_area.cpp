@@ -5,9 +5,11 @@
 // the interception rate gamma the paper annotates on each subfigure.
 
 #include <cstdio>
+#include <string>
 
 #include "bench_util.hpp"
 #include "vgr/scenario/highway.hpp"
+#include "vgr/sweep/ab_sweep.hpp"
 
 using namespace vgr;
 using scenario::AbResult;
@@ -15,6 +17,21 @@ using scenario::Fidelity;
 using scenario::HighwayConfig;
 
 namespace {
+
+/// Every sweep point goes through the crash-resilient sweep supervisor
+/// (VGR_SWEEP=1 journals and resumes; the default disabled supervisor is
+/// exactly run_inter_area_ab, so historical output stays byte-identical).
+sweep::Supervisor& supervisor() {
+  static sweep::Supervisor sup{sweep::SupervisorConfig::from_env()};
+  return sup;
+}
+
+AbResult run_supervised(const std::string& label, const HighwayConfig& cfg,
+                        const Fidelity& fidelity) {
+  return sweep::run_ab_supervised(supervisor(), sweep::Experiment::kInterArea, label, cfg,
+                                  fidelity)
+      .result;
+}
 
 struct RangeSetting {
   const char* label;
@@ -35,7 +52,7 @@ void subfigure_ab(phy::AccessTechnology tech, const char* name, const Fidelity& 
     HighwayConfig cfg;
     cfg.tech = tech;
     cfg.attack_range_m = s.range_m;
-    const AbResult r = run_inter_area_ab(cfg, fidelity);
+    const AbResult r = run_supervised(std::string{"fig7"} + name + "-" + s.key, cfg, fidelity);
     bench::print_summary_row(s.label, r, "gamma");
     bench::maybe_export(std::string{"fig7"} + name + "_" + s.key, r);
     if (bench::verbose()) bench::print_ab_series(r);
@@ -59,7 +76,8 @@ int main() {
     HighwayConfig cfg;
     cfg.attack_range_m = phy::range_table(cfg.tech).nlos_worst_m;
     cfg.locte_ttl = sim::Duration::seconds(ttl);
-    const AbResult r = run_inter_area_ab(cfg, fidelity);
+    const AbResult r = run_supervised(
+        "fig7c-ttl" + std::to_string(static_cast<int>(ttl)), cfg, fidelity);
     bench::print_summary_row("TTL " + std::to_string(static_cast<int>(ttl)) + " s", r, "gamma");
     if (bench::verbose()) bench::print_ab_series(r);
   }
@@ -67,7 +85,7 @@ int main() {
     HighwayConfig cfg;
     cfg.attack_range_m = phy::range_table(cfg.tech).nlos_median_m;
     cfg.locte_ttl = sim::Duration::seconds(5.0);
-    const AbResult r = run_inter_area_ab(cfg, fidelity);
+    const AbResult r = run_supervised("fig7c-ttl5-mN", cfg, fidelity);
     bench::print_summary_row("TTL 5 s, mN attacker", r, "gamma");
   }
 
@@ -78,7 +96,8 @@ int main() {
     cfg.attack_range_m = phy::range_table(cfg.tech).nlos_worst_m;
     cfg.entry_spacing_m = spacing;
     cfg.prefill_spacing_m = spacing;
-    const AbResult r = run_inter_area_ab(cfg, fidelity);
+    const AbResult r = run_supervised(
+        "fig7d-space" + std::to_string(static_cast<int>(spacing)), cfg, fidelity);
     bench::print_summary_row("i = " + std::to_string(static_cast<int>(spacing)) + " m", r,
                              "gamma");
   }
@@ -89,7 +108,7 @@ int main() {
     HighwayConfig cfg;
     cfg.attack_range_m = phy::range_table(cfg.tech).nlos_worst_m;
     cfg.two_way = two_way;
-    const AbResult r = run_inter_area_ab(cfg, fidelity);
+    const AbResult r = run_supervised(two_way ? "fig7e-two-way" : "fig7e-one-way", cfg, fidelity);
     bench::print_summary_row(two_way ? "two directions" : "single direction", r, "gamma");
   }
 

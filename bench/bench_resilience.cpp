@@ -26,138 +26,21 @@
 // artifact of the clean simulation? Writes BENCH_resilience.json (override
 // with VGR_BENCH_JSON). Defaults finish in a few minutes; raise VGR_RUNS /
 // VGR_SIM_SECONDS for full fidelity.
+//
+// The sweep body lives in vgr/sweep/resilience_sweep so the same study runs
+// under the crash-resilient sweep supervisor (VGR_SWEEP=1, docs/robustness.md
+// "Sweep supervisor") and from the vgr_sweep CLI. With the supervisor off —
+// the default — the output is byte-identical to the historical monolithic
+// bench.
 
-#include <cstdint>
-#include <cstdio>
 #include <cstdlib>
 #include <string>
-#include <vector>
 
 #include "bench_util.hpp"
-
-namespace {
-
-using namespace vgr;
-
-struct Row {
-  std::string axis;      // "loss" or "churn"
-  double level;          // drop probability / crashes per second
-  double recv_baseline;  // attacker-free reception
-  double recv_attacked;  // attacked reception
-  double gamma;          // interception rate, no mitigation
-  double recv_mitigated; // attacked reception, both §V defenses
-  double gamma_mitigated;
-  double recv_recovered;  // attacker-free reception, SCF+retx+monitor on
-  double gamma_recovered; // interception rate with the recovery layer on
-};
-
-Row run_point(const scenario::HighwayConfig& cfg, const scenario::Fidelity& fidelity,
-              const std::string& axis, double level) {
-  Row row;
-  row.axis = axis;
-  row.level = level;
-
-  const scenario::AbResult plain = scenario::run_inter_area_ab(cfg, fidelity);
-  row.recv_baseline = plain.baseline_reception;
-  row.recv_attacked = plain.attacked_reception;
-  row.gamma = plain.attack_rate;
-
-  scenario::HighwayConfig mitigated = cfg;
-  mitigated.mitigation = mitigation::Profile::kFull;
-  const scenario::AbResult guarded = scenario::run_inter_area_ab(mitigated, fidelity);
-  row.recv_mitigated = guarded.attacked_reception;
-  row.gamma_mitigated = guarded.attack_rate;
-
-  scenario::HighwayConfig recovered = cfg;
-  recovered.recovery.scf = true;
-  recovered.recovery.retx = true;
-  recovered.recovery.nbr_monitor = true;
-  const scenario::AbResult healed = scenario::run_inter_area_ab(recovered, fidelity);
-  row.recv_recovered = healed.baseline_reception;
-  row.gamma_recovered = healed.attack_rate;
-
-  const auto timed_out =
-      plain.timed_out_runs + guarded.timed_out_runs + healed.timed_out_runs;
-  if (timed_out > 0) {
-    std::fprintf(stderr, "  [watchdog] %llu run(s) stopped on the per-run budget\n",
-                 static_cast<unsigned long long>(timed_out));
-  }
-  return row;
-}
-
-/// One point of the congestion sweep: the same flooder rate against a
-/// MAC-enabled fleet with DCC off vs on. `recv_*` are honest (attacked-arm)
-/// delivery rates; the counters are summed over every attacked run.
-struct CongestionRow {
-  double flood_hz;
-  double recv_off;  // honest delivery, CSMA only
-  double recv_on;   // honest delivery, CSMA + reactive DCC
-  std::uint64_t retry_off, overflow_off;
-  std::uint64_t retry_on, overflow_on, gated_on;
-  double cbr_off, cbr_on;  // peak channel-busy ratio seen by any station
-  std::uint64_t frames_flooded;
-};
-
-CongestionRow run_congestion_point(const scenario::HighwayConfig& base,
-                                   const scenario::Fidelity& fidelity, double flood_hz) {
-  CongestionRow row{};
-  row.flood_hz = flood_hz;
-
-  scenario::HighwayConfig cfg = base;
-  cfg.attack = scenario::AttackKind::kCongestionFlood;
-  cfg.flood_rate_hz = flood_hz;
-  cfg.mac.enabled = true;
-  // CAM-rate awareness beaconing (ETSI EN 302 637-2 upper rate) and 10 Hz
-  // application traffic. The GN default of one beacon per 3 s leaves the
-  // channel so idle that neither CSMA contention nor DCC pacing ever
-  // engages; a realistic V2X channel carries 10 Hz awareness traffic, which
-  // is the load DCC is specified against — and what the flooder's airtime
-  // has to squeeze out. The short queue matches 802.11p-class hardware,
-  // where latency-critical safety frames are never buffered deeply.
-  cfg.beacon_interval = sim::Duration::seconds(0.1);
-  cfg.packet_interval = sim::Duration::seconds(0.1);
-  cfg.mac.queue_limit = 2;
-
-  cfg.dcc.enabled = false;
-  const scenario::AbResult off = scenario::run_inter_area_ab(cfg, fidelity);
-  row.recv_off = off.attacked_reception;
-  row.retry_off = off.attacked_totals.mac_retry_exhausted;
-  row.overflow_off = off.attacked_totals.mac_queue_overflow;
-  row.cbr_off = off.attacked_totals.peak_cbr;
-
-  cfg.dcc.enabled = true;
-  const scenario::AbResult on = scenario::run_inter_area_ab(cfg, fidelity);
-  row.recv_on = on.attacked_reception;
-  row.retry_on = on.attacked_totals.mac_retry_exhausted;
-  row.overflow_on = on.attacked_totals.mac_queue_overflow;
-  row.gated_on = on.attacked_totals.mac_dcc_gated;
-  row.cbr_on = on.attacked_totals.peak_cbr;
-  row.frames_flooded = on.attacked_totals.frames_flooded;
-  return row;
-}
-
-void print_congestion_row(const CongestionRow& r) {
-  std::printf("  flood %7.0f Hz  dcc-off: recv=%6.3f cbr=%.2f retry=%llu ovfl=%llu   "
-              "dcc-on: recv=%6.3f cbr=%.2f retry=%llu ovfl=%llu gated=%llu\n",
-              r.flood_hz, r.recv_off, r.cbr_off,
-              static_cast<unsigned long long>(r.retry_off),
-              static_cast<unsigned long long>(r.overflow_off), r.recv_on, r.cbr_on,
-              static_cast<unsigned long long>(r.retry_on),
-              static_cast<unsigned long long>(r.overflow_on),
-              static_cast<unsigned long long>(r.gated_on));
-}
-
-void print_row(const Row& r) {
-  std::printf("  %-7s %-8.3f recv_af=%6.3f recv_atk=%6.3f gamma=%6.1f%%  "
-              "recv_mit=%6.3f gamma_mit=%6.1f%%  recv_rec=%6.3f gamma_rec=%6.1f%%\n",
-              r.axis.c_str(), r.level, r.recv_baseline, r.recv_attacked, r.gamma * 100.0,
-              r.recv_mitigated, r.gamma_mitigated * 100.0, r.recv_recovered,
-              r.gamma_recovered * 100.0);
-}
-
-}  // namespace
+#include "vgr/sweep/resilience_sweep.hpp"
 
 int main() {
+  using namespace vgr;
   const scenario::Fidelity fidelity = scenario::Fidelity::from_env(/*default_runs=*/4);
   vgr::bench::banner("bench_resilience",
                      "attack + mitigation under channel faults and node churn", fidelity,
@@ -165,87 +48,10 @@ int main() {
   scenario::Fidelity f = fidelity;
   if (f.sim_seconds <= 0.0) f.sim_seconds = 20.0;
 
-  std::vector<Row> rows;
+  sweep::Supervisor supervisor{sweep::SupervisorConfig::from_env()};
+  if (!supervisor.ok()) return 1;
 
-  // --- Sweep 1: channel loss ----------------------------------------------
-  std::printf("\n[1] Channel-loss sweep (frame drop + link loss + corruption, GE bursts)\n");
-  for (const double drop : {0.0, 0.05, 0.1, 0.2, 0.4}) {
-    scenario::HighwayConfig cfg;
-    cfg.attack = scenario::AttackKind::kInterArea;
-    cfg.faults.drop_probability = drop;
-    cfg.faults.link_loss_probability = drop / 2.0;
-    cfg.faults.corrupt_probability = drop / 4.0;
-    if (drop >= 0.2) {
-      // Upper settings add a burst component: ~5-frame bad states in which
-      // everything is lost, entered roughly every hundred frames.
-      cfg.faults.ge_p_good_to_bad = 0.01;
-      cfg.faults.ge_p_bad_to_good = 0.2;
-    }
-    rows.push_back(run_point(cfg, f, "loss", drop));
-    print_row(rows.back());
-  }
-
-  // --- Sweep 2: node churn ------------------------------------------------
-  std::printf("\n[2] Churn sweep (fleet-wide crash rate, 2 s downtime, always reboot)\n");
-  for (const double rate : {0.0, 0.1, 0.25, 0.5}) {
-    scenario::HighwayConfig cfg;
-    cfg.attack = scenario::AttackKind::kInterArea;
-    cfg.churn.crash_rate_hz = rate;
-    cfg.churn.downtime_s = 2.0;
-    rows.push_back(run_point(cfg, f, "churn", rate));
-    print_row(rows.back());
-  }
-
-  // --- Sweep 3: channel congestion ---------------------------------------
-  std::printf("\n[3] Congestion sweep (replay flooder vs CSMA/CA, DCC off/on)\n");
-  std::vector<CongestionRow> congestion;
-  for (const double hz : {0.0, 1000.0, 2500.0, 5000.0, 5500.0}) {
-    scenario::HighwayConfig cfg;
-    congestion.push_back(run_congestion_point(cfg, f, hz));
-    print_congestion_row(congestion.back());
-  }
-
-  // --- JSON artifact ------------------------------------------------------
   const char* out = std::getenv("VGR_BENCH_JSON");
   const std::string path = out != nullptr ? out : "BENCH_resilience.json";
-  std::FILE* fjson = std::fopen(path.c_str(), "w");
-  if (fjson == nullptr) {
-    std::fprintf(stderr, "bench_resilience: cannot write %s\n", path.c_str());
-    return 1;
-  }
-  std::fprintf(fjson, "{\n  \"runs\": %llu,\n  \"sim_seconds\": %.1f,\n  \"points\": [\n",
-               static_cast<unsigned long long>(f.runs), f.sim_seconds);
-  for (std::size_t i = 0; i < rows.size(); ++i) {
-    const Row& r = rows[i];
-    std::fprintf(fjson,
-                 "    {\"axis\": \"%s\", \"level\": %.3f, \"recv_baseline\": %.17g, "
-                 "\"recv_attacked\": %.17g, \"gamma\": %.17g, \"recv_mitigated\": %.17g, "
-                 "\"gamma_mitigated\": %.17g, \"recv_recovered\": %.17g, "
-                 "\"gamma_recovered\": %.17g}%s\n",
-                 r.axis.c_str(), r.level, r.recv_baseline, r.recv_attacked, r.gamma,
-                 r.recv_mitigated, r.gamma_mitigated, r.recv_recovered, r.gamma_recovered,
-                 i + 1 < rows.size() ? "," : "");
-  }
-  std::fprintf(fjson, "  ],\n  \"congestion\": [\n");
-  for (std::size_t i = 0; i < congestion.size(); ++i) {
-    const CongestionRow& r = congestion[i];
-    std::fprintf(fjson,
-                 "    {\"flood_hz\": %.0f, \"recv_dcc_off\": %.17g, \"recv_dcc_on\": %.17g, "
-                 "\"peak_cbr_off\": %.17g, \"peak_cbr_on\": %.17g, "
-                 "\"retry_exhausted_off\": %llu, \"queue_overflow_off\": %llu, "
-                 "\"retry_exhausted_on\": %llu, \"queue_overflow_on\": %llu, "
-                 "\"dcc_gated_on\": %llu, \"frames_flooded\": %llu}%s\n",
-                 r.flood_hz, r.recv_off, r.recv_on, r.cbr_off, r.cbr_on,
-                 static_cast<unsigned long long>(r.retry_off),
-                 static_cast<unsigned long long>(r.overflow_off),
-                 static_cast<unsigned long long>(r.retry_on),
-                 static_cast<unsigned long long>(r.overflow_on),
-                 static_cast<unsigned long long>(r.gated_on),
-                 static_cast<unsigned long long>(r.frames_flooded),
-                 i + 1 < congestion.size() ? "," : "");
-  }
-  std::fprintf(fjson, "  ]\n}\n");
-  std::fclose(fjson);
-  std::printf("\nwrote %s\n", path.c_str());
-  return 0;
+  return sweep::run_resilience_sweep(supervisor, f, sweep::ResilienceSelection{}, path);
 }

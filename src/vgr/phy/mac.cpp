@@ -31,6 +31,9 @@ MacConfig MacConfig::with_env_overrides() const {
   if (const auto v = sim::env_int("VGR_MAC_DCC_RETRY_SCALE"); v.has_value() && *v > 0) {
     c.dcc_retry_scale = static_cast<int>(*v);
   }
+  if (const auto v = sim::env_int("VGR_MAC_OVERHEAD_BYTES"); v.has_value() && *v >= 0) {
+    c.airtime_overhead_bytes = static_cast<std::size_t>(*v);
+  }
   return c;
 }
 

@@ -46,10 +46,19 @@ struct MacConfig {
   /// dropping — this is the graceful-degradation half of the DCC story.
   int dcc_retry_scale{4};
 
+  /// Link-layer bytes around the GN wire image counted into every frame's
+  /// airtime while the MAC is enabled (802.11 MAC header 24 + QoS 2 +
+  /// LLC/SNAP 8 + FCS 4 = 38). The GN packet itself is measured exactly via
+  /// Codec::wire_size; this models the framing the codec never sees. Only
+  /// applied with `enabled` (the scenario forwards it to
+  /// Medium::set_airtime_overhead_bytes), so MAC-off runs keep the
+  /// historical GN-only airtime bit-for-bit.
+  std::size_t airtime_overhead_bytes{38};
+
   /// Reads the VGR_MAC_* environment knobs over the programmatic values:
   ///   VGR_MAC (0/1), VGR_MAC_QUEUE, VGR_MAC_SLOT_US, VGR_MAC_AIFS_US,
   ///   VGR_MAC_CW_MIN, VGR_MAC_CW_MAX, VGR_MAC_RETRY,
-  ///   VGR_MAC_DCC_RETRY_SCALE.
+  ///   VGR_MAC_DCC_RETRY_SCALE, VGR_MAC_OVERHEAD_BYTES.
   [[nodiscard]] MacConfig with_env_overrides() const;
 };
 

@@ -104,8 +104,12 @@ void Medium::transmit_impl(RadioId sender, std::shared_ptr<const Frame> frame,
   const double range = range_override_m > 0.0 ? range_override_m : sender_node.config.tx_range_m;
 
   ++frames_sent_;
-  // Arithmetic size — no serialization on the airtime path.
-  const sim::Duration tx_time = airtime(tech_, frame->msg->wire_size());
+  // Arithmetic size — no serialization on the airtime path. The per-frame
+  // wire size is exact (Codec::wire_size == encode().size()); the optional
+  // overhead models the link-layer envelope around it (see
+  // set_airtime_overhead_bytes).
+  const sim::Duration tx_time =
+      airtime(tech_, frame->msg->wire_size() + airtime_overhead_bytes_);
 
   // The transmitter occupies its own channel for the frame's airtime; a
   // half-duplex radio is deaf while transmitting, so under the

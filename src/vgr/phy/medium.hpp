@@ -139,6 +139,16 @@ class Medium {
   /// For kLogDistanceFading: fraction of the range where loss begins.
   void set_fading_onset_fraction(double f) { fading_onset_ = f; }
 
+  /// Link-layer bytes added to every frame's encoded GN wire size when
+  /// converting it to airtime (MAC header + LLC/SNAP + FCS; the GN packet
+  /// itself is already measured exactly via Codec::wire_size). 0 — the
+  /// default — keeps the historical GN-only airtime, so runs without the
+  /// MAC layer stay byte-identical; the MAC config carries the knob
+  /// (MacConfig::airtime_overhead_bytes) and the scenario applies it only
+  /// when the MAC is enabled.
+  void set_airtime_overhead_bytes(std::size_t bytes) { airtime_overhead_bytes_ = bytes; }
+  [[nodiscard]] std::size_t airtime_overhead_bytes() const { return airtime_overhead_bytes_; }
+
   /// Transmits `frame` from `sender` using the sender's configured range;
   /// `range_override_m`, when positive, applies to this frame only (the
   /// blockage-attack variant uses this for its low-power targeted replay).
@@ -244,6 +254,7 @@ class Medium {
   std::vector<Node> nodes_;
   std::size_t live_nodes_{0};
   bool interference_{false};
+  std::size_t airtime_overhead_bytes_{0};
   std::uint64_t frames_sent_{0};
   std::uint64_t frames_delivered_{0};
   std::uint64_t frames_collided_{0};

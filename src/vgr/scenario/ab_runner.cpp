@@ -40,6 +40,15 @@ AttackKind b_arm_attack(const HighwayConfig& config, AttackKind fallback) {
 }
 
 template <typename Result>
+void count_timeouts(AbResult& out, const Result& baseline, const Result& attacked) {
+  if (baseline.timed_out || attacked.timed_out) ++out.timed_out_runs;
+  for (const sim::BudgetTrip cause : {baseline.timed_out_cause, attacked.timed_out_cause}) {
+    if (cause == sim::BudgetTrip::kEvents) ++out.timed_out_events;
+    if (cause == sim::BudgetTrip::kWall) ++out.timed_out_wall;
+  }
+}
+
+template <typename Result>
 void accumulate_totals(AbResult::ArmTotals& totals, const Result& r) {
   totals.mac_queue_overflow += r.mac.queue_overflow_drops;
   totals.mac_retry_exhausted += r.mac.retry_exhausted_drops;
@@ -102,12 +111,12 @@ AbResult run_inter_area_ab(HighwayConfig config, const Fidelity& fidelity) {
   };
   for_each_run_in_order<RunResult>(
       fidelity,
-      [&config](std::size_t run) {
+      [&config, first = fidelity.first_run](std::size_t run) {
         HighwayConfig a = config;
-        a.seed = run + 1;
+        a.seed = first + run + 1;
         a.attack = AttackKind::kNone;
         HighwayConfig b = config;
-        b.seed = run + 1;
+        b.seed = first + run + 1;
         b.attack = b_arm_attack(config, AttackKind::kInterArea);
         return RunResult{HighwayScenario{a}.run_inter_area(),
                          HighwayScenario{b}.run_inter_area()};
@@ -117,7 +126,7 @@ AbResult run_inter_area_ab(HighwayConfig config, const Fidelity& fidelity) {
         out.attacked.merge(r.attacked.binned(kBin));
         accumulate_totals(out.baseline_totals, r.baseline);
         accumulate_totals(out.attacked_totals, r.attacked);
-        if (r.baseline.timed_out || r.attacked.timed_out) ++out.timed_out_runs;
+        count_timeouts(out, r.baseline, r.attacked);
         // vgr-lint: begin float-accum-ok (merge runs in strict seed order, so
         // the summation order below is fixed for any VGR_THREADS)
         base_hits += r.baseline.overall_reception() *
@@ -133,6 +142,10 @@ AbResult run_inter_area_ab(HighwayConfig config, const Fidelity& fidelity) {
   out.attack_rate = sim::BinnedRate::average_drop(out.baseline, out.attacked);
   out.baseline_reception = base_total > 0.0 ? base_hits / base_total : 0.0;
   out.attacked_reception = atk_total > 0.0 ? atk_hits / atk_total : 0.0;
+  out.reception_base_hits = base_hits;
+  out.reception_base_trials = base_total;
+  out.reception_atk_hits = atk_hits;
+  out.reception_atk_trials = atk_total;
   return out;
 }
 
@@ -147,12 +160,12 @@ AbResult run_intra_area_ab(HighwayConfig config, const Fidelity& fidelity) {
   };
   for_each_run_in_order<RunResult>(
       fidelity,
-      [&config](std::size_t run) {
+      [&config, first = fidelity.first_run](std::size_t run) {
         HighwayConfig a = config;
-        a.seed = run + 1;
+        a.seed = first + run + 1;
         a.attack = AttackKind::kNone;
         HighwayConfig b = config;
-        b.seed = run + 1;
+        b.seed = first + run + 1;
         b.attack = b_arm_attack(config, AttackKind::kIntraArea);
         return RunResult{HighwayScenario{a}.run_intra_area(),
                          HighwayScenario{b}.run_intra_area()};
@@ -162,7 +175,7 @@ AbResult run_intra_area_ab(HighwayConfig config, const Fidelity& fidelity) {
         out.attacked.merge(r.attacked.binned(kBin));
         accumulate_totals(out.baseline_totals, r.baseline);
         accumulate_totals(out.attacked_totals, r.attacked);
-        if (r.baseline.timed_out || r.attacked.timed_out) ++out.timed_out_runs;
+        count_timeouts(out, r.baseline, r.attacked);
       });
 
   out.runs = fidelity.runs;
@@ -177,9 +190,9 @@ sim::BinnedRate run_inter_area_arm(HighwayConfig config, const Fidelity& fidelit
   sim::BinnedRate merged{kBin, config.sim_duration};
   for_each_run_in_order<sim::BinnedRate>(
       fidelity,
-      [&config](std::size_t run) {
+      [&config, first = fidelity.first_run](std::size_t run) {
         HighwayConfig c = config;
-        c.seed = run + 1;
+        c.seed = first + run + 1;
         return HighwayScenario{c}.run_inter_area().binned(kBin);
       },
       [&](const sim::BinnedRate& r) { merged.merge(r); });
@@ -191,9 +204,9 @@ sim::BinnedRate run_intra_area_arm(HighwayConfig config, const Fidelity& fidelit
   sim::BinnedRate merged{kBin, config.sim_duration};
   for_each_run_in_order<sim::BinnedRate>(
       fidelity,
-      [&config](std::size_t run) {
+      [&config, first = fidelity.first_run](std::size_t run) {
         HighwayConfig c = config;
-        c.seed = run + 1;
+        c.seed = first + run + 1;
         return HighwayScenario{c}.run_intra_area().binned(kBin);
       },
       [&](const sim::BinnedRate& r) { merged.merge(r); });

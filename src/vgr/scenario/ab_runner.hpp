@@ -34,12 +34,27 @@ struct AbResult {
   double attacked_reception{0.0};   ///< overall rate, attacked
   ArmTotals baseline_totals{};
   ArmTotals attacked_totals{};
+  /// Packet-weighted accumulators behind baseline_reception /
+  /// attacked_reception in the inter-area experiment (the intra-area one
+  /// derives receptions from the merged bins and leaves these at zero).
+  /// Exposed so sweep shards (vgr/sweep) merge receptions exactly instead
+  /// of re-weighting already-divided ratios.
+  double reception_base_hits{0.0};
+  double reception_base_trials{0.0};
+  double reception_atk_hits{0.0};
+  double reception_atk_trials{0.0};
   std::uint64_t runs{0};
   /// Runs (seed-paired A/B executions) where at least one arm tripped the
   /// per-run watchdog (`Fidelity::run_wall_budget_s` / `run_max_events`) and
   /// stopped before its horizon. Such runs still contribute their partial
   /// timelines; a non-zero count flags the sweep as degraded.
   std::uint64_t timed_out_runs{0};
+  /// `timed_out_runs` split by cause, counted per *arm* (a run where both
+  /// arms trip contributes twice here but once above): the event-budget trip
+  /// is deterministic, the wall-clock one is host-dependent, and the sweep
+  /// supervisor's retry/degrade ladder keys off the distinction.
+  std::uint64_t timed_out_events{0};
+  std::uint64_t timed_out_wall{0};
 };
 
 /// Experiment fidelity, environment-overridable so the same benches run in
@@ -59,6 +74,11 @@ struct AbResult {
 /// than silently parsed as a prefix or as 0.
 struct Fidelity {
   std::uint64_t runs{3};
+  /// Seed-range offset for sweep shards (vgr/sweep): the runs executed are
+  /// seeded `first_run+1 .. first_run+runs`, so a sweep point can be cut
+  /// into seed-range shards whose merged result equals the monolithic run.
+  /// 0 (the default, not env-overridable) keeps historical behaviour.
+  std::uint64_t first_run{0};
   double sim_seconds{-1.0};  ///< <= 0 keeps the config's duration
   /// Worker threads for independent runs; 0 = auto (VGR_THREADS or all
   /// hardware threads). Results are bit-identical for every value because

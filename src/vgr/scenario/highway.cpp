@@ -156,6 +156,11 @@ HighwayScenario::HighwayScenario(HighwayConfig config)
   // Vehicle positions only change on the traffic tick, so one index rebuild
   // per tick serves every frame transmitted until the next tick.
   medium_->set_index_mode(phy::IndexMode::kExplicit);
+  // Frame airtime counts the link-layer envelope only when the MAC layer is
+  // on: MAC-off runs keep the historical GN-only airtime bit-for-bit.
+  if (config_.mac.enabled) {
+    medium_->set_airtime_overhead_bytes(config_.mac.airtime_overhead_bytes);
+  }
 
   traffic::TrafficSimulation::Config tcfg;
   tcfg.entry_spacing_m = config_.entry_spacing_m;
@@ -456,6 +461,7 @@ InterAreaResult HighwayScenario::run_inter_area() {
   result.ingest_drops = ingest_drop_totals_;
   if (flooder_) result.frames_flooded = flooder_->frames_flooded();
   result.timed_out = events_.budget_exceeded();
+  result.timed_out_cause = events_.budget_trip();
   return result;
 }
 
@@ -550,6 +556,7 @@ IntraAreaResult HighwayScenario::run_intra_area() {
   result.ingest_drops = ingest_drop_totals_;
   if (flooder_) result.frames_flooded = flooder_->frames_flooded();
   result.timed_out = events_.budget_exceeded();
+  result.timed_out_cause = events_.budget_trip();
   return result;
 }
 

@@ -168,6 +168,8 @@ struct InterAreaResult {
   std::uint64_t frames_flooded{0};
   /// The run tripped the per-run watchdog and stopped before its horizon.
   bool timed_out{false};
+  /// Which budget bound tripped (kNone unless `timed_out`).
+  sim::BudgetTrip timed_out_cause{sim::BudgetTrip::kNone};
 
   [[nodiscard]] double overall_reception() const;
   [[nodiscard]] sim::BinnedRate binned(
@@ -200,6 +202,8 @@ struct IntraAreaResult {
   std::uint64_t frames_flooded{0};
   /// The run tripped the per-run watchdog and stopped before its horizon.
   bool timed_out{false};
+  /// Which budget bound tripped (kNone unless `timed_out`).
+  sim::BudgetTrip timed_out_cause{sim::BudgetTrip::kNone};
 
   [[nodiscard]] double overall_reception() const;
   [[nodiscard]] sim::BinnedRate binned(

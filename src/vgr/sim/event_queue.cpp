@@ -210,9 +210,13 @@ void EventQueue::run_until(TimePoint until) {
     // the boundary cannot admit a later one past `until`.
     const Rec* top = peek();
     if (top == nullptr || top->when > until) break;
-    if (budgeted && budget_tripped()) {
-      budget_exceeded_ = true;
-      break;
+    if (budgeted) {
+      const BudgetTrip trip = budget_tripped();
+      if (trip != BudgetTrip::kNone) {
+        budget_exceeded_ = true;
+        budget_trip_ = trip;
+        break;
+      }
     }
     step();
   }
@@ -221,6 +225,7 @@ void EventQueue::run_until(TimePoint until) {
 
 void EventQueue::set_run_budget(std::uint64_t max_events, double wall_seconds) {
   budget_exceeded_ = false;
+  budget_trip_ = BudgetTrip::kNone;
   budget_events_end_ = max_events == 0 ? 0 : fired_ + max_events;
   has_wall_deadline_ = wall_seconds > 0.0;
   if (has_wall_deadline_) {
@@ -230,16 +235,16 @@ void EventQueue::set_run_budget(std::uint64_t max_events, double wall_seconds) {
   }
 }
 
-bool EventQueue::budget_tripped() {
-  if (budget_events_end_ != 0 && fired_ >= budget_events_end_) return true;
+BudgetTrip EventQueue::budget_tripped() {
+  if (budget_events_end_ != 0 && fired_ >= budget_events_end_) return BudgetTrip::kEvents;
   // The wall clock is only consulted every 4096 events: a syscall per event
   // would dominate the hot loop, and watchdog precision of a few
   // milliseconds is ample for budgets measured in seconds.
   if (has_wall_deadline_ && (fired_ & 0xFFFU) == 0 &&
       std::chrono::steady_clock::now() >= wall_deadline_) {
-    return true;
+    return BudgetTrip::kWall;
   }
-  return false;
+  return BudgetTrip::kNone;
 }
 
 }  // namespace vgr::sim

@@ -33,6 +33,12 @@ struct CohortId {
   friend bool operator==(CohortId, CohortId) = default;
 };
 
+/// Which bound of the per-run budget stopped the last run_until (kNone when
+/// the run reached its horizon). The event-count trip is deterministic; a
+/// wall-clock trip is host-dependent, which is why sweeps report the two
+/// separately (AbResult::timed_out_events / timed_out_wall).
+enum class BudgetTrip : std::uint8_t { kNone, kEvents, kWall };
+
 /// Discrete-event scheduler.
 ///
 /// Events at equal timestamps fire in scheduling order (FIFO), which keeps
@@ -167,6 +173,10 @@ class EventQueue {
   /// `until` (the run is reported as timed out by the scenario harness).
   [[nodiscard]] bool budget_exceeded() const { return budget_exceeded_; }
 
+  /// Which bound tripped when budget_exceeded() is true; kNone otherwise.
+  /// Reset by set_run_budget together with budget_exceeded().
+  [[nodiscard]] BudgetTrip budget_trip() const { return budget_trip_; }
+
  private:
   // --- Callback slab ----------------------------------------------------
   // Fixed-size slots in stable chunks; a free list recycles them, so the
@@ -234,7 +244,7 @@ class EventQueue {
   void collect_dead(const Rec& r);
   void rebuild_buckets(std::size_t new_count);
 
-  [[nodiscard]] bool budget_tripped();
+  [[nodiscard]] BudgetTrip budget_tripped();
 
   struct Cohort {
     std::uint32_t gen{0};
@@ -245,6 +255,7 @@ class EventQueue {
   std::uint64_t budget_events_end_{0};  ///< fired_ value at which to stop (0 = off)
   bool has_wall_deadline_{false};
   bool budget_exceeded_{false};
+  BudgetTrip budget_trip_{BudgetTrip::kNone};
   std::chrono::steady_clock::time_point wall_deadline_{};
   std::uint64_t next_id_{1};
   std::uint64_t fired_{0};

@@ -38,6 +38,18 @@ class BinnedRate {
   /// interception rate over time" figures (Fig 8 / Fig 10).
   [[nodiscard]] double cumulative(std::size_t i) const;
 
+  /// Raw accumulators of bin `i` — the serialization surface for the sweep
+  /// journal (vgr/sweep), which must round-trip a timeline exactly so a
+  /// resumed sweep merges bit-identically to an uninterrupted one.
+  [[nodiscard]] double bin_hits(std::size_t i) const { return hits_[i]; }
+  [[nodiscard]] double bin_trials(std::size_t i) const { return trials_[i]; }
+
+  /// Restores bin `i` from journaled raw accumulators (see bin_hits).
+  void set_bin(std::size_t i, double hits, double trials) {
+    hits_[i] = hits;
+    trials_[i] = trials;
+  }
+
   /// Merges another timeline with identical geometry (e.g. across runs).
   void merge(const BinnedRate& other);
 

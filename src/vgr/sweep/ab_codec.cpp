@@ -1,0 +1,203 @@
+#include "vgr/sweep/ab_codec.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+#include "vgr/sweep/json.hpp"
+
+namespace vgr::sweep {
+namespace {
+
+using scenario::AbResult;
+
+void append_bin_array(std::string& out, const char* key, const sim::BinnedRate& bins,
+                      bool hits) {
+  out += "\"";
+  out += key;
+  out += "\":[";
+  for (std::size_t i = 0; i < bins.bin_count(); ++i) {
+    if (i > 0) out += ",";
+    json_append_double(out, hits ? bins.bin_hits(i) : bins.bin_trials(i));
+  }
+  out += "]";
+}
+
+void append_totals(std::string& out, const char* key, const AbResult::ArmTotals& t) {
+  out += "\"";
+  out += key;
+  out += "\":{\"mac_queue_overflow\":" + std::to_string(t.mac_queue_overflow);
+  out += ",\"mac_retry_exhausted\":" + std::to_string(t.mac_retry_exhausted);
+  out += ",\"mac_dcc_gated\":" + std::to_string(t.mac_dcc_gated);
+  out += ",\"mac_backoff_retries\":" + std::to_string(t.mac_backoff_retries);
+  out += ",\"mac_transmitted\":" + std::to_string(t.mac_transmitted);
+  out += ",\"ingest_drops\":" + std::to_string(t.ingest_drops);
+  out += ",\"frames_flooded\":" + std::to_string(t.frames_flooded);
+  out += ",\"peak_cbr\":";
+  json_append_double(out, t.peak_cbr);
+  out += "}";
+}
+
+bool read_bins(const JsonValue& root, const char* key, sim::BinnedRate& bins, bool hits) {
+  const JsonValue* arr = root.find(key);
+  if (arr == nullptr || arr->kind != JsonValue::Kind::kArray ||
+      arr->array.size() != bins.bin_count()) {
+    return false;
+  }
+  for (std::size_t i = 0; i < arr->array.size(); ++i) {
+    const double v = arr->array[i].as_double();
+    if (hits) {
+      bins.set_bin(i, v, bins.bin_trials(i));
+    } else {
+      bins.set_bin(i, bins.bin_hits(i), v);
+    }
+  }
+  return true;
+}
+
+bool read_totals(const JsonValue& root, const char* key, AbResult::ArmTotals& t) {
+  const JsonValue* obj = root.find(key);
+  if (obj == nullptr || obj->kind != JsonValue::Kind::kObject) return false;
+  t.mac_queue_overflow = obj->u64("mac_queue_overflow");
+  t.mac_retry_exhausted = obj->u64("mac_retry_exhausted");
+  t.mac_dcc_gated = obj->u64("mac_dcc_gated");
+  t.mac_backoff_retries = obj->u64("mac_backoff_retries");
+  t.mac_transmitted = obj->u64("mac_transmitted");
+  t.ingest_drops = obj->u64("ingest_drops");
+  t.frames_flooded = obj->u64("frames_flooded");
+  t.peak_cbr = obj->num("peak_cbr");
+  return true;
+}
+
+void accumulate(AbResult::ArmTotals& into, const AbResult::ArmTotals& from) {
+  into.mac_queue_overflow += from.mac_queue_overflow;
+  into.mac_retry_exhausted += from.mac_retry_exhausted;
+  into.mac_dcc_gated += from.mac_dcc_gated;
+  into.mac_backoff_retries += from.mac_backoff_retries;
+  into.mac_transmitted += from.mac_transmitted;
+  into.ingest_drops += from.ingest_drops;
+  into.frames_flooded += from.frames_flooded;
+  into.peak_cbr = std::max(into.peak_cbr, from.peak_cbr);
+}
+
+}  // namespace
+
+std::string encode_ab(const AbResult& r) {
+  assert(r.baseline.bin_count() == r.attacked.bin_count());
+  std::string out = "{\"bin_ns\":" + std::to_string(r.baseline.bin_width().count());
+  out += ",\"bins\":" + std::to_string(r.baseline.bin_count());
+  out += ",";
+  append_bin_array(out, "base_hits", r.baseline, true);
+  out += ",";
+  append_bin_array(out, "base_trials", r.baseline, false);
+  out += ",";
+  append_bin_array(out, "atk_hits", r.attacked, true);
+  out += ",";
+  append_bin_array(out, "atk_trials", r.attacked, false);
+  out += ",\"attack_rate\":";
+  json_append_double(out, r.attack_rate);
+  out += ",\"baseline_reception\":";
+  json_append_double(out, r.baseline_reception);
+  out += ",\"attacked_reception\":";
+  json_append_double(out, r.attacked_reception);
+  out += ",\"rec_base_hits\":";
+  json_append_double(out, r.reception_base_hits);
+  out += ",\"rec_base_trials\":";
+  json_append_double(out, r.reception_base_trials);
+  out += ",\"rec_atk_hits\":";
+  json_append_double(out, r.reception_atk_hits);
+  out += ",\"rec_atk_trials\":";
+  json_append_double(out, r.reception_atk_trials);
+  out += ",\"runs\":" + std::to_string(r.runs);
+  out += ",\"timed_out_runs\":" + std::to_string(r.timed_out_runs);
+  out += ",\"timed_out_events\":" + std::to_string(r.timed_out_events);
+  out += ",\"timed_out_wall\":" + std::to_string(r.timed_out_wall);
+  out += ",";
+  append_totals(out, "baseline_totals", r.baseline_totals);
+  out += ",";
+  append_totals(out, "attacked_totals", r.attacked_totals);
+  out += "}";
+  return out;
+}
+
+std::optional<AbResult> decode_ab(std::string_view payload) {
+  const std::optional<JsonValue> parsed = json_parse(payload);
+  if (!parsed.has_value() || parsed->kind != JsonValue::Kind::kObject) return std::nullopt;
+  const JsonValue& root = *parsed;
+
+  const auto bin_ns = static_cast<std::int64_t>(root.u64("bin_ns"));
+  const std::uint64_t bins = root.u64("bins");
+  if (bin_ns <= 0 || bins == 0) return std::nullopt;
+  const sim::Duration bin_width = sim::Duration::nanos(bin_ns);
+  const sim::Duration horizon =
+      sim::Duration::nanos(bin_ns * static_cast<std::int64_t>(bins));
+
+  AbResult r{sim::BinnedRate{bin_width, horizon}, sim::BinnedRate{bin_width, horizon}};
+  if (!read_bins(root, "base_hits", r.baseline, true) ||
+      !read_bins(root, "base_trials", r.baseline, false) ||
+      !read_bins(root, "atk_hits", r.attacked, true) ||
+      !read_bins(root, "atk_trials", r.attacked, false)) {
+    return std::nullopt;
+  }
+  r.attack_rate = root.num("attack_rate");
+  r.baseline_reception = root.num("baseline_reception");
+  r.attacked_reception = root.num("attacked_reception");
+  r.reception_base_hits = root.num("rec_base_hits");
+  r.reception_base_trials = root.num("rec_base_trials");
+  r.reception_atk_hits = root.num("rec_atk_hits");
+  r.reception_atk_trials = root.num("rec_atk_trials");
+  r.runs = root.u64("runs");
+  r.timed_out_runs = root.u64("timed_out_runs");
+  r.timed_out_events = root.u64("timed_out_events");
+  r.timed_out_wall = root.u64("timed_out_wall");
+  if (!read_totals(root, "baseline_totals", r.baseline_totals) ||
+      !read_totals(root, "attacked_totals", r.attacked_totals)) {
+    return std::nullopt;
+  }
+  return r;
+}
+
+std::optional<AbResult> merge_ab_payloads(const std::vector<std::string>& payloads) {
+  std::optional<AbResult> merged;
+  for (const std::string& payload : payloads) {
+    std::optional<AbResult> shard = decode_ab(payload);
+    if (!shard.has_value()) return std::nullopt;
+    if (!merged.has_value()) {
+      merged = std::move(shard);
+      continue;
+    }
+    if (shard->baseline.bin_count() != merged->baseline.bin_count() ||
+        shard->baseline.bin_width() != merged->baseline.bin_width()) {
+      return std::nullopt;
+    }
+    merged->baseline.merge(shard->baseline);
+    merged->attacked.merge(shard->attacked);
+    accumulate(merged->baseline_totals, shard->baseline_totals);
+    accumulate(merged->attacked_totals, shard->attacked_totals);
+    merged->reception_base_hits += shard->reception_base_hits;
+    merged->reception_base_trials += shard->reception_base_trials;
+    merged->reception_atk_hits += shard->reception_atk_hits;
+    merged->reception_atk_trials += shard->reception_atk_trials;
+    merged->runs += shard->runs;
+    merged->timed_out_runs += shard->timed_out_runs;
+    merged->timed_out_events += shard->timed_out_events;
+    merged->timed_out_wall += shard->timed_out_wall;
+  }
+  if (!merged.has_value() || payloads.size() == 1) return merged;
+
+  // Re-derive the rates the way ab_runner does once all shards are in.
+  merged->attack_rate = sim::BinnedRate::average_drop(merged->baseline, merged->attacked);
+  if (merged->reception_base_trials > 0.0) {
+    // Inter-area: packet-weighted run averages.
+    merged->baseline_reception = merged->reception_base_hits / merged->reception_base_trials;
+    merged->attacked_reception = merged->reception_atk_trials > 0.0
+                                     ? merged->reception_atk_hits / merged->reception_atk_trials
+                                     : 0.0;
+  } else {
+    // Intra-area: overall rate of the merged bins.
+    merged->baseline_reception = merged->baseline.overall();
+    merged->attacked_reception = merged->attacked.overall();
+  }
+  return merged;
+}
+
+}  // namespace vgr::sweep

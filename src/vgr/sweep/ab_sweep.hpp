@@ -1,0 +1,46 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "vgr/scenario/ab_runner.hpp"
+#include "vgr/sweep/supervisor.hpp"
+
+namespace vgr::sweep {
+
+/// Which paired experiment a sweep point runs.
+enum class Experiment : std::uint8_t { kInterArea, kIntraArea };
+
+/// A supervised sweep point: the merged A/B result plus how much of the
+/// point actually materialized. `missing` counts shards that produced no
+/// payload (quarantined now or in the journal, or skipped by a drain);
+/// when every shard is missing `result` is an all-zero timeline.
+struct SupervisedAb {
+  scenario::AbResult result;
+  std::uint64_t shards{0};
+  std::uint64_t missing{0};
+
+  [[nodiscard]] bool complete() const { return missing == 0; }
+};
+
+/// Stable journal key for one seed-range shard of a labelled sweep point.
+/// The label carries the human-readable point identity ("loss-0.050-plain");
+/// the suffix pins the seed range and an fnv1a-64 fingerprint of the
+/// execution parameters, so a journal written under one fidelity cannot be
+/// silently replayed into a sweep running under another.
+std::string shard_key(const std::string& label, Experiment experiment,
+                      const scenario::Fidelity& fidelity, std::uint64_t first_run,
+                      std::uint64_t runs);
+
+/// Runs one sweep point, supervised. With the supervisor disabled this is
+/// exactly run_inter_area_ab / run_intra_area_ab — no journal, no codec,
+/// byte-identical output. Enabled, the point's seed range is cut into
+/// `seed_chunk`-sized shards (0 = one shard), each shard goes through the
+/// supervisor's journal/retry/degrade ladder, and the shard payloads are
+/// merged back into one AbResult.
+SupervisedAb run_ab_supervised(Supervisor& supervisor, Experiment experiment,
+                               const std::string& label,
+                               const scenario::HighwayConfig& config,
+                               const scenario::Fidelity& fidelity);
+
+}  // namespace vgr::sweep

@@ -1,0 +1,234 @@
+#include "vgr/sweep/json.hpp"
+
+#include <cctype>
+#include <cstdio>
+#include <cstdlib>
+
+namespace vgr::sweep {
+namespace {
+
+struct Parser {
+  std::string_view src;
+  std::size_t pos{0};
+  bool failed{false};
+
+  void skip_ws() {
+    while (pos < src.size()) {
+      const char c = src[pos];
+      if (c != ' ' && c != '\t' && c != '\n' && c != '\r') break;
+      ++pos;
+    }
+  }
+
+  [[nodiscard]] char peek() const { return pos < src.size() ? src[pos] : '\0'; }
+
+  bool consume(char c) {
+    if (peek() != c) {
+      failed = true;
+      return false;
+    }
+    ++pos;
+    return true;
+  }
+
+  bool literal(std::string_view word) {
+    if (src.substr(pos, word.size()) != word) {
+      failed = true;
+      return false;
+    }
+    pos += word.size();
+    return true;
+  }
+
+  JsonValue parse_value() {
+    skip_ws();
+    JsonValue v;
+    if (failed) return v;
+    const char c = peek();
+    if (c == '{') return parse_object();
+    if (c == '[') return parse_array();
+    if (c == '"') {
+      v.kind = JsonValue::Kind::kString;
+      v.str = parse_string();
+      return v;
+    }
+    if (c == 't') {
+      literal("true");
+      v.kind = JsonValue::Kind::kBool;
+      v.boolean = true;
+      return v;
+    }
+    if (c == 'f') {
+      literal("false");
+      v.kind = JsonValue::Kind::kBool;
+      return v;
+    }
+    if (c == 'n') {
+      literal("null");
+      return v;
+    }
+    return parse_number();
+  }
+
+  std::string parse_string() {
+    std::string out;
+    if (!consume('"')) return out;
+    while (pos < src.size() && src[pos] != '"') {
+      char c = src[pos++];
+      if (c == '\\' && pos < src.size()) {
+        const char e = src[pos++];
+        switch (e) {
+          case 'n': c = '\n'; break;
+          case 't': c = '\t'; break;
+          case 'r': c = '\r'; break;
+          case 'b': c = '\b'; break;
+          case 'f': c = '\f'; break;
+          case '"':
+          case '\\':
+          case '/': c = e; break;
+          default:
+            // \uXXXX and anything else: out of scope for self-written JSON.
+            failed = true;
+            return out;
+        }
+      }
+      out.push_back(c);
+    }
+    consume('"');
+    return out;
+  }
+
+  JsonValue parse_number() {
+    JsonValue v;
+    v.kind = JsonValue::Kind::kNumber;
+    const std::size_t start = pos;
+    if (peek() == '-' || peek() == '+') ++pos;
+    while (pos < src.size()) {
+      const char c = src[pos];
+      if (std::isdigit(static_cast<unsigned char>(c)) != 0 || c == '.' || c == 'e' ||
+          c == 'E' || c == '-' || c == '+') {
+        ++pos;
+        continue;
+      }
+      break;
+    }
+    if (pos == start) failed = true;
+    v.number = std::string{src.substr(start, pos - start)};
+    return v;
+  }
+
+  JsonValue parse_array() {
+    JsonValue v;
+    v.kind = JsonValue::Kind::kArray;
+    consume('[');
+    skip_ws();
+    if (peek() == ']') {
+      ++pos;
+      return v;
+    }
+    while (!failed) {
+      v.array.push_back(parse_value());
+      skip_ws();
+      if (peek() == ',') {
+        ++pos;
+        continue;
+      }
+      consume(']');
+      break;
+    }
+    return v;
+  }
+
+  JsonValue parse_object() {
+    JsonValue v;
+    v.kind = JsonValue::Kind::kObject;
+    consume('{');
+    skip_ws();
+    if (peek() == '}') {
+      ++pos;
+      return v;
+    }
+    while (!failed) {
+      skip_ws();
+      std::string key = parse_string();
+      skip_ws();
+      consume(':');
+      v.object.emplace_back(std::move(key), parse_value());
+      skip_ws();
+      if (peek() == ',') {
+        ++pos;
+        continue;
+      }
+      consume('}');
+      break;
+    }
+    return v;
+  }
+};
+
+}  // namespace
+
+const JsonValue* JsonValue::find(std::string_view key) const {
+  if (kind != Kind::kObject) return nullptr;
+  for (const auto& [k, v] : object) {
+    if (k == key) return &v;
+  }
+  return nullptr;
+}
+
+double JsonValue::as_double(double fallback) const {
+  if (kind != Kind::kNumber || number.empty()) return fallback;
+  return std::strtod(number.c_str(), nullptr);
+}
+
+std::uint64_t JsonValue::as_u64(std::uint64_t fallback) const {
+  if (kind != Kind::kNumber || number.empty()) return fallback;
+  return std::strtoull(number.c_str(), nullptr, 10);
+}
+
+double JsonValue::num(std::string_view key, double fallback) const {
+  const JsonValue* v = find(key);
+  return v != nullptr ? v->as_double(fallback) : fallback;
+}
+
+std::uint64_t JsonValue::u64(std::string_view key, std::uint64_t fallback) const {
+  const JsonValue* v = find(key);
+  return v != nullptr ? v->as_u64(fallback) : fallback;
+}
+
+std::string JsonValue::text(std::string_view key, std::string_view fallback) const {
+  const JsonValue* v = find(key);
+  if (v == nullptr || v->kind != Kind::kString) return std::string{fallback};
+  return v->str;
+}
+
+std::optional<JsonValue> json_parse(std::string_view src) {
+  Parser p{src};
+  JsonValue v = p.parse_value();
+  p.skip_ws();
+  if (p.failed || p.pos != src.size()) return std::nullopt;
+  return v;
+}
+
+void json_append_double(std::string& out, double v) {
+  char buf[40];
+  std::snprintf(buf, sizeof buf, "%.17g", v);
+  out += buf;
+}
+
+void json_append_string(std::string& out, std::string_view s) {
+  out.push_back('"');
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      case '\r': out += "\\r"; break;
+      default: out.push_back(c);
+    }
+  }
+  out.push_back('"');
+}
+
+}  // namespace vgr::sweep

@@ -1,0 +1,50 @@
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace vgr::sweep {
+
+/// Minimal JSON value for the sweep layer. Scope is deliberately narrow:
+/// the only JSON parsed here is JSON this repo wrote (journal payloads,
+/// manifests), so the parser favours exactness over generality — number
+/// tokens keep their raw text so a %.17g-printed double or a full-width
+/// uint64 round-trips bit-for-bit — and object members preserve insertion
+/// order (no hash containers anywhere near result data; lint rule VGR003).
+struct JsonValue {
+  enum class Kind : std::uint8_t { kNull, kBool, kNumber, kString, kArray, kObject };
+
+  Kind kind{Kind::kNull};
+  bool boolean{false};
+  std::string number;  ///< raw token text of a kNumber (exact round-trip)
+  std::string str;
+  std::vector<JsonValue> array;
+  std::vector<std::pair<std::string, JsonValue>> object;
+
+  /// Member lookup on a kObject; nullptr when absent or not an object.
+  [[nodiscard]] const JsonValue* find(std::string_view key) const;
+
+  [[nodiscard]] double as_double(double fallback = 0.0) const;
+  [[nodiscard]] std::uint64_t as_u64(std::uint64_t fallback = 0) const;
+
+  /// Convenience: member `key` as a number, or `fallback` when missing.
+  [[nodiscard]] double num(std::string_view key, double fallback = 0.0) const;
+  [[nodiscard]] std::uint64_t u64(std::string_view key, std::uint64_t fallback = 0) const;
+  [[nodiscard]] std::string text(std::string_view key, std::string_view fallback = "") const;
+};
+
+/// Parses one JSON document; nullopt on any syntax error or trailing junk.
+std::optional<JsonValue> json_parse(std::string_view src);
+
+/// Appends `v` formatted with %.17g (shortest exact double round-trip under
+/// a correctly-rounded strtod, which glibc provides).
+void json_append_double(std::string& out, double v);
+
+/// Appends a quoted, escaped JSON string literal.
+void json_append_string(std::string& out, std::string_view s);
+
+}  // namespace vgr::sweep

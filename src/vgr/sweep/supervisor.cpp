@@ -1,0 +1,308 @@
+#include "vgr/sweep/supervisor.hpp"
+
+#include <cerrno>
+#include <csignal>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <ctime>
+#include <exception>
+
+#include "vgr/sim/env.hpp"
+
+namespace vgr::sweep {
+namespace {
+
+/// Drain request flag, set (only set — never cleared, never read-modify-
+/// write) by the signal handler. `volatile sig_atomic_t` is the full extent
+/// of what an async handler may touch (vgr_lint rule VGR008 enforces this).
+volatile std::sig_atomic_t g_drain = 0;
+
+void drain_handler(int /*signum*/) { g_drain = 1; }
+
+/// Deterministic retry backoff. nanosleep is async-signal-tolerant and,
+/// unlike std::this_thread::sleep_for, needs no <thread> include (VGR006).
+void backoff_sleep(double ms) {
+  if (ms <= 0.0) return;
+  timespec ts{};
+  ts.tv_sec = static_cast<time_t>(ms / 1000.0);
+  ts.tv_nsec = static_cast<long>((ms - static_cast<double>(ts.tv_sec) * 1000.0) * 1e6);
+  nanosleep(&ts, nullptr);
+}
+
+const char* outcome_cause(const ShardOutcome& outcome) {
+  if (outcome.error) return "error";
+  if (outcome.timed_out_events > 0) return "events";
+  if (outcome.timed_out_wall > 0) return "wall";
+  return "none";
+}
+
+}  // namespace
+
+SupervisorConfig SupervisorConfig::from_env() {
+  SupervisorConfig c;
+  if (const auto v = sim::env_int("VGR_SWEEP"); v.has_value()) c.enabled = *v != 0;
+  if (const char* p = std::getenv("VGR_SWEEP_JOURNAL"); p != nullptr && *p != '\0') {
+    c.journal_path = p;
+  }
+  if (const auto v = sim::env_int("VGR_SWEEP_RESUME"); v.has_value()) c.resume = *v != 0;
+  if (const auto v = sim::env_int("VGR_SWEEP_RETRIES"); v.has_value() && *v >= 0) {
+    c.max_retries = static_cast<std::uint64_t>(*v);
+  }
+  if (const auto v = sim::env_double("VGR_SWEEP_BACKOFF_MS"); v.has_value() && *v >= 0.0) {
+    c.backoff_ms = *v;
+  }
+  if (const auto v = sim::env_int("VGR_SWEEP_MAX_EVENTS"); v.has_value() && *v >= 0) {
+    c.run_max_events = static_cast<std::uint64_t>(*v);
+  }
+  if (const auto v = sim::env_double("VGR_SWEEP_TIMEOUT_S"); v.has_value() && *v >= 0.0) {
+    c.run_wall_budget_s = *v;
+  }
+  if (const auto v = sim::env_int("VGR_SWEEP_SEED_CHUNK"); v.has_value() && *v >= 0) {
+    c.seed_chunk = static_cast<std::uint64_t>(*v);
+  }
+  if (const auto v = sim::env_int("VGR_SWEEP_FAULT_AFTER"); v.has_value()) {
+    c.fault_after_appends = *v;
+  }
+  return c;
+}
+
+Supervisor::Supervisor(SupervisorConfig config) : config_{std::move(config)} {
+  if (!config_.enabled) return;
+  journal_ = Journal::open(config_.journal_path);
+  if (!journal_.has_value()) {
+    std::fprintf(stderr, "[sweep] cannot open journal %s: %s\n",
+                 config_.journal_path.c_str(), std::strerror(errno));
+    return;
+  }
+  if (journal_->truncated_bytes() > 0) {
+    std::fprintf(stderr, "[sweep] journal %s: truncated %zu torn trailing bytes\n",
+                 config_.journal_path.c_str(), journal_->truncated_bytes());
+  }
+  if (!config_.resume && !journal_->records().empty()) {
+    // Guard against silently mixing two studies into one journal: reusing
+    // an existing journal is an explicit choice (VGR_SWEEP_RESUME=1 /
+    // `vgr_sweep resume`), not a side effect of re-running a bench.
+    std::fprintf(stderr,
+                 "[sweep] journal %s already holds %zu record(s); set "
+                 "VGR_SWEEP_RESUME=1 to resume or remove the journal to start over\n",
+                 config_.journal_path.c_str(), journal_->records().size());
+    journal_.reset();
+    return;
+  }
+  old_sigint_ = std::signal(SIGINT, drain_handler);
+  old_sigterm_ = std::signal(SIGTERM, drain_handler);
+  signals_installed_ = true;
+}
+
+Supervisor::~Supervisor() {
+  finish();
+  if (signals_installed_) {
+    std::signal(SIGINT, old_sigint_ != SIG_ERR ? old_sigint_ : SIG_DFL);
+    std::signal(SIGTERM, old_sigterm_ != SIG_ERR ? old_sigterm_ : SIG_DFL);
+  }
+}
+
+bool Supervisor::drain_requested() { return g_drain != 0; }
+
+void Supervisor::request_drain() { g_drain = 1; }
+
+void Supervisor::reset_drain() { g_drain = 0; }
+
+std::optional<std::string> Supervisor::run_shard(const ShardSpec& spec, const ShardFn& fn) {
+  ++counters_.shards;
+
+  ShardEffort effort;
+  effort.runs = spec.runs;
+  effort.run_max_events = config_.run_max_events;
+  effort.run_wall_budget_s = config_.run_wall_budget_s;
+
+  if (!config_.enabled) {
+    // Transparent mode: one attempt, full fidelity, results used verbatim
+    // whatever their watchdog counters say (the unsupervised contract).
+    const ShardOutcome outcome = fn(spec, effort);
+    counters_.timed_out_events += outcome.timed_out_events;
+    counters_.timed_out_wall += outcome.timed_out_wall;
+    ++counters_.completed;
+    return outcome.payload;
+  }
+
+  if (journal_.has_value()) {
+    if (const JournalRecord* rec = journal_->find(spec.key); rec != nullptr) {
+      return resume_from(*rec);
+    }
+  }
+
+  if (drain_requested()) {
+    // Not journaled: a resumed sweep will execute this shard from scratch.
+    ++counters_.drained;
+    return std::nullopt;
+  }
+
+  ShardOutcome outcome;
+  std::uint64_t attempts = 0;
+  double backoff = config_.backoff_ms;
+  for (std::uint64_t attempt = 0; attempt <= config_.max_retries; ++attempt) {
+    if (attempt > 0) {
+      if (drain_requested()) {
+        ++counters_.drained;
+        return std::nullopt;
+      }
+      ++counters_.retries;
+      backoff_sleep(backoff);
+      backoff *= 2.0;
+    }
+    ++attempts;
+    try {
+      outcome = fn(spec, effort);
+    } catch (const std::exception& ex) {
+      std::fprintf(stderr, "[sweep] shard %s attempt %llu failed: %s\n", spec.key.c_str(),
+                   static_cast<unsigned long long>(attempts), ex.what());
+      outcome = ShardOutcome{};
+      outcome.error = true;
+    }
+    counters_.timed_out_events += outcome.timed_out_events;
+    counters_.timed_out_wall += outcome.timed_out_wall;
+    if (outcome.clean()) {
+      record(spec, outcome, effort, attempts, "none");
+      ++counters_.completed;
+      return outcome.payload;
+    }
+  }
+
+  // Retries exhausted at full fidelity: one degraded attempt with half the
+  // runs and half the event budget before giving up on the shard.
+  if (drain_requested()) {
+    ++counters_.drained;
+    return std::nullopt;
+  }
+  const char* full_cause = outcome_cause(outcome);
+  ShardEffort degraded = effort;
+  degraded.degraded = true;
+  degraded.runs = effort.runs > 1 ? effort.runs / 2 : 1;
+  if (effort.run_max_events > 0) {
+    degraded.run_max_events = effort.run_max_events / 2 + 1;
+  }
+  ++counters_.degraded;
+  ++attempts;
+  try {
+    outcome = fn(spec, degraded);
+  } catch (const std::exception& ex) {
+    std::fprintf(stderr, "[sweep] shard %s degraded attempt failed: %s\n",
+                 spec.key.c_str(), ex.what());
+    outcome = ShardOutcome{};
+    outcome.error = true;
+  }
+  counters_.timed_out_events += outcome.timed_out_events;
+  counters_.timed_out_wall += outcome.timed_out_wall;
+  if (outcome.clean()) {
+    record(spec, outcome, degraded, attempts, full_cause);
+    ++counters_.completed;
+    return outcome.payload;
+  }
+
+  const char* cause = outcome_cause(outcome);
+  std::fprintf(stderr, "[sweep] quarantining shard %s after %llu attempts (cause: %s)\n",
+               spec.key.c_str(), static_cast<unsigned long long>(attempts), cause);
+  if (std::strcmp(cause, "events") == 0) {
+    ++counters_.quarantined_events;
+  } else if (std::strcmp(cause, "wall") == 0) {
+    ++counters_.quarantined_wall;
+  } else {
+    ++counters_.quarantined_error;
+  }
+  JournalRecord rec;
+  rec.shard = spec.key;
+  rec.status = "quarantined";
+  rec.fidelity = "degraded";
+  rec.attempts = attempts;
+  rec.cause = cause;
+  rec.payload = "null";
+  if (journal_.has_value()) {
+    journal_->append(rec);
+    maybe_fault();
+  }
+  return std::nullopt;
+}
+
+std::optional<std::string> Supervisor::resume_from(const JournalRecord& rec) {
+  ++counters_.resumed;
+  if (rec.fidelity == "degraded") ++counters_.degraded;
+  if (rec.status == "quarantined") {
+    // Quarantine is sticky across resumes: re-running a poisoned shard
+    // would make resumed output depend on how often the sweep crashed.
+    if (rec.cause == "events") {
+      ++counters_.quarantined_events;
+    } else if (rec.cause == "wall") {
+      ++counters_.quarantined_wall;
+    } else {
+      ++counters_.quarantined_error;
+    }
+    return std::nullopt;
+  }
+  ++counters_.completed;
+  return rec.payload;
+}
+
+void Supervisor::record(const ShardSpec& spec, const ShardOutcome& outcome,
+                        const ShardEffort& effort, std::uint64_t attempts,
+                        const char* cause) {
+  if (!journal_.has_value()) return;
+  JournalRecord rec;
+  rec.shard = spec.key;
+  rec.status = "done";
+  rec.fidelity = effort.degraded ? "degraded" : "full";
+  rec.attempts = attempts;
+  rec.cause = cause;
+  rec.payload = outcome.payload.empty() ? "null" : outcome.payload;
+  journal_->append(rec);
+  maybe_fault();
+}
+
+void Supervisor::maybe_fault() {
+  if (config_.fault_after_appends < 0) return;
+  ++appends_;
+  if (appends_ >= static_cast<std::uint64_t>(config_.fault_after_appends)) {
+    // Crash-test hook (VGR_SWEEP_FAULT_AFTER): die as hard as a power cut.
+    // The journal append above already fsync'd, which is exactly what the
+    // kill-and-resume test verifies.
+    std::fprintf(stderr, "[sweep] fault injection: SIGKILL after %llu appends\n",
+                 static_cast<unsigned long long>(appends_));
+    std::fflush(stderr);
+    raise(SIGKILL);
+  }
+}
+
+void Supervisor::finish() {
+  if (!config_.enabled || !journal_.has_value()) return;
+  write_manifest();
+}
+
+void Supervisor::write_manifest() const {
+  const std::string path = config_.journal_path + ".manifest";
+  std::FILE* f = std::fopen(path.c_str(), "wb");
+  if (f == nullptr) return;
+  const bool drained = counters_.drained > 0 || drain_requested();
+  std::fprintf(f,
+               "{\"journal\":\"%s\",\"status\":\"%s\",\"shards\":%llu,"
+               "\"completed\":%llu,\"resumed\":%llu,\"retries\":%llu,"
+               "\"degraded\":%llu,\"quarantined_events\":%llu,"
+               "\"quarantined_wall\":%llu,\"quarantined_error\":%llu,"
+               "\"drained\":%llu,\"timed_out_events\":%llu,"
+               "\"timed_out_wall\":%llu}\n",
+               config_.journal_path.c_str(), drained ? "drained" : "complete",
+               static_cast<unsigned long long>(counters_.shards),
+               static_cast<unsigned long long>(counters_.completed),
+               static_cast<unsigned long long>(counters_.resumed),
+               static_cast<unsigned long long>(counters_.retries),
+               static_cast<unsigned long long>(counters_.degraded),
+               static_cast<unsigned long long>(counters_.quarantined_events),
+               static_cast<unsigned long long>(counters_.quarantined_wall),
+               static_cast<unsigned long long>(counters_.quarantined_error),
+               static_cast<unsigned long long>(counters_.drained),
+               static_cast<unsigned long long>(counters_.timed_out_events),
+               static_cast<unsigned long long>(counters_.timed_out_wall));
+  std::fclose(f);
+}
+
+}  // namespace vgr::sweep

@@ -103,10 +103,14 @@ scenario::HighwayConfig congested_config(double flood_hz, bool dcc) {
 }
 
 TEST(CongestionScenario, FloodCollapsesCsmaButDccDegradesGracefully) {
+  // 4500 Hz sits just under channel saturation now that airtime counts the
+  // link-layer envelope (mac.airtime_overhead_bytes): the flood leaves tiny
+  // idle gaps that short backoffs can still win but escalated CWs cannot.
+  // Past ~4700 Hz the channel is busy wall-to-wall and both arms die alike.
   const scenario::InterAreaResult off =
-      scenario::HighwayScenario{congested_config(5500.0, false)}.run_inter_area();
+      scenario::HighwayScenario{congested_config(4500.0, false)}.run_inter_area();
   const scenario::InterAreaResult on =
-      scenario::HighwayScenario{congested_config(5500.0, true)}.run_inter_area();
+      scenario::HighwayScenario{congested_config(4500.0, true)}.run_inter_area();
 
   // The attacker flooded and the channel was genuinely loaded.
   EXPECT_GT(off.frames_flooded, 10000u);

@@ -278,5 +278,21 @@ TEST_F(MacTest, InjectedDelayAppliesAfterMacQueueing) {
   EXPECT_GT(from_a.back().second, jam_end);
 }
 
+TEST(MacConfigEnv, AirtimeOverheadDefaultsTo80211Envelope) {
+  // 24 B MAC header + 2 B QoS + 8 B LLC/SNAP + 4 B FCS.
+  EXPECT_EQ(MacConfig{}.airtime_overhead_bytes, 38u);
+}
+
+TEST(MacConfigEnv, AirtimeOverheadEnvOverride) {
+  ::setenv("VGR_MAC_OVERHEAD_BYTES", "52", 1);
+  EXPECT_EQ(MacConfig{}.with_env_overrides().airtime_overhead_bytes, 52u);
+  ::setenv("VGR_MAC_OVERHEAD_BYTES", "0", 1);
+  EXPECT_EQ(MacConfig{}.with_env_overrides().airtime_overhead_bytes, 0u);
+  ::setenv("VGR_MAC_OVERHEAD_BYTES", "38x", 1);  // malformed: whole-token reject
+  EXPECT_EQ(MacConfig{}.with_env_overrides().airtime_overhead_bytes, 38u);
+  ::unsetenv("VGR_MAC_OVERHEAD_BYTES");
+  EXPECT_EQ(MacConfig{}.with_env_overrides().airtime_overhead_bytes, 38u);
+}
+
 }  // namespace
 }  // namespace vgr::phy

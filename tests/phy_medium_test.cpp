@@ -185,6 +185,29 @@ TEST_F(MediumTest, FadingModelDropsNearRangeEdge) {
   EXPECT_LT(edge.received.size(), 100u);  // ~10% expected at 95/100
 }
 
+TEST_F(MediumTest, AirtimeOverheadExtendsTheBusyWindow) {
+  // The airtime of a frame derives from its exact encoded GN wire size plus
+  // the configured link-layer overhead. Default overhead is 0 — MAC-off
+  // runs keep the historical GN-only airtime byte for byte.
+  EXPECT_EQ(medium_.airtime_overhead_bytes(), 0u);
+  TestNode& a = add({0, 0}, 100.0, 1);
+  add({50, 0}, 100.0, 2);
+
+  Frame f = broadcast_frame(1);
+  const std::size_t wire = f.msg->wire_size();
+  medium_.transmit(a.id, std::move(f));
+  settle();
+  // The transmitter occupies its own channel for exactly the airtime.
+  EXPECT_EQ(medium_.busy_time(a.id), airtime(AccessTechnology::kDsrc, wire));
+
+  medium_.set_airtime_overhead_bytes(38);
+  medium_.transmit(a.id, broadcast_frame(1));
+  settle();
+  EXPECT_EQ(medium_.busy_time(a.id),
+            airtime(AccessTechnology::kDsrc, wire) +
+                airtime(AccessTechnology::kDsrc, wire + 38));
+}
+
 TEST(Technology, TableIIRanges) {
   const RangeTable dsrc = range_table(AccessTechnology::kDsrc);
   EXPECT_DOUBLE_EQ(dsrc.los_median_m, 1283.0);

@@ -246,5 +246,37 @@ TEST(EventQueue, WallClockBudgetTripsAHungRun) {
   EXPECT_TRUE(q.budget_exceeded());
 }
 
+TEST(EventQueue, EventBudgetTripReportsEventsCause) {
+  EventQueue q;
+  for (int i = 0; i < 20; ++i) q.schedule_in(Duration::millis(i + 1), [] {});
+  EXPECT_EQ(q.budget_trip(), BudgetTrip::kNone);
+  q.set_run_budget(5, 0.0);
+  q.run_until(TimePoint::at(1_s));
+  ASSERT_TRUE(q.budget_exceeded());
+  EXPECT_EQ(q.budget_trip(), BudgetTrip::kEvents);
+}
+
+TEST(EventQueue, WallBudgetTripReportsWallCause) {
+  EventQueue q;
+  std::function<void()> loop = [&] { q.schedule_in(Duration::millis(1), loop); };
+  q.schedule_in(Duration::millis(1), loop);
+  q.set_run_budget(0, 0.05);
+  q.run_until(TimePoint::at(Duration::seconds(1e9)));
+  ASSERT_TRUE(q.budget_exceeded());
+  EXPECT_EQ(q.budget_trip(), BudgetTrip::kWall);
+}
+
+TEST(EventQueue, SettingANewBudgetResetsTripCause) {
+  EventQueue q;
+  for (int i = 0; i < 5; ++i) q.schedule_in(Duration::millis(i + 1), [] {});
+  q.set_run_budget(2, 0.0);
+  q.run_until(TimePoint::at(1_s));
+  ASSERT_EQ(q.budget_trip(), BudgetTrip::kEvents);
+  q.set_run_budget(0, 0.0);
+  EXPECT_EQ(q.budget_trip(), BudgetTrip::kNone);
+  q.run_until(TimePoint::at(2_s));
+  EXPECT_EQ(q.budget_trip(), BudgetTrip::kNone);
+}
+
 }  // namespace
 }  // namespace vgr::sim

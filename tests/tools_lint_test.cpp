@@ -182,6 +182,79 @@ TEST(LintThreadInclude, ThreadPoolIsWhitelisted) {
   EXPECT_TRUE(lint_source("src/vgr/sim/thread_pool.cpp", src).empty());
 }
 
+// --- VGR008 signal-handler safety -------------------------------------------
+
+TEST(LintSignalSafety, FlagsAllocationLockingAndStdioInHandlers) {
+  const auto f = lint_source("src/vgr/sweep/x.cpp",
+                             "void on_int(int) {\n"
+                             "  std::printf(\"caught\\n\");\n"
+                             "  std::string why = describe();\n"
+                             "  g_mu.lock();\n"
+                             "}\n"
+                             "void install() { std::signal(SIGINT, on_int); }\n");
+  EXPECT_EQ(rules_of(f), (std::vector<std::string>{"VGR008", "VGR008", "VGR008"}));
+  EXPECT_EQ(f[0].line, 2);
+  EXPECT_EQ(f[0].tag, "signal-safe-ok");
+  EXPECT_NE(f[0].message.find("on_int"), std::string::npos);
+}
+
+TEST(LintSignalSafety, HarvestsSigactionAssignments) {
+  const auto f = lint_source("src/vgr/sweep/x.cpp",
+                             "void on_term(int) { delete g_state; }\n"
+                             "void install() {\n"
+                             "  struct sigaction sa {};\n"
+                             "  sa.sa_handler = &on_term;\n"
+                             "  sigaction(SIGTERM, &sa, nullptr);\n"
+                             "}\n");
+  ASSERT_EQ(f.size(), 1u);
+  EXPECT_EQ(f[0].rule, "VGR008");
+  EXPECT_EQ(f[0].line, 1);
+}
+
+TEST(LintSignalSafety, FlagOnlyHandlersAreClean) {
+  // The sanctioned shape: assign a volatile sig_atomic_t flag, nothing else.
+  const auto f = lint_source("src/vgr/sweep/x.cpp",
+                             "volatile std::sig_atomic_t g_drain = 0;\n"
+                             "void drain_handler(int) { g_drain = 1; }\n"
+                             "void install() { std::signal(SIGINT, drain_handler); }\n");
+  EXPECT_TRUE(f.empty());
+}
+
+TEST(LintSignalSafety, NonHandlersAndDispositionsAreIgnored) {
+  // printf in an ordinary function, SIG_IGN/SIG_DFL dispositions, and
+  // restoring a *saved* handler variable must not create findings.
+  const auto f = lint_source("src/vgr/sweep/x.cpp",
+                             "void report() { std::printf(\"fine here\\n\"); }\n"
+                             "void install(void (*saved)(int)) {\n"
+                             "  std::signal(SIGINT, SIG_IGN);\n"
+                             "  std::signal(SIGTERM, SIG_DFL);\n"
+                             "  std::signal(SIGINT, saved != SIG_ERR ? saved : SIG_DFL);\n"
+                             "}\n");
+  EXPECT_TRUE(f.empty());
+}
+
+TEST(LintSignalSafety, WaiverSilencesWithTheRightTagOnly) {
+  // write()/_exit() are genuinely async-signal-safe and never flagged; the
+  // waived fprintf is silenced, the same call under a wrong tag is not.
+  const auto waived = lint_source(
+      "src/vgr/sweep/x.cpp",
+      "void on_int(int) {\n"
+      "  write(2, \"x\", 1);\n"
+      "  std::fprintf(stderr, \"x\");  // vgr-lint: signal-safe-ok (crash path)\n"
+      "  _exit(1);\n"
+      "}\n"
+      "void install() { std::signal(SIGINT, on_int); }\n");
+  EXPECT_TRUE(waived.empty());
+
+  const auto wrong_tag = lint_source("src/vgr/sweep/x.cpp",
+                                     "void on_int(int) {\n"
+                                     "  std::fprintf(stderr, \"x\");  // vgr-lint: rng-ok\n"
+                                     "}\n"
+                                     "void install() { std::signal(SIGINT, on_int); }\n");
+  ASSERT_EQ(wrong_tag.size(), 1u);
+  EXPECT_EQ(wrong_tag[0].rule, "VGR008");
+}
+
 // --- Waivers ----------------------------------------------------------------
 
 TEST(LintWaiver, SameLineAndLineAboveSilence) {

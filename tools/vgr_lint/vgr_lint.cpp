@@ -41,8 +41,10 @@ struct Scan {
 };
 
 const std::set<std::string>& known_tags() {
-  static const std::set<std::string> tags{"wall-clock-ok",   "rng-ok",         "ordered-ok",
-                                          "pointer-key-ok",  "float-accum-ok", "thread-include-ok"};
+  static const std::set<std::string> tags{"wall-clock-ok",  "rng-ok",
+                                          "ordered-ok",     "pointer-key-ok",
+                                          "float-accum-ok", "thread-include-ok",
+                                          "signal-safe-ok"};
   return tags;
 }
 
@@ -82,7 +84,8 @@ void parse_waiver(std::string_view comment, int line, std::string_view rel_path,
       scan.waiver_errors.push_back({std::string{rel_path}, line, "VGR007", "",
                                     "unknown vgr-lint waiver tag '" + word +
                                         "' (known: wall-clock-ok rng-ok ordered-ok "
-                                        "pointer-key-ok float-accum-ok thread-include-ok)"});
+                                        "pointer-key-ok float-accum-ok thread-include-ok "
+                                        "signal-safe-ok)"});
     }
   }
   if (end) {
@@ -524,6 +527,99 @@ void rule_thread_include(Linter& lint) {
   }
 }
 
+// ---------------------------------------------------------------------------
+// VGR008 — non-async-signal-safe work inside signal handlers.
+// ---------------------------------------------------------------------------
+
+/// Names registered as signal handlers in this translation unit: the second
+/// argument of `signal()` / `std::signal()` and anything assigned to a
+/// `sa_handler` / `sa_sigaction` field. SIG_DFL/SIG_IGN dispositions and
+/// saved-handler variables (non-identifier second arguments) drop out
+/// naturally because only plain identifiers are harvested.
+std::set<std::string> signal_handler_names(const std::vector<Tok>& t) {
+  std::set<std::string> handlers;
+  for (std::size_t i = 0; i < t.size(); ++i) {
+    if (t[i].kind != TokKind::kIdent) continue;
+    if (t[i].text == "signal" && tok_at(t, i + 1) && t[i + 1].text == "(") {
+      int depth = 0;
+      std::size_t comma = 0;
+      for (std::size_t j = i + 1; j < t.size(); ++j) {
+        if (t[j].text == "(") ++depth;
+        if (t[j].text == ")" && --depth == 0) break;
+        if (depth == 1 && t[j].text == "," && comma == 0) comma = j;
+      }
+      std::size_t j = comma + 1;
+      if (comma != 0 && j < t.size() && t[j].text == "&") ++j;
+      // Only an unqualified identifier followed by the closing paren is a
+      // handler name; `cfg.handler`, ternaries and casts are skipped.
+      if (comma != 0 && j < t.size() && t[j].kind == TokKind::kIdent && tok_at(t, j + 1) &&
+          t[j + 1].text == ")") {
+        handlers.insert(t[j].text);
+      }
+    }
+    if ((t[i].text == "sa_handler" || t[i].text == "sa_sigaction") && tok_at(t, i + 1) &&
+        t[i + 1].text == "=") {
+      std::size_t j = i + 2;
+      if (j < t.size() && t[j].text == "&") ++j;
+      if (j < t.size() && t[j].kind == TokKind::kIdent) handlers.insert(t[j].text);
+    }
+  }
+  handlers.erase("SIG_DFL");
+  handlers.erase("SIG_IGN");
+  handlers.erase("SIG_ERR");
+  return handlers;
+}
+
+void rule_signal_safety(Linter& lint) {
+  const auto& t = lint.scan.toks;
+  const std::set<std::string> handlers = signal_handler_names(t);
+  if (handlers.empty()) return;
+
+  // POSIX's async-signal-safe list is tiny; everything a simulator handler
+  // might be tempted by — allocation, locks, stdio, unwinding — is off it.
+  // The sanctioned handler body is `flag = 1;` on a volatile sig_atomic_t.
+  static const std::set<std::string> kBanned{
+      // allocation
+      "new", "delete", "malloc", "calloc", "realloc", "free", "make_shared",
+      "make_unique", "string", "vector", "to_string",
+      // locking / synchronization
+      "mutex", "lock_guard", "unique_lock", "scoped_lock", "shared_lock",
+      "condition_variable", "lock", "unlock",
+      // stdio / iostreams
+      "printf", "fprintf", "sprintf", "snprintf", "vprintf", "vfprintf", "puts",
+      "fputs", "putchar", "fwrite", "fread", "fopen", "fclose", "fflush", "cout",
+      "cerr", "clog", "endl",
+      // non-reentrant process control / unwinding
+      "exit", "throw"};
+
+  for (std::size_t i = 0; i < t.size(); ++i) {
+    if (t[i].kind != TokKind::kIdent || !handlers.contains(t[i].text)) continue;
+    if (!tok_at(t, i + 1) || t[i + 1].text != "(") continue;
+    // A definition: balanced parameter list directly followed by '{'.
+    int depth = 0;
+    std::size_t close = 0;
+    for (std::size_t j = i + 1; j < t.size(); ++j) {
+      if (t[j].text == "(") ++depth;
+      if (t[j].text == ")" && --depth == 0) {
+        close = j;
+        break;
+      }
+    }
+    if (close == 0 || !tok_at(t, close + 1) || t[close + 1].text != "{") continue;
+    int braces = 0;
+    for (std::size_t j = close + 1; j < t.size(); ++j) {
+      if (t[j].text == "{") ++braces;
+      if (t[j].text == "}" && --braces == 0) break;
+      if (t[j].kind == TokKind::kIdent && kBanned.contains(t[j].text)) {
+        lint.report(t[j].line, "VGR008", "signal-safe-ok",
+                    "'" + t[j].text + "' in signal handler '" + t[i].text +
+                        "' is not async-signal-safe — a handler may only set a "
+                        "volatile sig_atomic_t flag");
+      }
+    }
+  }
+}
+
 }  // namespace
 
 std::vector<Finding> lint_source(std::string_view rel_path, std::string_view content,
@@ -545,6 +641,7 @@ std::vector<Finding> lint_source(std::string_view rel_path, std::string_view con
   rule_pointer_key(lint);
   rule_float_accum(lint);
   rule_thread_include(lint);
+  rule_signal_safety(lint);
 
   std::vector<Finding> out = std::move(lint.findings);
   out.insert(out.end(), scan.waiver_errors.begin(), scan.waiver_errors.end());
