@@ -74,7 +74,13 @@ Router::Router(sim::EventQueue& events, phy::Medium& medium, security::Signer si
     // layer is on: a disabled MAC consumes nothing from any stream, which
     // keeps MAC-off runs bit-identical to pre-MAC builds. Its events join
     // the `timers_` cohort so shutdown retires them with everything else.
+    // Audited mixed role: this is the only fork of rng_, it happens at
+    // construction before any draw can run, and it is gated on mac.enabled —
+    // so MAC-off draw sequences are untouched and the MAC-on stream layout is
+    // frozen. Splitting a dedicated MAC seeder now would reseed every MAC
+    // backoff and break byte-identity with pinned runs.
     mac_layer_ = std::make_unique<phy::Mac>(events_, medium_, radio_, timers_, config_.mac,
+                                            // vgr-lint: rng-stream-ok (see audit note above)
                                             config_.dcc, rng_.fork());
   }
   running_ = true;

@@ -328,6 +328,12 @@ void HighwayScenario::crash_random_station() {
 void HighwayScenario::reboot_station(traffic::VehicleId vid) {
   const auto it = stations_.find(vid);
   if (it == stations_.end() || it->second.router) return;  // exited while down
+  // Audited mixed role: churn_rng_ deliberately interleaves
+  // crash-schedule/ISN draws with per-reboot forks so a rebooted station's
+  // stream depends on the full churn history before it — that coupling is the
+  // point of the churn model, and the sequence is pinned by
+  // scenario_churn_test; churn off = stream untouched.
+  // vgr-lint: rng-stream-ok (audited interleaved churn stream, see note above)
   install_vehicle_router(vid, it->second, churn_rng_.fork(), /*rebooted=*/true);
   ++churn_reboots_;
 }

@@ -115,25 +115,29 @@ std::vector<net::Packet> build_corpus() {
   return corpus;
 }
 
-net::Bytes mutate(const std::vector<net::Bytes>& wires, sim::Rng& rng) {
+// The driver threads its one master stream through the mutator by design:
+// the replayable artifact is the whole mutation *sequence* from the seed,
+// and the fuzzer has no simulation-determinism surface of its own.
+// vgr-lint: begin rng-stream-ok (single-owner driver stream, sequence is the replay key)
+net::Bytes mutate(const std::vector<net::Bytes>& wires, sim::Rng& mut_rng) {
   const auto pick = [&]() -> const net::Bytes& {
     return wires[static_cast<std::size_t>(
-        rng.uniform_int(0, static_cast<std::int64_t>(wires.size()) - 1))];
+        mut_rng.uniform_int(0, static_cast<std::int64_t>(wires.size()) - 1))];
   };
   net::Bytes out;
-  switch (rng.uniform_int(0, 4)) {
+  switch (mut_rng.uniform_int(0, 4)) {
     case 0: {  // truncation: any prefix, including empty
       const net::Bytes& src = pick();
       out.assign(src.begin(),
-                 src.begin() + rng.uniform_int(0, static_cast<std::int64_t>(src.size())));
+                 src.begin() + mut_rng.uniform_int(0, static_cast<std::int64_t>(src.size())));
       break;
     }
     case 1: {  // bit flips
       out = pick();
-      const std::int64_t flips = rng.uniform_int(1, 8);
+      const std::int64_t flips = mut_rng.uniform_int(1, 8);
       for (std::int64_t i = 0; i < flips && !out.empty(); ++i) {
         const auto bit = static_cast<std::size_t>(
-            rng.uniform_int(0, static_cast<std::int64_t>(out.size()) * 8 - 1));
+            mut_rng.uniform_int(0, static_cast<std::int64_t>(out.size()) * 8 - 1));
         out[bit / 8] ^= static_cast<std::uint8_t>(1u << (bit % 8));
       }
       break;
@@ -141,8 +145,8 @@ net::Bytes mutate(const std::vector<net::Bytes>& wires, sim::Rng& rng) {
     case 2: {  // splice two corpus entries at independent cut points
       const net::Bytes& a = pick();
       const net::Bytes& b = pick();
-      out.assign(a.begin(), a.begin() + rng.uniform_int(0, static_cast<std::int64_t>(a.size())));
-      const auto cut = rng.uniform_int(0, static_cast<std::int64_t>(b.size()));
+      out.assign(a.begin(), a.begin() + mut_rng.uniform_int(0, static_cast<std::int64_t>(a.size())));
+      const auto cut = mut_rng.uniform_int(0, static_cast<std::int64_t>(b.size()));
       out.insert(out.end(), b.begin() + cut, b.end());
       break;
     }
@@ -150,9 +154,9 @@ net::Bytes mutate(const std::vector<net::Bytes>& wires, sim::Rng& rng) {
       out = pick();
       if (out.size() >= 4) {
         const auto at = static_cast<std::size_t>(
-            rng.uniform_int(0, static_cast<std::int64_t>(out.size()) - 4));
+            mut_rng.uniform_int(0, static_cast<std::int64_t>(out.size()) - 4));
         const std::uint32_t bomb =
-            rng.bernoulli(0.5) ? 0xFFFFFFFFu : static_cast<std::uint32_t>(rng.next_u64());
+            mut_rng.bernoulli(0.5) ? 0xFFFFFFFFu : static_cast<std::uint32_t>(mut_rng.next_u64());
         for (int i = 0; i < 4; ++i) {
           out[at + static_cast<std::size_t>(i)] =
               static_cast<std::uint8_t>(bomb >> (8 * (3 - i)));
@@ -161,13 +165,14 @@ net::Bytes mutate(const std::vector<net::Bytes>& wires, sim::Rng& rng) {
       break;
     }
     default: {  // pure garbage
-      out.resize(static_cast<std::size_t>(rng.uniform_int(0, 96)));
-      for (auto& byte : out) byte = static_cast<std::uint8_t>(rng.next_u64());
+      out.resize(static_cast<std::size_t>(mut_rng.uniform_int(0, 96)));
+      for (auto& byte : out) byte = static_cast<std::uint8_t>(mut_rng.next_u64());
       break;
     }
   }
   return out;
 }
+// vgr-lint: end
 
 }  // namespace
 

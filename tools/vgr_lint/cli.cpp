@@ -1,0 +1,182 @@
+#include <algorithm>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "vgr_lint.hpp"
+
+namespace vgr::lint {
+namespace {
+
+constexpr const char* kLayersRel = "tools/vgr_lint/layers.txt";
+
+std::string read_file(const std::filesystem::path& p) {
+  std::ifstream in{p, std::ios::binary};
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  return ss.str();
+}
+
+/// Loads the layer manifest: an explicit --layers path must exist; the
+/// default path is optional, but a tree that contains src/vgr modules
+/// without a manifest gets a finding — deleting layers.txt must not
+/// silently switch the layering rule off.
+LayerManifest load_layers(const std::filesystem::path& root, const std::string& layers_arg,
+                          const ProjectIndex& index, std::ostream& err, bool& io_error) {
+  LayerManifest layers;
+  const std::filesystem::path path =
+      layers_arg.empty() ? root / kLayersRel : std::filesystem::path{layers_arg};
+  if (std::filesystem::is_regular_file(path)) {
+    const std::string rel =
+        layers_arg.empty() ? kLayersRel : path.lexically_normal().generic_string();
+    layers = parse_layers(read_file(path), rel);
+    return layers;
+  }
+  if (!layers_arg.empty()) {
+    err << "vgr_lint: --layers file '" << layers_arg << "' not found\n";
+    io_error = true;
+    return layers;
+  }
+  const bool has_vgr_modules = std::any_of(index.files.begin(), index.files.end(),
+                                           [](const IndexedFile& f) { return !f.module.empty(); });
+  if (has_vgr_modules) {
+    layers.errors.push_back({kLayersRel, 1, "VGR009", "layering-ok",
+                             "layers manifest missing — src/vgr modules are present but "
+                             "tools/vgr_lint/layers.txt was not found, so the module DAG "
+                             "cannot be enforced"});
+  }
+  return layers;
+}
+
+void print_findings(std::ostream& out, const std::vector<Finding>& findings) {
+  for (const Finding& f : findings) {
+    out << f.file << ":" << f.line << ": " << f.rule
+        << (f.tag.empty() ? "" : " [" + f.tag + "]") << " " << f.message << "\n";
+  }
+}
+
+int list_rules(std::ostream& out) {
+  out << "vgr_lint rule catalogue (details: vgr_lint --explain VGR0NN)\n";
+  for (const RuleInfo& r : rule_catalogue()) {
+    out << r.id << "  " << r.name;
+    for (std::size_t pad = std::string{r.name}.size(); pad < 16; ++pad) out << ' ';
+    out << (r.tag[0] != '\0' ? r.tag : "(not waivable)");
+    for (std::size_t pad = std::string{r.tag[0] != '\0' ? r.tag : "(not waivable)"}.size();
+         pad < 18; ++pad) {
+      out << ' ';
+    }
+    out << r.summary << "\n";
+  }
+  return 0;
+}
+
+int explain_rule(const std::string& id, std::ostream& out, std::ostream& err) {
+  for (const RuleInfo& r : rule_catalogue()) {
+    if (id == r.id) {
+      out << r.id << " (" << r.name << ")\n"
+          << "  fires on: " << r.summary << "\n"
+          << "  waiver:   "
+          << (r.tag[0] != '\0' ? "// vgr-lint: " + std::string{r.tag} + " (rationale)"
+                               : "not waivable")
+          << "\n\n"
+          << r.detail << "\n";
+      return 0;
+    }
+  }
+  err << "vgr_lint: unknown rule '" << id << "' (see --list-rules)\n";
+  return 2;
+}
+
+}  // namespace
+
+int lint_tree(const std::filesystem::path& root, const std::vector<std::string>& dirs,
+              std::ostream& out) {
+  ProjectIndex index = build_project_index(root, dirs);
+  bool io_error = false;
+  std::ostringstream sink;
+  const LayerManifest layers = load_layers(root, "", index, sink, io_error);
+  const std::vector<Finding> findings = lint_project(index, layers);
+  print_findings(out, findings);
+  return static_cast<int>(findings.size());
+}
+
+int run_lint(const std::vector<std::string>& argv, std::ostream& out, std::ostream& err) {
+  std::filesystem::path root = ".";
+  std::vector<std::string> dirs;
+  std::string sarif_path;
+  std::string layers_path;
+  for (std::size_t i = 0; i < argv.size(); ++i) {
+    if (argv[i] == "--root") {
+      if (i + 1 >= argv.size()) {
+        err << "vgr_lint: --root needs a directory\n";
+        return 2;
+      }
+      root = argv[++i];
+    } else if (argv[i] == "--sarif") {
+      if (i + 1 >= argv.size()) {
+        err << "vgr_lint: --sarif needs an output path\n";
+        return 2;
+      }
+      sarif_path = argv[++i];
+    } else if (argv[i] == "--layers") {
+      if (i + 1 >= argv.size()) {
+        err << "vgr_lint: --layers needs a manifest path\n";
+        return 2;
+      }
+      layers_path = argv[++i];
+    } else if (argv[i] == "--list-rules") {
+      return list_rules(out);
+    } else if (argv[i] == "--explain") {
+      if (i + 1 >= argv.size()) {
+        err << "vgr_lint: --explain needs a rule id (e.g. VGR009)\n";
+        return 2;
+      }
+      return explain_rule(argv[i + 1], out, err);
+    } else if (argv[i] == "--help" || argv[i] == "-h") {
+      out << "usage: vgr_lint [--root DIR] [--layers FILE] [--sarif FILE] [subdir...]\n"
+             "       vgr_lint --list-rules | --explain VGR0NN\n"
+             "Lints DIR/subdir for determinism/concurrency rule violations\n"
+             "(default subdirs: src bench tools). Module layering is checked\n"
+             "against tools/vgr_lint/layers.txt. --sarif additionally writes the\n"
+             "findings as SARIF v2.1.0. Exit: 0 clean, 1 findings, 2 error.\n";
+      return 0;
+    } else if (argv[i].starts_with("-")) {
+      err << "vgr_lint: unknown option '" << argv[i] << "'\n";
+      return 2;
+    } else {
+      dirs.push_back(argv[i]);
+    }
+  }
+  if (!std::filesystem::is_directory(root)) {
+    err << "vgr_lint: root '" << root.string() << "' is not a directory\n";
+    return 2;
+  }
+  if (dirs.empty()) dirs = {"src", "bench", "tools"};
+
+  ProjectIndex index = build_project_index(root, dirs);
+  bool io_error = false;
+  const LayerManifest layers = load_layers(root, layers_path, index, err, io_error);
+  if (io_error) return 2;
+
+  const std::vector<Finding> findings = lint_project(index, layers);
+  print_findings(out, findings);
+
+  if (!sarif_path.empty()) {
+    std::ofstream sarif{sarif_path, std::ios::binary};
+    if (!sarif) {
+      err << "vgr_lint: cannot write SARIF to '" << sarif_path << "'\n";
+      return 2;
+    }
+    write_sarif(sarif, findings);
+  }
+
+  if (!findings.empty()) {
+    out << "vgr_lint: " << findings.size() << " finding(s)\n";
+    return 1;
+  }
+  out << "vgr_lint: clean\n";
+  return 0;
+}
+
+}  // namespace vgr::lint

@@ -1,0 +1,31 @@
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace vgr::lint {
+
+/// One rule violation (or rule-infrastructure problem, e.g. a bad waiver).
+struct Finding {
+  std::string file;     ///< project-relative path
+  int line{0};          ///< 1-based
+  std::string rule;     ///< "VGR001" ...
+  std::string tag;      ///< waiver tag that would silence it, e.g. "ordered-ok"
+  std::string message;  ///< human-readable description
+};
+
+/// Static metadata for one rule: the single source of truth behind
+/// `--list-rules`, `--explain`, the SARIF rule descriptors and
+/// docs/static-analysis.md (kept in parity by review + golden test).
+struct RuleInfo {
+  const char* id;       ///< "VGR009"
+  const char* name;     ///< short kebab name, "module-layering"
+  const char* tag;      ///< waiver tag, "layering-ok" ("" = not waivable)
+  const char* summary;  ///< one line for --list-rules / SARIF shortDescription
+  const char* detail;   ///< paragraph for --explain / SARIF fullDescription
+};
+
+/// All rules, ordered by id.
+const std::vector<RuleInfo>& rule_catalogue();
+
+}  // namespace vgr::lint

@@ -1,0 +1,127 @@
+#pragma once
+
+#include <filesystem>
+#include <map>
+#include <set>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "finding.hpp"
+
+/// ProjectIndex — the whole-project parse pass under vgr_lint.
+///
+/// One tokenize pass over every lintable file produces, per file: the token
+/// stream, the parsed waiver directives, and the quoted-include directives
+/// resolved against the project tree. Rules then *query* the index — the
+/// include graph for VGR009 layering, cross-TU symbol tables for VGR003 —
+/// instead of re-harvesting sibling headers ad hoc per translation unit.
+namespace vgr::lint {
+
+enum class TokKind { kIdent, kNumber, kPunct, kHeader };
+
+struct Tok {
+  std::string text;
+  int line{0};
+  TokKind kind{TokKind::kPunct};
+};
+
+/// One parsed `vgr-lint:` directive. A line waiver covers its own line and
+/// the line below; a region covers begin..end inclusive. `used` tracks, per
+/// tag, whether the waiver actually suppressed a finding — the input to
+/// VGR011 dead-waiver detection.
+struct WaiverEntry {
+  int line{0};        ///< directive line (where VGR011 reports deadness)
+  bool is_region{false};
+  int begin_line{0};  ///< first covered line
+  int end_line{0};    ///< last covered line (inclusive; 1<<30 if unterminated)
+  std::set<std::string> tags;
+  std::map<std::string, bool> used;  ///< tag -> suppressed something
+};
+
+/// A quoted `#include "..."` directive (angle includes stay in the token
+/// stream as TokKind::kHeader for VGR006).
+struct IncludeDirective {
+  int line{0};
+  std::string spelled;   ///< text between the quotes, e.g. "vgr/gn/router.hpp"
+  std::string resolved;  ///< project-relative path of the indexed target, or ""
+};
+
+struct Scan {
+  std::vector<Tok> toks;
+  std::vector<WaiverEntry> waivers;
+  std::vector<IncludeDirective> includes;  ///< quoted includes, unresolved yet
+  std::vector<Finding> waiver_errors;      ///< VGR007, reported unconditionally
+};
+
+/// Tokenizes one source file: strips comments/strings/char literals, routes
+/// comments through the waiver parser, keeps `#include <...>` as a header
+/// token and records `#include "..."` directives.
+Scan tokenize(std::string_view src, std::string_view rel_path);
+
+struct IndexedFile {
+  std::string rel_path;  ///< project-relative, generic separators
+  std::string module;    ///< "gn" for src/vgr/gn/..., "" outside src/vgr
+  Scan scan;
+};
+
+/// The whole-project index: every lintable file under the requested dirs,
+/// tokenized once, with quoted includes resolved to indexed files and the
+/// per-file unordered-container symbol tables rules query.
+struct ProjectIndex {
+  std::filesystem::path root;
+  std::vector<IndexedFile> files;             ///< sorted by rel_path
+  std::map<std::string, std::size_t> by_path; ///< rel_path -> files index
+
+  [[nodiscard]] const IndexedFile* find(std::string_view rel_path) const;
+  [[nodiscard]] IndexedFile* find(std::string_view rel_path);
+
+  /// Names declared with an unordered container type in `rel_path` itself
+  /// (no include traversal).
+  [[nodiscard]] const std::set<std::string>& own_unordered_names(
+      const std::string& rel_path) const;
+
+  /// Union of unordered-container names reachable from `rel_path` through
+  /// the quoted-include graph (transitive) plus the sibling-header
+  /// convention (<stem>.hpp/.h next to a .cpp, even when not included).
+  [[nodiscard]] std::set<std::string> reachable_unordered_names(
+      const std::string& rel_path) const;
+
+  /// Transitive closure of resolved quoted includes from `rel_path`
+  /// (excluding the file itself), sorted.
+  [[nodiscard]] std::vector<std::string> reachable_includes(
+      const std::string& rel_path) const;
+
+ private:
+  friend ProjectIndex build_project_index(const std::filesystem::path&,
+                                          const std::vector<std::string>&);
+  std::map<std::string, std::set<std::string>> unordered_names_;  // per file
+};
+
+/// Walks `dirs` (relative to `root`), tokenizes every .hpp/.h/.cpp/.cc file
+/// and resolves quoted includes (includer-relative, then src/-rooted, then
+/// root-relative — mirroring the build's include paths).
+ProjectIndex build_project_index(const std::filesystem::path& root,
+                                 const std::vector<std::string>& dirs);
+
+/// `src/vgr/<module>/...` -> "<module>"; "" for anything else.
+[[nodiscard]] std::string module_of(std::string_view rel_path);
+
+/// Module named by a quoted include spelling `vgr/<module>/...`; "" if the
+/// spelling does not target a vgr module.
+[[nodiscard]] std::string included_module(std::string_view spelled);
+
+/// The reviewed module-layering manifest (tools/vgr_lint/layers.txt):
+/// `module: dep dep ...` per line, '#' comments. `allowed` holds the
+/// permitted *direct* dependency set per module; parse problems (missing
+/// colon, self-dependency, duplicate module, a cycle in the allowed graph)
+/// surface as VGR009 findings against the manifest file itself.
+struct LayerManifest {
+  bool loaded{false};
+  std::map<std::string, std::set<std::string>> allowed;
+  std::vector<Finding> errors;
+};
+
+LayerManifest parse_layers(std::string_view content, std::string_view rel_path);
+
+}  // namespace vgr::lint

@@ -1,0 +1,102 @@
+#include <cstdio>
+#include <ostream>
+#include <string>
+#include <string_view>
+
+#include "vgr_lint.hpp"
+
+// SARIF v2.1.0 writer. Hand-rolled on purpose: the schema subset vgr_lint
+// needs (one run, static rule descriptors, file/line/message results) is
+// small enough that a JSON library would be the only dependency this tool
+// has. Everything user-controlled goes through escape().
+
+namespace vgr::lint {
+namespace {
+
+std::string escape(std::string_view s) {
+  std::string out;
+  out.reserve(s.size() + 8);
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+int rule_index(const std::string& id) {
+  const auto& rules = rule_catalogue();
+  for (std::size_t i = 0; i < rules.size(); ++i) {
+    if (id == rules[i].id) return static_cast<int>(i);
+  }
+  return -1;
+}
+
+}  // namespace
+
+void write_sarif(std::ostream& out, const std::vector<Finding>& findings) {
+  out << "{\n"
+      << "  \"$schema\": \"https://raw.githubusercontent.com/oasis-tcs/sarif-spec/master/"
+         "Schemata/sarif-schema-2.1.0.json\",\n"
+      << "  \"version\": \"2.1.0\",\n"
+      << "  \"runs\": [\n"
+      << "    {\n"
+      << "      \"tool\": {\n"
+      << "        \"driver\": {\n"
+      << "          \"name\": \"vgr_lint\",\n"
+      << "          \"informationUri\": \"docs/static-analysis.md\",\n"
+      << "          \"rules\": [\n";
+  const auto& rules = rule_catalogue();
+  for (std::size_t i = 0; i < rules.size(); ++i) {
+    const RuleInfo& r = rules[i];
+    out << "            {\n"
+        << "              \"id\": \"" << escape(r.id) << "\",\n"
+        << "              \"name\": \"" << escape(r.name) << "\",\n"
+        << "              \"shortDescription\": { \"text\": \"" << escape(r.summary) << "\" },\n"
+        << "              \"fullDescription\": { \"text\": \"" << escape(r.detail) << "\" },\n"
+        << "              \"defaultConfiguration\": { \"level\": \"error\" },\n"
+        << "              \"properties\": { \"waiverTag\": \"" << escape(r.tag) << "\" }\n"
+        << "            }" << (i + 1 < rules.size() ? "," : "") << "\n";
+  }
+  out << "          ]\n"
+      << "        }\n"
+      << "      },\n"
+      << "      \"results\": [\n";
+  for (std::size_t i = 0; i < findings.size(); ++i) {
+    const Finding& f = findings[i];
+    out << "        {\n"
+        << "          \"ruleId\": \"" << escape(f.rule) << "\",\n";
+    if (const int idx = rule_index(f.rule); idx >= 0) {
+      out << "          \"ruleIndex\": " << idx << ",\n";
+    }
+    out << "          \"level\": \"error\",\n"
+        << "          \"message\": { \"text\": \"" << escape(f.message) << "\" },\n"
+        << "          \"locations\": [\n"
+        << "            {\n"
+        << "              \"physicalLocation\": {\n"
+        << "                \"artifactLocation\": { \"uri\": \"" << escape(f.file) << "\" },\n"
+        << "                \"region\": { \"startLine\": " << (f.line > 0 ? f.line : 1) << " }\n"
+        << "              }\n"
+        << "            }\n"
+        << "          ]\n"
+        << "        }" << (i + 1 < findings.size() ? "," : "") << "\n";
+  }
+  out << "      ]\n"
+      << "    }\n"
+      << "  ]\n"
+      << "}\n";
+}
+
+}  // namespace vgr::lint

@@ -6,59 +6,58 @@
 #include <string_view>
 #include <vector>
 
-/// vgr_lint — token-level static analyzer for the determinism and
+#include "finding.hpp"
+#include "project_index.hpp"
+
+/// vgr_lint — whole-project static analyzer for the determinism and
 /// concurrency invariants the simulator promises (bit-identical outputs for
 /// any VGR_THREADS, fault knobs free when off). No libclang: a small
-/// hand-rolled tokenizer is enough for the rule classes below, keeps the
-/// tool dependency-free, and lets the lint run in CI before any build.
+/// hand-rolled tokenizer feeds a shared ProjectIndex (one parse pass over
+/// the tree: token streams, waiver directives, a resolved quoted-include
+/// graph and per-file symbol tables) that every rule queries. The tool stays
+/// dependency-free and runs in CI before any build.
 ///
-/// Rules (see docs/static-analysis.md for the full catalogue):
-///   VGR001 wall-clock      — system_clock/steady_clock/time()/clock()
-///                            outside the whitelisted sim/ watchdog files.
-///   VGR002 ambient-rng     — std::rand/random_device/mt19937 & friends
-///                            outside sim/random (the seeded xoshiro source).
-///   VGR003 unordered-iter  — iteration over std::unordered_map/_set
-///                            (hash-order nondeterminism) without a waiver.
-///   VGR004 pointer-key     — std::map/std::set keyed by a raw pointer
-///                            (address-order nondeterminism).
-///   VGR005 float-accum     — float/double += / -= accumulation in a file
-///                            that is part of a parallel/merge path.
-///   VGR006 thread-include  — <thread>/<mutex>/<atomic>/... outside
-///                            sim/thread_pool.
-///   VGR007 bad-waiver      — a `vgr-lint:` comment with an unknown tag
-///                            (catches typos that would silently un-waive).
+/// Rules (see docs/static-analysis.md and `vgr_lint --list-rules`):
+///   VGR001 wall-clock       VGR002 ambient-rng      VGR003 unordered-iter
+///   VGR004 pointer-key      VGR005 float-accum      VGR006 thread-include
+///   VGR007 bad-waiver       VGR008 signal-safety    VGR009 module-layering
+///   VGR010 rng-stream       VGR011 dead-waiver
 ///
 /// Waivers: `// vgr-lint: <tag>-ok` (optionally with a rationale in
 /// parentheses) on the violating line or the line directly above silences
 /// that rule for that line. `// vgr-lint: begin <tag>-ok` ... `// vgr-lint:
-/// end` silences a region. Tags: wall-clock-ok, rng-ok, ordered-ok,
-/// pointer-key-ok, float-accum-ok, thread-include-ok.
+/// end` silences a region. A waiver that silences nothing is itself a
+/// finding (VGR011).
 namespace vgr::lint {
 
-struct Finding {
-  std::string file;     ///< project-relative path
-  int line{0};          ///< 1-based
-  std::string rule;     ///< "VGR001" ...
-  std::string tag;      ///< waiver tag that would silence it, e.g. "ordered-ok"
-  std::string message;  ///< human-readable description
-};
-
-/// Lints one translation unit. `rel_path` selects the per-rule file
-/// whitelists; `sibling_header` (the matching .hpp of a .cpp, if any) is
-/// scanned for member declarations only, so iteration in a .cpp over an
-/// unordered member declared in its header is still caught.
+/// Lints one translation unit in isolation (golden tests, editor
+/// integrations). `sibling_header` (the matching .hpp of a .cpp, if any) is
+/// scanned for member declarations only. Project-wide rules that need the
+/// include graph or the layer manifest (VGR009) are inert in this mode.
 [[nodiscard]] std::vector<Finding> lint_source(std::string_view rel_path, std::string_view content,
                                                std::string_view sibling_header = {});
 
-/// Walks `dirs` (relative to `root`) linting every .hpp/.h/.cpp/.cc file,
-/// printing findings as `path:line: RULE [tag] message` to `out`.
+/// Lints every file in the index against all rules, layering included.
+/// Mutates the index's waiver-usage marks (VGR011 input). Manifest parse
+/// errors are appended to the returned findings.
+[[nodiscard]] std::vector<Finding> lint_project(ProjectIndex& index, const LayerManifest& layers);
+
+/// Walks `dirs` (relative to `root`) building a ProjectIndex, loads the
+/// layer manifest from `root/tools/vgr_lint/layers.txt` when present, and
+/// prints findings as `path:line: RULE [tag] message` to `out`.
 /// Returns the number of findings (0 == clean tree).
 int lint_tree(const std::filesystem::path& root, const std::vector<std::string>& dirs,
               std::ostream& out);
 
-/// Entry point shared by main() and the golden tests: parses argv, runs
-/// lint_tree, prints a summary. Exit codes: 0 clean, 1 violations found,
-/// 2 usage or I/O error.
+/// Writes the findings as SARIF v2.1.0 (one run, rule descriptors from
+/// rule_catalogue(), one result per finding with file/line/ruleId).
+void write_sarif(std::ostream& out, const std::vector<Finding>& findings);
+
+/// Entry point shared by main() and the golden tests: parses argv, runs the
+/// project lint, prints a summary. Also serves the rule catalogue
+/// (`--list-rules`, `--explain VGR0NN`) and machine-readable output
+/// (`--sarif <path>`). Exit codes: 0 clean, 1 violations found, 2 usage or
+/// I/O error.
 int run_lint(const std::vector<std::string>& argv, std::ostream& out, std::ostream& err);
 
 }  // namespace vgr::lint
