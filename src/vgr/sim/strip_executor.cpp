@@ -1,0 +1,318 @@
+#include "vgr/sim/strip_executor.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <unordered_map>
+
+#include "vgr/sim/thread_pool.hpp"
+
+namespace vgr::sim {
+
+namespace {
+
+/// Strip whose wheel this thread is currently running (0 = serial phase /
+/// coordinator). Thread-local rather than plane state: the harness runs
+/// several scenarios (each with its own plane and workers) concurrently.
+thread_local std::uint32_t tls_current_strip = 0;
+
+/// Busy-wait briefly, then yield: window bodies are tens of microseconds,
+/// so the barrier usually resolves within the spin budget, but on an
+/// oversubscribed host (1-core CI) the yield lets the peer run at all.
+void backoff(std::size_t& spins) {
+  if (++spins > 64) std::this_thread::yield();
+}
+
+}  // namespace
+
+StripPlane::StripPlane(const Config& config)
+    : strips_{config.strips == 0 ? 1U : config.strips},
+      lookahead_{config.lookahead.count() > 0 ? config.lookahead
+                                              : Duration::micros(50)} {
+  assert(strips_ < 255 && "strip index must fit the slot region / id tags");
+  const std::size_t requested =
+      config.threads == 0 ? ThreadPool::default_thread_count() : config.threads;
+  workers_target_ = std::max<std::size_t>(1, std::min<std::size_t>(requested, strips_));
+  wheels_.reserve(strips_ + 1U);
+  for (std::uint32_t s = 0; s <= strips_; ++s) {
+    wheels_.push_back(std::make_unique<EventQueue>());
+    wheels_.back()->init_wheel_(this, s);
+  }
+  outbox_.resize(strips_ + 1U);
+  handles_.emplace_back();
+  handles_.back().init_handle_(this, 0, 0);
+}
+
+StripPlane::~StripPlane() {
+  stop_.store(true, std::memory_order_relaxed);
+  epoch_.fetch_add(1, std::memory_order_release);
+  for (auto& t : threads_) t.join();
+}
+
+EventQueue& StripPlane::make_handle(std::uint32_t strip) {
+  assert(serial_phase_ && "handles are created between windows only");
+  assert(strip >= 1 && strip <= strips_);
+  handles_.emplace_back();
+  handles_.back().init_handle_(this, strip,
+                               static_cast<std::uint32_t>(handles_.size() - 1));
+  return handles_.back();
+}
+
+CohortId StripPlane::make_shared_cohort_() {
+  assert(serial_phase_ && "cohorts are created between windows only");
+  shared_cohorts_.push_back(EventQueue::Cohort{});
+  return CohortId{cohort_count_++};
+}
+
+void StripPlane::rehome(EventQueue& handle, std::uint32_t strip) {
+  assert(serial_phase_ && "re-homes are queued from global (serial) events");
+  assert(handle.plane_ == this && !handle.is_wheel_ && handle.handle_id_ != 0);
+  assert(strip >= 1 && strip <= strips_);
+  if (handle.strip_ == strip) return;
+  pending_rehomes_.emplace_back(handle.handle_id_, strip);
+}
+
+void StripPlane::post(const EventQueue& dst, TimePoint when,
+                      EventQueue::Callback fn) {
+  assert(dst.plane_ == this && !dst.is_wheel_);
+  const std::uint32_t src = tls_current_strip;
+  outbox_[src].push_back(Posted{when, src, dst.handle_id_, std::move(fn)});
+}
+
+void StripPlane::add_serial_hook(std::function<void()> hook) {
+  serial_hooks_.push_back(std::move(hook));
+}
+
+std::uint32_t StripPlane::current_strip() { return tls_current_strip; }
+
+std::uint64_t StripPlane::fired_total() const {
+  std::uint64_t total = 0;
+  for (const auto& w : wheels_) total += w->fired_;
+  return total;
+}
+
+std::size_t StripPlane::pending_total() const {
+  std::size_t total = 0;
+  for (const auto& w : wheels_) total += w->live_count_;
+  return total;
+}
+
+std::uint64_t StripPlane::fired_since_budget_() const {
+  return fired_total() - budget_base_fired_;
+}
+
+bool StripPlane::wall_expired_() const {
+  return std::chrono::steady_clock::now() >= wall_deadline_;
+}
+
+void StripPlane::set_run_budget(std::uint64_t max_events, double wall_seconds) {
+  budget_exceeded_ = false;
+  budget_trip_ = BudgetTrip::kNone;
+  budget_max_events_ = max_events;
+  budget_base_fired_ = fired_total();
+  has_wall_deadline_ = wall_seconds > 0.0;
+  if (has_wall_deadline_) {
+    wall_deadline_ = std::chrono::steady_clock::now() +
+                     std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+                         std::chrono::duration<double>(wall_seconds));
+  }
+}
+
+void StripPlane::drain_posts_() {
+  bool any = false;
+  for (const auto& box : outbox_) {
+    if (!box.empty()) {
+      any = true;
+      break;
+    }
+  }
+  if (!any) return;
+  drain_scratch_.clear();
+  for (auto& box : outbox_) {
+    for (Posted& p : box) drain_scratch_.push_back(std::move(p));
+    box.clear();
+  }
+  // (timestamp, source strip, post sequence) total order: stable_sort keeps
+  // each source's in-window emission order for equal keys, so the merged
+  // schedule is independent of worker count and interleaving.
+  std::stable_sort(drain_scratch_.begin(), drain_scratch_.end(),
+                   [](const Posted& a, const Posted& b) {
+                     if (a.when != b.when) return a.when < b.when;
+                     return a.src < b.src;
+                   });
+  for (Posted& p : drain_scratch_) {
+    EventQueue& h = handles_[p.dst_handle];
+    EventQueue& w = wheel_(h.strip_);
+    TimePoint when = p.when;
+    if (when < w.now_) {
+      // Lookahead violation: count it (tests assert none) but stay
+      // deterministic — the clamp depends only on merged order.
+      ++late_posts_;
+      when = w.now_;
+    }
+    w.schedule_posted_(when, p.dst_handle, std::move(p.fn));
+  }
+  drain_scratch_.clear();
+}
+
+void StripPlane::apply_rehomes_() {
+  if (pending_rehomes_.empty()) return;
+  std::unordered_map<std::uint32_t, std::uint32_t> moves;  // last target wins
+  for (const auto& [h, s] : pending_rehomes_) moves[h] = s;
+  pending_rehomes_.clear();
+  rehomes_applied_ += moves.size();
+  std::vector<char> affected(strips_ + 1U, 0);
+  // vgr-lint: ordered-ok (flag writes commute across iteration orders)
+  for (const auto& [h, s] : moves) affected[handles_[h].strip_] = 1;
+  for (std::uint32_t w = 0; w <= strips_; ++w) {
+    if (affected[w] == 0) continue;
+    EventQueue& src = wheel_(w);
+    for (auto& bucket : src.buckets_) {
+      bool touched = false;
+      for (std::size_t i = 0; i < bucket.size();) {
+        const EventQueue::Rec r = bucket[i];
+        const auto it = moves.find(r.handle);
+        if (it == moves.end() || it->second == w) {
+          ++i;
+          continue;
+        }
+        bucket[i] = bucket.back();
+        bucket.pop_back();
+        --src.recs_;
+        touched = true;
+        if (src.rec_dead(r)) {
+          src.collect_dead(r);
+        } else {
+          // Records move verbatim — ids (and with them FIFO tie-breaks)
+          // are preserved, so migration never perturbs event order.
+          EventQueue& dst = wheel_(it->second);
+          dst.insert_rec(r.when, r.id, r.slot, r.handle);
+          --src.live_count_;
+          ++dst.live_count_;
+        }
+      }
+      if (touched) std::make_heap(bucket.begin(), bucket.end(), EventQueue::RecAfter{});
+    }
+    src.cache_valid_ = false;
+  }
+  // vgr-lint: ordered-ok (disjoint per-handle writes commute across orders)
+  for (const auto& [h, s] : moves) handles_[h].strip_ = s;
+}
+
+void StripPlane::run_serial_hooks_() {
+  for (const auto& hook : serial_hooks_) hook();
+}
+
+void StripPlane::ensure_workers_() {
+  if (workers_target_ <= 1 || !threads_.empty()) return;
+  threads_.reserve(workers_target_ - 1);
+  for (std::size_t w = 1; w < workers_target_; ++w) {
+    threads_.emplace_back([this, w] { worker_loop_(w); });
+  }
+}
+
+void StripPlane::worker_loop_(std::size_t worker) {
+  std::uint64_t seen = 0;
+  for (;;) {
+    std::size_t spins = 0;
+    while (epoch_.load(std::memory_order_acquire) == seen) {
+      if (stop_.load(std::memory_order_relaxed)) return;
+      backoff(spins);
+    }
+    ++seen;
+    if (stop_.load(std::memory_order_relaxed)) return;
+    run_worker_share_(worker);
+    done_.fetch_add(1, std::memory_order_release);
+  }
+}
+
+void StripPlane::run_worker_share_(std::size_t worker) {
+  const std::size_t stride = threads_.size() + 1;  // workers + coordinator
+  const std::atomic<bool>* abort = threads_.empty() ? nullptr : &abort_window_;
+  for (std::uint32_t s = 1U + static_cast<std::uint32_t>(worker); s <= strips_;
+       s += static_cast<std::uint32_t>(stride)) {
+    tls_current_strip = s;
+    (void)wheel_(s).run_window_(window_bound_, window_cap_, abort);
+  }
+  tls_current_strip = 0;
+}
+
+void StripPlane::run_parallel_window_(TimePoint bound_incl, std::uint64_t cap) {
+  window_bound_ = bound_incl;
+  window_cap_ = cap;
+  serial_phase_ = false;
+  if (threads_.empty()) {
+    run_worker_share_(0);
+    serial_phase_ = true;
+    return;
+  }
+  abort_window_.store(false, std::memory_order_relaxed);
+  done_.store(0, std::memory_order_relaxed);
+  epoch_.fetch_add(1, std::memory_order_release);
+  run_worker_share_(0);
+  std::size_t spins = 0;
+  while (done_.load(std::memory_order_acquire) < threads_.size()) {
+    if (has_wall_deadline_ && wall_expired_() &&
+        !abort_window_.load(std::memory_order_relaxed)) {
+      abort_window_.store(true, std::memory_order_relaxed);
+    }
+    backoff(spins);
+  }
+  serial_phase_ = true;
+}
+
+void StripPlane::run_until(TimePoint until) {
+  ensure_workers_();
+  for (;;) {
+    // Serial point: merge mailboxes, settle migrations, refresh indexes.
+    drain_posts_();
+    apply_rehomes_();
+    run_serial_hooks_();
+    if (budget_max_events_ != 0 && fired_since_budget_() >= budget_max_events_) {
+      budget_exceeded_ = true;
+      budget_trip_ = BudgetTrip::kEvents;  // events before wall, like serial
+      break;
+    }
+    if (has_wall_deadline_ && wall_expired_()) {
+      budget_exceeded_ = true;
+      budget_trip_ = BudgetTrip::kWall;
+      break;
+    }
+    TimePoint g{};
+    const bool has_g = wheel_(0).next_when_(g);
+    TimePoint e{};
+    bool has_e = false;
+    for (std::uint32_t s = 1; s <= strips_; ++s) {
+      TimePoint t{};
+      if (wheel_(s).next_when_(t)) {
+        if (!has_e || t < e) e = t;
+        has_e = true;
+      }
+    }
+    if (!has_g && !has_e) break;
+    if (has_g && (!has_e || g <= e)) {
+      // Global events run one at a time in the serial phase (they mutate
+      // shared structure: spawn/exit, churn, workload origination) and take
+      // precedence at equal timestamps.
+      if (g > until) break;
+      (void)wheel_(0).step();
+      continue;
+    }
+    if (e > until) break;
+    // Conservative window: nothing scheduled inside it can affect another
+    // strip before e + lookahead, and the next global event still runs at
+    // its exact serial position (bound stops 1 ns short of it).
+    TimePoint bound = e + lookahead_ - Duration::nanos(1);
+    if (bound > until) bound = until;
+    if (has_g && bound > g - Duration::nanos(1)) bound = g - Duration::nanos(1);
+    std::uint64_t cap = std::numeric_limits<std::uint64_t>::max();
+    if (budget_max_events_ != 0) {
+      // Each wheel gets the whole remaining budget: overshoot is bounded by
+      // one window and, crucially, deterministic (no shared counter races).
+      cap = budget_max_events_ - fired_since_budget_();
+    }
+    run_parallel_window_(bound, cap);
+  }
+  for (auto& w : wheels_) w->advance_to_(until);
+}
+
+}  // namespace vgr::sim

@@ -1,0 +1,203 @@
+#pragma once
+
+#include <atomic>
+#include <cassert>
+#include <chrono>
+#include <cstddef>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "vgr/sim/event_queue.hpp"
+#include "vgr/sim/time.hpp"
+
+namespace vgr::sim {
+
+/// Space-partitioned conservative parallel executor (ROADMAP item 3).
+///
+/// The world is decomposed into `strips` spatial strips along the road
+/// axis; each strip owns a *wheel* (a plain EventQueue used as that
+/// strip's calendar), and a global wheel (index 0) holds everything that
+/// is not strip-local: traffic ticks, workload generators, churn,
+/// pseudonym rotation. Model code never touches wheels directly — it
+/// schedules through *handles* (EventQueues returned by global() /
+/// make_handle()) that forward to the wheel of their current home strip.
+///
+/// Execution alternates between a serial phase and parallel windows:
+///
+///   loop:
+///     drain cross-strip mailboxes, apply queued re-homes, run serial
+///       hooks (spatial index rebuild), check the run budget
+///     G = next global-wheel event, E = min next strip-wheel event
+///     if G <= E: run that one global event serially, repeat
+///     else:      run every strip wheel in parallel up to
+///                bound = min(E + lookahead - 1ns, G - 1ns, horizon)
+///
+/// `lookahead` is the minimum cross-strip interaction latency — one
+/// frame's airtime plus propagation, i.e. the earliest a transmission
+/// started in this window can take effect on another strip. Any event a
+/// strip executes inside the window therefore schedules cross-strip work
+/// strictly beyond the bound, which is the classic conservative-PDES
+/// safety condition; `late_posts()` counts (and clamps) violations so
+/// tests can assert the configured lookahead really is conservative.
+///
+/// Cross-strip work travels through per-source-wheel mailboxes that are
+/// written lock-free by their owning worker and merged by the coordinator
+/// in (timestamp, source strip, post sequence) total order, so the
+/// schedule — and with it the entire run — is bit-identical at any worker
+/// count: threads are purely a performance knob, while the strip count is
+/// a model parameter (like vehicle spacing) fixed independently of them.
+class StripPlane {
+ public:
+  struct Config {
+    std::uint32_t strips{2};
+    /// Worker threads for the parallel windows; 0 = VGR_THREADS / hardware
+    /// concurrency. Clamped to the strip count; 1 runs the windows inline.
+    std::size_t threads{0};
+    /// Conservative window slack; must not exceed the minimum cross-strip
+    /// delivery latency (min frame airtime + propagation delay).
+    Duration lookahead{Duration::micros(50)};
+  };
+
+  explicit StripPlane(const Config& config);
+  ~StripPlane();
+  StripPlane(const StripPlane&) = delete;
+  StripPlane& operator=(const StripPlane&) = delete;
+
+  [[nodiscard]] std::uint32_t strips() const { return strips_; }
+  [[nodiscard]] std::size_t worker_count() const { return workers_target_; }
+  [[nodiscard]] Duration lookahead() const { return lookahead_; }
+
+  /// The global handle: pre-run construction, workload generators, churn,
+  /// and run_until/set_run_budget all go through it.
+  [[nodiscard]] EventQueue& global() { return handles_.front(); }
+
+  /// Creates a scheduling handle homed at `strip` (1-based). Serial phase
+  /// only (handles are made at router construction / attacker attach).
+  EventQueue& make_handle(std::uint32_t strip);
+
+  /// Queues a re-home of `handle` to `strip`; its pending events migrate
+  /// wholesale (ids preserved) at the next window boundary. Serial phase
+  /// only (mobility ticks run on the global wheel).
+  void rehome(EventQueue& handle, std::uint32_t strip);
+
+  /// Cross-strip message: runs `fn` on `dst`'s home wheel at `when`.
+  /// Callable from workers during a window (each source wheel owns its
+  /// mailbox) and from the coordinator in the serial phase (mailbox 0).
+  void post(const EventQueue& dst, TimePoint when, EventQueue::Callback fn);
+
+  /// Registers a hook run by the coordinator at every serial point (loop
+  /// top): spatial-index rebuilds and similar window-coherent maintenance.
+  void add_serial_hook(std::function<void()> hook);
+
+  /// Strip whose wheel the calling thread is currently executing; 0 in the
+  /// serial phase. The medium compares this against a receiver's home
+  /// strip to pick direct scheduling vs a mailbox post.
+  [[nodiscard]] static std::uint32_t current_strip();
+
+  /// True outside parallel windows (coordinator context).
+  [[nodiscard]] bool in_serial_phase() const { return serial_phase_; }
+
+  /// Posts that arrived below their destination wheel's clock and were
+  /// clamped to it. Always 0 when `lookahead` is truly conservative; the
+  /// determinism tests assert that.
+  [[nodiscard]] std::uint64_t late_posts() const { return late_posts_; }
+
+  /// Number of handle migrations actually applied (distinct handles per
+  /// settlement batch). Tests use this to prove boundary crossings really
+  /// exercised the migration path.
+  [[nodiscard]] std::uint64_t rehomes_applied() const { return rehomes_applied_; }
+
+  /// Drives the windowed executor; normally reached via global().run_until.
+  void run_until(TimePoint until);
+
+  /// Plane-wide run budget (see EventQueue::set_run_budget): every wheel
+  /// counts its own fires, the executor aggregates at window boundaries,
+  /// and the trip cause is attributed events-before-wall deterministically.
+  void set_run_budget(std::uint64_t max_events, double wall_seconds);
+  [[nodiscard]] bool budget_exceeded() const { return budget_exceeded_; }
+  [[nodiscard]] BudgetTrip budget_trip() const { return budget_trip_; }
+
+  /// Callbacks fired / events pending, summed over all wheels.
+  [[nodiscard]] std::uint64_t fired_total() const;
+  [[nodiscard]] std::size_t pending_total() const;
+
+ private:
+  friend class EventQueue;
+
+  struct Posted {
+    TimePoint when;
+    std::uint32_t src;
+    std::uint32_t dst_handle;
+    EventQueue::Callback fn;
+  };
+
+  [[nodiscard]] EventQueue& wheel_(std::uint32_t i) { return *wheels_[i]; }
+  [[nodiscard]] const EventQueue& wheel_(std::uint32_t i) const { return *wheels_[i]; }
+  [[nodiscard]] EventQueue::Cohort& shared_cohort_(std::uint32_t v) {
+    assert(v >= 1 && v < cohort_count_);
+    return shared_cohorts_[v - 1];
+  }
+  [[nodiscard]] const EventQueue::Cohort& shared_cohort_(std::uint32_t v) const {
+    assert(v >= 1 && v < cohort_count_);
+    return shared_cohorts_[v - 1];
+  }
+  CohortId make_shared_cohort_();
+
+  void drain_posts_();
+  void apply_rehomes_();
+  void run_serial_hooks_();
+  void run_parallel_window_(TimePoint bound_incl, std::uint64_t cap);
+  void run_worker_share_(std::size_t worker);
+  void worker_loop_(std::size_t worker);
+  void ensure_workers_();
+  [[nodiscard]] std::uint64_t fired_since_budget_() const;
+  [[nodiscard]] bool wall_expired_() const;
+
+  std::uint32_t strips_;
+  Duration lookahead_;
+  std::size_t workers_target_{1};
+
+  std::vector<std::unique_ptr<EventQueue>> wheels_;  ///< [0] global, [1..K] strips
+  std::deque<EventQueue> handles_;                   ///< [0] = global handle
+  // Cohorts live plane-wide (a handle's cohort follows it across strips);
+  // created only in the serial phase, each mutated only by the thread
+  // running its owner's wheel (window barriers order the hand-offs).
+  std::vector<EventQueue::Cohort> shared_cohorts_;
+  std::uint32_t cohort_count_{1};  ///< next CohortId value to hand out
+
+  std::vector<std::vector<Posted>> outbox_;  ///< indexed by source wheel
+  std::vector<Posted> drain_scratch_;
+  std::vector<std::pair<std::uint32_t, std::uint32_t>> pending_rehomes_;
+  std::vector<std::function<void()>> serial_hooks_;
+  std::uint64_t late_posts_{0};
+  std::uint64_t rehomes_applied_{0};
+
+  bool serial_phase_{true};
+
+  // Plane-level budget (aggregated across wheels at window boundaries).
+  std::uint64_t budget_max_events_{0};
+  std::uint64_t budget_base_fired_{0};
+  bool has_wall_deadline_{false};
+  bool budget_exceeded_{false};
+  BudgetTrip budget_trip_{BudgetTrip::kNone};
+  std::chrono::steady_clock::time_point wall_deadline_{};
+
+  // Window barrier: coordinator publishes (bound, cap) and bumps epoch_;
+  // workers run their static round-robin share of strip wheels and count
+  // into done_. Spin-then-yield keeps oversubscribed (1-core CI) hosts
+  // making progress.
+  std::vector<std::thread> threads_;
+  std::atomic<std::uint64_t> epoch_{0};
+  std::atomic<std::size_t> done_{0};
+  std::atomic<bool> stop_{false};
+  std::atomic<bool> abort_window_{false};
+  TimePoint window_bound_{};
+  std::uint64_t window_cap_{0};
+};
+
+}  // namespace vgr::sim

@@ -1,0 +1,188 @@
+// Determinism of intra-run strip parallelism at the scenario level: with a
+// fixed strip count, the full fig7/fig9-shaped outputs must be
+// byte-identical for every worker-thread count — the strip count is a model
+// parameter, the thread count a pure performance knob. Also exercises the
+// boundary-migration path: vehicles crossing strip edges mid-run with SCF
+// buffers and pending CBF timers in flight.
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <string>
+
+#include "vgr/scenario/highway.hpp"
+#include "vgr/sim/strip_executor.hpp"
+
+namespace vgr::scenario {
+namespace {
+
+HighwayConfig quick_config(AttackKind attack, int strips) {
+  HighwayConfig cfg;
+  cfg.attack = attack;
+  cfg.sim_duration = sim::Duration::seconds(15.0);
+  cfg.prefill_spacing_m = 90.0;
+  cfg.entry_spacing_m = 90.0;
+  cfg.strips = strips;
+  return cfg;
+}
+
+/// Every field of every packet record, plus the run-wide counters: if any
+/// bit of the fig7-shaped output depends on the worker count, this differs.
+std::string fingerprint(const InterAreaResult& r, const HighwayScenario& scenario) {
+  std::ostringstream os;
+  for (const auto& p : r.packets) {
+    os << p.sent_at.count() << ',' << p.source_x << ','
+       << (p.target == traffic::Direction::kEastbound ? 'E' : 'W') << ',' << p.received << ','
+       << (p.received ? p.received_at.count() : 0) << '\n';
+  }
+  os << "beacons_replayed=" << r.beacons_replayed << '\n';
+  os << "frames_sent=" << scenario.medium().frames_sent() << '\n';
+  os << "frames_delivered=" << scenario.medium().frames_delivered() << '\n';
+  os << "stations=" << scenario.stations_created() << '\n';
+  return os.str();
+}
+
+/// Fig9 analogue: every flood record plus the medium counters.
+std::string fingerprint(const IntraAreaResult& r, const HighwayScenario& scenario) {
+  std::ostringstream os;
+  for (const auto& f : r.floods) {
+    os << f.sent_at.count() << ',' << f.source_x << ',' << f.source_fully_covered << ','
+       << f.reached << '/' << f.total << ',' << f.last_reach_at.count() << '\n';
+  }
+  os << "packets_replayed=" << r.packets_replayed << '\n';
+  os << "frames_sent=" << scenario.medium().frames_sent() << '\n';
+  os << "frames_delivered=" << scenario.medium().frames_delivered() << '\n';
+  return os.str();
+}
+
+TEST(ScenarioStrips, InterAreaIdenticalAcrossWorkerCounts) {
+  std::string reference;
+  for (const std::size_t threads : {1UL, 2UL, 4UL, 8UL}) {
+    HighwayConfig cfg = quick_config(AttackKind::kInterArea, /*strips=*/4);
+    cfg.strip_threads = threads;
+    HighwayScenario scenario{cfg};
+    const InterAreaResult result = scenario.run_inter_area();
+    ASSERT_NE(scenario.plane(), nullptr);
+    // The lookahead bound held: no cross-strip post ever had to be clamped.
+    EXPECT_EQ(scenario.plane()->late_posts(), 0u) << threads << " threads";
+    const std::string fp = fingerprint(result, scenario);
+    if (reference.empty()) {
+      reference = fp;
+      // The run is not vacuous: packets flowed and the attacker bit.
+      EXPECT_GT(result.packets.size(), 0u);
+      EXPECT_GT(result.overall_reception(), 0.0);
+      EXPECT_GT(result.beacons_replayed, 0u);
+    } else {
+      EXPECT_EQ(fp, reference) << "diverged at " << threads << " threads";
+    }
+  }
+}
+
+TEST(ScenarioStrips, IntraAreaIdenticalAcrossWorkerCounts) {
+  std::string reference;
+  for (const std::size_t threads : {1UL, 4UL}) {
+    HighwayConfig cfg = quick_config(AttackKind::kIntraArea, /*strips=*/4);
+    cfg.strip_threads = threads;
+    HighwayScenario scenario{cfg};
+    const IntraAreaResult result = scenario.run_intra_area();
+    ASSERT_NE(scenario.plane(), nullptr);
+    EXPECT_EQ(scenario.plane()->late_posts(), 0u) << threads << " threads";
+    const std::string fp = fingerprint(result, scenario);
+    if (reference.empty()) {
+      reference = fp;
+      EXPECT_GT(result.floods.size(), 0u);
+      EXPECT_GT(result.overall_reception(), 0.0);
+      EXPECT_GT(result.packets_replayed, 0u);
+    } else {
+      EXPECT_EQ(fp, reference) << "diverged at " << threads << " threads";
+    }
+  }
+}
+
+TEST(ScenarioStrips, StripCountIsAModelParameterNotAThreadKnob) {
+  // Two strips at one thread vs eight threads: the executor may only use
+  // min(threads, strips) workers and the output may not move at all.
+  std::string reference;
+  for (const std::size_t threads : {1UL, 8UL}) {
+    HighwayConfig cfg = quick_config(AttackKind::kNone, /*strips=*/2);
+    cfg.strip_threads = threads;
+    HighwayScenario scenario{cfg};
+    const InterAreaResult result = scenario.run_inter_area();
+    const std::string fp = fingerprint(result, scenario);
+    if (reference.empty()) {
+      reference = fp;
+    } else {
+      EXPECT_EQ(fp, reference);
+    }
+  }
+}
+
+TEST(ScenarioStrips, BoundaryMigrationWithScfAndCbfInFlight) {
+  // Eight 500 m strips over 20 s: highway vehicles (~30 m/s) cross strip
+  // edges mid-run while CBF contention timers tick and SCF buffers hold
+  // undeliverable packets. The migrations must actually happen, and the
+  // output must still be byte-identical across worker counts.
+  std::string reference;
+  std::uint64_t reference_rehomes = 0;
+  for (const std::size_t threads : {1UL, 4UL}) {
+    HighwayConfig cfg = quick_config(AttackKind::kNone, /*strips=*/8);
+    cfg.sim_duration = sim::Duration::seconds(20.0);
+    cfg.recovery.scf = true;
+    cfg.recovery.retx = true;
+    cfg.strip_threads = threads;
+    HighwayScenario scenario{cfg};
+    const IntraAreaResult result = scenario.run_intra_area();
+    ASSERT_NE(scenario.plane(), nullptr);
+    EXPECT_EQ(scenario.plane()->late_posts(), 0u);
+    // Vehicles really crossed boundaries with live routers aboard.
+    EXPECT_GT(scenario.plane()->rehomes_applied(), 0u);
+    const std::string fp = fingerprint(result, scenario);
+    if (reference.empty()) {
+      reference = fp;
+      reference_rehomes = scenario.plane()->rehomes_applied();
+      EXPECT_GT(result.overall_reception(), 0.0);
+    } else {
+      EXPECT_EQ(fp, reference) << "diverged at " << threads << " threads";
+      // Migration schedule is part of the model, not the execution.
+      EXPECT_EQ(scenario.plane()->rehomes_applied(), reference_rehomes);
+    }
+  }
+}
+
+TEST(ScenarioStrips, ChurnAndRebootStayOnTheSerialPath) {
+  // Crash/reboot churn mutates shared structure (router teardown, cohort
+  // cancellation across regions, handle reuse) and must stay deterministic
+  // under strip workers because it runs in global events.
+  std::string reference;
+  for (const std::size_t threads : {1UL, 4UL}) {
+    HighwayConfig cfg = quick_config(AttackKind::kNone, /*strips=*/4);
+    cfg.churn.crash_rate_hz = 0.5;
+    cfg.churn.downtime_s = 1.0;
+    cfg.strip_threads = threads;
+    HighwayScenario scenario{cfg};
+    const InterAreaResult result = scenario.run_inter_area();
+    const std::string fp = fingerprint(result, scenario) + "crashes=" +
+                           std::to_string(result.churn_crashes) + ",reboots=" +
+                           std::to_string(result.churn_reboots);
+    if (reference.empty()) {
+      reference = fp;
+      EXPECT_GT(result.churn_crashes, 0u);
+    } else {
+      EXPECT_EQ(fp, reference) << "diverged at " << threads << " threads";
+    }
+  }
+}
+
+TEST(ScenarioStrips, StripsOffIsTheClassicSerialLoop) {
+  // strips == 0 must not even allocate a plane: the run uses the standalone
+  // queue and stays byte-identical to every pre-strip build (the full
+  // pre-existing scenario suite pins those outputs).
+  HighwayConfig cfg = quick_config(AttackKind::kInterArea, /*strips=*/0);
+  HighwayScenario scenario{cfg};
+  EXPECT_EQ(scenario.plane(), nullptr);
+  const InterAreaResult result = scenario.run_inter_area();
+  EXPECT_GT(result.packets.size(), 0u);
+}
+
+}  // namespace
+}  // namespace vgr::scenario

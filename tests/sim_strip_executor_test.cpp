@@ -1,0 +1,284 @@
+// Unit tests for the space-partitioned conservative executor
+// (sim/strip_executor): window/mailbox determinism across worker counts,
+// cross-strip post merge order, handle migration, and the plane-wide run
+// budget. Scenario-level byte-identity lives in scenario_parallel_test.cpp.
+
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "vgr/sim/event_queue.hpp"
+#include "vgr/sim/strip_executor.hpp"
+#include "vgr/sim/time.hpp"
+
+namespace {
+
+using vgr::sim::BudgetTrip;
+using vgr::sim::CohortId;
+using vgr::sim::Duration;
+using vgr::sim::EventId;
+using vgr::sim::EventQueue;
+using vgr::sim::StripPlane;
+using vgr::sim::TimePoint;
+
+struct TraceEntry {
+  std::int64_t at_ns;
+  std::uint32_t handle;
+  std::uint32_t seq;
+  friend bool operator==(const TraceEntry&, const TraceEntry&) = default;
+};
+
+/// One strip-resident "node": a self-rescheduling event chain that records
+/// every firing and occasionally posts work to the next strip over. The
+/// deltas are a fixed pseudo-random sequence, so the chain is a pure
+/// function of (handle index, seq) — any divergence across worker counts
+/// is an executor bug.
+struct ChainNode {
+  EventQueue* handle{nullptr};
+  StripPlane* plane{nullptr};
+  ChainNode* peer{nullptr};  ///< node on another strip, poked cross-strip
+  std::uint32_t index{0};
+  std::uint32_t hops{0};
+  std::vector<TraceEntry> trace;  // appended only by this node's wheel
+
+  void start(TimePoint at) {
+    handle->schedule_at(at, [this] { fire(); });
+  }
+
+  void fire() {
+    const TimePoint now = handle->now();
+    trace.push_back({now.count(), index, hops});
+    if (hops % 8 == 4 && peer != nullptr) {
+      // Cross-strip interaction beyond the lookahead horizon, like a radio
+      // frame: lands on the peer's wheel through the mailbox merge.
+      ChainNode* p = peer;
+      const std::uint32_t stamp = 1000 + hops;
+      plane->post(*p->handle, now + Duration::micros(120), [p, stamp] {
+        p->trace.push_back({p->handle->now().count(), p->index, stamp});
+      });
+    }
+    if (++hops >= 64) return;
+    const std::int64_t jitter = (static_cast<std::int64_t>(index) * 7919 +
+                                 static_cast<std::int64_t>(hops) * 104729) % 97;
+    handle->schedule_in(Duration::micros(20 + jitter), [this] { fire(); });
+  }
+};
+
+struct World {
+  StripPlane plane;
+  std::vector<ChainNode*> nodes;
+
+  World(std::uint32_t strips, std::size_t threads, std::uint32_t nodes_per_strip)
+      : plane{StripPlane::Config{strips, threads, Duration::micros(50)}} {
+    for (std::uint32_t s = 1; s <= strips; ++s) {
+      for (std::uint32_t n = 0; n < nodes_per_strip; ++n) {
+        auto* node = new ChainNode;
+        node->handle = &plane.make_handle(s);
+        node->plane = &plane;
+        node->index = static_cast<std::uint32_t>(nodes.size());
+        nodes.push_back(node);
+      }
+    }
+    // Ring of peers across strip boundaries (node i pokes node i+1).
+    for (std::size_t i = 0; i < nodes.size(); ++i) {
+      nodes[i]->peer = nodes[(i + 1) % nodes.size()];
+    }
+  }
+  ~World() {
+    for (ChainNode* n : nodes) delete n;
+  }
+
+  void start_all() {
+    for (std::size_t i = 0; i < nodes.size(); ++i) {
+      nodes[i]->start(TimePoint::at(Duration::micros(10 + 3 * static_cast<std::int64_t>(i))));
+    }
+  }
+
+  [[nodiscard]] std::vector<std::vector<TraceEntry>> traces() const {
+    std::vector<std::vector<TraceEntry>> out;
+    out.reserve(nodes.size());
+    for (const ChainNode* n : nodes) out.push_back(n->trace);
+    return out;
+  }
+};
+
+std::vector<std::vector<TraceEntry>> run_world(std::uint32_t strips, std::size_t threads) {
+  World w{strips, threads, /*nodes_per_strip=*/3};
+  w.start_all();
+  w.plane.global().run_until(TimePoint::at(Duration::millis(40)));
+  EXPECT_EQ(w.plane.late_posts(), 0U);
+  return w.traces();
+}
+
+TEST(StripExecutor, TraceIsIdenticalAcrossWorkerCounts) {
+  const auto baseline = run_world(8, 1);
+  std::size_t fired = 0;
+  for (const auto& t : baseline) fired += t.size();
+  EXPECT_GT(fired, 8U * 3U * 32U);  // the chains actually ran
+  for (const std::size_t threads : {2UL, 4UL, 8UL}) {
+    EXPECT_EQ(run_world(8, threads), baseline) << "threads=" << threads;
+  }
+}
+
+TEST(StripExecutor, StripCountIsAModelParameterNotAThreadKnob) {
+  // Different strip counts may legally differ (strips are part of the
+  // model); the same strip count must not differ across thread counts even
+  // when threads > strips.
+  const auto two_strips = run_world(2, 1);
+  EXPECT_EQ(run_world(2, 8), two_strips);
+}
+
+TEST(StripExecutor, CrossStripPostsMergeInTimestampSourceOrder) {
+  StripPlane plane{StripPlane::Config{4, 2, Duration::micros(50)}};
+  EventQueue& h1 = plane.make_handle(1);
+  EventQueue& h2 = plane.make_handle(2);
+  EventQueue& h3 = plane.make_handle(3);
+  EventQueue& dst = plane.make_handle(4);
+  std::vector<int> order;  // appended only on strip 4's wheel
+
+  // Three source strips post to the same destination instant; the merge
+  // must come out (timestamp, source strip) no matter which worker ran
+  // which source first.
+  const TimePoint t0 = TimePoint::at(Duration::micros(100));
+  const TimePoint when = TimePoint::at(Duration::micros(500));
+  h3.schedule_at(t0, [&] { plane.post(dst, when, [&order] { order.push_back(3); }); });
+  h1.schedule_at(t0, [&] { plane.post(dst, when, [&order] { order.push_back(1); }); });
+  h2.schedule_at(t0, [&] {
+    plane.post(dst, when, [&order] { order.push_back(2); });
+    plane.post(dst, when, [&order] { order.push_back(4); });  // same src: seq order
+  });
+  plane.global().run_until(TimePoint::at(Duration::millis(1)));
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 4, 3}));
+  EXPECT_EQ(plane.late_posts(), 0U);
+}
+
+TEST(StripExecutor, GlobalEventsRunSeriallyBetweenWindows) {
+  StripPlane plane{StripPlane::Config{2, 2, Duration::micros(50)}};
+  EventQueue& h = plane.make_handle(1);
+  std::vector<int> order;
+  // A strip event and a global event at the same instant: the global one
+  // runs first (globals take precedence at equal timestamps).
+  const TimePoint t = TimePoint::at(Duration::micros(200));
+  h.schedule_at(t, [&] { order.push_back(2); });
+  plane.global().schedule_at(t, [&] { order.push_back(1); });
+  plane.global().run_until(TimePoint::at(Duration::millis(1)));
+  EXPECT_EQ(order, (std::vector<int>{1, 2}));
+}
+
+TEST(StripExecutor, RehomeMigratesPendingEventsVerbatim) {
+  StripPlane plane{StripPlane::Config{4, 2, Duration::micros(50)}};
+  EventQueue& h = plane.make_handle(1);
+  std::vector<std::int64_t> fired_at;
+  for (int i = 0; i < 5; ++i) {
+    h.schedule_at(TimePoint::at(Duration::micros(300 + 10 * i)),
+                  [&fired_at, &h] { fired_at.push_back(h.now().count()); });
+  }
+  ASSERT_EQ(h.strip(), 1U);
+  plane.rehome(h, 3);
+  plane.global().run_until(TimePoint::at(Duration::millis(1)));
+  EXPECT_EQ(h.strip(), 3U);
+  ASSERT_EQ(fired_at.size(), 5U);
+  for (int i = 0; i < 5; ++i) {
+    EXPECT_EQ(fired_at[static_cast<std::size_t>(i)],
+              Duration::micros(300 + 10 * i).count());
+  }
+}
+
+TEST(StripExecutor, CancelAndCohortsSurviveMigration) {
+  StripPlane plane{StripPlane::Config{4, 1, Duration::micros(50)}};
+  EventQueue& h = plane.make_handle(2);
+  const CohortId cohort = h.make_cohort();
+  int cohort_fired = 0;
+  for (int i = 0; i < 7; ++i) {
+    h.schedule_at(TimePoint::at(Duration::micros(400 + i)), cohort,
+                  [&cohort_fired] { ++cohort_fired; });
+  }
+  bool lone_fired = false;
+  const EventId lone =
+      h.schedule_at(TimePoint::at(Duration::micros(450)), [&lone_fired] { lone_fired = true; });
+
+  // Migrate mid-flight: the slot slabs stay with strip 2's wheel, the
+  // records move to strip 4's — cancellation must keep working across that
+  // region boundary.
+  plane.rehome(h, 4);
+  plane.global().run_until(TimePoint::at(Duration::micros(10)));  // applies the re-home
+  EXPECT_EQ(h.strip(), 4U);
+  EXPECT_TRUE(h.pending(lone));
+  EXPECT_TRUE(h.cancel(lone));
+  EXPECT_FALSE(h.pending(lone));
+  EXPECT_EQ(h.cancel_cohort(cohort), 7U);
+
+  plane.global().run_until(TimePoint::at(Duration::millis(1)));
+  EXPECT_EQ(cohort_fired, 0);
+  EXPECT_FALSE(lone_fired);
+  EXPECT_EQ(plane.pending_total(), 0U);
+}
+
+TEST(StripExecutor, LatePostsAreCountedAndClamped) {
+  StripPlane plane{StripPlane::Config{2, 1, Duration::micros(50)}};
+  EventQueue& h = plane.make_handle(1);
+  plane.global().run_until(TimePoint::at(Duration::millis(2)));
+  bool ran = false;
+  // The wheel clock is now at 2 ms; a post targeting 1 ms is a lookahead
+  // violation — it must be counted and clamped, not reordered or dropped.
+  plane.post(h, TimePoint::at(Duration::millis(1)), [&ran] { ran = true; });
+  plane.global().run_until(TimePoint::at(Duration::millis(3)));
+  EXPECT_TRUE(ran);
+  EXPECT_EQ(plane.late_posts(), 1U);
+}
+
+TEST(StripExecutor, EventBudgetAggregatesAcrossStripsDeterministically) {
+  auto run_with = [](std::size_t threads) {
+    World w{8, threads, /*nodes_per_strip=*/2};
+    w.start_all();
+    w.plane.global().set_run_budget(200, 0.0);
+    w.plane.global().run_until(TimePoint::at(Duration::millis(40)));
+    EXPECT_TRUE(w.plane.global().budget_exceeded());
+    EXPECT_EQ(w.plane.global().budget_trip(), BudgetTrip::kEvents);
+    return w.plane.global().fired_count();
+  };
+  const std::uint64_t fired1 = run_with(1);
+  EXPECT_GE(fired1, 200U);
+  EXPECT_EQ(run_with(4), fired1);  // per-window caps make the trip exact
+}
+
+TEST(StripExecutor, WallBudgetTripsOnRunawayStrip) {
+  StripPlane plane{StripPlane::Config{2, 2, Duration::micros(50)}};
+  EventQueue& h = plane.make_handle(1);
+  std::function<void()> spin = [&] { h.schedule_in(Duration::nanos(200), spin); };
+  h.schedule_at(TimePoint::at(Duration::micros(1)), spin);
+  plane.global().set_run_budget(0, 0.05);
+  plane.global().run_until(TimePoint::at(Duration::seconds(3600.0)));
+  EXPECT_TRUE(plane.global().budget_exceeded());
+  EXPECT_EQ(plane.global().budget_trip(), BudgetTrip::kWall);
+}
+
+TEST(StripExecutor, SingleStripPlaneMatchesStandaloneQueueOrder) {
+  // A 1-strip plane is the executor's degenerate case; the events it runs
+  // must interleave exactly like a plain standalone queue fed the same
+  // schedule (ids differ — wheels tag them — but order must not).
+  std::vector<std::uint32_t> plain_order;
+  {
+    EventQueue q;
+    for (std::uint32_t i = 0; i < 16; ++i) {
+      q.schedule_at(TimePoint::at(Duration::micros(100 + (i % 4))),
+                    [&plain_order, i] { plain_order.push_back(i); });
+    }
+    q.run_until(TimePoint::at(Duration::millis(1)));
+  }
+  std::vector<std::uint32_t> strip_order;
+  {
+    StripPlane plane{StripPlane::Config{1, 1, Duration::micros(50)}};
+    EventQueue& h = plane.make_handle(1);
+    for (std::uint32_t i = 0; i < 16; ++i) {
+      h.schedule_at(TimePoint::at(Duration::micros(100 + (i % 4))),
+                    [&strip_order, i] { strip_order.push_back(i); });
+    }
+    plane.global().run_until(TimePoint::at(Duration::millis(1)));
+  }
+  EXPECT_EQ(strip_order, plain_order);
+}
+
+}  // namespace

@@ -20,6 +20,8 @@ import sys
 GATED = [
     "BM_VerifyMessageWarm",
     "BM_EventQueueScheduleFire",
+    "BM_GfSelect/256",
+    "BM_GfSelect/1024",
     "BM_LocationTableUpdate/64",
     "BM_LocationTableUpdate/512",
 ]
